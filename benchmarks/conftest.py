@@ -1,0 +1,42 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every benchmark file regenerates one figure (or one group of sub-figures that
+share a sweep) of the paper at the scaled default workload, prints the series
+the paper plots, saves them under ``benchmarks/results/`` and asserts the
+qualitative shape the paper reports.  ``pytest benchmarks/ --benchmark-only``
+therefore both re-measures and re-validates the evaluation section.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import FigureTable
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def experiment_config() -> ExperimentConfig:
+    """The scaled default workload (see repro.experiments.config for the mapping)."""
+    return ExperimentConfig()
+
+
+@pytest.fixture()
+def run_figure(benchmark) -> Callable[[Callable[[], FigureTable], str], FigureTable]:
+    """Run a figure driver exactly once under pytest-benchmark and report it."""
+
+    def runner(driver: Callable[[], FigureTable], name: str) -> FigureTable:
+        table = benchmark.pedantic(driver, rounds=1, iterations=1, warmup_rounds=0)
+        text = table.format()
+        print("\n" + text)
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        return table
+
+    return runner

@@ -1,0 +1,20 @@
+"""Small helpers shared by the figure benchmarks (kept out of conftest so they
+can be imported explicitly under any pytest import mode)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.experiments.reporting import FigureTable
+
+__all__ = ["series_map", "column_by"]
+
+
+def series_map(table: FigureTable, y: str, x: str = "x") -> Dict[str, Dict[Any, Any]]:
+    """Per-algorithm mapping of x value to y value."""
+    return {name: dict(points) for name, points in table.series(x, y).items()}
+
+
+def column_by(table: FigureTable, key_column: str, value_column: str) -> Dict[Any, Any]:
+    """Mapping of one column to another, assuming the key column is unique."""
+    return {row[key_column]: row[value_column] for row in table.rows}

@@ -1,0 +1,25 @@
+"""Ablation: per-split aggregation (in-mapper aggregation / Hadoop Combine).
+
+DESIGN.md calls out per-split aggregation as the step every algorithm builds
+on: Basic-S without it ships one pair per sampled record; with it one pair per
+distinct sampled key; Improved-S and TwoLevel-S then prune further.  Send-V
+aggregates inside the mapper already, so adding a Combine function on top of
+it cannot reduce communication any further.
+"""
+
+from __future__ import annotations
+
+from figure_shapes import column_by
+from repro.experiments import figures
+
+
+def test_ablation_combiner(experiment_config, run_figure):
+    table = run_figure(lambda: figures.ablation_combiner(experiment_config),
+                       "ablation_combiner")
+    communication = column_by(table, "variant", "communication_bytes")
+
+    assert communication["Basic-S (aggregated)"] <= communication["Basic-S (no aggregation)"]
+    assert communication["Improved-S"] < communication["Basic-S (aggregated)"]
+    assert communication["TwoLevel-S"] < communication["Basic-S (aggregated)"]
+    # Send-V's mapper already aggregates, so the extra combiner changes nothing.
+    assert communication["Send-V (combiner)"] == communication["Send-V (no combiner)"]

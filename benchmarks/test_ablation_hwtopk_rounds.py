@@ -1,0 +1,31 @@
+"""Ablation: where H-WTopk's communication goes, round by round.
+
+DESIGN.md calls out the three-round structure as the paper's key exact-method
+design choice: round 1 ships only 2km coefficient pairs, the T1/T2 thresholds
+prune rounds 2 and 3, and the total stays far below shipping every non-zero
+local coefficient (the Send-Coef baseline).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figures
+
+
+def test_ablation_hwtopk_rounds(experiment_config, run_figure):
+    table = run_figure(lambda: figures.ablation_hwtopk_rounds(experiment_config),
+                       "ablation_hwtopk_rounds")
+    rows = {row["round"]: row for row in table.rows}
+
+    hwtopk_rounds = [rows[f"H-WTopk round {i}"] for i in (1, 2, 3)]
+    send_coef = rows["Send-Coef (all local coefficients)"]
+
+    total_hwtopk = sum(row["shuffle_bytes"] for row in hwtopk_rounds)
+    assert total_hwtopk < 0.5 * send_coef["shuffle_bytes"]
+
+    # Round 1 ships at most 2*k*m marked pairs of 16 bytes.
+    k, m = experiment_config.k, experiment_config.target_splits
+    assert hwtopk_rounds[0]["shuffle_records"] <= 2 * k * m
+    # Pruning works: rounds 2+3 do not dwarf round 1.
+    assert (hwtopk_rounds[1]["shuffle_bytes"] + hwtopk_rounds[2]["shuffle_bytes"]) < (
+        send_coef["shuffle_bytes"]
+    )

@@ -1,0 +1,52 @@
+"""Figures 5(a), 5(b) and 6: communication, running time and SSE versus k.
+
+Paper claims reproduced here:
+* k barely affects any method except H-WTopk's communication (its thresholds
+  depend on k);
+* H-WTopk beats Send-V by a large factor in communication and is faster;
+* the sampling methods are the overall winners, Send-Sketch the slowest;
+* SSE decreases with k and the exact methods define the ideal SSE.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from figure_shapes import series_map
+from repro.experiments import figures
+
+
+def test_figure_05_06_vary_k(experiment_config, run_figure):
+    table = run_figure(lambda: figures.vary_k(experiment_config), "fig05_06_vary_k")
+
+    communication = series_map(table, "communication_bytes")
+    times = series_map(table, "time_s")
+    sse = series_map(table, "sse")
+    ks = sorted(next(iter(communication.values())))
+    largest_k = ks[-1]
+
+    # Communication: Send-V worst among exact methods, H-WTopk far below it,
+    # the sampling methods below H-WTopk (Figure 5a).
+    for k in ks:
+        assert communication["H-WTopk"][k] < communication["Send-V"][k]
+        assert communication["TwoLevel-S"][k] < communication["H-WTopk"][k]
+        assert communication["Improved-S"][k] < communication["H-WTopk"][k]
+
+    # H-WTopk's communication grows with k; Send-V's does not (Figure 5a).
+    assert communication["H-WTopk"][largest_k] > communication["H-WTopk"][ks[0]]
+    assert communication["Send-V"][largest_k] == communication["Send-V"][ks[0]]
+
+    # Running time: Send-Sketch slowest, sampling methods fastest (Figure 5b).
+    for k in ks:
+        assert times["Send-Sketch"][k] > times["Send-V"][k]
+        assert times["H-WTopk"][k] < times["Send-V"][k]
+        assert times["TwoLevel-S"][k] < times["H-WTopk"][k]
+        assert times["Improved-S"][k] < times["H-WTopk"][k]
+
+    # SSE: decreases with k for every method; exact methods are the ideal (Figure 6).
+    for name in ("Send-V", "H-WTopk", "TwoLevel-S", "Improved-S"):
+        assert sse[name][largest_k] <= sse[name][ks[0]]
+    for k in ks:
+        assert sse["Send-V"][k] == pytest.approx(sse["H-WTopk"][k], rel=1e-9)
+        for approximate in ("Send-Sketch", "Improved-S", "TwoLevel-S"):
+            assert sse[approximate][k] >= sse["Send-V"][k] * 0.999

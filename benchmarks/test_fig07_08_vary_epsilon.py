@@ -1,0 +1,46 @@
+"""Figures 7, 8(a) and 8(b): the sampling methods as eps varies.
+
+Paper claims reproduced here:
+* both samplers lose accuracy (higher SSE) as eps grows;
+* both samplers get more expensive as eps shrinks;
+* TwoLevel-S communicates less than Improved-S, with the gap widening as eps
+  shrinks (the sqrt(m) versus m behaviour).
+"""
+
+from __future__ import annotations
+
+from figure_shapes import series_map
+from repro.experiments import figures
+
+EPSILONS = (0.02, 0.01, 0.005, 0.003, 0.002)
+
+
+def test_figure_07_08_vary_epsilon(experiment_config, run_figure):
+    table = run_figure(lambda: figures.vary_epsilon(experiment_config, epsilons=EPSILONS),
+                       "fig07_08_vary_epsilon")
+
+    sse = series_map(table, "sse")
+    communication = series_map(table, "communication_bytes")
+    times = series_map(table, "time_s")
+    largest, smallest = max(EPSILONS), min(EPSILONS)
+
+    # Figure 7: SSE grows with eps for both samplers and never beats the exact reference.
+    ideal_sse = sse["H-WTopk"]["exact"]
+    for name in ("Improved-S", "TwoLevel-S"):
+        assert sse[name][largest] >= sse[name][smallest]
+        for epsilon in EPSILONS:
+            assert sse[name][epsilon] >= 0.999 * ideal_sse
+
+    # Figure 8(a): communication grows as eps shrinks; TwoLevel-S stays below
+    # Improved-S, and the gap widens towards small eps.
+    for name in ("Improved-S", "TwoLevel-S"):
+        assert communication[name][smallest] > communication[name][largest]
+    for epsilon in (0.01, 0.005, 0.003, 0.002):
+        assert communication["TwoLevel-S"][epsilon] < communication["Improved-S"][epsilon]
+    gap_small_eps = communication["Improved-S"][smallest] / communication["TwoLevel-S"][smallest]
+    gap_large_eps = communication["Improved-S"][largest] / communication["TwoLevel-S"][largest]
+    assert gap_small_eps > gap_large_eps
+
+    # Figure 8(b): running time grows as eps shrinks (larger samples).
+    for name in ("Improved-S", "TwoLevel-S"):
+        assert times[name][smallest] > times[name][largest]

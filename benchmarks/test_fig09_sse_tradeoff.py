@@ -1,0 +1,38 @@
+"""Figure 9: communication and running time needed to reach a given SSE.
+
+Paper claims reproduced here:
+* lower SSE costs more communication for every approximation method;
+* TwoLevel-S sits on the best SSE-versus-cost frontier: for every Send-Sketch
+  configuration there is a TwoLevel-S configuration that is at least as
+  accurate while communicating less and finishing sooner (the paper reports a
+  1-2 order-of-magnitude gap).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figures
+
+
+def test_figure_09_sse_tradeoff(experiment_config, run_figure):
+    table = run_figure(lambda: figures.sse_tradeoff(experiment_config), "fig09_sse_tradeoff")
+
+    by_algorithm = {}
+    for row in table.rows:
+        by_algorithm.setdefault(row["algorithm"], []).append(row)
+
+    # More budget (smaller eps / larger sketch) gives lower or equal SSE.
+    for name, rows in by_algorithm.items():
+        most_expensive = max(rows, key=lambda row: row["communication_bytes"])
+        cheapest = min(rows, key=lambda row: row["communication_bytes"])
+        assert most_expensive["sse"] <= cheapest["sse"] * 1.05
+
+    # TwoLevel-S dominates Send-Sketch: pick TwoLevel-S's most accurate point.
+    best_two_level = min(by_algorithm["TwoLevel-S"], key=lambda row: row["sse"])
+    for sketch_row in by_algorithm["Send-Sketch"]:
+        assert best_two_level["sse"] <= sketch_row["sse"]
+        assert best_two_level["communication_bytes"] < sketch_row["communication_bytes"] / 10
+        assert best_two_level["time_s"] < sketch_row["time_s"] / 10
+
+    # TwoLevel-S reaches its best SSE with less communication than Improved-S needs.
+    best_improved = min(by_algorithm["Improved-S"], key=lambda row: row["sse"])
+    assert best_two_level["communication_bytes"] < best_improved["communication_bytes"]

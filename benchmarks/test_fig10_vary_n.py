@@ -1,0 +1,46 @@
+"""Figures 10(a) and 10(b): scalability with the dataset size n (fixed split size).
+
+Paper claims reproduced here:
+* every method's communication and running time grow with n (m grows with n);
+* the sampling methods are the least affected because their sample size is
+  governed by eps, not n;
+* the gap between Improved-S and TwoLevel-S widens with n (the sqrt(m) factor).
+"""
+
+from __future__ import annotations
+
+from figure_shapes import series_map
+from repro.experiments import figures
+
+NS = (160_000, 320_000, 640_000, 1_280_000)
+
+
+def test_figure_10_vary_n(experiment_config, run_figure):
+    table = run_figure(lambda: figures.vary_n(experiment_config, ns=NS), "fig10_vary_n")
+
+    communication = series_map(table, "communication_bytes")
+    times = series_map(table, "time_s")
+    smallest, largest = NS[0], NS[-1]
+
+    # Communication grows with n for the exact methods and for Improved-S.
+    for name in ("Send-V", "H-WTopk", "Improved-S", "TwoLevel-S"):
+        assert communication[name][largest] > communication[name][smallest]
+
+    # The sampling methods grow the least; Send-V grows roughly linearly in n.
+    send_v_growth = communication["Send-V"][largest] / communication["Send-V"][smallest]
+    two_level_growth = communication["TwoLevel-S"][largest] / communication["TwoLevel-S"][smallest]
+    improved_growth = communication["Improved-S"][largest] / communication["Improved-S"][smallest]
+    assert two_level_growth < improved_growth
+    assert two_level_growth < send_v_growth
+
+    # The Improved-S / TwoLevel-S gap widens with n (Figure 10a's observation).
+    gap_small = communication["Improved-S"][smallest] / communication["TwoLevel-S"][smallest]
+    gap_large = communication["Improved-S"][largest] / communication["TwoLevel-S"][largest]
+    assert gap_large > gap_small
+
+    # Running times grow with n for the scan-bound methods, and the sampling
+    # methods stay the fastest at every n.
+    for name in ("Send-V", "Send-Sketch", "H-WTopk"):
+        assert times[name][largest] > times[name][smallest]
+    for n in NS:
+        assert times["TwoLevel-S"][n] < times["H-WTopk"][n] < times["Send-Sketch"][n]

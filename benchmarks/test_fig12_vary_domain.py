@@ -1,0 +1,48 @@
+"""Figures 12(a) and 12(b): the effect of the domain size u (includes Send-Coef).
+
+Paper claims reproduced here:
+* Send-Coef degrades with the domain size and is worse than Send-V for large
+  domains (the number of non-zero local coefficients grows with u), which is
+  why the paper drops it from the other experiments;
+* Send-V's communication grows with u (more distinct keys per split);
+* the sampling methods are essentially unaffected by u;
+* running times of the scan-and-transform methods grow with u while the
+  samplers stay flat.
+"""
+
+from __future__ import annotations
+
+from figure_shapes import series_map
+from repro.experiments import figures
+
+LOG2_US = (8, 10, 12, 14, 16)
+
+
+def test_figure_12_vary_domain(experiment_config, run_figure):
+    table = run_figure(lambda: figures.vary_domain(experiment_config, log2_us=LOG2_US),
+                       "fig12_vary_domain")
+
+    communication = series_map(table, "communication_bytes")
+    times = series_map(table, "time_s")
+    smallest, largest = LOG2_US[0], LOG2_US[-1]
+
+    # Send-Coef is worse than Send-V at the largest domain and degrades faster.
+    assert communication["Send-Coef"][largest] > communication["Send-V"][largest]
+    send_coef_growth = communication["Send-Coef"][largest] / communication["Send-Coef"][smallest]
+    send_v_growth = communication["Send-V"][largest] / communication["Send-V"][smallest]
+    assert send_coef_growth > send_v_growth
+
+    # Send-V's communication grows with u; the samplers barely move.
+    assert communication["Send-V"][largest] > communication["Send-V"][smallest]
+    for name in ("Improved-S", "TwoLevel-S"):
+        values = [communication[name][x] for x in LOG2_US]
+        assert max(values) < 3 * min(values)
+
+    # Times: scanning/transforming methods slow down with u, samplers stay
+    # comparatively flat (their sample size does not depend on u at all; only
+    # the reducer-side transform grows mildly with log u).
+    for name in ("Send-V", "Send-Coef", "Send-Sketch"):
+        assert times[name][largest] > times[name][smallest]
+    for name in ("Improved-S", "TwoLevel-S"):
+        values = [times[name][x] for x in LOG2_US]
+        assert max(values) < 3 * min(values)

@@ -1,0 +1,44 @@
+"""Figures 13(a) and 13(b): the effect of the split size beta (n fixed).
+
+Paper claims reproduced here:
+* a larger split size means fewer splits, so every method communicates less;
+* running times also drop (fewer local transforms / sketches, less shuffle);
+* Send-V benefits the least because larger splits hold more distinct keys,
+  which cancels part of the reduction in m.
+"""
+
+from __future__ import annotations
+
+from figure_shapes import series_map
+from repro.experiments import figures
+
+SPLIT_COUNTS = (256, 128, 64, 32)
+
+
+def test_figure_13_vary_split_size(experiment_config, run_figure):
+    table = run_figure(
+        lambda: figures.vary_split_size(experiment_config, split_counts=SPLIT_COUNTS),
+        "fig13_vary_split_size",
+    )
+
+    communication = series_map(table, "communication_bytes")
+    times = series_map(table, "time_s")
+    split_sizes = sorted(set(table.column("x")))
+    smallest_split, largest_split = split_sizes[0], split_sizes[-1]
+
+    # Larger splits (fewer of them) mean less communication for every method.
+    for name in ("Send-V", "H-WTopk", "Send-Sketch", "Improved-S", "TwoLevel-S"):
+        assert communication[name][largest_split] < communication[name][smallest_split]
+
+    # Send-V's relative saving is the smallest (its per-split payload grows
+    # with the split), the sketch/top-k methods save proportionally more.
+    send_v_saving = communication["Send-V"][smallest_split] / communication["Send-V"][largest_split]
+    sketch_saving = (communication["Send-Sketch"][smallest_split]
+                     / communication["Send-Sketch"][largest_split])
+    hwtopk_saving = communication["H-WTopk"][smallest_split] / communication["H-WTopk"][largest_split]
+    assert send_v_saving < sketch_saving
+    assert send_v_saving < hwtopk_saving
+
+    # Times do not increase when the split size grows.
+    for name in ("Send-V", "H-WTopk", "Send-Sketch", "Improved-S", "TwoLevel-S"):
+        assert times[name][largest_split] <= times[name][smallest_split] * 1.05

@@ -1,0 +1,41 @@
+"""Figures 14(a), 14(b) and 15: the effect of the Zipf skew alpha.
+
+Paper claims reproduced here:
+* less skewed data has more distinct keys per split, so Send-V communicates
+  more and Send-Sketch does more updates (and both get slower);
+* the sampling methods and H-WTopk are far less sensitive to the skew;
+* SSE improves (drops) as the data gets less skewed, for every method;
+* TwoLevel-S remains the cheapest method at every skew.
+"""
+
+from __future__ import annotations
+
+from figure_shapes import series_map
+from repro.experiments import figures
+
+ALPHAS = (0.8, 1.1, 1.4)
+
+
+def test_figure_14_15_vary_skew(experiment_config, run_figure):
+    table = run_figure(lambda: figures.vary_skew(experiment_config, alphas=ALPHAS),
+                       "fig14_15_vary_skew")
+
+    communication = series_map(table, "communication_bytes")
+    times = series_map(table, "time_s")
+    sse = series_map(table, "sse")
+    least_skewed, most_skewed = ALPHAS[0], ALPHAS[-1]
+
+    # Figure 14(a)/(b): Send-V and Send-Sketch pay for the larger number of
+    # distinct keys on less skewed data.
+    assert communication["Send-V"][least_skewed] > communication["Send-V"][most_skewed]
+    assert times["Send-Sketch"][least_skewed] > times["Send-Sketch"][most_skewed]
+    assert times["Send-V"][least_skewed] > times["Send-V"][most_skewed]
+
+    # TwoLevel-S stays the cheapest at every skew level.
+    for alpha in ALPHAS:
+        assert communication["TwoLevel-S"][alpha] < communication["H-WTopk"][alpha]
+        assert communication["H-WTopk"][alpha] < communication["Send-V"][alpha]
+
+    # Figure 15: SSE improves on less skewed data (lower energy concentration).
+    for name in ("Send-V", "H-WTopk", "Improved-S", "TwoLevel-S"):
+        assert sse[name][least_skewed] < sse[name][most_skewed]

@@ -1,0 +1,44 @@
+"""Figures 17(a), 17(b) and 18: all algorithms on the WorldCup-like dataset.
+
+The real WorldCup'98 log is not redistributable, so the benchmark uses the
+bundled synthetic stand-in (heavy-tailed client x object composite keys, 40-byte
+records).  Paper claims reproduced here:
+* the relative ordering of the methods matches the Zipfian experiments —
+  H-WTopk well below Send-V in communication, the samplers cheapest, Send-Sketch
+  slowest;
+* the exact methods share the minimal SSE and every approximation stays close.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from figure_shapes import series_map
+from repro.experiments import figures
+
+
+def test_figure_17_18_worldcup(experiment_config, run_figure):
+    table = run_figure(lambda: figures.worldcup_costs(experiment_config), "fig17_18_worldcup")
+
+    communication = series_map(table, "communication_bytes")
+    times = series_map(table, "time_s")
+    sse = series_map(table, "sse")
+    x = "worldcup"
+
+    # Figure 17(a): communication ordering.
+    assert communication["H-WTopk"][x] < communication["Send-V"][x]
+    assert communication["TwoLevel-S"][x] < communication["H-WTopk"][x]
+    assert communication["Improved-S"][x] < communication["H-WTopk"][x]
+
+    # Figure 17(b): the samplers save 1.5+ orders of magnitude over Send-V,
+    # H-WTopk saves a significant factor too; Send-Sketch is slowest.
+    assert times["Send-Sketch"][x] > times["Send-V"][x]
+    assert times["H-WTopk"][x] < times["Send-V"][x]
+    assert times["TwoLevel-S"][x] < times["Send-V"][x] / 10
+    assert times["Improved-S"][x] < times["Send-V"][x] / 10
+
+    # Figure 18: exact methods share the ideal SSE, approximations stay close.
+    assert sse["Send-V"][x] == pytest.approx(sse["H-WTopk"][x], rel=1e-9)
+    for name in ("Send-Sketch", "Improved-S", "TwoLevel-S"):
+        assert sse[name][x] >= 0.999 * sse["Send-V"][x]
+        assert sse[name][x] <= 10 * sse["Send-V"][x]

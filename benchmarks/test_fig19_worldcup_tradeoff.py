@@ -1,0 +1,34 @@
+"""Figure 19: SSE versus communication/time trade-off on the WorldCup-like dataset.
+
+Paper claims reproduced here:
+* TwoLevel-S achieves the best overall SSE-to-communication and SSE-to-time
+  trade-off;
+* Send-Sketch needs orders of magnitude more communication and computation to
+  reach a comparable SSE.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figures
+
+
+def test_figure_19_worldcup_tradeoff(experiment_config, run_figure):
+    table = run_figure(lambda: figures.worldcup_tradeoff(experiment_config),
+                       "fig19_worldcup_tradeoff")
+
+    by_algorithm = {}
+    for row in table.rows:
+        by_algorithm.setdefault(row["algorithm"], []).append(row)
+
+    best_two_level = min(by_algorithm["TwoLevel-S"], key=lambda row: row["sse"])
+    for sketch_row in by_algorithm["Send-Sketch"]:
+        assert best_two_level["sse"] <= sketch_row["sse"]
+        assert best_two_level["communication_bytes"] < sketch_row["communication_bytes"] / 10
+        assert best_two_level["time_s"] < sketch_row["time_s"] / 10
+
+    # Spending more (smaller eps) never hurts the samplers' SSE materially.
+    for name in ("Improved-S", "TwoLevel-S"):
+        rows = by_algorithm[name]
+        most_expensive = max(rows, key=lambda row: row["communication_bytes"])
+        cheapest = min(rows, key=lambda row: row["communication_bytes"])
+        assert most_expensive["sse"] <= cheapest["sse"] * 1.05

@@ -1,0 +1,26 @@
+"""Section 4 analytic example: communication bounds of the three sampling schemes.
+
+The paper's back-of-the-envelope comparison (m = 1000, eps = 1e-4, 4-byte
+keys): Basic-S ships ~400 MB, Improved-S at most ~40 MB, TwoLevel-S ~1.2 MB —
+a 330x / 33x reduction.  The closed-form bounds implemented in
+``repro.sampling.estimators`` regenerate those numbers.
+"""
+
+from __future__ import annotations
+
+from figure_shapes import column_by
+from repro.experiments import figures
+
+
+def test_section4_communication_bounds(run_figure):
+    table = run_figure(lambda: figures.analysis_communication_bounds(),
+                       "section4_analysis_bounds")
+    bounds = column_by(table, "algorithm", "bound_bytes")
+
+    assert bounds["Basic-S"] == 400e6
+    assert bounds["Improved-S"] == 40e6
+    # The paper quotes ~1.2 MB counting only the sqrt(m)/eps emitted keys; the
+    # bound here also counts the exact-count payloads, so allow the same order.
+    assert 1e6 <= bounds["TwoLevel-S"] <= 4e6
+    assert bounds["Basic-S"] / bounds["TwoLevel-S"] > 100
+    assert bounds["Improved-S"] / bounds["TwoLevel-S"] > 10

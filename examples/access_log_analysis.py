@@ -1,0 +1,70 @@
+"""Summarising a web access log: the paper's WorldCup scenario.
+
+The paper's real workload is the 1998 World Cup access log, keyed by the
+(client id, object id) pairing — the same shape as (src ip, dst ip) pairs in
+network traffic analysis.  This example generates a WorldCup-like log with the
+bundled synthetic generator, summarises the clientobject distribution with
+every algorithm, and reports the cost/quality trade-off plus the heaviest
+traffic concentrations found by the histogram.
+
+Run with:  python examples/access_log_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    HDFS,
+    HWTopk,
+    ImprovedSampling,
+    SendSketch,
+    SendV,
+    TwoLevelSampling,
+    WaveletHistogram,
+    WorldCupLikeGenerator,
+    paper_cluster,
+)
+
+
+def main() -> None:
+    # A heavy-tailed client x object access log with 40-byte records.
+    generator = WorldCupLikeGenerator(u=2 ** 13, num_clients=1024, num_objects=512, seed=1998)
+    log = generator.generate(150_000)
+    print(f"access log: {log.n} requests, {log.frequency_vector().distinct_keys} distinct "
+          f"clientobject pairs, {log.size_bytes / 1024:.0f} kB on disk")
+
+    hdfs = HDFS()
+    log.to_hdfs(hdfs, "/logs/worldcup")
+    cluster = paper_cluster(split_size_bytes=log.size_bytes // 32)
+    reference = log.frequency_vector()
+    ideal_sse = WaveletHistogram.from_frequency_vector(reference, 30).sse(reference)
+
+    algorithms = [
+        SendV(log.u, 30),
+        HWTopk(log.u, 30),
+        SendSketch(log.u, 30, bytes_per_level=8 * 1024),
+        ImprovedSampling(log.u, 30, epsilon=0.01),
+        TwoLevelSampling(log.u, 30, epsilon=0.01),
+    ]
+    print(f"\n{'algorithm':<12} {'comm (bytes)':>14} {'time (s)':>10} {'SSE / ideal':>12}")
+    results = {}
+    for algorithm in algorithms:
+        result = algorithm.run(hdfs, "/logs/worldcup", cluster=cluster)
+        results[result.algorithm] = result
+        print(f"{result.algorithm:<12} {result.communication_bytes:>14,.0f} "
+              f"{result.simulated_time_s:>10.1f} "
+              f"{result.histogram.sse(reference) / ideal_sse:>12.2f}")
+
+    # The k-term synopsis captures the heaviest (client, object) pairings: the
+    # fine-level coefficients it keeps sit exactly on the hottest keys, so
+    # point estimates for those keys are accurate even though the histogram
+    # was built from a tiny sample with ~9 kB of communication.
+    histogram = results["TwoLevel-S"].histogram
+    top_pairs = sorted(reference.counts.items(), key=lambda item: -item[1])[:8]
+    print("\nheaviest clientobject pairs, true count versus TwoLevel-S histogram estimate:")
+    for key, true_count in top_pairs:
+        estimate = histogram.estimate(key)
+        print(f"  clientobject {key:>6}: true {true_count:>8.0f}   estimated {estimate:>10.0f}")
+
+
+if __name__ == "__main__":
+    main()

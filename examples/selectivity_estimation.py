@@ -1,0 +1,79 @@
+"""Range-selectivity estimation with wavelet histograms (the classic use case).
+
+Wavelet histograms were introduced for selectivity estimation in query
+optimisation [Matias, Vitter, Wang 1998]; the paper builds them over massive
+MapReduce-resident data.  This example models an ``orders(price)`` attribute
+whose frequency distribution is smooth and skewed (cheap items are common,
+expensive ones rare), builds k-term histograms with three of the paper's
+algorithms, and compares the accuracy of range-selectivity estimates as the
+coefficient budget k grows.
+
+Run with:  python examples/selectivity_estimation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    Dataset,
+    HDFS,
+    ImprovedSampling,
+    SendV,
+    TwoLevelSampling,
+    paper_cluster,
+)
+
+
+def generate_price_attribute(u: int, n: int, seed: int = 11) -> Dataset:
+    """Keys are price buckets; low prices are much more frequent (smooth Zipf-like decay)."""
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, u + 1, dtype=float)
+    probabilities = ranks ** -1.2
+    probabilities /= probabilities.sum()
+    keys = rng.choice(u, size=n, p=probabilities).astype(np.int64) + 1
+    rng.shuffle(keys)
+    return Dataset(name="orders-price", keys=keys, u=u)
+
+
+def main() -> None:
+    u, n = 2 ** 12, 150_000
+    dataset = generate_price_attribute(u, n)
+    hdfs = HDFS()
+    dataset.to_hdfs(hdfs, "/data/orders")
+    cluster = paper_cluster(split_size_bytes=dataset.size_bytes // 16)
+    reference = dataset.frequency_vector()
+
+    # A workload of range predicates (price BETWEEN lo AND hi) of varying width.
+    rng = np.random.default_rng(3)
+    queries = []
+    for width in (u // 32, u // 8, u // 2):
+        for _ in range(20):
+            lo = int(rng.integers(1, u - width))
+            queries.append((lo, lo + width - 1))
+    true_counts = {
+        (lo, hi): sum(count for key, count in reference.items() if lo <= key <= hi)
+        for lo, hi in queries
+    }
+
+    print(f"{'k':>4} {'builder':<12} {'comm (bytes)':>14} {'mean abs. selectivity error':>28}")
+    for k in (10, 30, 50):
+        builders = [
+            SendV(u, k),
+            ImprovedSampling(u, k, epsilon=0.01),
+            TwoLevelSampling(u, k, epsilon=0.01),
+        ]
+        for builder in builders:
+            result = builder.run(hdfs, "/data/orders", cluster=cluster)
+            errors = [
+                abs(result.histogram.range_sum(lo, hi) - true_counts[(lo, hi)]) / n
+                for lo, hi in queries
+            ]
+            print(f"{k:>4} {result.algorithm:<12} {result.communication_bytes:>14,.0f} "
+                  f"{float(np.mean(errors)):>28.4f}")
+    print("\nLarger k improves every builder; the sampling builders pay a small accuracy "
+          "penalty for orders of magnitude less communication than Send-V.")
+
+
+if __name__ == "__main__":
+    main()

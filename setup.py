@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The project is fully described in ``pyproject.toml``; this shim exists so the
+package can also be installed in environments without PEP 517 build isolation
+(e.g. offline machines lacking the ``wheel`` package), via
+``pip install -e . --no-use-pep517`` or ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,73 @@
+"""repro — reproduction of "Building Wavelet Histograms on Large Data in MapReduce".
+
+The package is organised as:
+
+* :mod:`repro.core` — Haar wavelets, the :class:`~repro.core.histogram.WaveletHistogram`
+  synopsis and multi-dimensional transforms;
+* :mod:`repro.mapreduce` — the simulated Hadoop substrate (HDFS, job runner,
+  counters, side channels);
+* :mod:`repro.cost` — the running-time cost model;
+* :mod:`repro.sketches`, :mod:`repro.sampling`, :mod:`repro.topk` — the
+  algorithmic substrates (GCS/AMS sketches, two-level sampling, signed TPUT);
+* :mod:`repro.algorithms` — the paper's five main algorithms plus the two
+  extra baselines, each runnable end to end;
+* :mod:`repro.data` — Zipfian / WorldCup-like dataset generators;
+* :mod:`repro.experiments` — the figure-by-figure experiment harness.
+
+Quickstart::
+
+    from repro import ZipfDatasetGenerator, TwoLevelSampling, HDFS, paper_cluster
+
+    dataset = ZipfDatasetGenerator(u=2**14, alpha=1.1).generate(200_000)
+    hdfs = HDFS()
+    dataset.to_hdfs(hdfs, "/data/zipf")
+    result = TwoLevelSampling(u=dataset.u, k=30, epsilon=0.005).run(hdfs, "/data/zipf")
+    print(result.histogram.coefficients, result.communication_bytes)
+"""
+
+from repro.algorithms import (
+    AlgorithmResult,
+    BasicSampling,
+    HistogramAlgorithm,
+    HWTopk,
+    ImprovedSampling,
+    SendCoef,
+    SendSketch,
+    SendV,
+    TwoLevelSampling,
+)
+from repro.core import FrequencyVector, WaveletHistogram, haar_transform, inverse_haar_transform
+from repro.cost import CostModel, CostParameters
+from repro.data import Dataset, UniformDatasetGenerator, WorldCupLikeGenerator, ZipfDatasetGenerator
+from repro.mapreduce import HDFS, ClusterSpec, JobRunner, MapReduceJob
+from repro.mapreduce.cluster import paper_cluster
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlgorithmResult",
+    "BasicSampling",
+    "HistogramAlgorithm",
+    "HWTopk",
+    "ImprovedSampling",
+    "SendCoef",
+    "SendSketch",
+    "SendV",
+    "TwoLevelSampling",
+    "FrequencyVector",
+    "WaveletHistogram",
+    "haar_transform",
+    "inverse_haar_transform",
+    "CostModel",
+    "CostParameters",
+    "Dataset",
+    "ZipfDatasetGenerator",
+    "UniformDatasetGenerator",
+    "WorldCupLikeGenerator",
+    "HDFS",
+    "ClusterSpec",
+    "JobRunner",
+    "MapReduceJob",
+    "paper_cluster",
+    "__version__",
+]

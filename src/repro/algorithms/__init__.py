@@ -1,0 +1,48 @@
+"""The paper's wavelet-histogram construction algorithms, as MapReduce jobs.
+
+Exact methods (Section 3):
+
+* :class:`~repro.algorithms.send_v.SendV` — baseline, ships all local
+  frequency vectors;
+* :class:`~repro.algorithms.send_coef.SendCoef` — baseline, ships all local
+  non-zero wavelet coefficients;
+* :class:`~repro.algorithms.hwtopk.HWTopk` — the paper's three-round
+  signed-TPUT algorithm.
+
+Approximate methods (Section 4):
+
+* :class:`~repro.algorithms.send_sketch.SendSketch` — GCS sketches per split,
+  merged at the reducer;
+* :class:`~repro.algorithms.basic_sampling.BasicSampling` — level-1 sampling,
+  every sampled key emitted;
+* :class:`~repro.algorithms.improved_sampling.ImprovedSampling` — local counts
+  below ``eps * t_j`` dropped;
+* :class:`~repro.algorithms.twolevel_sampling.TwoLevelSampling` — the paper's
+  unbiased two-level sampling.
+
+All algorithms share the driver interface of
+:class:`~repro.algorithms.base.HistogramAlgorithm` and return an
+:class:`~repro.algorithms.base.AlgorithmResult` carrying the histogram, the
+per-round job results, the communication bytes and the simulated running time.
+"""
+
+from repro.algorithms.base import AlgorithmResult, HistogramAlgorithm
+from repro.algorithms.basic_sampling import BasicSampling
+from repro.algorithms.hwtopk import HWTopk
+from repro.algorithms.improved_sampling import ImprovedSampling
+from repro.algorithms.send_coef import SendCoef
+from repro.algorithms.send_sketch import SendSketch
+from repro.algorithms.send_v import SendV
+from repro.algorithms.twolevel_sampling import TwoLevelSampling
+
+__all__ = [
+    "AlgorithmResult",
+    "HistogramAlgorithm",
+    "SendV",
+    "SendCoef",
+    "HWTopk",
+    "SendSketch",
+    "BasicSampling",
+    "ImprovedSampling",
+    "TwoLevelSampling",
+]

@@ -1,0 +1,141 @@
+"""Common driver interface and result type for all histogram algorithms."""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.histogram import WaveletHistogram
+from repro.cost.model import CostModel, CostParameters
+from repro.errors import InvalidParameterError
+from repro.mapreduce.cluster import ClusterSpec, paper_cluster
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.hdfs import HDFS
+from repro.mapreduce.runtime import JobResult, JobRunner
+from repro.mapreduce.state import StateStore
+
+__all__ = ["AlgorithmResult", "HistogramAlgorithm"]
+
+# Job Configuration keys shared by all algorithms.
+CONF_DOMAIN = "wavelet.domain.u"
+CONF_K = "wavelet.top.k"
+CONF_EPSILON = "wavelet.epsilon"
+CONF_TOTAL_RECORDS = "wavelet.total.records"
+CONF_SAMPLE_PROBABILITY = "wavelet.sample.probability"
+CONF_SKETCH_SEED = "wavelet.sketch.seed"
+CONF_SKETCH_BYTES_PER_LEVEL = "wavelet.sketch.bytes.per.level"
+CONF_T1_OVER_M = "wavelet.hwtopk.t1.over.m"
+CACHE_CANDIDATES = "wavelet.hwtopk.candidates"
+
+
+@dataclass
+class AlgorithmResult:
+    """Outcome of running one algorithm end to end.
+
+    Attributes:
+        algorithm: algorithm name (e.g. ``"TwoLevel-S"``).
+        histogram: the k-term wavelet histogram produced.
+        rounds: the per-MapReduce-round job results, in execution order.
+        communication_bytes: total network traffic (shuffle + side channels).
+        simulated_time_s: end-to-end simulated running time.
+        counters: all counters merged across rounds.
+        details: algorithm-specific extras (thresholds, sample sizes, ...).
+    """
+
+    algorithm: str
+    histogram: WaveletHistogram
+    rounds: List[JobResult] = field(default_factory=list)
+    communication_bytes: float = 0.0
+    simulated_time_s: float = 0.0
+    counters: Counters = field(default_factory=Counters)
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of MapReduce rounds the algorithm used."""
+        return len(self.rounds)
+
+    def sse(self, reference) -> float:
+        """SSE of the histogram against a reference frequency vector."""
+        return self.histogram.sse(reference)
+
+
+class HistogramAlgorithm(ABC):
+    """Base class for all wavelet-histogram construction algorithms.
+
+    Subclasses set :attr:`name` and implement :meth:`_execute`, which runs the
+    MapReduce rounds through the provided :class:`JobRunner` and returns the
+    coefficient mapping plus per-round results.  The shared :meth:`run` driver
+    wires up the runner, the cost model and the result assembly.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, u: int, k: int) -> None:
+        if k < 1:
+            raise InvalidParameterError(f"k must be positive, got {k}")
+        self.u = u
+        self.k = k
+
+    # ------------------------------------------------------------------ hooks
+    @abstractmethod
+    def _execute(self, runner: JobRunner, input_path: str) -> "ExecutionOutcome":
+        """Run the algorithm's MapReduce rounds and return coefficients + rounds."""
+
+    # ----------------------------------------------------------------- driver
+    def run(
+        self,
+        hdfs: HDFS,
+        input_path: str,
+        cluster: Optional[ClusterSpec] = None,
+        cost_parameters: Optional[CostParameters] = None,
+        seed: int = 7,
+    ) -> AlgorithmResult:
+        """Execute the algorithm against a file already stored in the simulated HDFS.
+
+        Args:
+            hdfs: the simulated file system holding the input.
+            input_path: path of the input file.
+            cluster: cluster description; defaults to the paper's 16-node cluster.
+            cost_parameters: per-operation cost constants for the time model.
+            seed: seed for all randomised components (sampling, sketches).
+        """
+        cluster = cluster if cluster is not None else paper_cluster()
+        runner = JobRunner(hdfs, cluster=cluster, state_store=StateStore(), seed=seed)
+        outcome = self._execute(runner, input_path)
+
+        cost_model = CostModel(cluster, parameters=cost_parameters)
+        counters = Counters()
+        for round_result in outcome.rounds:
+            counters = counters.merge(round_result.counters)
+
+        histogram = WaveletHistogram.from_coefficients(outcome.coefficients, self.u, k=self.k)
+        return AlgorithmResult(
+            algorithm=self.name,
+            histogram=histogram,
+            rounds=outcome.rounds,
+            communication_bytes=cost_model.total_communication_bytes(outcome.rounds),
+            simulated_time_s=cost_model.total_seconds(outcome.rounds),
+            counters=counters,
+            details=outcome.details,
+        )
+
+    # ------------------------------------------------------------- utilities
+    @staticmethod
+    def log2_domain(u: int) -> int:
+        """``log2(u)``, validated to be integral."""
+        log_u = int(math.log2(u))
+        if 1 << log_u != u:
+            raise InvalidParameterError(f"domain size must be a power of two, got {u}")
+        return log_u
+
+
+@dataclass
+class ExecutionOutcome:
+    """What a concrete algorithm hands back to the shared driver."""
+
+    coefficients: Dict[int, float]
+    rounds: List[JobResult]
+    details: Dict[str, Any] = field(default_factory=dict)

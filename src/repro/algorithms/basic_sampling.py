@@ -1,0 +1,108 @@
+"""Basic-S: first-level random sampling, every sampled key emitted.
+
+Each split samples its records with probability ``p = 1/(eps^2 * n)``; every
+sampled record is emitted as a ``(key, 1)`` pair (optionally pre-aggregated by
+Hadoop's Combine function, the straightforward optimisation the paper
+mentions).  The reducer estimates ``v_hat(x) = s(x) / p`` and builds the
+histogram.  Communication is ``O(1/eps^2)`` pairs — the cost the improved and
+two-level schemes attack.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import (
+    CONF_DOMAIN,
+    CONF_EPSILON,
+    CONF_K,
+    CONF_SAMPLE_PROBABILITY,
+    CONF_TOTAL_RECORDS,
+    ExecutionOutcome,
+    HistogramAlgorithm,
+)
+from repro.algorithms.sampling_common import (
+    SAMPLE_PAIR_BYTES,
+    SamplingMapperBase,
+    ScaledCountReducer,
+)
+from repro.errors import InvalidParameterError
+from repro.mapreduce.api import MapperContext
+from repro.mapreduce.inputformat import RandomSamplingInputFormat
+from repro.mapreduce.job import JobConfiguration, MapReduceJob
+from repro.mapreduce.runtime import JobRunner
+from repro.sampling.estimators import first_level_probability
+
+__all__ = ["BasicSampling", "BasicSamplingMapper"]
+
+
+class BasicSamplingMapper(SamplingMapperBase):
+    """Emits one ``(key, count)`` pair per distinct sampled key, no thresholding.
+
+    Emitting aggregated per-split counts rather than one pair per sampled
+    record is exactly what Hadoop's in-mapper aggregation achieves; the
+    communication is charged per pair either way, so the driver's
+    ``aggregate_in_mapper`` flag controls which variant is simulated.
+    """
+
+    def close(self, context: MapperContext) -> None:
+        aggregate = bool(context.configuration.get("wavelet.basic.aggregate", True))
+        if aggregate:
+            for key, count in self.sample_counts.items():
+                context.emit(key, int(count), size_bytes=SAMPLE_PAIR_BYTES)
+        else:
+            for key, count in self.sample_counts.items():
+                for _ in range(int(count)):
+                    context.emit(key, 1, size_bytes=SAMPLE_PAIR_BYTES)
+
+
+class BasicSampling(HistogramAlgorithm):
+    """Driver for Basic-S (one MapReduce round)."""
+
+    name = "Basic-S"
+
+    def __init__(self, u: int, k: int, epsilon: float = 1e-4,
+                 aggregate_in_mapper: bool = True) -> None:
+        """Args:
+            u: key domain size.
+            k: number of wavelet coefficients to keep.
+            epsilon: approximation parameter; the sample has expected size ``1/eps^2``.
+            aggregate_in_mapper: emit per-split aggregated ``(key, count)``
+                pairs (the Combine optimisation) instead of one pair per
+                sampled record.
+        """
+        super().__init__(u, k)
+        if epsilon <= 0:
+            raise InvalidParameterError(f"epsilon must be positive, got {epsilon}")
+        self.epsilon = epsilon
+        self.aggregate_in_mapper = aggregate_in_mapper
+
+    def _execute(self, runner: JobRunner, input_path: str) -> ExecutionOutcome:
+        total_records = runner.hdfs.open(input_path).num_records
+        probability = first_level_probability(self.epsilon, total_records)
+        configuration = JobConfiguration(
+            {
+                CONF_DOMAIN: self.u,
+                CONF_K: self.k,
+                CONF_EPSILON: self.epsilon,
+                CONF_TOTAL_RECORDS: total_records,
+                CONF_SAMPLE_PROBABILITY: probability,
+                "wavelet.basic.aggregate": self.aggregate_in_mapper,
+            }
+        )
+        job = MapReduceJob(
+            name=f"{self.name}(eps={self.epsilon})",
+            input_path=input_path,
+            mapper_class=BasicSamplingMapper,
+            reducer_class=ScaledCountReducer,
+            configuration=configuration,
+            input_format_class=RandomSamplingInputFormat(probability),
+        )
+        result = runner.run(job)
+        coefficients = {int(index): float(value) for index, value in result.output}
+        return ExecutionOutcome(
+            coefficients=coefficients,
+            rounds=[result],
+            details={
+                "sample_probability": probability,
+                "expected_sample_size": probability * total_records,
+            },
+        )

@@ -1,0 +1,336 @@
+"""H-WTopk: the paper's exact three-round algorithm (Section 3 and Appendix A).
+
+The global wavelet coefficient ``w_i`` is the sum of the per-split local
+coefficients ``w_{i,j}``, so finding the top-``k`` coefficients by magnitude
+is a distributed top-k problem with *signed* scores.  H-WTopk solves it with a
+modified TPUT implemented as three MapReduce rounds:
+
+Round 1
+    Each mapper scans its split, builds the local frequency vector, computes
+    the local wavelet coefficients with the sparse ``O(|v_j| log u)``
+    algorithm and emits its top-``k`` and bottom-``k`` coefficients, marking
+    the ``k``-th highest and ``k``-th lowest so the reducer can bound unseen
+    scores.  All other coefficients are saved as per-split state.  The reducer
+    forms partial sums, computes the magnitude lower bounds ``tau(i)`` and the
+    pruning threshold ``T1``.
+
+Round 2
+    ``T1 / m`` is broadcast through the Job Configuration.  Mappers read only
+    their saved state and emit every remaining coefficient with
+    ``|w_{i,j}| > T1/m``.  The reducer refines the bounds (an unreported score
+    now lies in ``[-T1/m, T1/m]``), computes ``T2`` and prunes the candidate
+    set ``R``.
+
+Round 3
+    ``R`` is replicated to the mappers through the Distributed Cache.  Mappers
+    emit their not-yet-sent coefficients for candidates in ``R``; the reducer
+    now knows each candidate's exact aggregate and returns the top-``k`` by
+    magnitude.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.algorithms.base import (
+    CONF_DOMAIN,
+    CONF_K,
+    CONF_T1_OVER_M,
+    CACHE_CANDIDATES,
+    ExecutionOutcome,
+    HistogramAlgorithm,
+)
+from repro.core.haar import sparse_haar_transform
+from repro.core.topk_coefficients import bottom_k_items, top_k_coefficients, top_k_items
+from repro.errors import TopKError
+from repro.mapreduce.api import Mapper, MapperContext, Reducer, ReducerContext
+from repro.mapreduce.counters import CounterNames
+from repro.mapreduce.job import DistributedCache, JobConfiguration, MapReduceJob
+from repro.mapreduce.runtime import JobRunner
+from repro.topk.signed_tput import magnitude_lower_bound
+from repro.topk.tput import kth_largest
+
+__all__ = ["HWTopk"]
+
+# 4-byte coefficient index + 4-byte split id + 8-byte double coefficient.
+SCORE_PAIR_BYTES = 16
+
+FLAG_NONE = 0
+FLAG_KTH_HIGHEST = 1
+FLAG_KTH_LOWEST = 2
+
+
+# --------------------------------------------------------------------- Round 1
+class Round1Mapper(Mapper):
+    """Scans the split, emits local top-k/bottom-k coefficients, persists the rest."""
+
+    def setup(self, context: MapperContext) -> None:
+        self._u = int(context.configuration.require(CONF_DOMAIN))
+        self._k = int(context.configuration.require(CONF_K))
+        self._counts: Dict[int, int] = {}
+
+    def map(self, record: int, context: MapperContext) -> None:
+        self._counts[record] = self._counts.get(record, 0) + 1
+        context.counters.increment(CounterNames.HASHMAP_UPDATES)
+
+    def close(self, context: MapperContext) -> None:
+        log_u = max(1, self._u.bit_length() - 1)
+        coefficients = sparse_haar_transform(self._counts, self._u)
+        context.counters.increment(
+            CounterNames.WAVELET_TRANSFORM_OPS, len(self._counts) * (log_u + 1)
+        )
+        top = top_k_items(coefficients, self._k)
+        bottom = bottom_k_items(coefficients, self._k)
+        kth_highest_index = top[-1][0] if len(top) == self._k else None
+        kth_lowest_index = bottom[-1][0] if len(bottom) == self._k else None
+
+        emitted: Set[int] = set()
+        for index, value in dict(list(top) + list(bottom)).items():
+            flag = FLAG_NONE
+            if index == kth_highest_index:
+                flag = FLAG_KTH_HIGHEST
+            elif index == kth_lowest_index:
+                flag = FLAG_KTH_LOWEST
+            context.emit(index, (context.split_id, float(value), flag),
+                         size_bytes=SCORE_PAIR_BYTES)
+            emitted.add(index)
+
+        remaining = {i: w for i, w in coefficients.items() if i not in emitted}
+        context.save_state({"remaining": remaining},
+                           size_bytes=len(remaining) * 12)
+
+
+class Round1Reducer(Reducer):
+    """Forms partial sums, derives the round-1 pruning threshold ``T1``."""
+
+    def setup(self, context: ReducerContext) -> None:
+        self._k = int(context.configuration.require(CONF_K))
+        self._partial: Dict[int, float] = {}
+        self._reported: Dict[int, Set[int]] = {}
+        self._kth_highest: Dict[int, float] = {}
+        self._kth_lowest: Dict[int, float] = {}
+
+    def reduce(self, key: int, values: Iterable[Tuple[int, float, int]],
+               context: ReducerContext) -> None:
+        index = int(key)
+        for split_id, value, flag in values:
+            self._partial[index] = self._partial.get(index, 0.0) + value
+            self._reported.setdefault(index, set()).add(split_id)
+            if flag == FLAG_KTH_HIGHEST:
+                self._kth_highest[split_id] = value
+            elif flag == FLAG_KTH_LOWEST:
+                self._kth_lowest[split_id] = value
+            context.counters.increment(CounterNames.REDUCE_CPU_OPS)
+
+    def close(self, context: ReducerContext) -> None:
+        num_splits = context.num_splits
+        # A split's unsent coefficients are bounded by its k-th highest / k-th
+        # lowest sent coefficient, pushed out to include 0 because coefficients
+        # the split never produced are exactly 0 (see repro.topk.signed_tput).
+        self._kth_highest = {j: max(0.0, value) for j, value in self._kth_highest.items()}
+        self._kth_lowest = {j: min(0.0, value) for j, value in self._kth_lowest.items()}
+        total_highest = sum(self._kth_highest.get(j, 0.0) for j in range(num_splits))
+        total_lowest = sum(self._kth_lowest.get(j, 0.0) for j in range(num_splits))
+
+        taus: List[float] = []
+        for index, partial in self._partial.items():
+            reported = self._reported[index]
+            tau_plus = partial + total_highest - sum(
+                self._kth_highest.get(j, 0.0) for j in reported
+            )
+            tau_minus = partial + total_lowest - sum(
+                self._kth_lowest.get(j, 0.0) for j in reported
+            )
+            taus.append(magnitude_lower_bound(tau_plus, tau_minus))
+        t1 = kth_largest(taus, self._k)
+
+        context.save_state(
+            {
+                "partial": self._partial,
+                "reported": self._reported,
+                "t1": t1,
+            }
+        )
+        context.emit("T1", float(t1))
+
+
+# --------------------------------------------------------------------- Round 2
+class Round2Mapper(Mapper):
+    """Emits saved coefficients whose magnitude exceeds ``T1 / m``."""
+
+    def close(self, context: MapperContext) -> None:
+        threshold = float(context.configuration.require(CONF_T1_OVER_M))
+        state = context.load_state(default={"remaining": {}})
+        remaining: Dict[int, float] = dict(state.get("remaining", {}))
+        still_remaining: Dict[int, float] = {}
+        for index, value in remaining.items():
+            if abs(value) > threshold:
+                context.emit(index, (context.split_id, float(value)),
+                             size_bytes=SCORE_PAIR_BYTES)
+            else:
+                still_remaining[index] = value
+        context.save_state({"remaining": still_remaining},
+                           size_bytes=len(still_remaining) * 12)
+
+
+class Round2Reducer(Reducer):
+    """Refines bounds with ``T1/m``, derives ``T2`` and the candidate set ``R``."""
+
+    def setup(self, context: ReducerContext) -> None:
+        self._k = int(context.configuration.require(CONF_K))
+        self._threshold = float(context.configuration.require(CONF_T1_OVER_M))
+        state = context.load_state()
+        if state is None:
+            raise TopKError("H-WTopk round 2 reducer found no round-1 state")
+        self._partial: Dict[int, float] = dict(state["partial"])
+        self._reported: Dict[int, Set[int]] = {i: set(s) for i, s in state["reported"].items()}
+
+    def reduce(self, key: int, values: Iterable[Tuple[int, float]],
+               context: ReducerContext) -> None:
+        index = int(key)
+        for split_id, value in values:
+            self._partial[index] = self._partial.get(index, 0.0) + value
+            self._reported.setdefault(index, set()).add(split_id)
+            context.counters.increment(CounterNames.REDUCE_CPU_OPS)
+
+    def close(self, context: ReducerContext) -> None:
+        num_splits = context.num_splits
+        bounds: Dict[int, Tuple[float, float]] = {}
+        for index, partial in self._partial.items():
+            missing = num_splits - len(self._reported.get(index, set()))
+            tau_plus = partial + missing * self._threshold
+            tau_minus = partial - missing * self._threshold
+            bounds[index] = (tau_plus, tau_minus)
+
+        t2 = kth_largest(
+            [magnitude_lower_bound(tau_plus, tau_minus) for tau_plus, tau_minus in bounds.values()],
+            self._k,
+        )
+        candidates = sorted(
+            index
+            for index, (tau_plus, tau_minus) in bounds.items()
+            if max(abs(tau_plus), abs(tau_minus)) >= t2
+        )
+        context.save_state(
+            {
+                "partial": self._partial,
+                "reported": self._reported,
+                "candidates": candidates,
+            }
+        )
+        context.emit("T2", float(t2))
+        context.emit("R", tuple(candidates))
+
+
+# --------------------------------------------------------------------- Round 3
+class Round3Mapper(Mapper):
+    """Emits the not-yet-sent coefficients of the candidate set ``R``."""
+
+    def close(self, context: MapperContext) -> None:
+        candidates: Set[int] = set(context.distributed_cache.get(CACHE_CANDIDATES))
+        state = context.load_state(default={"remaining": {}})
+        remaining: Dict[int, float] = dict(state.get("remaining", {}))
+        for index, value in remaining.items():
+            if index in candidates:
+                context.emit(index, (context.split_id, float(value)),
+                             size_bytes=SCORE_PAIR_BYTES)
+
+
+class Round3Reducer(Reducer):
+    """Completes the aggregates of the candidates and returns the exact top-k."""
+
+    def setup(self, context: ReducerContext) -> None:
+        self._k = int(context.configuration.require(CONF_K))
+        state = context.load_state()
+        if state is None:
+            raise TopKError("H-WTopk round 3 reducer found no round-2 state")
+        self._partial: Dict[int, float] = dict(state["partial"])
+        self._candidates: List[int] = list(state["candidates"])
+
+    def reduce(self, key: int, values: Iterable[Tuple[int, float]],
+               context: ReducerContext) -> None:
+        index = int(key)
+        for _split_id, value in values:
+            self._partial[index] = self._partial.get(index, 0.0) + value
+            context.counters.increment(CounterNames.REDUCE_CPU_OPS)
+
+    def close(self, context: ReducerContext) -> None:
+        exact = {index: self._partial.get(index, 0.0) for index in self._candidates}
+        for index, value in top_k_coefficients(exact, self._k).items():
+            context.emit(index, value)
+
+
+# ---------------------------------------------------------------------- Driver
+class HWTopk(HistogramAlgorithm):
+    """Driver running the three MapReduce rounds of H-WTopk."""
+
+    name = "H-WTopk"
+
+    def _execute(self, runner: JobRunner, input_path: str) -> ExecutionOutcome:
+        splits = runner.hdfs.splits(input_path, runner.cluster.split_size_bytes)
+        num_splits = len(splits)
+
+        # Round 1: scan, local transforms, local top-k/bottom-k.
+        round1 = runner.run(
+            MapReduceJob(
+                name=f"{self.name}-round1(k={self.k})",
+                input_path=input_path,
+                mapper_class=Round1Mapper,
+                reducer_class=Round1Reducer,
+                configuration=JobConfiguration({CONF_DOMAIN: self.u, CONF_K: self.k}),
+            ),
+            splits=splits,
+        )
+        t1 = float(round1.output_dict()["T1"])
+
+        # Round 2: broadcast T1/m, prune, compute candidate set R.
+        round2 = runner.run(
+            MapReduceJob(
+                name=f"{self.name}-round2(k={self.k})",
+                input_path=input_path,
+                mapper_class=Round2Mapper,
+                reducer_class=Round2Reducer,
+                configuration=JobConfiguration(
+                    {CONF_DOMAIN: self.u, CONF_K: self.k, CONF_T1_OVER_M: t1 / num_splits}
+                ),
+                read_input=False,
+            ),
+            splits=splits,
+        )
+        round2_output = round2.output_dict()
+        t2 = float(round2_output["T2"])
+        candidates = list(round2_output["R"])
+
+        # Round 3: replicate R through the distributed cache, fetch exact scores.
+        cache = DistributedCache()
+        cache.add(CACHE_CANDIDATES, candidates, size_bytes=4 * len(candidates))
+        round3 = runner.run(
+            MapReduceJob(
+                name=f"{self.name}-round3(k={self.k})",
+                input_path=input_path,
+                mapper_class=Round3Mapper,
+                reducer_class=Round3Reducer,
+                configuration=JobConfiguration(
+                    {CONF_DOMAIN: self.u, CONF_K: self.k, CONF_T1_OVER_M: t1 / num_splits}
+                ),
+                distributed_cache=cache,
+                read_input=False,
+            ),
+            splits=splits,
+        )
+
+        coefficients = {
+            int(index): float(value)
+            for index, value in round3.output
+            if isinstance(index, int)
+        }
+        return ExecutionOutcome(
+            coefficients=coefficients,
+            rounds=[round1, round2, round3],
+            details={
+                "T1": t1,
+                "T2": t2,
+                "candidate_set_size": len(candidates),
+                "num_splits": num_splits,
+            },
+        )

@@ -1,0 +1,87 @@
+"""Improved-S: drop sampled keys with small local counts.
+
+Like Basic-S, but a split only emits ``(x, s_j(x))`` when
+``s_j(x) >= eps * t_j``, where ``t_j`` is the number of records the split
+sampled.  Each split then emits at most ``1/eps`` pairs, for ``O(m/eps)``
+total communication, but the resulting estimator is *biased*: all the dropped
+small counts can add up to ``eps * n`` of systematic under-estimation, which
+is why the paper's Figures 6 and 7 show Improved-S with the worst SSE.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import (
+    CONF_DOMAIN,
+    CONF_EPSILON,
+    CONF_K,
+    CONF_SAMPLE_PROBABILITY,
+    CONF_TOTAL_RECORDS,
+    ExecutionOutcome,
+    HistogramAlgorithm,
+)
+from repro.algorithms.sampling_common import (
+    SAMPLE_PAIR_BYTES,
+    SamplingMapperBase,
+    ScaledCountReducer,
+)
+from repro.errors import InvalidParameterError
+from repro.mapreduce.api import MapperContext
+from repro.mapreduce.inputformat import RandomSamplingInputFormat
+from repro.mapreduce.job import JobConfiguration, MapReduceJob
+from repro.mapreduce.runtime import JobRunner
+from repro.sampling.estimators import first_level_probability
+
+__all__ = ["ImprovedSampling", "ImprovedSamplingMapper"]
+
+
+class ImprovedSamplingMapper(SamplingMapperBase):
+    """Emits only the sampled keys whose local count reaches ``eps * t_j``."""
+
+    def close(self, context: MapperContext) -> None:
+        threshold = self._epsilon * self.total_sampled
+        for key, count in self.sample_counts.items():
+            if count >= threshold:
+                context.emit(key, int(count), size_bytes=SAMPLE_PAIR_BYTES)
+
+
+class ImprovedSampling(HistogramAlgorithm):
+    """Driver for Improved-S (one MapReduce round)."""
+
+    name = "Improved-S"
+
+    def __init__(self, u: int, k: int, epsilon: float = 1e-4) -> None:
+        super().__init__(u, k)
+        if epsilon <= 0:
+            raise InvalidParameterError(f"epsilon must be positive, got {epsilon}")
+        self.epsilon = epsilon
+
+    def _execute(self, runner: JobRunner, input_path: str) -> ExecutionOutcome:
+        total_records = runner.hdfs.open(input_path).num_records
+        probability = first_level_probability(self.epsilon, total_records)
+        configuration = JobConfiguration(
+            {
+                CONF_DOMAIN: self.u,
+                CONF_K: self.k,
+                CONF_EPSILON: self.epsilon,
+                CONF_TOTAL_RECORDS: total_records,
+                CONF_SAMPLE_PROBABILITY: probability,
+            }
+        )
+        job = MapReduceJob(
+            name=f"{self.name}(eps={self.epsilon})",
+            input_path=input_path,
+            mapper_class=ImprovedSamplingMapper,
+            reducer_class=ScaledCountReducer,
+            configuration=configuration,
+            input_format_class=RandomSamplingInputFormat(probability),
+        )
+        result = runner.run(job)
+        coefficients = {int(index): float(value) for index, value in result.output}
+        return ExecutionOutcome(
+            coefficients=coefficients,
+            rounds=[result],
+            details={
+                "sample_probability": probability,
+                "expected_sample_size": probability * total_records,
+            },
+        )

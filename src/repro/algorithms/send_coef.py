@@ -1,0 +1,99 @@
+"""Send-Coef: the baseline exact algorithm that ships all local wavelet coefficients.
+
+Because the wavelet transform is linear, every global coefficient is the sum
+of the corresponding local coefficients of the ``m`` splits
+(``w_i = sum_j <v_j, psi_i>``).  Send-Coef computes each split's local
+coefficients in the mapper's Close method and emits every non-zero one; the
+reducer sums them per index and keeps the top-``k``.
+
+The paper shows this is *worse* than Send-V for large domains (Figure 12):
+the number of non-zero local coefficients grows with the domain size (a split
+with ``d`` distinct keys can have up to ``d * log2(u)`` non-zero coefficients)
+and so does the transform cost, which cancels the benefit of parallelising the
+transform.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.algorithms.base import (
+    CONF_DOMAIN,
+    CONF_K,
+    ExecutionOutcome,
+    HistogramAlgorithm,
+)
+from repro.core.haar import sparse_haar_transform
+from repro.core.topk_coefficients import top_k_coefficients
+from repro.mapreduce.api import Mapper, MapperContext, Reducer, ReducerContext
+from repro.mapreduce.counters import CounterNames
+from repro.mapreduce.job import JobConfiguration, MapReduceJob
+from repro.mapreduce.runtime import JobRunner
+
+__all__ = ["SendCoef", "SendCoefMapper", "SendCoefReducer"]
+
+# 4-byte coefficient index plus 8-byte double coefficient value.
+COEFFICIENT_PAIR_BYTES = 12
+
+
+class SendCoefMapper(Mapper):
+    """Computes the split's local wavelet coefficients and emits every non-zero one."""
+
+    def setup(self, context: MapperContext) -> None:
+        self._u = int(context.configuration.require(CONF_DOMAIN))
+        self._counts: Dict[int, int] = {}
+
+    def map(self, record: int, context: MapperContext) -> None:
+        self._counts[record] = self._counts.get(record, 0) + 1
+        context.counters.increment(CounterNames.HASHMAP_UPDATES)
+
+    def close(self, context: MapperContext) -> None:
+        log_u = max(1, self._u.bit_length() - 1)
+        coefficients = sparse_haar_transform(self._counts, self._u)
+        context.counters.increment(
+            CounterNames.WAVELET_TRANSFORM_OPS, len(self._counts) * (log_u + 1)
+        )
+        for index, value in coefficients.items():
+            if value != 0.0:
+                context.emit(index, float(value), size_bytes=COEFFICIENT_PAIR_BYTES)
+
+
+class SendCoefReducer(Reducer):
+    """Sums local coefficients per index and keeps the top-k by magnitude."""
+
+    def setup(self, context: ReducerContext) -> None:
+        self._k = int(context.configuration.require(CONF_K))
+        self._totals: Dict[int, float] = {}
+
+    def reduce(self, key: int, values: Iterable[float], context: ReducerContext) -> None:
+        total = float(sum(values))
+        if total != 0.0:
+            self._totals[int(key)] = total
+        context.counters.increment(CounterNames.REDUCE_CPU_OPS)
+
+    def close(self, context: ReducerContext) -> None:
+        for index, value in top_k_coefficients(self._totals, self._k).items():
+            context.emit(index, value)
+
+
+class SendCoef(HistogramAlgorithm):
+    """Driver for the Send-Coef baseline (one MapReduce round)."""
+
+    name = "Send-Coef"
+
+    def _execute(self, runner: JobRunner, input_path: str) -> ExecutionOutcome:
+        configuration = JobConfiguration({CONF_DOMAIN: self.u, CONF_K: self.k})
+        job = MapReduceJob(
+            name=f"{self.name}(k={self.k})",
+            input_path=input_path,
+            mapper_class=SendCoefMapper,
+            reducer_class=SendCoefReducer,
+            configuration=configuration,
+        )
+        result = runner.run(job)
+        coefficients = {int(index): float(value) for index, value in result.output}
+        return ExecutionOutcome(
+            coefficients=coefficients,
+            rounds=[result],
+            details={"coefficient_pairs_shuffled": result.counters.get(CounterNames.SHUFFLE_RECORDS)},
+        )

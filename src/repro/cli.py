@@ -1,0 +1,152 @@
+"""Command-line interface: run the paper's algorithms and figures from a shell.
+
+Three sub-commands are provided::
+
+    python -m repro compare   [--quick] [--k 30] [--epsilon 0.003]
+        Run the paper's five algorithms over the (scaled) default workload and
+        print the communication / time / SSE comparison table.
+
+    python -m repro figure NAME [--quick]
+        Regenerate one figure of the evaluation (e.g. ``vary_k``,
+        ``worldcup_costs``) and print its table.  ``list-figures`` shows the
+        available names.
+
+    python -m repro list-figures
+        List the figure drivers and the paper figures they correspond to.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Dict, List, Optional
+
+from repro.core.histogram import WaveletHistogram
+from repro.experiments import figures
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_algorithms, standard_algorithms
+
+__all__ = ["main", "build_parser", "FIGURE_DRIVERS"]
+
+# Figure name -> (driver, description) used by the ``figure`` sub-command.
+FIGURE_DRIVERS: Dict[str, Callable[[ExperimentConfig], object]] = {
+    "vary_k": figures.vary_k,
+    "vary_epsilon": figures.vary_epsilon,
+    "sse_tradeoff": figures.sse_tradeoff,
+    "vary_n": figures.vary_n,
+    "vary_record_size": figures.vary_record_size,
+    "vary_domain": figures.vary_domain,
+    "vary_split_size": figures.vary_split_size,
+    "vary_skew": figures.vary_skew,
+    "vary_bandwidth": figures.vary_bandwidth,
+    "worldcup_costs": figures.worldcup_costs,
+    "worldcup_tradeoff": figures.worldcup_tradeoff,
+    "analysis_bounds": lambda config: figures.analysis_communication_bounds(),
+    "ablation_combiner": figures.ablation_combiner,
+    "ablation_hwtopk_rounds": figures.ablation_hwtopk_rounds,
+    "ablation_twolevel_threshold": figures.ablation_twolevel_threshold,
+}
+
+FIGURE_DESCRIPTIONS: Dict[str, str] = {
+    "vary_k": "Figures 5(a), 5(b), 6 — vary the histogram size k",
+    "vary_epsilon": "Figures 7, 8(a), 8(b) — vary the sampling parameter eps",
+    "sse_tradeoff": "Figure 9 — SSE versus communication/time",
+    "vary_n": "Figure 10 — vary the dataset size n",
+    "vary_record_size": "Figure 11 — vary the record size",
+    "vary_domain": "Figure 12 — vary the domain size u (includes Send-Coef)",
+    "vary_split_size": "Figure 13 — vary the split size beta",
+    "vary_skew": "Figures 14, 15 — vary the Zipf skew alpha",
+    "vary_bandwidth": "Figure 16 — vary the available bandwidth B",
+    "worldcup_costs": "Figures 17, 18 — the WorldCup-like dataset",
+    "worldcup_tradeoff": "Figure 19 — WorldCup SSE trade-off",
+    "analysis_bounds": "Section 4 — analytic communication bounds",
+    "ablation_combiner": "Ablation — per-split aggregation / Combine",
+    "ablation_hwtopk_rounds": "Ablation — H-WTopk per-round communication",
+    "ablation_twolevel_threshold": "Ablation — the 1/(eps*sqrt(m)) threshold",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Building Wavelet Histograms on Large Data in MapReduce'",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    compare = subparsers.add_parser(
+        "compare", help="run the five algorithms on the default workload"
+    )
+    compare.add_argument("--quick", action="store_true", help="use the small test workload")
+    compare.add_argument("--k", type=int, default=None, help="histogram size (default: 30)")
+    compare.add_argument("--epsilon", type=float, default=None,
+                         help="sampling parameter (default: configuration value)")
+
+    figure = subparsers.add_parser("figure", help="regenerate one figure of the evaluation")
+    figure.add_argument("name", choices=sorted(FIGURE_DRIVERS), help="figure driver name")
+    figure.add_argument("--quick", action="store_true", help="use the small test workload")
+
+    subparsers.add_parser("list-figures", help="list available figure drivers")
+    return parser
+
+
+def _configuration(quick: bool, k: Optional[int] = None,
+                   epsilon: Optional[float] = None) -> ExperimentConfig:
+    config = ExperimentConfig.quick() if quick else ExperimentConfig()
+    overrides = {}
+    if k is not None:
+        overrides["k"] = k
+    if epsilon is not None:
+        overrides["epsilon"] = epsilon
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def _run_compare(arguments: argparse.Namespace) -> List[str]:
+    config = _configuration(arguments.quick, arguments.k, arguments.epsilon)
+    dataset = config.build_dataset()
+    cluster = config.build_cluster(dataset)
+    reference = dataset.frequency_vector()
+    ideal_sse = WaveletHistogram.from_frequency_vector(reference, config.k).sse(reference)
+    measurements = run_algorithms(dataset, standard_algorithms(config), cluster,
+                                  reference=reference, seed=config.seed)
+    lines = [
+        f"workload: n={dataset.n} u=2^{config.u.bit_length() - 1} alpha={config.alpha} "
+        f"k={config.k} eps={config.epsilon} (~{config.target_splits} splits)",
+        f"{'algorithm':<12} {'rounds':>6} {'comm (bytes)':>14} {'time (s)':>12} {'SSE/ideal':>10}",
+    ]
+    for measurement in measurements:
+        lines.append(
+            f"{measurement.algorithm:<12} {measurement.num_rounds:>6} "
+            f"{measurement.communication_bytes:>14,.0f} {measurement.simulated_time_s:>12.1f} "
+            f"{measurement.sse / ideal_sse:>10.2f}"
+        )
+    return lines
+
+
+def _run_figure(arguments: argparse.Namespace) -> List[str]:
+    config = _configuration(arguments.quick)
+    table = FIGURE_DRIVERS[arguments.name](config)
+    return [table.format()]
+
+
+def _list_figures() -> List[str]:
+    width = max(len(name) for name in FIGURE_DRIVERS)
+    return [f"{name.ljust(width)}  {FIGURE_DESCRIPTIONS[name]}"
+            for name in sorted(FIGURE_DRIVERS)]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    if arguments.command == "compare":
+        lines = _run_compare(arguments)
+    elif arguments.command == "figure":
+        lines = _run_figure(arguments)
+    else:
+        lines = _list_figures()
+    print("\n".join(lines))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

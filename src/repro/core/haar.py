@@ -1,0 +1,276 @@
+"""Haar wavelet transforms.
+
+The paper (Section 2.1) uses the orthonormal Haar basis over a domain
+``[u] = {1, ..., u}`` where ``u`` is a power of two.  Coefficients are indexed
+``1 .. u`` (we use the same 1-based indexing throughout the library so the
+code matches the paper's notation):
+
+* ``w_1`` is the overall average scaled by ``sqrt(u)`` (the dot product of the
+  signal with the constant basis vector ``[1, ..., 1] / sqrt(u)``).
+* For ``j = 0 .. log2(u) - 1`` and ``k = 0 .. 2^j - 1``, coefficient
+  ``i = 2^j + k + 1`` is the detail coefficient at resolution level ``j``
+  covering the key range ``[k * u / 2^j + 1, (k + 1) * u / 2^j]``.
+
+With this normalisation the transform is orthonormal, i.e. it preserves the
+signal's energy (Parseval): ``sum(v[x]^2) == sum(w[i]^2)``.
+
+Three transform implementations are provided:
+
+``haar_transform``
+    Dense ``O(u)`` bottom-up transform used by the centralized algorithm of
+    Matias et al. [26] — the one the paper's reducer runs on the aggregated
+    frequency vector.
+
+``sparse_haar_transform``
+    ``O(|v| log u)``-time, ``O(|v| log u)``-space transform that only touches
+    the coefficients reachable from non-zero entries — the algorithm of
+    Gilbert et al. [20] the paper uses inside each mapper, where the local
+    frequency vector is sparse compared to the domain.
+
+``inverse_haar_transform``
+    Exact inverse of ``haar_transform`` (used for reconstruction and SSE
+    computation).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidDomainError, KeyOutOfDomainError
+
+__all__ = [
+    "validate_domain",
+    "haar_transform",
+    "inverse_haar_transform",
+    "sparse_haar_transform",
+    "sparse_inverse_contribution",
+    "wavelet_basis_vector",
+    "basis_value",
+    "coefficient_level",
+    "coefficient_support",
+    "coefficients_for_key",
+    "energy",
+]
+
+
+def validate_domain(u: int) -> int:
+    """Validate that ``u`` is a positive power of two and return ``log2(u)``.
+
+    Raises:
+        InvalidDomainError: if ``u`` is not a positive power of two.
+    """
+    if u < 1 or (u & (u - 1)) != 0:
+        raise InvalidDomainError(f"domain size must be a positive power of two, got {u}")
+    return u.bit_length() - 1
+
+
+def energy(values: Iterable[float]) -> float:
+    """Return the energy (squared L2 norm) of a signal or coefficient set."""
+    arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values, dtype=float)
+    return float(np.dot(arr, arr))
+
+
+def haar_transform(v: np.ndarray | Iterable[float]) -> np.ndarray:
+    """Compute the orthonormal Haar wavelet transform of a dense signal.
+
+    Args:
+        v: the frequency vector, length ``u`` (a power of two).  Index ``x`` of
+            the array holds ``v(x + 1)`` in the paper's 1-based notation.
+
+    Returns:
+        An array ``w`` of length ``u`` where ``w[i - 1]`` is the paper's
+        coefficient ``w_i``.
+
+    The transform runs bottom-up in ``O(u)`` time: at each level the current
+    averages are pairwise averaged and differenced; the orthonormal scaling
+    ``sqrt(u / 2^level)`` is applied at the end per level.
+    """
+    v = np.asarray(v, dtype=float)
+    u = v.shape[0]
+    log_u = validate_domain(u)
+
+    w = np.zeros(u, dtype=float)
+    averages = v.copy()
+    # Unnormalised tree coefficients: detail at level j has 2^j entries and is
+    # stored at indices [2^j, 2^(j+1)) (0-based index i-1 for coefficient i).
+    for level in range(log_u - 1, -1, -1):
+        evens = averages[0::2]
+        odds = averages[1::2]
+        details = (odds - evens) / 2.0
+        averages = (evens + odds) / 2.0
+        scale = math.sqrt(u / (2 ** level))
+        w[2 ** level : 2 ** (level + 1)] = details * scale
+    w[0] = averages[0] * math.sqrt(u)
+    return w
+
+
+def inverse_haar_transform(w: np.ndarray | Iterable[float]) -> np.ndarray:
+    """Invert :func:`haar_transform`, returning the dense signal.
+
+    Args:
+        w: array of length ``u`` holding the orthonormal coefficients
+            (``w[i - 1]`` is coefficient ``w_i``).
+
+    Returns:
+        The reconstructed signal of length ``u``.
+    """
+    w = np.asarray(w, dtype=float)
+    u = w.shape[0]
+    log_u = validate_domain(u)
+
+    averages = np.array([w[0] / math.sqrt(u)], dtype=float)
+    for level in range(0, log_u):
+        scale = math.sqrt(u / (2 ** level))
+        details = w[2 ** level : 2 ** (level + 1)] / scale
+        next_averages = np.empty(averages.shape[0] * 2, dtype=float)
+        next_averages[0::2] = averages - details
+        next_averages[1::2] = averages + details
+        averages = next_averages
+    return averages
+
+
+def coefficient_level(index: int, u: int) -> int:
+    """Return the resolution level of coefficient ``index`` (1-based).
+
+    Level 0 holds ``w_1`` (overall average) and ``w_2``; detail coefficient
+    ``i = 2^j + k + 1`` is at level ``j``.
+    """
+    validate_domain(u)
+    if index < 1 or index > u:
+        raise KeyOutOfDomainError(f"coefficient index {index} outside [1, {u}]")
+    if index == 1:
+        return 0
+    return (index - 1).bit_length() - 1
+
+
+def coefficient_support(index: int, u: int) -> Tuple[int, int]:
+    """Return the inclusive 1-based key range ``[lo, hi]`` a coefficient covers.
+
+    ``w_1`` and ``w_2`` cover the whole domain; detail coefficient
+    ``i = 2^j + k + 1`` covers ``[k * u / 2^j + 1, (k + 1) * u / 2^j]``.
+    """
+    validate_domain(u)
+    if index < 1 or index > u:
+        raise KeyOutOfDomainError(f"coefficient index {index} outside [1, {u}]")
+    if index == 1:
+        return (1, u)
+    j = (index - 1).bit_length() - 1
+    k = index - 1 - 2 ** j
+    width = u // (2 ** j)
+    lo = k * width + 1
+    return (lo, lo + width - 1)
+
+
+def coefficients_for_key(key: int, u: int) -> Tuple[int, ...]:
+    """Return the indices of all coefficients whose basis vector is non-zero at ``key``.
+
+    Every key contributes to exactly ``log2(u) + 1`` coefficients: the overall
+    average ``w_1`` plus one detail coefficient per level.  This is the path
+    from the leaf to the root of the coefficient tree and is the backbone of
+    the sparse transform.
+    """
+    log_u = validate_domain(u)
+    if key < 1 or key > u:
+        raise KeyOutOfDomainError(f"key {key} outside domain [1, {u}]")
+    indices = [1]
+    for j in range(0, log_u):
+        k = (key - 1) // (u // (2 ** j)) if j > 0 else 0
+        indices.append(2 ** j + k + 1)
+    return tuple(indices)
+
+
+def basis_value(index: int, key: int, u: int) -> float:
+    """Return ``psi_index(key)`` — the value of wavelet basis vector ``psi_index`` at ``key``.
+
+    Runs in ``O(1)``; both arguments are 1-based as in the paper.
+    """
+    validate_domain(u)
+    if index < 1 or index > u:
+        raise KeyOutOfDomainError(f"coefficient index {index} outside [1, {u}]")
+    if key < 1 or key > u:
+        raise KeyOutOfDomainError(f"key {key} outside domain [1, {u}]")
+    return _basis_value(index, key, u)
+
+
+def _basis_value(index: int, key: int, u: int) -> float:
+    """Return ``psi_index(key)`` — the value of a wavelet basis vector at a key."""
+    if index == 1:
+        return 1.0 / math.sqrt(u)
+    j = (index - 1).bit_length() - 1
+    k = index - 1 - 2 ** j
+    width = u // (2 ** j)
+    lo = k * width + 1
+    hi = lo + width - 1
+    if key < lo or key > hi:
+        return 0.0
+    half = width // 2
+    scale = 1.0 / math.sqrt(width)
+    if key <= lo + half - 1:
+        return -scale
+    return scale
+
+
+def wavelet_basis_vector(index: int, u: int) -> np.ndarray:
+    """Materialise the ``index``-th orthonormal Haar basis vector ``psi_index``.
+
+    This follows the paper's Section 2.1 definition: ``psi_1 = 1/sqrt(u)`` and
+    ``psi_i = (-phi_{j+1,2k} + phi_{j+1,2k+1}) / sqrt(u / 2^j)`` for
+    ``i = 2^j + k + 1``.  Intended for tests and small domains; the transforms
+    never materialise basis vectors.
+    """
+    validate_domain(u)
+    if index < 1 or index > u:
+        raise KeyOutOfDomainError(f"coefficient index {index} outside [1, {u}]")
+    return np.array([_basis_value(index, key, u) for key in range(1, u + 1)], dtype=float)
+
+
+def sparse_haar_transform(counts: Mapping[int, float], u: int) -> Dict[int, float]:
+    """Compute the non-zero Haar coefficients of a sparse frequency vector.
+
+    Args:
+        counts: mapping from 1-based key to its (possibly fractional) count.
+            Keys with zero count may be omitted.
+        u: domain size (power of two).
+
+    Returns:
+        Mapping from 1-based coefficient index to its value; only coefficients
+        that can be non-zero (those on some present key's leaf-to-root path)
+        appear.  Exact cancellations may still leave zero-valued entries.
+
+    Runs in ``O(|counts| * log u)`` time using the per-key path decomposition:
+    coefficient ``w_i = sum_x v(x) * psi_i(x)``, and a single key contributes
+    to only ``log2(u) + 1`` coefficients.
+    """
+    validate_domain(u)
+    coefficients: Dict[int, float] = {}
+    for key, count in counts.items():
+        if count == 0:
+            continue
+        if key < 1 or key > u:
+            raise KeyOutOfDomainError(f"key {key} outside domain [1, {u}]")
+        for index in coefficients_for_key(key, u):
+            contribution = count * _basis_value(index, key, u)
+            if contribution != 0.0:
+                coefficients[index] = coefficients.get(index, 0.0) + contribution
+    return coefficients
+
+
+def sparse_inverse_contribution(coefficients: Mapping[int, float], key: int, u: int) -> float:
+    """Reconstruct the value of a single key from a sparse coefficient set.
+
+    ``v(key) = sum_i w_i * psi_i(key)``; only the ``log2(u) + 1`` coefficients
+    on the key's path can contribute, so this runs in ``O(log u)`` regardless
+    of how many coefficients are retained.
+    """
+    validate_domain(u)
+    if key < 1 or key > u:
+        raise KeyOutOfDomainError(f"key {key} outside domain [1, {u}]")
+    value = 0.0
+    for index in coefficients_for_key(key, u):
+        w = coefficients.get(index)
+        if w:
+            value += w * _basis_value(index, key, u)
+    return value

@@ -1,0 +1,90 @@
+"""Multi-dimensional Haar wavelet transforms (paper Sections 3 and 4, "Multi-dimensional wavelets").
+
+The paper uses the *standard* multi-dimensional decomposition: a full 1-D
+transform is applied along each axis in turn.  Because every 1-D transform is
+linear, the composite d-dimensional transform is linear too, which is exactly
+the property the exact (H-WTopk) and sampling algorithms rely on — a global
+coefficient is still the sum of the corresponding per-split coefficients.
+
+The functions here operate on dense numpy arrays whose every axis length is a
+power of two; sparse multi-dimensional signals are handled by the callers via
+small dense grids (the paper itself recommends coarsening the grid for sparse
+high-dimensional data).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.haar import haar_transform, inverse_haar_transform, validate_domain
+from repro.core.topk_coefficients import top_k_coefficients
+from repro.errors import InvalidParameterError
+
+__all__ = [
+    "haar_transform_nd",
+    "inverse_haar_transform_nd",
+    "top_k_coefficients_nd",
+    "reconstruct_from_top_k_nd",
+]
+
+
+def _validate_shape(shape: Tuple[int, ...]) -> None:
+    if not shape:
+        raise InvalidParameterError("multi-dimensional signal must have at least one axis")
+    for axis_length in shape:
+        validate_domain(axis_length)
+
+
+def haar_transform_nd(signal: np.ndarray) -> np.ndarray:
+    """Standard d-dimensional orthonormal Haar transform.
+
+    Applies the 1-D transform along axis 0, then axis 1, etc.  The result has
+    the same shape as the input and preserves energy.
+    """
+    array = np.asarray(signal, dtype=float)
+    _validate_shape(array.shape)
+    result = array.copy()
+    for axis in range(result.ndim):
+        result = np.apply_along_axis(haar_transform, axis, result)
+    return result
+
+
+def inverse_haar_transform_nd(coefficients: np.ndarray) -> np.ndarray:
+    """Invert :func:`haar_transform_nd` (axes are inverted in reverse order)."""
+    array = np.asarray(coefficients, dtype=float)
+    _validate_shape(array.shape)
+    result = array.copy()
+    for axis in reversed(range(result.ndim)):
+        result = np.apply_along_axis(inverse_haar_transform, axis, result)
+    return result
+
+
+def top_k_coefficients_nd(coefficients: np.ndarray, k: int) -> Dict[Tuple[int, ...], float]:
+    """Return the ``k`` multi-dimensional coefficients of largest magnitude.
+
+    Keys of the returned mapping are 0-based index tuples into the coefficient
+    array (one entry per axis).
+    """
+    array = np.asarray(coefficients, dtype=float)
+    _validate_shape(array.shape)
+    flat = {i: float(value) for i, value in enumerate(array.ravel()) if value != 0.0}
+    # Reuse the 1-D deterministic top-k on the flattened index, then unravel.
+    selected = top_k_coefficients({i + 1: v for i, v in flat.items()}, k)
+    result: Dict[Tuple[int, ...], float] = {}
+    for flat_index_plus_one, value in selected.items():
+        index = np.unravel_index(flat_index_plus_one - 1, array.shape)
+        result[tuple(int(i) for i in index)] = value
+    return result
+
+
+def reconstruct_from_top_k_nd(
+    top_k: Dict[Tuple[int, ...], float], shape: Tuple[int, ...]
+) -> np.ndarray:
+    """Reconstruct a dense signal from a sparse set of multi-dimensional coefficients."""
+    _validate_shape(shape)
+    coefficients = np.zeros(shape, dtype=float)
+    for index, value in top_k.items():
+        coefficients[index] = value
+    return inverse_haar_transform_nd(coefficients)

@@ -1,0 +1,81 @@
+"""Selection of the best k-term wavelet representation.
+
+The best k-term representation under the L2 error metric keeps the ``k``
+coefficients of largest *magnitude* (paper Section 2.1): because the
+orthonormal transform preserves energy, dropping the smallest-magnitude
+coefficients minimises the energy loss among all k-term representations.
+
+The centralized algorithm keeps a size-``k`` min-heap keyed by magnitude and
+streams over all coefficients in ``O(u log k)`` time, which is what these
+helpers implement.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, Mapping, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["top_k_coefficients", "top_k_from_dense", "bottom_k_items", "top_k_items"]
+
+
+def _validate_k(k: int) -> None:
+    if k < 1:
+        raise InvalidParameterError(f"k must be a positive integer, got {k}")
+
+
+def top_k_coefficients(coefficients: Mapping[int, float], k: int) -> Dict[int, float]:
+    """Return the ``k`` coefficients of largest magnitude from a sparse mapping.
+
+    Ties on magnitude are broken by smaller coefficient index so the result is
+    deterministic.  If fewer than ``k`` non-zero coefficients exist, all of
+    them are returned.
+
+    Args:
+        coefficients: mapping from coefficient index to value.
+        k: number of coefficients to retain.
+
+    Returns:
+        Mapping from index to value containing at most ``k`` entries.
+    """
+    _validate_k(k)
+    # heapq.nlargest with key (magnitude, -index) gives deterministic ties.
+    selected = heapq.nlargest(
+        k,
+        coefficients.items(),
+        key=lambda item: (abs(item[1]), -item[0]),
+    )
+    return {index: value for index, value in selected if value != 0.0}
+
+
+def top_k_from_dense(w: np.ndarray | Iterable[float], k: int) -> Dict[int, float]:
+    """Return the top-``k`` coefficients by magnitude from a dense coefficient array.
+
+    The dense array is 0-based (entry ``i`` holds coefficient ``w_{i+1}``); the
+    returned mapping uses the paper's 1-based coefficient indices.
+    """
+    _validate_k(k)
+    arr = np.asarray(w, dtype=float)
+    sparse = {index + 1: float(value) for index, value in enumerate(arr) if value != 0.0}
+    return top_k_coefficients(sparse, k)
+
+
+def top_k_items(scores: Mapping[int, float], k: int) -> Tuple[Tuple[int, float], ...]:
+    """Return the ``k`` items of largest (signed) score, ordered descending.
+
+    Used by the H-WTopk mappers which must report their local top-``k`` and
+    bottom-``k`` scored coefficients (paper Section 3, Round 1).
+    """
+    _validate_k(k)
+    selected = heapq.nlargest(k, scores.items(), key=lambda item: (item[1], -item[0]))
+    return tuple(selected)
+
+
+def bottom_k_items(scores: Mapping[int, float], k: int) -> Tuple[Tuple[int, float], ...]:
+    """Return the ``k`` items of smallest (most negative) score, ordered ascending."""
+    _validate_k(k)
+    selected = heapq.nsmallest(k, scores.items(), key=lambda item: (item[1], item[0]))
+    return tuple(selected)

@@ -1,0 +1,15 @@
+"""Analytic cost model turning counted work into simulated cluster time.
+
+The paper reports end-to-end running time on a real 16-node Hadoop cluster.
+This repository runs the algorithms inside a single-process simulator, so the
+running-time *numbers* are produced by :class:`~repro.cost.model.CostModel`,
+which converts the exact per-phase counters (bytes scanned, pairs shuffled,
+CPU operations) into seconds using the cluster description.  The model is
+deliberately simple and documented; it preserves the relative ordering and the
+shape of the paper's running-time figures, which is what the reproduction
+claims.
+"""
+
+from repro.cost.model import CostModel, CostParameters, PhaseTimes
+
+__all__ = ["CostModel", "CostParameters", "PhaseTimes"]

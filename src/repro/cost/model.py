@@ -1,0 +1,165 @@
+"""The running-time cost model.
+
+A MapReduce round's simulated wall-clock time is decomposed as::
+
+    time = job_overhead
+         + map_phase            # IO scan + map-side CPU, divided by map parallelism
+         + shuffle_phase        # shuffle bytes over the job's bandwidth share
+         + reduce_phase         # reduce-side CPU on the single coordinator
+         + side_channel_phase   # distributed cache replication
+
+Map-side CPU work is derived from counters the algorithms increment
+(hash-map updates, wavelet-transform operations, sketch updates, sampled
+records) plus the number of emitted pairs.  Reduce-side CPU uses the
+``reduce_input_records`` and ``reduce_cpu_ops`` counters.  All per-operation
+costs are configurable through :class:`CostParameters`; the defaults are
+calibrated so that, at the paper's scale factors, the qualitative ordering of
+the five algorithms matches the paper (Send-Sketch slowest, Send-V dominated
+by communication, sampling methods fastest).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.errors import InvalidParameterError
+from repro.mapreduce.cluster import ClusterSpec
+from repro.mapreduce.counters import CounterNames
+from repro.mapreduce.runtime import JobResult
+
+__all__ = ["CostParameters", "PhaseTimes", "CostModel"]
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Per-operation costs (seconds) at a nominal 2.0 GHz core.
+
+    Attributes:
+        seconds_per_hashmap_update: updating the local frequency hash map for
+            one scanned record.
+        seconds_per_wavelet_op: one unit of wavelet-transform work (the
+            algorithms count ``|v_j| log u`` or ``u``-style totals).
+        seconds_per_sketch_update: one GCS/AMS sketch update (the dominant
+            cost of Send-Sketch in the paper).
+        seconds_per_sketch_query: one sketch query operation at the reducer.
+        seconds_per_emit: serialising and buffering one intermediate pair.
+        seconds_per_reduce_record: consuming one intermediate pair at a reducer.
+        seconds_per_reduce_op: one unit of reducer CPU work counted via
+            ``reduce_cpu_ops``.
+        seconds_per_sampled_record: seeking to and reading one randomly
+            sampled record (dominates the sampling mappers' IO).
+        nominal_cpu_ghz: the clock the above constants are calibrated for.
+    """
+
+    seconds_per_hashmap_update: float = 2.0e-7
+    seconds_per_wavelet_op: float = 3.0e-7
+    seconds_per_sketch_update: float = 6.0e-6
+    seconds_per_sketch_query: float = 1.0e-6
+    seconds_per_emit: float = 5.0e-7
+    seconds_per_reduce_record: float = 2.0e-7
+    seconds_per_reduce_op: float = 1.0e-7
+    seconds_per_sampled_record: float = 2.0e-6
+    nominal_cpu_ghz: float = 2.0
+
+
+@dataclass(frozen=True)
+class PhaseTimes:
+    """Per-phase simulated times (seconds) for one MapReduce round."""
+
+    overhead_s: float
+    map_s: float
+    shuffle_s: float
+    reduce_s: float
+    side_channel_s: float
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end simulated time of the round."""
+        return self.overhead_s + self.map_s + self.shuffle_s + self.reduce_s + self.side_channel_s
+
+
+class CostModel:
+    """Converts a :class:`JobResult`'s counters into simulated seconds."""
+
+    def __init__(self, cluster: ClusterSpec, parameters: CostParameters | None = None) -> None:
+        self._cluster = cluster
+        self._parameters = parameters if parameters is not None else CostParameters()
+        if self._parameters.nominal_cpu_ghz <= 0:
+            raise InvalidParameterError("nominal_cpu_ghz must be positive")
+        # Slower machines make each operation proportionally more expensive.
+        self._cpu_scale = self._parameters.nominal_cpu_ghz / cluster.average_cpu_ghz
+
+    @property
+    def cluster(self) -> ClusterSpec:
+        """Cluster the model prices against."""
+        return self._cluster
+
+    @property
+    def parameters(self) -> CostParameters:
+        """The per-operation cost constants."""
+        return self._parameters
+
+    # ------------------------------------------------------------- round cost
+    def round_times(self, result: JobResult) -> PhaseTimes:
+        """Compute the per-phase times of a single MapReduce round."""
+        counters = result.counters
+        params = self._parameters
+        cluster = self._cluster
+
+        num_mappers = max(result.num_mappers, 1)
+        map_parallelism = min(num_mappers, cluster.total_map_slots)
+        waves = math.ceil(num_mappers / cluster.total_map_slots)
+
+        overhead = cluster.job_overhead_s + waves * cluster.task_overhead_s
+
+        map_io_s = counters.get(CounterNames.MAP_INPUT_BYTES) / cluster.average_disk_bytes_per_s
+        map_cpu_s = self._cpu_scale * (
+            counters.get(CounterNames.HASHMAP_UPDATES) * params.seconds_per_hashmap_update
+            + counters.get(CounterNames.WAVELET_TRANSFORM_OPS) * params.seconds_per_wavelet_op
+            + counters.get(CounterNames.SKETCH_UPDATE_OPS) * params.seconds_per_sketch_update
+            + counters.get(CounterNames.MAP_OUTPUT_RECORDS) * params.seconds_per_emit
+            + counters.get(CounterNames.SAMPLED_RECORDS) * params.seconds_per_sampled_record
+        )
+        map_s = (map_io_s + map_cpu_s) / map_parallelism
+
+        shuffle_s = counters.get(CounterNames.SHUFFLE_BYTES) / cluster.effective_bandwidth_bytes_per_s
+
+        reduce_cpu_s = self._cpu_scale * (
+            counters.get(CounterNames.REDUCE_INPUT_RECORDS) * params.seconds_per_reduce_record
+            + counters.get(CounterNames.REDUCE_CPU_OPS) * params.seconds_per_reduce_op
+            + counters.get(CounterNames.SKETCH_QUERY_OPS) * params.seconds_per_sketch_query
+        )
+        reduce_s = reduce_cpu_s / max(result.num_reducers, 1)
+
+        side_channel_bytes = (
+            counters.get(CounterNames.DISTRIBUTED_CACHE_BYTES)
+            + counters.get(CounterNames.JOB_CONFIGURATION_BYTES)
+        )
+        side_channel_s = side_channel_bytes / cluster.effective_bandwidth_bytes_per_s
+
+        return PhaseTimes(
+            overhead_s=overhead,
+            map_s=map_s,
+            shuffle_s=shuffle_s,
+            reduce_s=reduce_s,
+            side_channel_s=side_channel_s,
+        )
+
+    def round_seconds(self, result: JobResult) -> float:
+        """Total simulated seconds for one round."""
+        return self.round_times(result).total_s
+
+    # ---------------------------------------------------------- multi rounds
+    def total_seconds(self, results: Iterable[JobResult]) -> float:
+        """Total simulated seconds for a multi-round algorithm (rounds are sequential)."""
+        return sum(self.round_seconds(result) for result in results)
+
+    def total_communication_bytes(self, results: Iterable[JobResult]) -> float:
+        """Total communication (shuffle + side channels) across rounds."""
+        return sum(result.communication_bytes for result in results)
+
+    def breakdown(self, results: Iterable[JobResult]) -> List[PhaseTimes]:
+        """Per-round phase times, for reporting and ablation benches."""
+        return [self.round_times(result) for result in results]

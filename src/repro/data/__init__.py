@@ -1,0 +1,29 @@
+"""Dataset abstractions and synthetic workload generators.
+
+The paper evaluates on (a) Zipfian synthetic datasets with controlled skew
+``alpha``, domain size ``u`` and record count ``n`` (keys randomly permuted so
+equal keys are not contiguous in the file) and (b) the WorldCup'98 access log,
+whose key is the (client id, object id) pairing.  We regenerate both at a
+configurable scale:
+
+* :class:`~repro.data.generators.ZipfDatasetGenerator` — the default workload;
+* :class:`~repro.data.generators.UniformDatasetGenerator` — an unskewed control;
+* :class:`~repro.data.worldcup.WorldCupLikeGenerator` — a synthetic stand-in
+  for the WorldCup log: heavy-tailed client and object popularity combined
+  into a composite key, reproducing the real log's skew structure.
+
+A :class:`~repro.data.dataset.Dataset` couples the generated keys with the
+record size and domain and knows how to load itself into the simulated HDFS.
+"""
+
+from repro.data.dataset import Dataset
+from repro.data.generators import UniformDatasetGenerator, ZipfDatasetGenerator, zipf_probabilities
+from repro.data.worldcup import WorldCupLikeGenerator
+
+__all__ = [
+    "Dataset",
+    "ZipfDatasetGenerator",
+    "UniformDatasetGenerator",
+    "WorldCupLikeGenerator",
+    "zipf_probabilities",
+]

@@ -1,0 +1,97 @@
+"""Synthetic dataset generators (Zipfian and uniform key distributions).
+
+The paper's synthetic datasets draw keys from a Zipfian distribution with
+skew ``alpha`` over the domain ``[1, u]`` and then randomly permute the file
+so equal keys are not adjacent.  Skew values used are 0.8, 1.1 (default) and
+1.4; domains range over ``2^8 .. 2^32``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.haar import validate_domain
+from repro.data.dataset import Dataset
+from repro.errors import InvalidParameterError
+
+__all__ = ["zipf_probabilities", "ZipfDatasetGenerator", "UniformDatasetGenerator"]
+
+
+def zipf_probabilities(u: int, alpha: float) -> np.ndarray:
+    """Zipfian probability vector over ranks ``1..u`` with skew ``alpha``.
+
+    ``p(rank) = rank^-alpha / H`` where ``H`` is the generalised harmonic
+    number; ``alpha = 0`` degenerates to the uniform distribution.
+    """
+    validate_domain(u)
+    if alpha < 0:
+        raise InvalidParameterError(f"Zipf skew must be non-negative, got {alpha}")
+    ranks = np.arange(1, u + 1, dtype=float)
+    weights = ranks ** (-alpha) if alpha > 0 else np.ones(u, dtype=float)
+    return weights / weights.sum()
+
+
+class ZipfDatasetGenerator:
+    """Generates Zipf-distributed key files like the paper's synthetic datasets.
+
+    Keys are drawn i.i.d. from the Zipf distribution.  The mapping from
+    popularity rank to key value is a random permutation of the domain (so the
+    most frequent key is not always key 1), and the record order in the file
+    is random, both as in the paper's data preparation.
+    """
+
+    def __init__(self, u: int, alpha: float = 1.1, seed: int = 42) -> None:
+        validate_domain(u)
+        self.u = u
+        self.alpha = alpha
+        self.seed = seed
+
+    def generate(self, n: int, record_size_bytes: int = 4,
+                 name: Optional[str] = None) -> Dataset:
+        """Generate ``n`` records.
+
+        Args:
+            n: number of records.
+            record_size_bytes: on-disk size of each record (Figure 11 varies this).
+            name: dataset name; auto-derived when omitted.
+        """
+        if n < 1:
+            raise InvalidParameterError(f"n must be positive, got {n}")
+        rng = np.random.default_rng(self.seed)
+        probabilities = zipf_probabilities(self.u, self.alpha)
+        # Draw ranks then scatter them over the domain with a random permutation.
+        ranks = rng.choice(self.u, size=n, p=probabilities)
+        permutation = rng.permutation(self.u)
+        keys = permutation[ranks] + 1
+        rng.shuffle(keys)
+        return Dataset(
+            name=name or f"zipf-a{self.alpha}-u{self.u}-n{n}",
+            keys=keys,
+            u=self.u,
+            record_size_bytes=record_size_bytes,
+        )
+
+
+class UniformDatasetGenerator:
+    """Generates uniformly distributed keys (the unskewed control workload)."""
+
+    def __init__(self, u: int, seed: int = 42) -> None:
+        validate_domain(u)
+        self.u = u
+        self.seed = seed
+
+    def generate(self, n: int, record_size_bytes: int = 4,
+                 name: Optional[str] = None) -> Dataset:
+        """Generate ``n`` records with keys uniform over ``[1, u]``."""
+        if n < 1:
+            raise InvalidParameterError(f"n must be positive, got {n}")
+        rng = np.random.default_rng(self.seed)
+        keys = rng.integers(1, self.u + 1, size=n, dtype=np.int64)
+        return Dataset(
+            name=name or f"uniform-u{self.u}-n{n}",
+            keys=keys,
+            u=self.u,
+            record_size_bytes=record_size_bytes,
+        )

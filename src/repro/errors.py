@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base class.  Substrate-specific errors (HDFS, MapReduce runtime,
+sketches, sampling) subclass it with more precise names.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class InvalidDomainError(ReproError):
+    """Raised when a key domain size is not a positive power of two."""
+
+
+class InvalidParameterError(ReproError):
+    """Raised when an algorithm parameter (k, epsilon, split size, ...) is invalid."""
+
+
+class KeyOutOfDomainError(ReproError):
+    """Raised when a record key falls outside the configured domain [1, u]."""
+
+
+class HdfsError(ReproError):
+    """Base class for simulated HDFS errors."""
+
+
+class FileNotFoundInHdfsError(HdfsError):
+    """Raised when opening a path that does not exist in the simulated HDFS."""
+
+
+class FileAlreadyExistsError(HdfsError):
+    """Raised when creating a path that already exists in the simulated HDFS."""
+
+
+class MapReduceError(ReproError):
+    """Base class for simulated MapReduce runtime errors."""
+
+
+class JobConfigurationError(MapReduceError):
+    """Raised when a job is configured inconsistently (no mapper, bad reducer count, ...)."""
+
+
+class DistributedCacheError(MapReduceError):
+    """Raised when reading a missing entry from the simulated Distributed Cache."""
+
+
+class SketchError(ReproError):
+    """Raised when a sketch is misconfigured or incompatible sketches are merged."""
+
+
+class SamplingError(ReproError):
+    """Raised when a sampler is configured with an invalid rate or state."""
+
+
+class TopKError(ReproError):
+    """Raised when distributed top-k inputs are inconsistent across rounds."""

@@ -1,0 +1,21 @@
+"""Experiment harness reproducing the paper's evaluation (Section 5).
+
+The harness is organised as:
+
+* :mod:`repro.experiments.config` — the scaled-down default workload and
+  cluster parameters, plus the time-scaling rule that maps the simulated
+  workload back onto the paper's 50 GB / 16-node regime;
+* :mod:`repro.experiments.runner` — runs a set of algorithms over one dataset
+  and collects communication, simulated running time and SSE;
+* :mod:`repro.experiments.figures` — one driver per figure of the paper
+  (Figures 5-19) plus the Section 4 analytic-bound example, each returning a
+  :class:`~repro.experiments.reporting.FigureTable`;
+* :mod:`repro.experiments.reporting` — plain-text table/series formatting used
+  by the benchmarks and EXPERIMENTS.md.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import FigureTable
+from repro.experiments.runner import ExperimentMeasurement, run_algorithms
+
+__all__ = ["ExperimentConfig", "FigureTable", "ExperimentMeasurement", "run_algorithms"]

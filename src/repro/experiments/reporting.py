@@ -1,0 +1,101 @@
+"""Plain-text reporting of experiment results.
+
+Every figure driver returns a :class:`FigureTable`: a titled set of rows (one
+per algorithm and x-axis point) that can be pretty-printed as the series the
+paper plots, or grouped into per-algorithm series for shape assertions in the
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["FigureTable", "format_value"]
+
+
+def format_value(value: Any) -> str:
+    """Human-friendly formatting: scientific notation for big floats, plain otherwise."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class FigureTable:
+    """Tabular result of one reproduced figure.
+
+    Attributes:
+        figure: identifier, e.g. ``"Figure 5(a)"``.
+        title: human-readable description of what is varied / reported.
+        columns: ordered column names; every row has these keys.
+        rows: list of row dictionaries.
+        notes: free-form annotations (scaled parameters, substitutions).
+    """
+
+    figure: str
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        """Append a row (missing columns are filled with empty strings)."""
+        self.rows.append({column: values.get(column, "") for column in self.columns})
+
+    def series(self, x: str, y: str, group: str = "algorithm") -> Dict[str, List[Tuple[Any, Any]]]:
+        """Group rows into per-``group`` series of ``(x, y)`` points, preserving order."""
+        result: Dict[str, List[Tuple[Any, Any]]] = {}
+        for row in self.rows:
+            result.setdefault(str(row[group]), []).append((row[x], row[y]))
+        return result
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        return [row[name] for row in self.rows]
+
+    def filter(self, **criteria: Any) -> List[Dict[str, Any]]:
+        """Rows matching all ``column == value`` criteria."""
+        return [
+            row for row in self.rows
+            if all(row.get(column) == value for column, value in criteria.items())
+        ]
+
+    # -------------------------------------------------------------- rendering
+    def format(self) -> str:
+        """Render the table as aligned plain text (what the benchmarks print)."""
+        header = [self.figure, self.title]
+        widths = {
+            column: max(len(column), *(len(format_value(row[column])) for row in self.rows))
+            if self.rows else len(column)
+            for column in self.columns
+        }
+        lines = [" | ".join(column.ljust(widths[column]) for column in self.columns)]
+        lines.append("-+-".join("-" * widths[column] for column in self.columns))
+        for row in self.rows:
+            lines.append(
+                " | ".join(format_value(row[column]).ljust(widths[column]) for column in self.columns)
+            )
+        note_lines = [f"  note: {note}" for note in self.notes]
+        return "\n".join(header + lines + note_lines)
+
+    def to_markdown(self) -> str:
+        """Render the table as GitHub-flavoured markdown (used for EXPERIMENTS.md)."""
+        lines = [f"### {self.figure} — {self.title}", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join(["---"] * len(self.columns)) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(format_value(row[column]) for column in self.columns) + " |")
+        if self.notes:
+            lines.append("")
+            lines.extend(f"- {note}" for note in self.notes)
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.rows)

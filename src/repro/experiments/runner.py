@@ -1,0 +1,103 @@
+"""Runs a set of algorithms over one dataset and collects the paper's metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.algorithms.base import AlgorithmResult, HistogramAlgorithm
+from repro.core.frequency import FrequencyVector
+from repro.data.dataset import Dataset
+from repro.experiments.config import ExperimentConfig
+from repro.mapreduce.cluster import ClusterSpec
+from repro.mapreduce.hdfs import HDFS
+
+__all__ = ["ExperimentMeasurement", "run_algorithms", "standard_algorithms"]
+
+INPUT_PATH = "/data/input"
+
+
+@dataclass
+class ExperimentMeasurement:
+    """One (algorithm, dataset) measurement: the three metrics the paper plots.
+
+    Attributes:
+        algorithm: algorithm name.
+        communication_bytes: total network traffic (shuffle + side channels).
+        simulated_time_s: end-to-end simulated running time.
+        sse: sum of squared errors of the reconstructed frequency vector
+            against the dataset's exact vector.
+        num_rounds: number of MapReduce rounds used.
+        details: algorithm-specific extras copied from the result.
+    """
+
+    algorithm: str
+    communication_bytes: float
+    simulated_time_s: float
+    sse: float
+    num_rounds: int
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_result(cls, result: AlgorithmResult,
+                    reference: FrequencyVector) -> "ExperimentMeasurement":
+        """Build a measurement from an algorithm result and the exact frequency vector."""
+        return cls(
+            algorithm=result.algorithm,
+            communication_bytes=result.communication_bytes,
+            simulated_time_s=result.simulated_time_s,
+            sse=result.histogram.sse(reference),
+            num_rounds=result.num_rounds,
+            details=dict(result.details),
+        )
+
+
+def standard_algorithms(config: ExperimentConfig, u: Optional[int] = None,
+                        k: Optional[int] = None,
+                        epsilon: Optional[float] = None) -> List[HistogramAlgorithm]:
+    """The paper's five default competitors (Figures 5-18).
+
+    Send-V and H-WTopk (exact), Send-Sketch, Improved-S and TwoLevel-S
+    (approximate).  Send-Coef and Basic-S are added only where the paper adds
+    them (Figure 12 and the sampling ablations).
+    """
+    from repro.algorithms import HWTopk, ImprovedSampling, SendSketch, SendV, TwoLevelSampling
+
+    domain = u if u is not None else config.u
+    top_k = k if k is not None else config.k
+    eps = epsilon if epsilon is not None else config.epsilon
+    return [
+        SendV(domain, top_k),
+        HWTopk(domain, top_k),
+        SendSketch(domain, top_k, bytes_per_level=config.sketch_bytes_per_level),
+        ImprovedSampling(domain, top_k, epsilon=eps),
+        TwoLevelSampling(domain, top_k, epsilon=eps),
+    ]
+
+
+def run_algorithms(
+    dataset: Dataset,
+    algorithms: Sequence[HistogramAlgorithm],
+    cluster: ClusterSpec,
+    reference: Optional[FrequencyVector] = None,
+    seed: int = 7,
+) -> List[ExperimentMeasurement]:
+    """Run every algorithm over the dataset and measure communication, time and SSE.
+
+    Args:
+        dataset: the input dataset (loaded into a fresh simulated HDFS).
+        algorithms: algorithm instances to run.
+        cluster: the (possibly time-scaled) cluster description.
+        reference: the exact frequency vector; computed from the dataset when
+            omitted (pass it in when running many sweeps over the same data).
+        seed: seed forwarded to every algorithm run.
+    """
+    hdfs = HDFS(datanodes=[machine.name for machine in cluster.machines])
+    dataset.to_hdfs(hdfs, INPUT_PATH)
+    exact = reference if reference is not None else dataset.frequency_vector()
+
+    measurements: List[ExperimentMeasurement] = []
+    for algorithm in algorithms:
+        result = algorithm.run(hdfs, INPUT_PATH, cluster=cluster, seed=seed)
+        measurements.append(ExperimentMeasurement.from_result(result, exact))
+    return measurements

@@ -1,0 +1,52 @@
+"""A single-process simulation of the Hadoop MapReduce execution model.
+
+The paper's algorithms are implemented as genuine MapReduce jobs: user code
+subclasses :class:`~repro.mapreduce.api.Mapper` / :class:`~repro.mapreduce.api.Reducer`,
+optionally provides a combiner and partitioner, and submits a
+:class:`~repro.mapreduce.job.MapReduceJob` to the :class:`~repro.mapreduce.runtime.JobRunner`.
+
+The simulator reproduces the parts of Hadoop the paper depends on:
+
+* an HDFS model with files, fixed-size chunks, DataNode placement and
+  input splits (:mod:`repro.mapreduce.hdfs`);
+* the Map → Combine/Spill → Shuffle-and-Sort → Reduce pipeline with exact
+  accounting of records and bytes crossing each phase
+  (:mod:`repro.mapreduce.runtime`, :mod:`repro.mapreduce.counters`);
+* the Job Configuration and Distributed Cache side channels used by H-WTopk
+  for coordinator → mapper communication (:mod:`repro.mapreduce.job`);
+* per-split persistent state across rounds, standing in for the HDFS state
+  files of the paper's Appendix A (:mod:`repro.mapreduce.state`);
+* sequential and random-sampling record readers (:mod:`repro.mapreduce.inputformat`);
+* a heterogeneous cluster description used by the cost model
+  (:mod:`repro.mapreduce.cluster`).
+"""
+
+from repro.mapreduce.api import Mapper, Reducer, MapperContext, ReducerContext
+from repro.mapreduce.cluster import ClusterSpec, MachineSpec
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.hdfs import HDFS, HdfsFile, InputSplit
+from repro.mapreduce.inputformat import SequentialInputFormat, RandomSamplingInputFormat
+from repro.mapreduce.job import DistributedCache, JobConfiguration, MapReduceJob
+from repro.mapreduce.runtime import JobResult, JobRunner
+from repro.mapreduce.state import StateStore
+
+__all__ = [
+    "Mapper",
+    "Reducer",
+    "MapperContext",
+    "ReducerContext",
+    "ClusterSpec",
+    "MachineSpec",
+    "Counters",
+    "HDFS",
+    "HdfsFile",
+    "InputSplit",
+    "SequentialInputFormat",
+    "RandomSamplingInputFormat",
+    "DistributedCache",
+    "JobConfiguration",
+    "MapReduceJob",
+    "JobResult",
+    "JobRunner",
+    "StateStore",
+]

@@ -1,0 +1,179 @@
+"""User-facing Mapper/Reducer interfaces and their task contexts.
+
+Algorithm code subclasses :class:`Mapper` and :class:`Reducer` exactly as it
+would in Hadoop: ``setup`` runs once at task start, ``map``/``reduce`` run per
+record / per key group, and ``close`` runs once at task end (the paper's exact
+and sampling mappers do all their emitting from ``close``).
+
+Contexts expose the pieces of Hadoop the paper relies on:
+
+* ``emit`` — produce an intermediate or final key/value pair, with byte
+  accounting;
+* ``configuration`` and ``distributed_cache`` — the side channels;
+* ``save_state`` / ``load_state`` — per-split persistent state across rounds;
+* ``counters`` — CPU-work accounting for the cost model;
+* ``rng`` — a deterministic per-task random generator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.mapreduce.counters import CounterNames, Counters
+from repro.mapreduce.hdfs import InputSplit
+from repro.mapreduce.job import DistributedCache, JobConfiguration
+from repro.mapreduce.serialization import SerializationModel
+from repro.mapreduce.state import StateStore
+
+__all__ = ["EmittedPair", "MapperContext", "ReducerContext", "Mapper", "Reducer"]
+
+
+EmittedPair = Tuple[Any, Any, int]
+"""An intermediate pair as buffered by the runtime: ``(key, value, size_bytes)``."""
+
+
+class _TaskContext:
+    """State and services shared by mapper and reducer contexts."""
+
+    def __init__(
+        self,
+        configuration: JobConfiguration,
+        distributed_cache: DistributedCache,
+        counters: Counters,
+        state_store: StateStore,
+        serialization: SerializationModel,
+        rng: np.random.Generator,
+    ) -> None:
+        self.configuration = configuration
+        self.distributed_cache = distributed_cache
+        self.counters = counters
+        self.serialization = serialization
+        self.rng = rng
+        self._state_store = state_store
+        self._emitted: List[EmittedPair] = []
+
+    @property
+    def emitted_pairs(self) -> List[EmittedPair]:
+        """Pairs emitted so far by this task (consumed by the runtime)."""
+        return self._emitted
+
+    def _record_emit(self, key: Any, value: Any, size_bytes: Optional[int]) -> int:
+        size = self.serialization.pair_size(key, value, explicit=size_bytes)
+        self._emitted.append((key, value, size))
+        return size
+
+
+class MapperContext(_TaskContext):
+    """Context handed to every :class:`Mapper` method."""
+
+    def __init__(
+        self,
+        split: InputSplit,
+        configuration: JobConfiguration,
+        distributed_cache: DistributedCache,
+        counters: Counters,
+        state_store: StateStore,
+        serialization: SerializationModel,
+        rng: np.random.Generator,
+        num_splits: int,
+    ) -> None:
+        super().__init__(configuration, distributed_cache, counters, state_store,
+                         serialization, rng)
+        self.split = split
+        self.num_splits = num_splits
+
+    @property
+    def split_id(self) -> int:
+        """0-based id of the split this mapper processes (stable across rounds)."""
+        return self.split.split_id
+
+    def emit(self, key: Any, value: Any, size_bytes: Optional[int] = None) -> None:
+        """Emit an intermediate ``(key, value)`` pair towards the reducers.
+
+        Args:
+            key: intermediate key.
+            value: intermediate value (``None`` models a zero-byte payload).
+            size_bytes: explicit payload size overriding the serialization
+                model (excluding per-pair overhead).
+        """
+        size = self._record_emit(key, value, size_bytes)
+        self.counters.increment(CounterNames.MAP_OUTPUT_RECORDS)
+        self.counters.increment(CounterNames.MAP_OUTPUT_BYTES, size)
+
+    def save_state(self, payload: Any, size_bytes: Optional[int] = None) -> None:
+        """Persist state for this split, readable by the mapper of a later round."""
+        self._state_store.save("split", self.split_id, payload, size_bytes=size_bytes)
+        self.counters.increment(
+            CounterNames.STATE_BYTES_WRITTEN,
+            size_bytes if size_bytes is not None else 0,
+        )
+
+    def load_state(self, default: Any = None) -> Any:
+        """Load the state persisted for this split by a previous round."""
+        return self._state_store.load("split", self.split_id, default=default)
+
+
+class ReducerContext(_TaskContext):
+    """Context handed to every :class:`Reducer` method."""
+
+    def __init__(
+        self,
+        reducer_id: int,
+        configuration: JobConfiguration,
+        distributed_cache: DistributedCache,
+        counters: Counters,
+        state_store: StateStore,
+        serialization: SerializationModel,
+        rng: np.random.Generator,
+        num_splits: int,
+    ) -> None:
+        super().__init__(configuration, distributed_cache, counters, state_store,
+                         serialization, rng)
+        self.reducer_id = reducer_id
+        self.num_splits = num_splits
+
+    def emit(self, key: Any, value: Any, size_bytes: Optional[int] = None) -> None:
+        """Emit a final output ``(key, value)`` pair."""
+        self._record_emit(key, value, size_bytes)
+        self.counters.increment(CounterNames.REDUCE_OUTPUT_RECORDS)
+
+    def save_state(self, payload: Any, size_bytes: Optional[int] = None) -> None:
+        """Persist coordinator state on the designated reducer machine."""
+        self._state_store.save("reducer", self.reducer_id, payload, size_bytes=size_bytes)
+
+    def load_state(self, default: Any = None) -> Any:
+        """Load coordinator state persisted by a previous round."""
+        return self._state_store.load("reducer", self.reducer_id, default=default)
+
+
+class Mapper:
+    """Base class for map tasks.
+
+    Subclasses override any of :meth:`setup`, :meth:`map` and :meth:`close`.
+    When the job is configured with ``read_input=False`` only ``setup`` and
+    ``close`` run (the paper's rounds 2 and 3 of H-WTopk).
+    """
+
+    def setup(self, context: MapperContext) -> None:
+        """Called once before any record is processed."""
+
+    def map(self, record: int, context: MapperContext) -> None:
+        """Called for every input record (the record is the integer key)."""
+
+    def close(self, context: MapperContext) -> None:
+        """Called once after all records have been processed (Hadoop's Close)."""
+
+
+class Reducer:
+    """Base class for reduce tasks."""
+
+    def setup(self, context: ReducerContext) -> None:
+        """Called once before any key group is processed."""
+
+    def reduce(self, key: Any, values: Iterable[Any], context: ReducerContext) -> None:
+        """Called once per distinct intermediate key with all its values."""
+
+    def close(self, context: ReducerContext) -> None:
+        """Called once after all key groups have been processed."""

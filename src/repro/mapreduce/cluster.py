@@ -1,0 +1,155 @@
+"""Description of the simulated Hadoop cluster.
+
+The paper's testbed is a heterogeneous 16-node cluster (Section 5): one master
+plus 15 slaves with four hardware configurations, all on a 100 Mbps switch,
+with a configurable fraction of the bandwidth available to the job (the "busy
+data center" scenario).  :class:`ClusterSpec` captures the parameters the cost
+model needs; :func:`paper_cluster` builds the paper's default configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["MachineSpec", "ClusterSpec", "paper_cluster"]
+
+MEGABYTE = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A single worker machine.
+
+    Attributes:
+        name: human readable identifier.
+        ram_gb: installed memory, only used for reporting.
+        cpu_ghz: nominal clock speed; scales the per-operation CPU cost.
+        map_slots: concurrent map tasks the machine runs.
+        reduce_slots: concurrent reduce tasks the machine runs.
+        disk_mb_per_s: sequential disk scan rate in MB/s.
+    """
+
+    name: str
+    ram_gb: float = 2.0
+    cpu_ghz: float = 2.0
+    map_slots: int = 1
+    reduce_slots: int = 1
+    disk_mb_per_s: float = 80.0
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """The whole cluster as seen by the scheduler and the cost model.
+
+    Attributes:
+        machines: slave machines (the master is not modelled — it only runs
+            the JobTracker/NameNode which the paper does not charge for).
+        network_mbps: raw switch bandwidth in megabits per second.
+        available_bandwidth_fraction: fraction of the switch bandwidth this
+            job may use (the paper's default is 0.5, i.e. 50 Mbps).
+        split_size_bytes: HDFS split size (default 256 MB as in the paper).
+        job_overhead_s: fixed per-MapReduce-round startup/teardown overhead.
+        task_overhead_s: per-task (mapper or reducer) scheduling overhead.
+    """
+
+    machines: List[MachineSpec] = field(default_factory=list)
+    network_mbps: float = 100.0
+    available_bandwidth_fraction: float = 0.5
+    split_size_bytes: int = 256 * MEGABYTE
+    job_overhead_s: float = 15.0
+    task_overhead_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.machines:
+            raise InvalidParameterError("a cluster needs at least one worker machine")
+        if not 0 < self.available_bandwidth_fraction <= 1:
+            raise InvalidParameterError(
+                "available_bandwidth_fraction must be in (0, 1], got "
+                f"{self.available_bandwidth_fraction}"
+            )
+        if self.split_size_bytes <= 0:
+            raise InvalidParameterError("split_size_bytes must be positive")
+        if self.network_mbps <= 0:
+            raise InvalidParameterError("network_mbps must be positive")
+
+    @property
+    def num_workers(self) -> int:
+        """Number of slave machines."""
+        return len(self.machines)
+
+    @property
+    def total_map_slots(self) -> int:
+        """Total number of map tasks the cluster can run in parallel."""
+        return sum(machine.map_slots for machine in self.machines)
+
+    @property
+    def effective_bandwidth_bytes_per_s(self) -> float:
+        """Usable network bandwidth in bytes/second for this job."""
+        bits_per_second = self.network_mbps * 1_000_000 * self.available_bandwidth_fraction
+        return bits_per_second / 8.0
+
+    @property
+    def average_disk_bytes_per_s(self) -> float:
+        """Average sequential disk scan rate across workers, in bytes/second."""
+        rates = [machine.disk_mb_per_s for machine in self.machines]
+        return (sum(rates) / len(rates)) * MEGABYTE
+
+    @property
+    def average_cpu_ghz(self) -> float:
+        """Average CPU clock across workers (scales per-operation costs)."""
+        clocks = [machine.cpu_ghz for machine in self.machines]
+        return sum(clocks) / len(clocks)
+
+    def with_bandwidth_fraction(self, fraction: float) -> "ClusterSpec":
+        """Return a copy of the spec with a different available-bandwidth fraction."""
+        return ClusterSpec(
+            machines=list(self.machines),
+            network_mbps=self.network_mbps,
+            available_bandwidth_fraction=fraction,
+            split_size_bytes=self.split_size_bytes,
+            job_overhead_s=self.job_overhead_s,
+            task_overhead_s=self.task_overhead_s,
+        )
+
+    def with_split_size(self, split_size_bytes: int) -> "ClusterSpec":
+        """Return a copy of the spec with a different HDFS split size."""
+        return ClusterSpec(
+            machines=list(self.machines),
+            network_mbps=self.network_mbps,
+            available_bandwidth_fraction=self.available_bandwidth_fraction,
+            split_size_bytes=split_size_bytes,
+            job_overhead_s=self.job_overhead_s,
+            task_overhead_s=self.task_overhead_s,
+        )
+
+
+def paper_cluster(
+    available_bandwidth_fraction: float = 0.5,
+    split_size_bytes: int = 256 * MEGABYTE,
+) -> ClusterSpec:
+    """Build the paper's 16-node heterogeneous cluster (Section 5, "Setup").
+
+    Nine machines with 2 GB RAM / 1.86 GHz, four with 4 GB / 2 GHz, two with
+    6 GB / 2.13 GHz and one with 2 GB / 1.86 GHz; 100 Mbps switch; one reducer
+    pinned on a configuration-(3) machine.
+    """
+    machines: List[MachineSpec] = []
+    machines.extend(
+        MachineSpec(name=f"slave-xeon5120-{i}", ram_gb=2.0, cpu_ghz=1.86) for i in range(9)
+    )
+    machines.extend(
+        MachineSpec(name=f"slave-e5405-{i}", ram_gb=4.0, cpu_ghz=2.0) for i in range(4)
+    )
+    machines.extend(
+        MachineSpec(name=f"slave-e5506-{i}", ram_gb=6.0, cpu_ghz=2.13) for i in range(2)
+    )
+    machines.append(MachineSpec(name="slave-core2-6300", ram_gb=2.0, cpu_ghz=1.86))
+    return ClusterSpec(
+        machines=machines,
+        network_mbps=100.0,
+        available_bandwidth_fraction=available_bandwidth_fraction,
+        split_size_bytes=split_size_bytes,
+    )

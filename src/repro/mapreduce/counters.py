@@ -1,0 +1,90 @@
+"""Counters: exact accounting of work done by a simulated MapReduce job.
+
+Hadoop exposes built-in counters (records and bytes per phase); the paper's
+communication metric is precisely the number of bytes emitted by mappers and
+shuffled to reducers.  The cost model additionally uses CPU-work counters that
+algorithms increment themselves (e.g. sketch updates, wavelet transform
+operations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Tuple
+
+__all__ = ["Counters", "CounterNames"]
+
+
+class CounterNames:
+    """Well-known counter names used by the runtime and the cost model."""
+
+    # Map phase.
+    MAP_INPUT_RECORDS = "map_input_records"
+    MAP_INPUT_BYTES = "map_input_bytes"
+    MAP_OUTPUT_RECORDS = "map_output_records"
+    MAP_OUTPUT_BYTES = "map_output_bytes"
+    COMBINE_INPUT_RECORDS = "combine_input_records"
+    COMBINE_OUTPUT_RECORDS = "combine_output_records"
+    SPILLED_RECORDS = "spilled_records"
+
+    # Shuffle phase (the paper's "communication" metric).
+    SHUFFLE_RECORDS = "shuffle_records"
+    SHUFFLE_BYTES = "shuffle_bytes"
+
+    # Reduce phase.
+    REDUCE_INPUT_GROUPS = "reduce_input_groups"
+    REDUCE_INPUT_RECORDS = "reduce_input_records"
+    REDUCE_OUTPUT_RECORDS = "reduce_output_records"
+
+    # HDFS / side channels.
+    HDFS_BYTES_READ = "hdfs_bytes_read"
+    HDFS_BYTES_WRITTEN = "hdfs_bytes_written"
+    DISTRIBUTED_CACHE_BYTES = "distributed_cache_bytes"
+    JOB_CONFIGURATION_BYTES = "job_configuration_bytes"
+    STATE_BYTES_WRITTEN = "state_bytes_written"
+    STATE_BYTES_READ = "state_bytes_read"
+
+    # CPU-work counters incremented by algorithm code.
+    WAVELET_TRANSFORM_OPS = "wavelet_transform_ops"
+    SKETCH_UPDATE_OPS = "sketch_update_ops"
+    SKETCH_QUERY_OPS = "sketch_query_ops"
+    SAMPLED_RECORDS = "sampled_records"
+    HASHMAP_UPDATES = "hashmap_updates"
+    REDUCE_CPU_OPS = "reduce_cpu_ops"
+
+
+@dataclass
+class Counters:
+    """A flat mapping of counter name to accumulated value.
+
+    Counter values are floats so byte counts derived from expectations (e.g.
+    fractional average record sizes) are representable, but they are almost
+    always integral.
+    """
+
+    values: Dict[str, float] = field(default_factory=dict)
+
+    def increment(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to counter ``name`` (creating it at zero if absent)."""
+        self.values[name] = self.values.get(name, 0.0) + amount
+
+    def get(self, name: str) -> float:
+        """Return the current value of ``name`` (0 if never incremented)."""
+        return self.values.get(name, 0.0)
+
+    def merge(self, other: "Counters") -> "Counters":
+        """Return a new :class:`Counters` holding the element-wise sum of both."""
+        merged = Counters(dict(self.values))
+        for name, value in other.values.items():
+            merged.increment(name, value)
+        return merged
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return a copy of the underlying mapping."""
+        return dict(self.values)
+
+    def __iter__(self) -> Iterator[Tuple[str, float]]:
+        return iter(self.values.items())
+
+    def __len__(self) -> int:
+        return len(self.values)

@@ -1,0 +1,189 @@
+"""A minimal in-memory model of HDFS: files, chunks, DataNode placement, splits.
+
+A file stores a flat sequence of integer record keys (the datasets in the
+paper are sequences of fixed-size records whose only interesting field is the
+4-byte key) plus a configurable per-record size in bytes, so a scaled-down
+dataset can still *report* the record sizes and file sizes the paper uses.
+
+The NameNode assigns chunks to DataNodes round-robin (replication factor 1,
+as in the paper) and the :class:`HDFS` facade produces :class:`InputSplit`
+objects whose boundaries follow the chunk/split size, mirroring how Hadoop
+derives one mapper per split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import (
+    FileAlreadyExistsError,
+    FileNotFoundInHdfsError,
+    InvalidParameterError,
+)
+
+__all__ = ["HdfsFile", "InputSplit", "HDFS"]
+
+
+@dataclass(frozen=True)
+class InputSplit:
+    """A logical portion of an HDFS file processed by one mapper.
+
+    Attributes:
+        split_id: 0-based index of the split within the file (the paper keys
+            per-split state by the split's offset; the index plays that role).
+        path: HDFS path of the backing file.
+        start: index of the first record in the split.
+        length: number of records in the split.
+        host: DataNode that stores the corresponding chunk (for data-locality
+            reporting only; the simulator always runs the mapper "there").
+        size_bytes: on-disk size of the split.
+    """
+
+    split_id: int
+    path: str
+    start: int
+    length: int
+    host: str
+    size_bytes: int
+
+    @property
+    def end(self) -> int:
+        """Index one past the last record of the split."""
+        return self.start + self.length
+
+
+@dataclass
+class HdfsFile:
+    """An HDFS file holding fixed-size records with integer keys.
+
+    Attributes:
+        path: absolute HDFS path.
+        keys: the record keys in file order.
+        record_size_bytes: nominal on-disk size of each record (key plus
+            payload); defaults to 4 bytes, i.e. key-only records, as in the
+            paper's default Zipfian datasets.
+    """
+
+    path: str
+    keys: np.ndarray
+    record_size_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.record_size_bytes < 4:
+            raise InvalidParameterError(
+                f"record size must be at least the 4-byte key, got {self.record_size_bytes}"
+            )
+        self.keys = np.asarray(self.keys, dtype=np.int64)
+
+    @property
+    def num_records(self) -> int:
+        """Number of records (``n_file``)."""
+        return int(self.keys.shape[0])
+
+    @property
+    def size_bytes(self) -> int:
+        """Total on-disk size of the file."""
+        return self.num_records * self.record_size_bytes
+
+    def read(self, start: int, length: int) -> np.ndarray:
+        """Return the keys of records ``start .. start + length - 1``."""
+        if start < 0 or start + length > self.num_records:
+            raise InvalidParameterError(
+                f"read range [{start}, {start + length}) outside file of {self.num_records} records"
+            )
+        return self.keys[start : start + length]
+
+
+class HDFS:
+    """The simulated distributed file system (NameNode + DataNodes).
+
+    Chunk placement is round-robin over the provided DataNode names, which is
+    enough to (a) give every split a host and (b) let the runtime report
+    data-local mapper percentages.
+    """
+
+    def __init__(self, datanodes: Optional[Sequence[str]] = None) -> None:
+        self._datanodes: List[str] = (
+            ["datanode-0"] if datanodes is None else list(datanodes)
+        )
+        if not self._datanodes:
+            raise InvalidParameterError("HDFS needs at least one DataNode")
+        self._files: Dict[str, HdfsFile] = {}
+
+    # ----------------------------------------------------------------- files
+    def create_file(
+        self, path: str, keys: Sequence[int] | np.ndarray, record_size_bytes: int = 4
+    ) -> HdfsFile:
+        """Create a new file; raises if the path already exists."""
+        if path in self._files:
+            raise FileAlreadyExistsError(f"HDFS path already exists: {path}")
+        hdfs_file = HdfsFile(path=path, keys=np.asarray(keys, dtype=np.int64),
+                             record_size_bytes=record_size_bytes)
+        self._files[path] = hdfs_file
+        return hdfs_file
+
+    def open(self, path: str) -> HdfsFile:
+        """Return the file at ``path``; raises if it does not exist."""
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFoundInHdfsError(f"no such HDFS path: {path}") from None
+
+    def exists(self, path: str) -> bool:
+        """Return whether ``path`` exists."""
+        return path in self._files
+
+    def delete(self, path: str) -> None:
+        """Remove ``path``; raises if it does not exist."""
+        if path not in self._files:
+            raise FileNotFoundInHdfsError(f"no such HDFS path: {path}")
+        del self._files[path]
+
+    def list_files(self) -> List[str]:
+        """Return all stored paths, sorted."""
+        return sorted(self._files)
+
+    @property
+    def datanodes(self) -> List[str]:
+        """Names of the DataNodes in the cluster."""
+        return list(self._datanodes)
+
+    # ---------------------------------------------------------------- splits
+    def splits(self, path: str, split_size_bytes: int) -> List[InputSplit]:
+        """Divide a file into splits of at most ``split_size_bytes`` bytes.
+
+        The last split may be smaller.  Each split is assigned to a DataNode
+        round-robin, mimicking chunk placement with replication factor 1.
+        """
+        if split_size_bytes <= 0:
+            raise InvalidParameterError("split size must be positive")
+        hdfs_file = self.open(path)
+        records_per_split = max(1, split_size_bytes // hdfs_file.record_size_bytes)
+        splits: List[InputSplit] = []
+        start = 0
+        split_id = 0
+        while start < hdfs_file.num_records:
+            length = min(records_per_split, hdfs_file.num_records - start)
+            host = self._datanodes[split_id % len(self._datanodes)]
+            splits.append(
+                InputSplit(
+                    split_id=split_id,
+                    path=path,
+                    start=start,
+                    length=length,
+                    host=host,
+                    size_bytes=length * hdfs_file.record_size_bytes,
+                )
+            )
+            start += length
+            split_id += 1
+        return splits
+
+    def __iter__(self) -> Iterator[HdfsFile]:
+        return iter(self._files.values())
+
+    def __len__(self) -> int:
+        return len(self._files)

@@ -1,0 +1,155 @@
+"""Job description, Job Configuration and Distributed Cache.
+
+The paper's H-WTopk algorithm needs coordinator → mapper communication between
+MapReduce rounds.  In Hadoop this is done through two side channels that the
+simulator reproduces (and charges for, since replicating the Distributed Cache
+to every slave is real network traffic):
+
+* the **Job Configuration** — a small key/value map shipped to every task at
+  initialisation (used for scalars like ``T1/m``, ``n`` and ``epsilon``);
+* the **Distributed Cache** — files replicated to all slaves at job start
+  (used for the candidate set ``R`` in Round 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Type
+
+from repro.errors import DistributedCacheError, JobConfigurationError
+from repro.mapreduce.serialization import DEFAULT_SERIALIZATION, SerializationModel
+
+__all__ = ["JobConfiguration", "DistributedCache", "MapReduceJob", "hash_partitioner"]
+
+
+class JobConfiguration:
+    """A small per-job key/value configuration shipped to every task."""
+
+    def __init__(self, values: Optional[Dict[str, Any]] = None) -> None:
+        self._values: Dict[str, Any] = dict(values or {})
+
+    def set(self, key: str, value: Any) -> None:
+        """Set a configuration variable."""
+        self._values[key] = value
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Read a configuration variable (``default`` if unset)."""
+        return self._values.get(key, default)
+
+    def require(self, key: str) -> Any:
+        """Read a configuration variable, raising if it is missing."""
+        if key not in self._values:
+            raise JobConfigurationError(f"missing required job configuration key: {key}")
+        return self._values[key]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Return a copy of all configuration values."""
+        return dict(self._values)
+
+    def serialized_size_bytes(self, model: SerializationModel = DEFAULT_SERIALIZATION) -> int:
+        """Approximate size of the configuration payload shipped to each task."""
+        total = 0
+        for key, value in self._values.items():
+            total += len(key.encode("utf-8"))
+            try:
+                total += model.value_size(value)
+            except TypeError:
+                total += len(repr(value).encode("utf-8"))
+        return total
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+class DistributedCache:
+    """Files replicated to every slave during job initialisation."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Any] = {}
+
+    def add(self, name: str, payload: Any, size_bytes: Optional[int] = None) -> None:
+        """Publish ``payload`` under ``name``.
+
+        Args:
+            name: logical file name.
+            payload: arbitrary Python object (the simulator does not serialise).
+            size_bytes: explicit size used for communication accounting; if
+                omitted the default serialization model is used.
+        """
+        if size_bytes is None:
+            size_bytes = DEFAULT_SERIALIZATION.value_size(payload)
+        self._entries[name] = (payload, int(size_bytes))
+
+    def get(self, name: str) -> Any:
+        """Read a cache entry; raises :class:`DistributedCacheError` if missing."""
+        if name not in self._entries:
+            raise DistributedCacheError(f"no such distributed cache entry: {name}")
+        return self._entries[name][0]
+
+    def size_bytes(self, name: str) -> int:
+        """Size of one entry, in bytes."""
+        if name not in self._entries:
+            raise DistributedCacheError(f"no such distributed cache entry: {name}")
+        return self._entries[name][1]
+
+    def total_size_bytes(self) -> int:
+        """Total size of all entries (what gets replicated to each slave)."""
+        return sum(size for _, size in self._entries.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def hash_partitioner(key: Any, num_reducers: int) -> int:
+    """Hadoop's default partitioner: ``hash(key) mod r``."""
+    return hash(key) % num_reducers
+
+
+@dataclass
+class MapReduceJob:
+    """Everything the runtime needs to execute one MapReduce round.
+
+    Attributes:
+        name: job name used in results and logs.
+        input_path: HDFS path of the input file.
+        mapper_class: subclass of :class:`repro.mapreduce.api.Mapper`.
+        reducer_class: subclass of :class:`repro.mapreduce.api.Reducer`.
+        combiner: optional function ``(key, values) -> value`` applied to
+            mapper-local groups before the shuffle (Hadoop's Combine).
+        partitioner: function ``(key, num_reducers) -> reducer index``.
+        num_reducers: number of reduce tasks (the paper always uses one).
+        configuration: the Job Configuration shipped to every task.
+        distributed_cache: the Distributed Cache replicated to every slave.
+        input_format_class: subclass of
+            :class:`repro.mapreduce.inputformat.InputFormat`; ``None`` selects
+            the sequential reader.
+        read_input: when ``False`` the mappers are scheduled one per split but
+            never read the split's records (H-WTopk rounds 2 and 3 use this —
+            mappers only read their persisted state).
+        serialization: byte-size model for emitted pairs.
+    """
+
+    name: str
+    input_path: str
+    mapper_class: Type
+    reducer_class: Type
+    combiner: Optional[Callable[[Any, list], Any]] = None
+    partitioner: Callable[[Any, int], int] = hash_partitioner
+    num_reducers: int = 1
+    configuration: JobConfiguration = field(default_factory=JobConfiguration)
+    distributed_cache: DistributedCache = field(default_factory=DistributedCache)
+    input_format_class: Optional[Type] = None
+    read_input: bool = True
+    serialization: SerializationModel = DEFAULT_SERIALIZATION
+
+    def __post_init__(self) -> None:
+        if self.num_reducers < 1:
+            raise JobConfigurationError("a job needs at least one reducer")
+        if self.mapper_class is None or self.reducer_class is None:
+            raise JobConfigurationError("a job needs both a mapper and a reducer class")

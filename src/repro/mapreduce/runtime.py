@@ -1,0 +1,278 @@
+"""The simulated MapReduce execution engine.
+
+:class:`JobRunner` executes a :class:`~repro.mapreduce.job.MapReduceJob` in a
+single process while accounting for every record and byte that would have
+crossed a phase boundary on a real cluster:
+
+1. **Map** — one mapper per input split.  The record reader charges HDFS bytes
+   read; every ``emit`` charges map-output records/bytes.
+2. **Combine & spill** — if the job has a combiner it is applied to each
+   mapper's output grouped by key (Hadoop applies it per spill; with the
+   simulator's single in-memory buffer this is equivalent for the paper's
+   associative combiners).  Spilled records are what actually leaves the
+   machine.
+3. **Shuffle-and-Sort** — spilled pairs are routed to reducers by the
+   partitioner and their bytes are charged as the paper's *communication*
+   metric, then sorted and grouped by key.
+4. **Reduce** — one reducer task per partition.
+
+Side-channel costs (Job Configuration broadcast, Distributed Cache
+replication) are also charged, because the paper's H-WTopk uses them for
+coordinator-to-mapper communication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import JobConfigurationError
+from repro.mapreduce.api import EmittedPair, MapperContext, ReducerContext
+from repro.mapreduce.cluster import ClusterSpec, paper_cluster
+from repro.mapreduce.counters import CounterNames, Counters
+from repro.mapreduce.hdfs import HDFS, InputSplit
+from repro.mapreduce.inputformat import SequentialInputFormat
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.state import StateStore
+
+__all__ = ["JobResult", "JobRunner"]
+
+NUM_SPLITS_KEY = "mapred.map.tasks"
+
+
+@dataclass
+class JobResult:
+    """Outcome of one simulated MapReduce round.
+
+    Attributes:
+        job_name: name of the executed job.
+        output: final ``(key, value)`` pairs emitted by all reducers, in
+            reducer order then emission order.
+        counters: all counters accumulated during the round.
+        splits: the input splits the job ran over.
+        num_mappers: number of map tasks (== number of splits).
+        num_reducers: number of reduce tasks.
+        shuffle_bytes: convenience accessor for the paper's communication metric.
+    """
+
+    job_name: str
+    output: List[Tuple[Any, Any]]
+    counters: Counters
+    splits: List[InputSplit] = field(default_factory=list)
+    num_mappers: int = 0
+    num_reducers: int = 1
+
+    @property
+    def shuffle_bytes(self) -> float:
+        """Bytes shuffled from mappers to reducers during this round."""
+        return self.counters.get(CounterNames.SHUFFLE_BYTES)
+
+    @property
+    def communication_bytes(self) -> float:
+        """Total network traffic of the round: shuffle plus side channels."""
+        return (
+            self.counters.get(CounterNames.SHUFFLE_BYTES)
+            + self.counters.get(CounterNames.DISTRIBUTED_CACHE_BYTES)
+            + self.counters.get(CounterNames.JOB_CONFIGURATION_BYTES)
+        )
+
+    def output_dict(self) -> Dict[Any, Any]:
+        """Return the reducer output as a mapping (last write wins on duplicate keys)."""
+        return {key: value for key, value in self.output}
+
+
+class JobRunner:
+    """Executes MapReduce jobs against a simulated HDFS and cluster."""
+
+    def __init__(
+        self,
+        hdfs: HDFS,
+        cluster: Optional[ClusterSpec] = None,
+        state_store: Optional[StateStore] = None,
+        seed: int = 7,
+    ) -> None:
+        self._hdfs = hdfs
+        self._cluster = cluster if cluster is not None else paper_cluster()
+        self._state_store = state_store if state_store is not None else StateStore()
+        self._seed = seed
+        self._round_counter = 0
+
+    @property
+    def hdfs(self) -> HDFS:
+        """The simulated file system the runner executes against."""
+        return self._hdfs
+
+    @property
+    def cluster(self) -> ClusterSpec:
+        """The cluster specification used for split sizing and cost modelling."""
+        return self._cluster
+
+    @property
+    def state_store(self) -> StateStore:
+        """The cross-round state store shared by all jobs run by this runner."""
+        return self._state_store
+
+    # ------------------------------------------------------------------ run
+    def run(self, job: MapReduceJob, splits: Optional[List[InputSplit]] = None) -> JobResult:
+        """Execute one MapReduce round and return its result.
+
+        Args:
+            job: the job description.
+            splits: optional explicit split list; when omitted the splits are
+                derived from the input file and the cluster's split size.
+                Passing the same list across rounds keeps split ids stable,
+                which multi-round algorithms rely on.
+        """
+        if splits is None:
+            splits = self._hdfs.splits(job.input_path, self._cluster.split_size_bytes)
+        if not splits:
+            raise JobConfigurationError(f"input {job.input_path!r} produced no splits")
+        self._round_counter += 1
+        counters = Counters()
+        job.configuration.set(NUM_SPLITS_KEY, len(splits))
+
+        self._charge_side_channels(job, counters, num_mappers=len(splits))
+
+        mapper_outputs = [
+            self._run_mapper(job, split, counters, num_splits=len(splits))
+            for split in splits
+        ]
+        partitions = self._combine_and_shuffle(job, mapper_outputs, counters)
+        output = self._run_reducers(job, partitions, counters, num_splits=len(splits))
+
+        return JobResult(
+            job_name=job.name,
+            output=output,
+            counters=counters,
+            splits=list(splits),
+            num_mappers=len(splits),
+            num_reducers=job.num_reducers,
+        )
+
+    # ----------------------------------------------------------- side channels
+    def _charge_side_channels(self, job: MapReduceJob, counters: Counters,
+                              num_mappers: int) -> None:
+        """Charge Job Configuration broadcast and Distributed Cache replication."""
+        conf_bytes = job.configuration.serialized_size_bytes(job.serialization)
+        # The configuration is shipped to every task (mappers + reducers).
+        counters.increment(
+            CounterNames.JOB_CONFIGURATION_BYTES,
+            conf_bytes * (num_mappers + job.num_reducers),
+        )
+        cache_bytes = job.distributed_cache.total_size_bytes()
+        if cache_bytes:
+            # The cache is replicated to every slave during job initialisation.
+            counters.increment(
+                CounterNames.DISTRIBUTED_CACHE_BYTES,
+                cache_bytes * self._cluster.num_workers,
+            )
+
+    # ------------------------------------------------------------------- map
+    def _run_mapper(self, job: MapReduceJob, split: InputSplit, counters: Counters,
+                    num_splits: int) -> List[EmittedPair]:
+        hdfs_file = self._hdfs.open(job.input_path)
+        rng = np.random.default_rng(
+            (self._seed, self._round_counter, split.split_id)
+        )
+        context = MapperContext(
+            split=split,
+            configuration=job.configuration,
+            distributed_cache=job.distributed_cache,
+            counters=counters,
+            state_store=self._state_store,
+            serialization=job.serialization,
+            rng=rng,
+            num_splits=num_splits,
+        )
+        mapper = job.mapper_class()
+        mapper.setup(context)
+        if job.read_input:
+            input_format = (
+                job.input_format_class if job.input_format_class is not None
+                else SequentialInputFormat()
+            )
+            reader = input_format.create_reader(hdfs_file, split, rng=rng)
+            for record in reader:
+                mapper.map(record, context)
+                counters.increment(CounterNames.MAP_INPUT_RECORDS)
+            counters.increment(CounterNames.MAP_INPUT_BYTES, reader.bytes_read)
+            counters.increment(CounterNames.HDFS_BYTES_READ, reader.bytes_read)
+        mapper.close(context)
+        return context.emitted_pairs
+
+    # -------------------------------------------------------- combine + shuffle
+    def _combine_and_shuffle(
+        self,
+        job: MapReduceJob,
+        mapper_outputs: List[List[EmittedPair]],
+        counters: Counters,
+    ) -> List[List[EmittedPair]]:
+        """Apply the combiner per mapper, then partition pairs across reducers."""
+        partitions: List[List[EmittedPair]] = [[] for _ in range(job.num_reducers)]
+        for pairs in mapper_outputs:
+            spilled = self._apply_combiner(job, pairs, counters)
+            counters.increment(CounterNames.SPILLED_RECORDS, len(spilled))
+            for key, value, size in spilled:
+                reducer_index = job.partitioner(key, job.num_reducers)
+                partitions[reducer_index].append((key, value, size))
+                counters.increment(CounterNames.SHUFFLE_RECORDS)
+                counters.increment(CounterNames.SHUFFLE_BYTES, size)
+        return partitions
+
+    def _apply_combiner(self, job: MapReduceJob, pairs: List[EmittedPair],
+                        counters: Counters) -> List[EmittedPair]:
+        if job.combiner is None or not pairs:
+            return pairs
+        grouped: Dict[Any, List[Any]] = {}
+        order: List[Any] = []
+        for key, value, _ in pairs:
+            if key not in grouped:
+                grouped[key] = []
+                order.append(key)
+            grouped[key].append(value)
+            counters.increment(CounterNames.COMBINE_INPUT_RECORDS)
+        combined: List[EmittedPair] = []
+        for key in order:
+            value = job.combiner(key, grouped[key])
+            size = job.serialization.pair_size(key, value)
+            combined.append((key, value, size))
+            counters.increment(CounterNames.COMBINE_OUTPUT_RECORDS)
+        return combined
+
+    # ---------------------------------------------------------------- reduce
+    def _run_reducers(
+        self,
+        job: MapReduceJob,
+        partitions: List[List[EmittedPair]],
+        counters: Counters,
+        num_splits: int,
+    ) -> List[Tuple[Any, Any]]:
+        output: List[Tuple[Any, Any]] = []
+        for reducer_id, pairs in enumerate(partitions):
+            rng = np.random.default_rng(
+                (self._seed, self._round_counter, 10_000 + reducer_id)
+            )
+            context = ReducerContext(
+                reducer_id=reducer_id,
+                configuration=job.configuration,
+                distributed_cache=job.distributed_cache,
+                counters=counters,
+                state_store=self._state_store,
+                serialization=job.serialization,
+                rng=rng,
+                num_splits=num_splits,
+            )
+            reducer = job.reducer_class()
+            reducer.setup(context)
+            grouped: Dict[Any, List[Any]] = {}
+            for key, value, _ in pairs:
+                grouped.setdefault(key, []).append(value)
+                counters.increment(CounterNames.REDUCE_INPUT_RECORDS)
+            for key in sorted(grouped):
+                counters.increment(CounterNames.REDUCE_INPUT_GROUPS)
+                reducer.reduce(key, grouped[key], context)
+            reducer.close(context)
+            output.extend((key, value) for key, value, _ in context.emitted_pairs)
+        return output

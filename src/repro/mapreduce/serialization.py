@@ -1,0 +1,98 @@
+"""Serialized-size model for intermediate key-value pairs.
+
+The paper measures communication in bytes: keys are 4-byte integers, frequency
+counts are 4-byte integers at mappers (8-byte at reducers), wavelet
+coefficients and sketch entries are 8-byte doubles, and the two-level sampling
+algorithm emits ``(key, NULL)`` pairs that carry only the key.  This module
+centralises those conventions so every algorithm and the runtime agree on the
+size of an emitted pair.
+
+Sizes are *logical payload* sizes; per-record framing overhead is configurable
+on :class:`SerializationModel` and defaults to zero so analytic bounds from the
+paper (e.g. ``sqrt(m)/eps`` keys ≈ bytes x key size) can be checked exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+__all__ = ["SerializationModel", "DEFAULT_SERIALIZATION"]
+
+INT32_BYTES = 4
+INT64_BYTES = 8
+FLOAT64_BYTES = 8
+
+
+@dataclass(frozen=True)
+class SerializationModel:
+    """Computes the serialized size in bytes of keys, values and pairs.
+
+    Attributes:
+        int_bytes: size of an integer key or count (Hadoop IntWritable).
+        long_bytes: size of a long integer (Hadoop LongWritable).
+        double_bytes: size of a floating point value (Hadoop DoubleWritable).
+        pair_overhead_bytes: fixed per-pair framing overhead added on top of
+            the key and value payloads.
+    """
+
+    int_bytes: int = INT32_BYTES
+    long_bytes: int = INT64_BYTES
+    double_bytes: int = FLOAT64_BYTES
+    pair_overhead_bytes: int = 0
+
+    def value_size(self, value: Any) -> int:
+        """Serialized size of a single value.
+
+        ``None`` is a zero-byte payload (the two-level sampler's NULL marker);
+        booleans and integers use ``int_bytes``; floats use ``double_bytes``;
+        tuples and lists are the sum of their elements; objects exposing a
+        ``serialized_size_bytes`` attribute (sketches, state blobs) report it
+        directly.
+        """
+        if value is None:
+            return 0
+        size_attr = getattr(value, "serialized_size_bytes", None)
+        if size_attr is not None:
+            return int(size_attr() if callable(size_attr) else size_attr)
+        if isinstance(value, bool):
+            return self.int_bytes
+        if isinstance(value, int):
+            return self.int_bytes
+        if isinstance(value, float):
+            return self.double_bytes
+        if isinstance(value, (tuple, list)):
+            return sum(self.value_size(item) for item in value)
+        if isinstance(value, (bytes, bytearray)):
+            return len(value)
+        if isinstance(value, str):
+            return len(value.encode("utf-8"))
+        if isinstance(value, dict):
+            return sum(
+                self.value_size(k) + self.value_size(v) for k, v in value.items()
+            )
+        raise TypeError(f"cannot compute serialized size of {type(value).__name__}")
+
+    def key_size(self, key: Any) -> int:
+        """Serialized size of an intermediate key (defaults to the value rules)."""
+        return self.value_size(key)
+
+    def pair_size(self, key: Any, value: Any, explicit: Optional[int] = None) -> int:
+        """Serialized size of a ``(key, value)`` pair.
+
+        Args:
+            key: the intermediate key.
+            value: the intermediate value.
+            explicit: if given, overrides the computed payload size (the pair
+                overhead is still added).  Algorithms use this when they want
+                to model a custom encoding (e.g. 4-byte counts at mappers).
+        """
+        payload = explicit if explicit is not None else self.key_size(key) + self.value_size(value)
+        return payload + self.pair_overhead_bytes
+
+    def record_pair(self, key: Any, value: Any) -> Tuple[int, int]:
+        """Return ``(key_bytes, value_bytes)`` for the pair, without overhead."""
+        return self.key_size(key), self.value_size(value)
+
+
+DEFAULT_SERIALIZATION = SerializationModel()

@@ -1,0 +1,71 @@
+"""Per-task persistent state across MapReduce rounds.
+
+H-WTopk is a three-round algorithm: a mapper handling split ``j`` in round 2
+must see the wavelet coefficients it computed (but did not emit) in round 1,
+and the single reducer must remember its partial sums and thresholds.  The
+paper implements this with HDFS files named after the split id (written from
+the mapper's Close method) and a local file on the designated reducer machine
+(Appendix A).  Because the state file is written on the machine that stores
+the split, the paper treats this traffic as free; the store still *counts* the
+bytes so the assumption can be checked.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.mapreduce.serialization import DEFAULT_SERIALIZATION, SerializationModel
+
+__all__ = ["StateStore"]
+
+
+class StateStore:
+    """Keyed blob store standing in for per-split HDFS state files.
+
+    Keys are ``(task kind, identifier)`` pairs, e.g. ``("split", 12)`` for the
+    mapper handling split 12 or ``("reducer", 0)`` for the coordinator.
+    """
+
+    def __init__(self, serialization: SerializationModel = DEFAULT_SERIALIZATION) -> None:
+        self._blobs: Dict[Tuple[str, int], Any] = {}
+        self._serialization = serialization
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    def save(self, kind: str, identifier: int, payload: Any,
+             size_bytes: Optional[int] = None) -> None:
+        """Persist ``payload`` for task ``(kind, identifier)``, replacing any previous blob."""
+        if size_bytes is None:
+            try:
+                size_bytes = self._serialization.value_size(payload)
+            except TypeError:
+                size_bytes = 0
+        self._blobs[(kind, identifier)] = payload
+        self.bytes_written += int(size_bytes)
+
+    def load(self, kind: str, identifier: int, default: Any = None) -> Any:
+        """Read the blob for ``(kind, identifier)`` (``default`` when absent)."""
+        payload = self._blobs.get((kind, identifier), default)
+        if (kind, identifier) in self._blobs:
+            try:
+                self.bytes_read += self._serialization.value_size(payload)
+            except TypeError:
+                pass
+        return payload
+
+    def exists(self, kind: str, identifier: int) -> bool:
+        """Return whether state exists for the task."""
+        return (kind, identifier) in self._blobs
+
+    def clear(self) -> None:
+        """Drop all state (used between independent algorithm runs)."""
+        self._blobs.clear()
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    def keys(self) -> List[Tuple[str, int]]:
+        """Return all ``(kind, identifier)`` pairs with stored state."""
+        return sorted(self._blobs)
+
+    def __len__(self) -> int:
+        return len(self._blobs)

@@ -1,0 +1,32 @@
+"""Random-sampling substrate used by the approximate algorithms (paper Section 4).
+
+* :mod:`repro.sampling.samplers` — Bernoulli (coin-flip) and fixed-size
+  without-replacement record samplers;
+* :mod:`repro.sampling.two_level` — the paper's second-level sampling of a
+  split's local sample counts, and the reducer-side unbiased estimator
+  ``s_hat(x) = rho(x) + M / (eps * sqrt(m))`` of Theorem 1;
+* :mod:`repro.sampling.estimators` — frequency estimation from samples
+  (``v_hat(x) = s_hat(x) / p``) and the analytic communication bounds of the
+  three sampling schemes (used by the analysis bench).
+"""
+
+from repro.sampling.estimators import (
+    basic_sampling_communication_bound,
+    first_level_probability,
+    improved_sampling_communication_bound,
+    two_level_communication_bound,
+)
+from repro.sampling.samplers import BernoulliSampler, WithoutReplacementSampler
+from repro.sampling.two_level import SecondLevelEmission, TwoLevelEstimator, second_level_emit
+
+__all__ = [
+    "BernoulliSampler",
+    "WithoutReplacementSampler",
+    "SecondLevelEmission",
+    "TwoLevelEstimator",
+    "second_level_emit",
+    "first_level_probability",
+    "basic_sampling_communication_bound",
+    "improved_sampling_communication_bound",
+    "two_level_communication_bound",
+]

@@ -1,0 +1,81 @@
+"""Record samplers.
+
+The analysis in the paper assumes coin-flip (Bernoulli) sampling with
+probability ``p = 1/(eps^2 n)``; the implementation samples *without
+replacement* via random offsets (Appendix B) and notes both behave the same
+for the estimators.  Both samplers are provided so the equivalence can be
+tested empirically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SamplingError
+
+__all__ = ["BernoulliSampler", "WithoutReplacementSampler"]
+
+
+class BernoulliSampler:
+    """Keeps each record independently with probability ``p`` (coin-flip sampling)."""
+
+    def __init__(self, probability: float, rng: Optional[np.random.Generator] = None) -> None:
+        if not 0 <= probability <= 1:
+            raise SamplingError(f"probability must be in [0, 1], got {probability}")
+        self.probability = probability
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def sample(self, records: Iterable[int]) -> Iterator[int]:
+        """Yield the sampled subset of ``records`` (lazy)."""
+        if self.probability == 0:
+            return
+        for record in records:
+            if self._rng.random() < self.probability:
+                yield record
+
+    def sample_array(self, records: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorised sampling of an array of records."""
+        array = np.asarray(records)
+        if self.probability == 0:
+            return array[:0]
+        mask = self._rng.random(array.shape[0]) < self.probability
+        return array[mask]
+
+
+class WithoutReplacementSampler:
+    """Samples exactly ``round(p * n)`` distinct records, visiting them in offset order.
+
+    This is the access pattern of the paper's ``RandomRecordReader``: the
+    sampled offsets are sorted so the reader only seeks forward.
+    """
+
+    def __init__(self, probability: float, rng: Optional[np.random.Generator] = None) -> None:
+        if not 0 <= probability <= 1:
+            raise SamplingError(f"probability must be in [0, 1], got {probability}")
+        self.probability = probability
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def sample_size(self, num_records: int) -> int:
+        """Number of records that will be sampled from a population of ``num_records``."""
+        return min(num_records, int(round(self.probability * num_records)))
+
+    def sample_offsets(self, num_records: int) -> np.ndarray:
+        """Sorted distinct offsets of the sampled records."""
+        size = self.sample_size(num_records)
+        if size == 0:
+            return np.empty(0, dtype=np.int64)
+        offsets = self._rng.choice(num_records, size=size, replace=False)
+        offsets.sort()
+        return offsets.astype(np.int64)
+
+    def sample_array(self, records: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Return the sampled records, in file order."""
+        array = np.asarray(records)
+        offsets = self.sample_offsets(array.shape[0])
+        return array[offsets]
+
+    def sample(self, records: Sequence[int]) -> List[int]:
+        """List version of :meth:`sample_array` for plain Python sequences."""
+        return [int(record) for record in self.sample_array(records)]

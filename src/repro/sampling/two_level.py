@@ -1,0 +1,166 @@
+"""Two-level sampling (the paper's Section 4 contribution).
+
+Level 1: every split samples its records with probability ``p = 1/(eps^2 n)``,
+yielding local sample counts ``s_j(x)``.
+
+Level 2 (:func:`second_level_emit`): a split emits
+
+* ``(x, s_j(x))`` exactly, when ``s_j(x) >= 1/(eps * sqrt(m))``;
+* ``(x, NULL)`` with probability ``eps * sqrt(m) * s_j(x)`` otherwise.
+
+Reducer (:class:`TwoLevelEstimator`): for each key, sum the exact counts into
+``rho(x)`` and count the NULL markers into ``M``; then
+
+* ``s_hat(x) = rho(x) + M / (eps * sqrt(m))`` is an unbiased estimator of the
+  global sample count ``s(x)`` with standard deviation at most ``1/eps``
+  (Theorem 1);
+* ``v_hat(x) = s_hat(x) / p`` is an unbiased estimator of the global frequency
+  ``v(x)`` with standard deviation at most ``eps * n`` (Corollary 1).
+
+Both the emitter and the estimator accept a ``threshold_scale`` factor that
+moves the exact/NULL cut-off away from the paper's ``1/(eps*sqrt(m))``; the
+estimator stays unbiased for any positive threshold (the NULL probability and
+the reconstruction weight change together), which is what the threshold
+ablation benchmark exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SamplingError
+
+__all__ = [
+    "SecondLevelEmission",
+    "second_level_threshold",
+    "second_level_emit",
+    "TwoLevelEstimator",
+]
+
+
+@dataclass(frozen=True)
+class SecondLevelEmission:
+    """One pair emitted by a split's second-level sampler.
+
+    Attributes:
+        key: the sampled key ``x``.
+        count: the exact local sample count ``s_j(x)``, or ``None`` for the
+            probabilistic NULL marker.
+    """
+
+    key: int
+    count: Optional[float]
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether this emission carries the exact local count."""
+        return self.count is not None
+
+
+def second_level_threshold(epsilon: float, num_splits: int,
+                           threshold_scale: float = 1.0) -> float:
+    """The count threshold separating exact from probabilistic emissions.
+
+    The paper's threshold is ``1 / (eps * sqrt(m))``; ``threshold_scale``
+    multiplies it for ablation studies.
+    """
+    if epsilon <= 0:
+        raise SamplingError(f"epsilon must be positive, got {epsilon}")
+    if num_splits < 1:
+        raise SamplingError(f"num_splits must be positive, got {num_splits}")
+    if threshold_scale <= 0:
+        raise SamplingError(f"threshold_scale must be positive, got {threshold_scale}")
+    return threshold_scale / (epsilon * np.sqrt(num_splits))
+
+
+def second_level_emit(
+    local_sample_counts: Mapping[int, float],
+    epsilon: float,
+    num_splits: int,
+    rng: np.random.Generator,
+    threshold_scale: float = 1.0,
+) -> Iterator[SecondLevelEmission]:
+    """Apply second-level sampling to one split's local sample counts.
+
+    Args:
+        local_sample_counts: ``s_j`` — key to local sample count.
+        epsilon: the approximation parameter.
+        num_splits: ``m``, the number of splits of the dataset.
+        rng: random generator for the probabilistic emissions.
+        threshold_scale: multiplier on the paper's ``1/(eps*sqrt(m))`` threshold.
+
+    Yields:
+        :class:`SecondLevelEmission` objects, one per emitted pair.
+    """
+    threshold = second_level_threshold(epsilon, num_splits, threshold_scale)
+    for key, count in local_sample_counts.items():
+        if count <= 0:
+            continue
+        if count >= threshold:
+            yield SecondLevelEmission(key=key, count=float(count))
+        else:
+            # Emission probability s_j(x) / threshold (== eps*sqrt(m)*s_j(x)
+            # for the paper's threshold); strictly below 1 here because
+            # count < threshold.
+            if rng.random() < count / threshold:
+                yield SecondLevelEmission(key=key, count=None)
+
+
+class TwoLevelEstimator:
+    """Reducer-side estimator assembling ``s_hat`` and ``v_hat`` from emissions."""
+
+    def __init__(
+        self,
+        epsilon: float,
+        num_splits: int,
+        first_level_probability: float,
+        threshold_scale: float = 1.0,
+    ) -> None:
+        if epsilon <= 0:
+            raise SamplingError(f"epsilon must be positive, got {epsilon}")
+        if num_splits < 1:
+            raise SamplingError(f"num_splits must be positive, got {num_splits}")
+        if not 0 < first_level_probability <= 1:
+            raise SamplingError(
+                f"first-level probability must be in (0, 1], got {first_level_probability}"
+            )
+        self.epsilon = epsilon
+        self.num_splits = num_splits
+        self.first_level_probability = first_level_probability
+        self.threshold = second_level_threshold(epsilon, num_splits, threshold_scale)
+        self._exact_sums: Dict[int, float] = {}
+        self._null_counts: Dict[int, int] = {}
+
+    # ----------------------------------------------------------------- ingest
+    def observe(self, key: int, count: Optional[float]) -> None:
+        """Ingest one emitted pair for ``key`` (exact count or NULL marker)."""
+        if count is None:
+            self._null_counts[key] = self._null_counts.get(key, 0) + 1
+        else:
+            self._exact_sums[key] = self._exact_sums.get(key, 0.0) + float(count)
+
+    def observe_emission(self, emission: SecondLevelEmission) -> None:
+        """Ingest a :class:`SecondLevelEmission`."""
+        self.observe(emission.key, emission.count)
+
+    # -------------------------------------------------------------- estimates
+    def estimate_sample_count(self, key: int) -> float:
+        """``s_hat(x) = rho(x) + M * threshold`` (Theorem 1 with the paper's threshold)."""
+        rho = self._exact_sums.get(key, 0.0)
+        nulls = self._null_counts.get(key, 0)
+        return rho + nulls * self.threshold
+
+    def estimate_frequency(self, key: int) -> float:
+        """``v_hat(x) = s_hat(x) / p`` (Corollary 1)."""
+        return self.estimate_sample_count(key) / self.first_level_probability
+
+    def observed_keys(self) -> Tuple[int, ...]:
+        """All keys for which at least one pair was received."""
+        return tuple(sorted(set(self._exact_sums) | set(self._null_counts)))
+
+    def estimated_frequency_vector(self) -> Dict[int, float]:
+        """``v_hat`` for every observed key (unobserved keys estimate to zero)."""
+        return {key: self.estimate_frequency(key) for key in self.observed_keys()}

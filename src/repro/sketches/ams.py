@@ -1,0 +1,96 @@
+"""The AMS / tug-of-war sketch (Count-Sketch variant) for signed vectors.
+
+Gilbert et al. [20] maintain wavelet coefficients over a stream by sketching
+the signal with an AMS sketch; each coefficient is then estimated as a dot
+product with the sketch.  The bucketed variant implemented here (equivalent to
+Count-Sketch) supports:
+
+* ``update(item, delta)`` — add ``delta`` to the item's coordinate;
+* ``estimate(item)`` — median-of-rows unbiased estimate of the coordinate;
+* ``second_moment()`` — estimate of the energy of the sketched vector;
+* ``merge`` — entry-wise addition of sketches built with the same seed
+  (linearity, the property the Send-Sketch reducer relies on).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import SketchError
+from repro.sketches.hashing import FourWiseHash, PairwiseHash
+
+__all__ = ["AmsSketch"]
+
+
+class AmsSketch:
+    """Bucketed AMS sketch with ``depth`` independent rows of ``width`` counters."""
+
+    def __init__(self, depth: int = 5, width: int = 256, seed: int = 17) -> None:
+        if depth < 1 or width < 1:
+            raise SketchError(f"depth and width must be positive, got {depth}x{width}")
+        self.depth = depth
+        self.width = width
+        self.seed = seed
+        self._table = np.zeros((depth, width), dtype=float)
+        rng = np.random.default_rng(seed)
+        self._bucket_hashes: List[PairwiseHash] = [PairwiseHash(rng=rng) for _ in range(depth)]
+        self._sign_hashes: List[FourWiseHash] = [FourWiseHash(rng=rng) for _ in range(depth)]
+        self.update_count = 0
+
+    # ----------------------------------------------------------------- update
+    def update(self, item: int, delta: float = 1.0) -> None:
+        """Add ``delta`` to the coordinate of ``item``."""
+        for row in range(self.depth):
+            bucket = self._bucket_hashes[row].bucket(item, self.width)
+            sign = self._sign_hashes[row].sign(item)
+            self._table[row, bucket] += sign * delta
+        self.update_count += 1
+
+    # --------------------------------------------------------------- queries
+    def estimate(self, item: int) -> float:
+        """Median-of-rows estimate of the item's coordinate."""
+        estimates = np.empty(self.depth, dtype=float)
+        for row in range(self.depth):
+            bucket = self._bucket_hashes[row].bucket(item, self.width)
+            sign = self._sign_hashes[row].sign(item)
+            estimates[row] = sign * self._table[row, bucket]
+        return float(np.median(estimates))
+
+    def second_moment(self) -> float:
+        """Estimate of the squared L2 norm of the sketched vector."""
+        row_energies = np.sum(self._table ** 2, axis=1)
+        return float(np.median(row_energies))
+
+    # ------------------------------------------------------------------ merge
+    def is_compatible(self, other: "AmsSketch") -> bool:
+        """Two sketches merge correctly iff they share dimensions and seed."""
+        return (
+            self.depth == other.depth
+            and self.width == other.width
+            and self.seed == other.seed
+        )
+
+    def merge(self, other: "AmsSketch") -> "AmsSketch":
+        """Return a new sketch of the summed vectors (linearity)."""
+        if not self.is_compatible(other):
+            raise SketchError("cannot merge AMS sketches with different dimensions or seeds")
+        merged = AmsSketch(self.depth, self.width, self.seed)
+        merged._table = self._table + other._table
+        merged.update_count = self.update_count + other.update_count
+        return merged
+
+    # ------------------------------------------------------------------ sizes
+    def nonzero_entries(self) -> int:
+        """Number of non-zero counters (the Send-Sketch mappers only emit these)."""
+        return int(np.count_nonzero(self._table))
+
+    def serialized_size_bytes(self) -> int:
+        """Bytes needed to ship the non-zero counters (index + 8-byte double each)."""
+        return self.nonzero_entries() * 12
+
+    @property
+    def total_cells(self) -> int:
+        """Total number of counters in the sketch."""
+        return self.depth * self.width

@@ -1,0 +1,104 @@
+"""k-wise independent hash families over the Mersenne prime field 2^31 - 1.
+
+Sketch guarantees (AMS, Count-Sketch, GCS) require limited-independence hash
+functions: 2-wise independence for bucket hashing and 4-wise independence for
+the ±1 sign hashes used in second-moment estimation.  Both are implemented as
+random polynomials of the appropriate degree evaluated over GF(p) with
+``p = 2^31 - 1`` — the classic construction, chosen over the 61-bit prime so
+that polynomial evaluation vectorises exactly in 64-bit integer arithmetic
+(products of two residues stay below 2^62).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SketchError
+
+__all__ = ["MERSENNE_PRIME", "PolynomialHash", "PairwiseHash", "FourWiseHash"]
+
+MERSENNE_PRIME = (1 << 31) - 1
+
+
+class PolynomialHash:
+    """A random degree-(k-1) polynomial over GF(2^31 - 1), giving k-wise independence."""
+
+    def __init__(self, degree: int, rng: Optional[np.random.Generator] = None,
+                 coefficients: Optional[Sequence[int]] = None) -> None:
+        if degree < 1:
+            raise SketchError(f"polynomial hash needs degree >= 1, got {degree}")
+        if coefficients is not None:
+            if len(coefficients) != degree + 1:
+                raise SketchError(
+                    f"expected {degree + 1} coefficients for degree {degree}, got {len(coefficients)}"
+                )
+            self._coefficients = [int(c) % MERSENNE_PRIME for c in coefficients]
+            if self._coefficients[0] == 0:
+                self._coefficients[0] = 1
+        else:
+            generator = rng if rng is not None else np.random.default_rng()
+            self._coefficients = [
+                int(generator.integers(1, MERSENNE_PRIME))
+            ] + [int(generator.integers(0, MERSENNE_PRIME)) for _ in range(degree)]
+        self.degree = degree
+
+    @property
+    def coefficients(self) -> Sequence[int]:
+        """The polynomial coefficients (leading coefficient first)."""
+        return tuple(self._coefficients)
+
+    # ----------------------------------------------------------------- scalar
+    def __call__(self, x: int) -> int:
+        """Evaluate the polynomial at ``x`` modulo the Mersenne prime (Horner's rule)."""
+        x = int(x) % MERSENNE_PRIME
+        value = 0
+        for coefficient in self._coefficients:
+            value = (value * x + coefficient) % MERSENNE_PRIME
+        return value
+
+    def bucket(self, x: int, num_buckets: int) -> int:
+        """Map ``x`` to one of ``num_buckets`` buckets."""
+        if num_buckets < 1:
+            raise SketchError(f"num_buckets must be positive, got {num_buckets}")
+        return self(x) % num_buckets
+
+    def sign(self, x: int) -> int:
+        """Map ``x`` to ±1 (used by second-moment estimators)."""
+        return 1 if self(x) & 1 else -1
+
+    # -------------------------------------------------------------- vectorised
+    def evaluate_array(self, xs: np.ndarray) -> np.ndarray:
+        """Vectorised polynomial evaluation for an int array of inputs."""
+        values = np.asarray(xs, dtype=np.int64) % MERSENNE_PRIME
+        result = np.zeros_like(values)
+        for coefficient in self._coefficients:
+            result = (result * values + coefficient) % MERSENNE_PRIME
+        return result
+
+    def bucket_array(self, xs: np.ndarray, num_buckets: int) -> np.ndarray:
+        """Vectorised :meth:`bucket`."""
+        if num_buckets < 1:
+            raise SketchError(f"num_buckets must be positive, got {num_buckets}")
+        return self.evaluate_array(xs) % num_buckets
+
+    def sign_array(self, xs: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`sign` (returns an int8 array of ±1)."""
+        return np.where(self.evaluate_array(xs) & 1, 1, -1).astype(np.int8)
+
+
+class PairwiseHash(PolynomialHash):
+    """2-wise independent hash (random linear polynomial)."""
+
+    def __init__(self, rng: Optional[np.random.Generator] = None,
+                 coefficients: Optional[Sequence[int]] = None) -> None:
+        super().__init__(degree=1, rng=rng, coefficients=coefficients)
+
+
+class FourWiseHash(PolynomialHash):
+    """4-wise independent hash (random cubic polynomial)."""
+
+    def __init__(self, rng: Optional[np.random.Generator] = None,
+                 coefficients: Optional[Sequence[int]] = None) -> None:
+        super().__init__(degree=3, rng=rng, coefficients=coefficients)

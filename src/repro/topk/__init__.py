@@ -1,0 +1,30 @@
+"""Distributed top-k substrate.
+
+The paper's exact algorithm H-WTopk is a three-round adaptation of TPUT
+[Cao & Wang, PODC'04] that copes with *signed* scores and ranks by absolute
+value.  Two in-memory reference implementations live here:
+
+* :mod:`repro.topk.tput` — classic TPUT for non-negative scores;
+* :mod:`repro.topk.signed_tput` — the paper's modified algorithm (Section 3),
+  exposing both a one-call reference implementation and the per-round
+  threshold computations that the MapReduce H-WTopk reducer reuses.
+
+Both track per-round communication (number of item/score pairs exchanged) so
+tests can verify the pruning behaviour the paper relies on.
+"""
+
+from repro.topk.tput import TputResult, kth_largest, tput_topk
+from repro.topk.signed_tput import (
+    SignedTputResult,
+    signed_tput_topk,
+    magnitude_lower_bound,
+)
+
+__all__ = [
+    "TputResult",
+    "tput_topk",
+    "SignedTputResult",
+    "signed_tput_topk",
+    "magnitude_lower_bound",
+    "kth_largest",
+]

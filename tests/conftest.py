@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite.
+
+All fixtures are deliberately small (domains of a few hundred keys, tens of
+thousands of records) so the whole suite runs in well under a minute; the
+benchmarks exercise the paper-scale (scaled) configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.generators import ZipfDatasetGenerator
+from repro.experiments.config import ExperimentConfig
+from repro.mapreduce.cluster import paper_cluster
+from repro.mapreduce.hdfs import HDFS
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small Zipfian dataset: u = 256, n = 20_000, alpha = 1.1."""
+    return ZipfDatasetGenerator(u=256, alpha=1.1, seed=7).generate(20_000, name="small-zipf")
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A tiny Zipfian dataset: u = 64, n = 2_000 (for exhaustive checks)."""
+    return ZipfDatasetGenerator(u=64, alpha=1.0, seed=3).generate(2_000, name="tiny-zipf")
+
+
+@pytest.fixture(scope="session")
+def small_reference(small_dataset):
+    """Exact frequency vector of ``small_dataset``."""
+    return small_dataset.frequency_vector()
+
+
+@pytest.fixture()
+def hdfs_with_small_dataset(small_dataset):
+    """A fresh simulated HDFS holding ``small_dataset`` at ``/data/input``."""
+    hdfs = HDFS(datanodes=[f"node-{i}" for i in range(4)])
+    small_dataset.to_hdfs(hdfs, "/data/input")
+    return hdfs
+
+
+@pytest.fixture(scope="session")
+def small_cluster(small_dataset):
+    """The paper's cluster with a split size giving ~8 splits of ``small_dataset``."""
+    split_size = max(4, small_dataset.size_bytes // 8)
+    return paper_cluster(split_size_bytes=split_size)
+
+
+@pytest.fixture(scope="session")
+def quick_config():
+    """The quick experiment configuration used by harness tests."""
+    return ExperimentConfig.quick()
+
+
+@pytest.fixture()
+def rng():
+    """A deterministic random generator for test-local randomness."""
+    return np.random.default_rng(12345)

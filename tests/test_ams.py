@@ -1,0 +1,84 @@
+"""Tests for the AMS / tug-of-war sketch (repro.sketches.ams)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SketchError
+from repro.sketches.ams import AmsSketch
+
+
+class TestAmsBasics:
+    def test_estimate_of_isolated_heavy_item(self):
+        sketch = AmsSketch(depth=5, width=512, seed=1)
+        sketch.update(42, 1000.0)
+        for item, count in [(7, 1.0), (9, 2.0), (13, 1.0)]:
+            sketch.update(item, count)
+        assert sketch.estimate(42) == pytest.approx(1000.0, rel=0.05)
+
+    def test_estimate_unseen_item_is_small(self):
+        sketch = AmsSketch(depth=5, width=512, seed=2)
+        for item in range(100):
+            sketch.update(item, 1.0)
+        assert abs(sketch.estimate(10_000)) <= 5.0
+
+    def test_update_count_and_cells(self):
+        sketch = AmsSketch(depth=3, width=16, seed=3)
+        sketch.update(1)
+        sketch.update(2, 5)
+        assert sketch.update_count == 2
+        assert sketch.total_cells == 48
+
+    def test_second_moment_estimate(self):
+        rng = np.random.default_rng(4)
+        sketch = AmsSketch(depth=7, width=1024, seed=4)
+        frequencies = rng.integers(1, 50, size=200)
+        for item, frequency in enumerate(frequencies):
+            sketch.update(item, float(frequency))
+        true_f2 = float((frequencies.astype(float) ** 2).sum())
+        assert sketch.second_moment() == pytest.approx(true_f2, rel=0.35)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(SketchError):
+            AmsSketch(depth=0, width=8)
+        with pytest.raises(SketchError):
+            AmsSketch(depth=2, width=0)
+
+
+class TestAmsLinearity:
+    def test_merge_equals_sketch_of_union(self):
+        a = AmsSketch(depth=4, width=64, seed=9)
+        b = AmsSketch(depth=4, width=64, seed=9)
+        combined = AmsSketch(depth=4, width=64, seed=9)
+        for item, count in [(1, 3.0), (2, 5.0)]:
+            a.update(item, count)
+            combined.update(item, count)
+        for item, count in [(2, 7.0), (9, 1.0)]:
+            b.update(item, count)
+            combined.update(item, count)
+        merged = a.merge(b)
+        for item in (1, 2, 9, 50):
+            assert merged.estimate(item) == pytest.approx(combined.estimate(item))
+        assert merged.update_count == combined.update_count
+
+    def test_merge_requires_same_seed_and_shape(self):
+        a = AmsSketch(depth=4, width=64, seed=1)
+        assert not a.is_compatible(AmsSketch(depth=4, width=64, seed=2))
+        assert not a.is_compatible(AmsSketch(depth=3, width=64, seed=1))
+        with pytest.raises(SketchError):
+            a.merge(AmsSketch(depth=4, width=32, seed=1))
+
+    def test_negative_updates_cancel(self):
+        sketch = AmsSketch(depth=5, width=128, seed=5)
+        sketch.update(3, 10.0)
+        sketch.update(3, -10.0)
+        assert sketch.estimate(3) == pytest.approx(0.0, abs=1e-9)
+        assert sketch.nonzero_entries() == 0
+
+    def test_serialized_size_tracks_nonzero_cells(self):
+        sketch = AmsSketch(depth=2, width=64, seed=6)
+        assert sketch.serialized_size_bytes() == 0
+        sketch.update(5, 2.0)
+        assert sketch.serialized_size_bytes() == sketch.nonzero_entries() * 12
+        assert sketch.nonzero_entries() == 2  # one cell per row

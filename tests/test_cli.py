@@ -1,0 +1,53 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import FIGURE_DESCRIPTIONS, FIGURE_DRIVERS, build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compare_options(self):
+        arguments = build_parser().parse_args(["compare", "--quick", "--k", "12",
+                                               "--epsilon", "0.05"])
+        assert arguments.command == "compare"
+        assert arguments.quick and arguments.k == 12 and arguments.epsilon == 0.05
+
+    def test_figure_requires_known_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "not-a-figure"])
+        arguments = build_parser().parse_args(["figure", "vary_k", "--quick"])
+        assert arguments.name == "vary_k"
+
+    def test_every_driver_has_a_description(self):
+        assert set(FIGURE_DRIVERS) == set(FIGURE_DESCRIPTIONS)
+
+
+class TestCommands:
+    def test_list_figures(self, capsys):
+        assert main(["list-figures"]) == 0
+        output = capsys.readouterr().out
+        for name in FIGURE_DRIVERS:
+            assert name in output
+
+    def test_compare_quick(self, capsys):
+        assert main(["compare", "--quick", "--k", "10", "--epsilon", "0.05"]) == 0
+        output = capsys.readouterr().out
+        for name in ("Send-V", "H-WTopk", "Send-Sketch", "Improved-S", "TwoLevel-S"):
+            assert name in output
+        assert "SSE/ideal" in output
+
+    def test_figure_analysis_bounds(self, capsys):
+        assert main(["figure", "analysis_bounds"]) == 0
+        output = capsys.readouterr().out
+        assert "Basic-S" in output and "TwoLevel-S" in output
+
+    def test_figure_quick_ablation(self, capsys):
+        assert main(["figure", "ablation_twolevel_threshold", "--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "threshold_scale" in output

@@ -1,0 +1,59 @@
+"""Tests for the cluster description (repro.mapreduce.cluster)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.mapreduce.cluster import MEGABYTE, ClusterSpec, MachineSpec, paper_cluster
+
+
+class TestClusterSpec:
+    def test_paper_cluster_matches_section_5(self):
+        cluster = paper_cluster()
+        assert cluster.num_workers == 16
+        assert cluster.network_mbps == 100.0
+        assert cluster.available_bandwidth_fraction == 0.5
+        assert cluster.split_size_bytes == 256 * MEGABYTE
+        ram_profile = sorted(machine.ram_gb for machine in cluster.machines)
+        assert ram_profile.count(2.0) == 10
+        assert ram_profile.count(4.0) == 4
+        assert ram_profile.count(6.0) == 2
+
+    def test_effective_bandwidth(self):
+        cluster = paper_cluster(available_bandwidth_fraction=0.5)
+        assert cluster.effective_bandwidth_bytes_per_s == pytest.approx(100e6 * 0.5 / 8)
+
+    def test_total_map_slots(self):
+        cluster = paper_cluster()
+        assert cluster.total_map_slots == 16
+
+    def test_average_disk_and_cpu(self):
+        machines = [MachineSpec("a", disk_mb_per_s=50, cpu_ghz=1.0),
+                    MachineSpec("b", disk_mb_per_s=150, cpu_ghz=3.0)]
+        cluster = ClusterSpec(machines=machines)
+        assert cluster.average_disk_bytes_per_s == pytest.approx(100 * MEGABYTE)
+        assert cluster.average_cpu_ghz == pytest.approx(2.0)
+
+    def test_with_bandwidth_fraction_returns_copy(self):
+        cluster = paper_cluster()
+        faster = cluster.with_bandwidth_fraction(1.0)
+        assert faster.available_bandwidth_fraction == 1.0
+        assert cluster.available_bandwidth_fraction == 0.5
+        assert faster.num_workers == cluster.num_workers
+
+    def test_with_split_size_returns_copy(self):
+        cluster = paper_cluster()
+        resized = cluster.with_split_size(64 * MEGABYTE)
+        assert resized.split_size_bytes == 64 * MEGABYTE
+        assert cluster.split_size_bytes == 256 * MEGABYTE
+
+    def test_validation_errors(self):
+        with pytest.raises(InvalidParameterError):
+            ClusterSpec(machines=[])
+        with pytest.raises(InvalidParameterError):
+            ClusterSpec(machines=[MachineSpec("a")], available_bandwidth_fraction=0.0)
+        with pytest.raises(InvalidParameterError):
+            ClusterSpec(machines=[MachineSpec("a")], split_size_bytes=0)
+        with pytest.raises(InvalidParameterError):
+            ClusterSpec(machines=[MachineSpec("a")], network_mbps=-1)

@@ -1,0 +1,107 @@
+"""Tests for the running-time cost model (repro.cost.model)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mapreduce.cluster import MachineSpec, ClusterSpec, paper_cluster
+from repro.mapreduce.counters import CounterNames, Counters
+from repro.mapreduce.runtime import JobResult
+from repro.cost.model import CostModel, CostParameters
+
+
+def _result(counters: dict, num_mappers: int = 4, num_reducers: int = 1) -> JobResult:
+    return JobResult(job_name="test", output=[], counters=Counters(dict(counters)),
+                     num_mappers=num_mappers, num_reducers=num_reducers)
+
+
+class TestPhaseTimes:
+    def test_overhead_only_job(self):
+        cluster = paper_cluster()
+        model = CostModel(cluster)
+        times = model.round_times(_result({}))
+        assert times.map_s == 0
+        assert times.shuffle_s == 0
+        assert times.reduce_s == 0
+        assert times.total_s == pytest.approx(cluster.job_overhead_s + cluster.task_overhead_s)
+
+    def test_shuffle_time_is_bytes_over_bandwidth(self):
+        cluster = paper_cluster(available_bandwidth_fraction=0.5)
+        model = CostModel(cluster)
+        bytes_shuffled = 6_250_000  # exactly one second at 50 Mbps
+        times = model.round_times(_result({CounterNames.SHUFFLE_BYTES: bytes_shuffled}))
+        assert times.shuffle_s == pytest.approx(1.0)
+
+    def test_map_io_scales_with_parallelism(self):
+        machines = [MachineSpec(f"m{i}", disk_mb_per_s=100, cpu_ghz=2.0) for i in range(4)]
+        cluster = ClusterSpec(machines=machines)
+        model = CostModel(cluster)
+        counters = {CounterNames.MAP_INPUT_BYTES: 400 * 1024 * 1024}
+        four_mappers = model.round_times(_result(counters, num_mappers=4))
+        one_mapper = model.round_times(_result(counters, num_mappers=1))
+        # 400 MB at 100 MB/s is 4 s of scan; spread over 4 mappers it is 1 s.
+        assert four_mappers.map_s == pytest.approx(1.0)
+        assert one_mapper.map_s == pytest.approx(4.0)
+
+    def test_cpu_costs_use_per_operation_constants(self):
+        cluster = ClusterSpec(machines=[MachineSpec("m", cpu_ghz=2.0)])
+        params = CostParameters(seconds_per_hashmap_update=1e-6, nominal_cpu_ghz=2.0)
+        model = CostModel(cluster, parameters=params)
+        times = model.round_times(_result({CounterNames.HASHMAP_UPDATES: 1_000_000},
+                                          num_mappers=1))
+        assert times.map_s == pytest.approx(1.0)
+
+    def test_slower_cpu_increases_cost(self):
+        slow = ClusterSpec(machines=[MachineSpec("m", cpu_ghz=1.0)])
+        fast = ClusterSpec(machines=[MachineSpec("m", cpu_ghz=4.0)])
+        counters = {CounterNames.WAVELET_TRANSFORM_OPS: 10_000_000}
+        slow_s = CostModel(slow).round_times(_result(counters, num_mappers=1)).map_s
+        fast_s = CostModel(fast).round_times(_result(counters, num_mappers=1)).map_s
+        assert slow_s == pytest.approx(4 * fast_s)
+
+    def test_reduce_and_side_channels(self):
+        cluster = paper_cluster()
+        model = CostModel(cluster)
+        times = model.round_times(_result({
+            CounterNames.REDUCE_INPUT_RECORDS: 1_000_000,
+            CounterNames.DISTRIBUTED_CACHE_BYTES: 6_250_000,
+        }))
+        assert times.reduce_s > 0
+        assert times.side_channel_s == pytest.approx(1.0)
+
+    def test_waves_add_task_overhead(self):
+        cluster = paper_cluster()  # 16 map slots
+        model = CostModel(cluster)
+        one_wave = model.round_times(_result({}, num_mappers=16)).overhead_s
+        two_waves = model.round_times(_result({}, num_mappers=32)).overhead_s
+        assert two_waves == pytest.approx(one_wave + cluster.task_overhead_s)
+
+
+class TestAggregation:
+    def test_total_seconds_sums_rounds(self):
+        cluster = paper_cluster()
+        model = CostModel(cluster)
+        results = [_result({}), _result({})]
+        assert model.total_seconds(results) == pytest.approx(
+            2 * model.round_seconds(results[0])
+        )
+
+    def test_total_communication(self):
+        cluster = paper_cluster()
+        model = CostModel(cluster)
+        results = [
+            _result({CounterNames.SHUFFLE_BYTES: 100}),
+            _result({CounterNames.SHUFFLE_BYTES: 50,
+                     CounterNames.DISTRIBUTED_CACHE_BYTES: 10}),
+        ]
+        assert model.total_communication_bytes(results) == 160
+
+    def test_breakdown_returns_one_entry_per_round(self):
+        model = CostModel(paper_cluster())
+        assert len(model.breakdown([_result({}), _result({}), _result({})])) == 3
+
+    def test_invalid_nominal_clock(self):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            CostModel(paper_cluster(), parameters=CostParameters(nominal_cpu_ghz=0))

@@ -1,0 +1,72 @@
+"""Tests for counters and the serialized-size model (repro.mapreduce)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mapreduce.counters import CounterNames, Counters
+from repro.mapreduce.serialization import DEFAULT_SERIALIZATION, SerializationModel
+
+
+class TestCounters:
+    def test_increment_and_get(self):
+        counters = Counters()
+        counters.increment("a")
+        counters.increment("a", 4)
+        assert counters.get("a") == 5
+        assert counters.get("missing") == 0
+
+    def test_merge_is_elementwise_sum(self):
+        a = Counters({"x": 1.0, "y": 2.0})
+        b = Counters({"y": 3.0, "z": 4.0})
+        merged = a.merge(b)
+        assert merged.as_dict() == {"x": 1.0, "y": 5.0, "z": 4.0}
+        # Originals untouched.
+        assert a.get("y") == 2.0 and b.get("y") == 3.0
+
+    def test_iteration_and_len(self):
+        counters = Counters({"a": 1.0, "b": 2.0})
+        assert dict(counters) == {"a": 1.0, "b": 2.0}
+        assert len(counters) == 2
+
+    def test_well_known_names_are_distinct(self):
+        names = [value for key, value in vars(CounterNames).items() if not key.startswith("_")]
+        assert len(names) == len(set(names))
+
+
+class TestSerializationModel:
+    def test_value_sizes(self):
+        model = DEFAULT_SERIALIZATION
+        assert model.value_size(None) == 0
+        assert model.value_size(7) == 4
+        assert model.value_size(True) == 4
+        assert model.value_size(3.14) == 8
+        assert model.value_size((1, 2.0)) == 12
+        assert model.value_size([1, 2, 3]) == 12
+        assert model.value_size(b"abcd") == 4
+        assert model.value_size("hi") == 2
+        assert model.value_size({1: 2.0}) == 12
+
+    def test_pair_size_default_and_explicit(self):
+        model = DEFAULT_SERIALIZATION
+        assert model.pair_size(1, 2.0) == 12
+        assert model.pair_size(1, 2.0, explicit=100) == 100
+
+    def test_pair_overhead(self):
+        model = SerializationModel(pair_overhead_bytes=6)
+        assert model.pair_size(1, 1) == 14
+        assert model.pair_size(1, 1, explicit=8) == 14
+
+    def test_object_with_serialized_size_attribute(self):
+        class Blob:
+            def serialized_size_bytes(self):
+                return 123
+
+        assert DEFAULT_SERIALIZATION.value_size(Blob()) == 123
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError):
+            DEFAULT_SERIALIZATION.value_size(object())
+
+    def test_record_pair(self):
+        assert DEFAULT_SERIALIZATION.record_pair(1, 2.5) == (4, 8)

@@ -1,0 +1,139 @@
+"""Tests for datasets and workload generators (repro.data)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.generators import UniformDatasetGenerator, ZipfDatasetGenerator, zipf_probabilities
+from repro.data.worldcup import WorldCupLikeGenerator
+from repro.errors import InvalidParameterError
+from repro.mapreduce.hdfs import HDFS
+
+
+class TestZipfProbabilities:
+    def test_sums_to_one_and_is_decreasing(self):
+        p = zipf_probabilities(1024, 1.1)
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(p) <= 0)
+
+    def test_alpha_zero_is_uniform(self):
+        p = zipf_probabilities(64, 0.0)
+        assert np.allclose(p, 1.0 / 64)
+
+    def test_higher_alpha_is_more_skewed(self):
+        light = zipf_probabilities(256, 0.8)
+        heavy = zipf_probabilities(256, 1.4)
+        assert heavy[0] > light[0]
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            zipf_probabilities(64, -1.0)
+        from repro.errors import InvalidDomainError
+
+        with pytest.raises(InvalidDomainError):
+            zipf_probabilities(100, 1.0)
+
+
+class TestZipfDatasetGenerator:
+    def test_generates_requested_records_in_domain(self):
+        dataset = ZipfDatasetGenerator(u=512, alpha=1.1, seed=1).generate(10_000)
+        assert dataset.n == 10_000
+        assert dataset.u == 512
+        assert dataset.keys.min() >= 1 and dataset.keys.max() <= 512
+
+    def test_deterministic_given_seed(self):
+        a = ZipfDatasetGenerator(u=256, seed=5).generate(1000)
+        b = ZipfDatasetGenerator(u=256, seed=5).generate(1000)
+        c = ZipfDatasetGenerator(u=256, seed=6).generate(1000)
+        assert np.array_equal(a.keys, b.keys)
+        assert not np.array_equal(a.keys, c.keys)
+
+    def test_skew_shows_in_top_key_share(self):
+        flat = ZipfDatasetGenerator(u=256, alpha=0.8, seed=2).generate(50_000)
+        skewed = ZipfDatasetGenerator(u=256, alpha=1.4, seed=2).generate(50_000)
+        top_share = lambda ds: max(ds.frequency_vector().counts.values()) / ds.n
+        assert top_share(skewed) > top_share(flat)
+
+    def test_keys_are_permuted_not_rank_ordered(self):
+        """The most frequent key should usually not be key 1 (ranks are scattered)."""
+        datasets = [ZipfDatasetGenerator(u=1024, alpha=1.2, seed=s).generate(5000)
+                    for s in range(5)]
+        top_keys = set()
+        for dataset in datasets:
+            counts = dataset.frequency_vector().counts
+            top_keys.add(max(counts, key=counts.get))
+        assert top_keys != {1}
+
+    def test_invalid_n(self):
+        with pytest.raises(InvalidParameterError):
+            ZipfDatasetGenerator(u=64).generate(0)
+
+    def test_uniform_generator(self):
+        dataset = UniformDatasetGenerator(u=128, seed=1).generate(20_000)
+        counts = dataset.frequency_vector()
+        assert counts.distinct_keys > 100
+        assert max(counts.counts.values()) < 0.05 * dataset.n
+        with pytest.raises(InvalidParameterError):
+            UniformDatasetGenerator(u=128).generate(0)
+
+
+class TestWorldCupLikeGenerator:
+    def test_generates_heavy_tailed_composite_keys(self):
+        generator = WorldCupLikeGenerator(u=2 ** 12, num_clients=256, num_objects=128, seed=9)
+        dataset = generator.generate(40_000)
+        assert dataset.n == 40_000
+        assert dataset.record_size_bytes == 40
+        vector = dataset.frequency_vector()
+        counts = sorted(vector.counts.values(), reverse=True)
+        # Heavy tail: the top 1% of keys carry a disproportionate share.
+        top_one_percent = sum(counts[: max(1, len(counts) // 100)])
+        assert top_one_percent > 0.05 * dataset.n
+        assert vector.distinct_keys <= generator.expected_distinct_pairs()
+
+    def test_deterministic_given_seed(self):
+        a = WorldCupLikeGenerator(u=1024, seed=3).generate(5000)
+        b = WorldCupLikeGenerator(u=1024, seed=3).generate(5000)
+        assert np.array_equal(a.keys, b.keys)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            WorldCupLikeGenerator(u=1024, num_clients=0)
+        with pytest.raises(InvalidParameterError):
+            WorldCupLikeGenerator(u=1024).generate(0)
+
+
+class TestDataset:
+    def test_size_and_frequency_vector(self):
+        dataset = Dataset(name="d", keys=np.array([1, 1, 2, 4]), u=8, record_size_bytes=10)
+        assert dataset.n == 4
+        assert dataset.size_bytes == 40
+        assert dataset.frequency_vector().counts == {1: 2.0, 2: 1.0, 4: 1.0}
+
+    def test_to_hdfs(self):
+        dataset = Dataset(name="d", keys=np.array([1, 2, 3]), u=8)
+        hdfs = HDFS()
+        hdfs_file = dataset.to_hdfs(hdfs)
+        assert hdfs.exists("/data/d")
+        assert hdfs_file.num_records == 3
+
+    def test_with_record_size_and_subset(self):
+        dataset = Dataset(name="d", keys=np.arange(1, 101), u=128)
+        bigger = dataset.with_record_size(100)
+        assert bigger.size_bytes == 100 * 100
+        assert bigger.n == dataset.n
+        prefix = dataset.subset(10)
+        assert prefix.n == 10
+        assert list(prefix.keys) == list(range(1, 11))
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            Dataset(name="d", keys=np.array([0]), u=8)
+        with pytest.raises(InvalidParameterError):
+            Dataset(name="d", keys=np.array([9]), u=8)
+        with pytest.raises(InvalidParameterError):
+            Dataset(name="d", keys=np.array([1]), u=8, record_size_bytes=2)
+        dataset = Dataset(name="d", keys=np.array([1, 2]), u=8)
+        with pytest.raises(InvalidParameterError):
+            dataset.subset(5)

@@ -1,0 +1,128 @@
+"""Tests for the per-figure experiment drivers (repro.experiments.figures).
+
+These run at the ``quick`` configuration so the whole module stays fast; the
+full scaled configuration is exercised by the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return ExperimentConfig.quick()
+
+
+ALGORITHMS = {"Send-V", "H-WTopk", "Send-Sketch", "Improved-S", "TwoLevel-S"}
+
+
+class TestCostFigures:
+    def test_vary_k_rows_and_series(self, cfg):
+        table = figures.vary_k(cfg, ks=(10, 30))
+        assert len(table) == 2 * len(ALGORITHMS)
+        assert set(table.column("algorithm")) == ALGORITHMS
+        series = table.series("x", "communication_bytes")
+        assert set(series) == ALGORITHMS
+        assert all(len(points) == 2 for points in series.values())
+
+    def test_vary_k_exact_methods_unaffected_by_k(self, cfg):
+        table = figures.vary_k(cfg, ks=(10, 30))
+        send_v = table.series("x", "communication_bytes")["Send-V"]
+        assert send_v[0][1] == send_v[1][1]
+
+    def test_vary_epsilon_contains_exact_reference_and_sweeps(self, cfg):
+        table = figures.vary_epsilon(cfg, epsilons=(0.05, 0.02))
+        assert {"H-WTopk", "Improved-S", "TwoLevel-S"} == set(table.column("algorithm"))
+        exact_rows = table.filter(algorithm="H-WTopk")
+        assert len(exact_rows) == 1
+        sampler_rows = [row for row in table.rows if row["algorithm"] != "H-WTopk"]
+        assert len(sampler_rows) == 4
+
+    def test_vary_epsilon_sse_grows_with_epsilon(self, cfg):
+        table = figures.vary_epsilon(cfg, epsilons=(0.08, 0.01))
+        for name in ("Improved-S", "TwoLevel-S"):
+            points = dict(table.series("x", "sse")[name])
+            assert points[0.08] >= points[0.01]
+
+    def test_vary_n_rows(self, cfg):
+        table = figures.vary_n(cfg, ns=(20_000, 40_000))
+        assert len(table) == 2 * len(ALGORITHMS)
+        send_v = dict(table.series("x", "communication_bytes")["Send-V"])
+        assert send_v[40_000] > send_v[20_000]
+
+    def test_vary_domain_includes_send_coef(self, cfg):
+        table = figures.vary_domain(cfg, log2_us=(8, 10))
+        assert "Send-Coef" in set(table.column("algorithm"))
+        assert len(table) == 2 * (len(ALGORITHMS) + 1)
+
+    def test_vary_split_size_reports_split_bytes(self, cfg):
+        table = figures.vary_split_size(cfg, split_counts=(16, 8))
+        xs = sorted(set(table.column("x")))
+        assert len(xs) == 2
+        assert xs[0] < xs[1]
+
+    def test_vary_skew_and_bandwidth(self, cfg):
+        skew = figures.vary_skew(cfg, alphas=(0.8, 1.4))
+        assert len(skew) == 2 * len(ALGORITHMS)
+        bandwidth = figures.vary_bandwidth(cfg, fractions=(0.25, 1.0))
+        send_v = dict(bandwidth.series("x", "time_s")["Send-V"])
+        assert send_v[0.25] > send_v[1.0]
+
+    def test_vary_record_size(self, cfg):
+        table = figures.vary_record_size(cfg, record_sizes=(4, 64), num_records=20_000)
+        send_v = dict(table.series("x", "communication_bytes")["Send-V"])
+        assert send_v[64] >= send_v[4]
+        assert len(table) == 2 * len(ALGORITHMS)
+
+
+class TestWorldCupAndTradeoffs:
+    def test_worldcup_costs(self, cfg):
+        table = figures.worldcup_costs(cfg)
+        assert set(table.column("algorithm")) == ALGORITHMS
+        assert len(table) == len(ALGORITHMS)
+        assert any("WorldCup" in note or "worldcup" in note.lower() for note in table.notes)
+
+    def test_sse_tradeoff_rows(self, cfg):
+        table = figures.sse_tradeoff(cfg, epsilons=(0.05, 0.02), sketch_bytes=(1024,))
+        assert len(table) == 2 * 2 + 1
+        assert set(table.column("algorithm")) == {"Improved-S", "TwoLevel-S", "Send-Sketch"}
+
+    def test_worldcup_tradeoff_uses_figure_19_label(self, cfg):
+        table = figures.worldcup_tradeoff(cfg, epsilons=(0.05,), sketch_bytes=(1024,))
+        assert table.figure == "Figure 19"
+
+
+class TestAnalysisAndAblations:
+    def test_analysis_bounds_match_paper_example(self):
+        table = figures.analysis_communication_bounds()
+        bounds = {row["algorithm"]: row["bound_bytes"] for row in table.rows}
+        assert bounds["Basic-S"] == pytest.approx(400e6)
+        assert bounds["Improved-S"] == pytest.approx(40e6)
+        assert bounds["TwoLevel-S"] < bounds["Improved-S"] < bounds["Basic-S"]
+
+    def test_ablation_combiner(self, cfg):
+        table = figures.ablation_combiner(cfg)
+        variants = table.column("variant")
+        assert "Basic-S (no aggregation)" in variants
+        assert "Send-V (combiner)" in variants
+        rows = {row["variant"]: row for row in table.rows}
+        assert rows["Basic-S (aggregated)"]["communication_bytes"] <= (
+            rows["Basic-S (no aggregation)"]["communication_bytes"]
+        )
+
+    def test_ablation_hwtopk_rounds(self, cfg):
+        table = figures.ablation_hwtopk_rounds(cfg)
+        assert len(table) == 4  # three rounds plus the Send-Coef reference
+        round_rows = [row for row in table.rows if row["round"].startswith("H-WTopk")]
+        reference = table.rows[-1]
+        assert sum(row["shuffle_bytes"] for row in round_rows) < reference["shuffle_bytes"]
+
+    def test_ablation_twolevel_threshold(self, cfg):
+        table = figures.ablation_twolevel_threshold(cfg, scales=(0.5, 1.0, 2.0))
+        assert len(table) == 3
+        comm = dict(zip(table.column("threshold_scale"), table.column("communication_bytes")))
+        assert comm[0.5] >= comm[2.0]

@@ -1,0 +1,124 @@
+"""Tests for the sparse frequency vector (repro.core.frequency)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.frequency import FrequencyVector, frequency_vector_from_keys
+from repro.errors import InvalidDomainError, KeyOutOfDomainError
+
+
+class TestFrequencyVectorBasics:
+    def test_empty_vector(self):
+        vector = FrequencyVector(16)
+        assert vector.total_count == 0
+        assert vector.distinct_keys == 0
+        assert len(vector) == 0
+        assert vector.get(5) == 0.0
+
+    def test_add_and_get(self):
+        vector = FrequencyVector(16)
+        vector.add(3)
+        vector.add(3, 2)
+        vector.add(10, 5)
+        assert vector.get(3) == 3
+        assert vector.get(10) == 5
+        assert vector.total_count == 8
+        assert vector.distinct_keys == 2
+
+    def test_add_negative_delta_removes_zeroed_keys(self):
+        vector = FrequencyVector(16, {4: 2.0})
+        vector.add(4, -2)
+        assert vector.distinct_keys == 0
+        assert 4 not in vector.counts
+
+    def test_explicit_zero_counts_are_dropped_on_construction(self):
+        vector = FrequencyVector(16, {1: 0.0, 2: 3.0})
+        assert vector.counts == {2: 3.0}
+
+    def test_rejects_invalid_domain(self):
+        with pytest.raises(InvalidDomainError):
+            FrequencyVector(12)
+
+    def test_rejects_out_of_domain_keys(self):
+        with pytest.raises(KeyOutOfDomainError):
+            FrequencyVector(16, {17: 1.0})
+        vector = FrequencyVector(16)
+        with pytest.raises(KeyOutOfDomainError):
+            vector.add(0)
+        with pytest.raises(KeyOutOfDomainError):
+            vector.get(17)
+
+    def test_equality(self):
+        assert FrequencyVector(8, {1: 2.0}) == FrequencyVector(8, {1: 2.0})
+        assert FrequencyVector(8, {1: 2.0}) != FrequencyVector(8, {1: 3.0})
+        assert FrequencyVector(8) != FrequencyVector(16)
+
+
+class TestFrequencyVectorOperations:
+    def test_merge(self):
+        a = FrequencyVector(16, {1: 2.0, 3: 1.0})
+        b = FrequencyVector(16, {3: 4.0, 5: 7.0})
+        merged = a.merge(b)
+        assert merged.get(1) == 2
+        assert merged.get(3) == 5
+        assert merged.get(5) == 7
+        # The originals are untouched.
+        assert a.get(3) == 1
+        assert b.get(3) == 4
+
+    def test_merge_rejects_mismatched_domains(self):
+        with pytest.raises(KeyOutOfDomainError):
+            FrequencyVector(16).merge(FrequencyVector(32))
+
+    def test_scale(self):
+        vector = FrequencyVector(8, {2: 3.0})
+        scaled = vector.scale(4.0)
+        assert scaled.get(2) == 12
+        assert vector.get(2) == 3
+
+    def test_dense_roundtrip(self):
+        vector = FrequencyVector(8, {1: 2.0, 8: 5.0})
+        dense = vector.to_dense()
+        assert dense.shape == (8,)
+        assert dense[0] == 2 and dense[7] == 5
+        assert FrequencyVector.from_dense(dense) == vector
+
+    def test_energy(self):
+        vector = FrequencyVector(8, {1: 3.0, 2: 4.0})
+        assert vector.energy() == pytest.approx(25.0)
+
+    def test_items_iterates_nonzero_entries(self):
+        vector = FrequencyVector(8, {1: 2.0, 4: 1.0})
+        assert dict(vector.items()) == {1: 2.0, 4: 1.0}
+
+
+class TestFrequencyVectorFromKeys:
+    def test_counts_occurrences(self):
+        vector = frequency_vector_from_keys([1, 1, 2, 5, 5, 5], 8)
+        assert vector.get(1) == 2
+        assert vector.get(2) == 1
+        assert vector.get(5) == 3
+        assert vector.total_count == 6
+
+    def test_rejects_out_of_domain(self):
+        with pytest.raises(KeyOutOfDomainError):
+            frequency_vector_from_keys([1, 9], 8)
+
+    def test_matches_numpy_bincount(self):
+        rng = np.random.default_rng(5)
+        keys = rng.integers(1, 65, size=5000)
+        vector = frequency_vector_from_keys((int(k) for k in keys), 64)
+        counts = np.bincount(keys, minlength=65)
+        for key in range(1, 65):
+            assert vector.get(key) == counts[key]
+
+    @given(st.lists(st.integers(min_value=1, max_value=32), max_size=200))
+    @settings(max_examples=50)
+    def test_total_count_equals_number_of_keys(self, keys):
+        vector = frequency_vector_from_keys(keys, 32)
+        assert vector.total_count == len(keys)
+        assert vector.distinct_keys == len(set(keys))

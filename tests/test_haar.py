@@ -1,0 +1,233 @@
+"""Tests for the Haar wavelet transforms (repro.core.haar)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.haar import (
+    basis_value,
+    coefficient_level,
+    coefficient_support,
+    coefficients_for_key,
+    energy,
+    haar_transform,
+    inverse_haar_transform,
+    sparse_haar_transform,
+    sparse_inverse_contribution,
+    validate_domain,
+    wavelet_basis_vector,
+)
+from repro.errors import InvalidDomainError, KeyOutOfDomainError
+
+
+# ------------------------------------------------------------------ validation
+class TestValidateDomain:
+    def test_accepts_powers_of_two(self):
+        assert validate_domain(1) == 0
+        assert validate_domain(2) == 1
+        assert validate_domain(1024) == 10
+
+    @pytest.mark.parametrize("u", [0, -4, 3, 6, 1000])
+    def test_rejects_non_powers_of_two(self, u):
+        with pytest.raises(InvalidDomainError):
+            validate_domain(u)
+
+
+# ----------------------------------------------------------------- dense paths
+class TestHaarTransform:
+    def test_paper_example_figure_1(self):
+        """The signal from Figure 1 of the paper: unnormalised tree values match."""
+        v = np.array([3, 5, 10, 8, 2, 2, 10, 14], dtype=float)
+        w = haar_transform(v)
+        # Normalised coefficients are the tree values times sqrt(u / 2^level).
+        assert w[0] == pytest.approx(6.75 * math.sqrt(8))          # total average
+        assert w[1] == pytest.approx(0.25 * math.sqrt(8))          # level-0 detail
+        assert w[2] == pytest.approx(2.5 * math.sqrt(4))           # level-1 details
+        assert w[3] == pytest.approx(5.0 * math.sqrt(4))
+        assert w[4] == pytest.approx(1.0 * math.sqrt(2))           # level-2 details
+        assert w[5] == pytest.approx(-1.0 * math.sqrt(2))
+        assert w[6] == pytest.approx(0.0)
+        assert w[7] == pytest.approx(2.0 * math.sqrt(2))
+
+    def test_roundtrip(self):
+        v = np.array([3, 5, 10, 8, 2, 2, 10, 14], dtype=float)
+        assert np.allclose(inverse_haar_transform(haar_transform(v)), v)
+
+    def test_energy_preservation(self):
+        v = np.arange(16, dtype=float)
+        w = haar_transform(v)
+        assert np.dot(v, v) == pytest.approx(np.dot(w, w))
+
+    def test_single_element_domain(self):
+        v = np.array([5.0])
+        w = haar_transform(v)
+        assert w[0] == pytest.approx(5.0)
+        assert inverse_haar_transform(w)[0] == pytest.approx(5.0)
+
+    def test_constant_signal_has_single_nonzero_coefficient(self):
+        v = np.full(32, 7.0)
+        w = haar_transform(v)
+        assert w[0] == pytest.approx(7.0 * 32 / math.sqrt(32))
+        assert np.allclose(w[1:], 0.0)
+
+    def test_rejects_non_power_of_two_length(self):
+        with pytest.raises(InvalidDomainError):
+            haar_transform(np.ones(6))
+
+    def test_matches_basis_vector_dot_products(self):
+        rng = np.random.default_rng(0)
+        v = rng.integers(0, 20, size=16).astype(float)
+        w = haar_transform(v)
+        for index in range(1, 17):
+            assert w[index - 1] == pytest.approx(float(np.dot(v, wavelet_basis_vector(index, 16))))
+
+    def test_linearity(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=32)
+        b = rng.normal(size=32)
+        assert np.allclose(haar_transform(a + 2 * b), haar_transform(a) + 2 * haar_transform(b))
+
+
+class TestInverseHaarTransform:
+    def test_unit_coefficient_reconstructs_basis_vector(self):
+        u = 16
+        for index in (1, 2, 5, 16):
+            w = np.zeros(u)
+            w[index - 1] = 1.0
+            assert np.allclose(inverse_haar_transform(w), wavelet_basis_vector(index, u))
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(InvalidDomainError):
+            inverse_haar_transform(np.ones(12))
+
+
+# -------------------------------------------------------------- property tests
+class TestHaarProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                    min_size=8, max_size=8))
+    @settings(max_examples=50)
+    def test_roundtrip_random_vectors(self, values):
+        v = np.array(values)
+        assert np.allclose(inverse_haar_transform(haar_transform(v)), v, atol=1e-6)
+
+    @given(st.lists(st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+                    min_size=16, max_size=16))
+    @settings(max_examples=50)
+    def test_energy_preserved_random_vectors(self, values):
+        v = np.array(values)
+        w = haar_transform(v)
+        assert float(np.dot(v, v)) == pytest.approx(float(np.dot(w, w)), rel=1e-9, abs=1e-6)
+
+    @given(st.dictionaries(st.integers(min_value=1, max_value=64),
+                           st.integers(min_value=1, max_value=1000),
+                           min_size=0, max_size=30))
+    @settings(max_examples=50)
+    def test_sparse_matches_dense(self, counts):
+        u = 64
+        dense = np.zeros(u)
+        for key, count in counts.items():
+            dense[key - 1] = count
+        expected = haar_transform(dense)
+        sparse = sparse_haar_transform(counts, u)
+        for index in range(1, u + 1):
+            assert sparse.get(index, 0.0) == pytest.approx(expected[index - 1], abs=1e-9)
+
+
+# --------------------------------------------------------------- sparse paths
+class TestSparseHaarTransform:
+    def test_empty_input(self):
+        assert sparse_haar_transform({}, 64) == {}
+
+    def test_ignores_zero_counts(self):
+        assert sparse_haar_transform({5: 0}, 64) == {}
+
+    def test_single_key_touches_log_u_plus_one_coefficients(self):
+        u = 64
+        result = sparse_haar_transform({17: 3.0}, u)
+        assert len(result) == int(math.log2(u)) + 1
+
+    def test_rejects_out_of_domain_key(self):
+        with pytest.raises(KeyOutOfDomainError):
+            sparse_haar_transform({65: 1.0}, 64)
+
+    def test_sparse_inverse_contribution_matches_reconstruction(self):
+        u = 32
+        counts = {1: 4.0, 7: 2.0, 30: 9.0}
+        coefficients = sparse_haar_transform(counts, u)
+        dense = np.zeros(u)
+        for index, value in coefficients.items():
+            dense[index - 1] = value
+        reconstructed = inverse_haar_transform(dense)
+        for key in range(1, u + 1):
+            assert sparse_inverse_contribution(coefficients, key, u) == pytest.approx(
+                reconstructed[key - 1], abs=1e-9
+            )
+
+
+# ------------------------------------------------------------- basis structure
+class TestBasisStructure:
+    def test_basis_vectors_are_orthonormal(self):
+        u = 16
+        basis = np.array([wavelet_basis_vector(i, u) for i in range(1, u + 1)])
+        gram = basis @ basis.T
+        assert np.allclose(gram, np.eye(u), atol=1e-9)
+
+    def test_basis_value_matches_materialised_vector(self):
+        u = 32
+        for index in (1, 2, 3, 10, 32):
+            vector = wavelet_basis_vector(index, u)
+            for key in range(1, u + 1):
+                assert basis_value(index, key, u) == pytest.approx(vector[key - 1])
+
+    def test_coefficient_level(self):
+        u = 16
+        assert coefficient_level(1, u) == 0
+        assert coefficient_level(2, u) == 0
+        assert coefficient_level(3, u) == 1
+        assert coefficient_level(5, u) == 2
+        assert coefficient_level(9, u) == 3
+
+    def test_coefficient_support_partitions_domain_per_level(self):
+        u = 16
+        for level in range(1, 4):
+            supports = [
+                coefficient_support(2 ** level + offset + 1, u) for offset in range(2 ** level)
+            ]
+            covered = []
+            for lo, hi in supports:
+                covered.extend(range(lo, hi + 1))
+            assert sorted(covered) == list(range(1, u + 1))
+
+    def test_coefficients_for_key_is_the_root_to_leaf_path(self):
+        u = 16
+        path = coefficients_for_key(5, u)
+        assert path[0] == 1
+        assert len(path) == int(math.log2(u)) + 1
+        for index in path[1:]:
+            lo, hi = coefficient_support(index, u)
+            assert lo <= 5 <= hi
+
+    def test_out_of_range_queries_raise(self):
+        with pytest.raises(KeyOutOfDomainError):
+            coefficient_support(0, 16)
+        with pytest.raises(KeyOutOfDomainError):
+            coefficient_level(17, 16)
+        with pytest.raises(KeyOutOfDomainError):
+            coefficients_for_key(0, 16)
+        with pytest.raises(KeyOutOfDomainError):
+            basis_value(1, 17, 16)
+        with pytest.raises(KeyOutOfDomainError):
+            wavelet_basis_vector(17, 16)
+
+
+class TestEnergyHelper:
+    def test_energy_of_list(self):
+        assert energy([3.0, 4.0]) == pytest.approx(25.0)
+
+    def test_energy_of_array(self):
+        assert energy(np.array([1.0, 2.0, 2.0])) == pytest.approx(9.0)

@@ -1,0 +1,89 @@
+"""Tests for the k-wise independent hash families (repro.sketches.hashing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SketchError
+from repro.sketches.hashing import MERSENNE_PRIME, FourWiseHash, PairwiseHash, PolynomialHash
+
+
+class TestPolynomialHash:
+    def test_deterministic_given_coefficients(self):
+        hash_function = PolynomialHash(degree=1, coefficients=[3, 11])
+        assert hash_function(7) == (3 * 7 + 11) % MERSENNE_PRIME
+        assert hash_function(7) == hash_function(7)
+
+    def test_values_within_field(self):
+        hash_function = PairwiseHash(rng=np.random.default_rng(0))
+        for x in (0, 1, 123456, MERSENNE_PRIME + 5):
+            assert 0 <= hash_function(x) < MERSENNE_PRIME
+
+    def test_bucket_range(self):
+        hash_function = PairwiseHash(rng=np.random.default_rng(1))
+        buckets = {hash_function.bucket(x, 16) for x in range(1000)}
+        assert buckets <= set(range(16))
+        assert len(buckets) > 8  # spreads over most buckets
+
+    def test_sign_is_plus_minus_one(self):
+        hash_function = FourWiseHash(rng=np.random.default_rng(2))
+        signs = {hash_function.sign(x) for x in range(100)}
+        assert signs == {-1, 1}
+
+    def test_vectorised_matches_scalar(self):
+        hash_function = FourWiseHash(rng=np.random.default_rng(3))
+        xs = np.arange(0, 500, dtype=np.int64)
+        buckets = hash_function.bucket_array(xs, 32)
+        signs = hash_function.sign_array(xs)
+        values = hash_function.evaluate_array(xs)
+        for x in (0, 1, 17, 499):
+            assert buckets[x] == hash_function.bucket(int(x), 32)
+            assert signs[x] == hash_function.sign(int(x))
+            assert values[x] == hash_function(int(x))
+
+    def test_coefficient_count_validation(self):
+        with pytest.raises(SketchError):
+            PolynomialHash(degree=3, coefficients=[1, 2])
+        with pytest.raises(SketchError):
+            PolynomialHash(degree=0)
+
+    def test_bucket_validation(self):
+        hash_function = PairwiseHash(rng=np.random.default_rng(4))
+        with pytest.raises(SketchError):
+            hash_function.bucket(3, 0)
+        with pytest.raises(SketchError):
+            hash_function.bucket_array(np.array([1]), 0)
+
+    def test_leading_coefficient_never_zero(self):
+        hash_function = PolynomialHash(degree=1, coefficients=[0, 5])
+        assert hash_function.coefficients[0] == 1
+
+    def test_pairwise_independence_statistics(self):
+        """Collision probability over random linear hashes is close to 1/buckets."""
+        rng = np.random.default_rng(5)
+        buckets = 64
+        collisions = 0
+        trials = 400
+        for _ in range(trials):
+            hash_function = PairwiseHash(rng=rng)
+            if hash_function.bucket(12, buckets) == hash_function.bucket(77, buckets):
+                collisions += 1
+        assert collisions / trials < 4.0 / buckets
+
+    @given(st.integers(min_value=0, max_value=2**40), st.integers(min_value=0, max_value=2**40))
+    @settings(max_examples=50)
+    def test_same_input_same_output(self, x, y):
+        hash_function = FourWiseHash(coefficients=[5, 7, 11, 13])
+        if x == y:
+            assert hash_function(x) == hash_function(y)
+        assert 0 <= hash_function(x) < MERSENNE_PRIME
+
+
+class TestSignBalance:
+    def test_signs_are_roughly_balanced(self):
+        hash_function = FourWiseHash(rng=np.random.default_rng(6))
+        signs = hash_function.sign_array(np.arange(10_000))
+        assert abs(int(signs.sum())) < 500

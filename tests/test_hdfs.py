@@ -1,0 +1,121 @@
+"""Tests for the simulated HDFS (repro.mapreduce.hdfs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    FileAlreadyExistsError,
+    FileNotFoundInHdfsError,
+    InvalidParameterError,
+)
+from repro.mapreduce.hdfs import HDFS, HdfsFile, InputSplit
+
+
+class TestHdfsFile:
+    def test_size_and_record_count(self):
+        hdfs_file = HdfsFile(path="/a", keys=np.arange(1, 101), record_size_bytes=8)
+        assert hdfs_file.num_records == 100
+        assert hdfs_file.size_bytes == 800
+
+    def test_read_range(self):
+        hdfs_file = HdfsFile(path="/a", keys=np.arange(1, 11))
+        assert list(hdfs_file.read(2, 3)) == [3, 4, 5]
+
+    def test_read_out_of_range_raises(self):
+        hdfs_file = HdfsFile(path="/a", keys=np.arange(1, 11))
+        with pytest.raises(InvalidParameterError):
+            hdfs_file.read(8, 5)
+
+    def test_rejects_records_smaller_than_key(self):
+        with pytest.raises(InvalidParameterError):
+            HdfsFile(path="/a", keys=np.array([1]), record_size_bytes=2)
+
+
+class TestHdfsNamespace:
+    def test_create_open_delete(self):
+        hdfs = HDFS()
+        hdfs.create_file("/data/x", [1, 2, 3])
+        assert hdfs.exists("/data/x")
+        assert hdfs.open("/data/x").num_records == 3
+        hdfs.delete("/data/x")
+        assert not hdfs.exists("/data/x")
+
+    def test_create_duplicate_raises(self):
+        hdfs = HDFS()
+        hdfs.create_file("/data/x", [1])
+        with pytest.raises(FileAlreadyExistsError):
+            hdfs.create_file("/data/x", [2])
+
+    def test_open_missing_raises(self):
+        with pytest.raises(FileNotFoundInHdfsError):
+            HDFS().open("/missing")
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(FileNotFoundInHdfsError):
+            HDFS().delete("/missing")
+
+    def test_list_files_sorted(self):
+        hdfs = HDFS()
+        hdfs.create_file("/b", [1])
+        hdfs.create_file("/a", [1])
+        assert hdfs.list_files() == ["/a", "/b"]
+
+    def test_len_and_iter(self):
+        hdfs = HDFS()
+        hdfs.create_file("/a", [1])
+        hdfs.create_file("/b", [2])
+        assert len(hdfs) == 2
+        assert {f.path for f in hdfs} == {"/a", "/b"}
+
+    def test_requires_at_least_one_datanode(self):
+        with pytest.raises(InvalidParameterError):
+            HDFS(datanodes=[])
+
+
+class TestSplits:
+    def test_split_sizes_and_coverage(self):
+        hdfs = HDFS(datanodes=["n0", "n1", "n2"])
+        hdfs.create_file("/data", np.arange(1, 1001), record_size_bytes=4)
+        splits = hdfs.splits("/data", split_size_bytes=1200)  # 300 records per split
+        assert len(splits) == 4
+        assert sum(split.length for split in splits) == 1000
+        assert [split.start for split in splits] == [0, 300, 600, 900]
+        assert splits[-1].length == 100
+
+    def test_split_ids_are_sequential(self):
+        hdfs = HDFS()
+        hdfs.create_file("/data", np.arange(1, 101))
+        splits = hdfs.splits("/data", split_size_bytes=100)
+        assert [split.split_id for split in splits] == list(range(len(splits)))
+
+    def test_round_robin_host_assignment(self):
+        hdfs = HDFS(datanodes=["n0", "n1"])
+        hdfs.create_file("/data", np.arange(1, 101))
+        splits = hdfs.splits("/data", split_size_bytes=100)
+        assert [split.host for split in splits[:4]] == ["n0", "n1", "n0", "n1"]
+
+    def test_single_split_when_split_size_exceeds_file(self):
+        hdfs = HDFS()
+        hdfs.create_file("/data", np.arange(1, 11))
+        splits = hdfs.splits("/data", split_size_bytes=10_000)
+        assert len(splits) == 1
+        assert splits[0].length == 10
+
+    def test_invalid_split_size(self):
+        hdfs = HDFS()
+        hdfs.create_file("/data", [1])
+        with pytest.raises(InvalidParameterError):
+            hdfs.splits("/data", split_size_bytes=0)
+
+    def test_split_end_property(self):
+        split = InputSplit(split_id=0, path="/d", start=10, length=5, host="n", size_bytes=20)
+        assert split.end == 15
+
+    def test_split_bytes_reflect_record_size(self):
+        hdfs = HDFS()
+        hdfs.create_file("/data", np.arange(1, 101), record_size_bytes=100)
+        splits = hdfs.splits("/data", split_size_bytes=2500)  # 25 records per split
+        assert splits[0].size_bytes == 2500
+        assert splits[0].length == 25

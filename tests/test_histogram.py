@@ -1,0 +1,157 @@
+"""Tests for the WaveletHistogram synopsis (repro.core.histogram)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.frequency import FrequencyVector
+from repro.core.haar import haar_transform
+from repro.core.histogram import WaveletHistogram
+from repro.errors import InvalidParameterError, KeyOutOfDomainError
+
+
+def _dense_zipfish(u: int = 64, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, u + 1, dtype=float)
+    frequencies = 1000.0 / ranks ** 1.1
+    rng.shuffle(frequencies)
+    return np.round(frequencies)
+
+
+class TestConstruction:
+    def test_from_dense_and_from_frequency_vector_agree(self):
+        dense = _dense_zipfish()
+        from_dense = WaveletHistogram.from_dense(dense, 10)
+        from_sparse = WaveletHistogram.from_frequency_vector(FrequencyVector.from_dense(dense), 10)
+        assert from_dense.coefficients.keys() == from_sparse.coefficients.keys()
+        for index in from_dense.coefficients:
+            assert from_dense.coefficients[index] == pytest.approx(
+                from_sparse.coefficients[index]
+            )
+
+    def test_keeps_at_most_k_coefficients(self):
+        dense = _dense_zipfish()
+        histogram = WaveletHistogram.from_dense(dense, 5)
+        assert len(histogram) <= 5
+
+    def test_full_budget_reconstructs_exactly(self):
+        dense = _dense_zipfish(u=32)
+        histogram = WaveletHistogram.from_dense(dense, 32)
+        assert np.allclose(histogram.reconstruct(), dense)
+        assert histogram.sse(dense) == pytest.approx(0.0, abs=1e-9)
+
+    def test_from_coefficients_validates_indices(self):
+        with pytest.raises(KeyOutOfDomainError):
+            WaveletHistogram.from_coefficients({100: 1.0}, u=64)
+
+    def test_rejects_invalid_k(self):
+        with pytest.raises(InvalidParameterError):
+            WaveletHistogram(64, {}, k=0)
+
+    def test_zero_coefficients_dropped(self):
+        histogram = WaveletHistogram(64, {1: 0.0, 2: 5.0})
+        assert 1 not in histogram
+        assert 2 in histogram
+
+
+class TestEstimation:
+    def test_point_estimates_match_reconstruction(self):
+        dense = _dense_zipfish()
+        histogram = WaveletHistogram.from_dense(dense, 12)
+        reconstruction = histogram.reconstruct()
+        for key in range(1, 65):
+            assert histogram.estimate(key) == pytest.approx(reconstruction[key - 1], abs=1e-9)
+
+    def test_range_sum_matches_reconstruction_sums(self):
+        dense = _dense_zipfish()
+        histogram = WaveletHistogram.from_dense(dense, 12)
+        reconstruction = histogram.reconstruct()
+        for lo, hi in [(1, 64), (1, 1), (5, 20), (33, 64), (17, 48)]:
+            assert histogram.range_sum(lo, hi) == pytest.approx(
+                float(reconstruction[lo - 1 : hi].sum()), abs=1e-6
+            )
+
+    def test_range_sum_with_full_budget_is_exact(self):
+        dense = _dense_zipfish(u=32)
+        histogram = WaveletHistogram.from_dense(dense, 32)
+        assert histogram.range_sum(3, 17) == pytest.approx(float(dense[2:17].sum()), abs=1e-6)
+
+    def test_range_sum_validates_inputs(self):
+        histogram = WaveletHistogram.from_dense(_dense_zipfish(), 5)
+        with pytest.raises(InvalidParameterError):
+            histogram.range_sum(5, 4)
+        with pytest.raises(KeyOutOfDomainError):
+            histogram.range_sum(0, 4)
+        with pytest.raises(KeyOutOfDomainError):
+            histogram.range_sum(1, 65)
+
+    @given(st.integers(min_value=1, max_value=32), st.integers(min_value=1, max_value=32))
+    @settings(max_examples=40)
+    def test_range_sum_property(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        dense = _dense_zipfish(u=32, seed=3)
+        histogram = WaveletHistogram.from_dense(dense, 8)
+        reconstruction = histogram.reconstruct()
+        assert histogram.range_sum(lo, hi) == pytest.approx(
+            float(reconstruction[lo - 1 : hi].sum()), abs=1e-6
+        )
+
+
+class TestErrorMetrics:
+    def test_sse_decreases_with_k(self):
+        """The paper's Figure 6 behaviour: more coefficients, lower SSE."""
+        dense = _dense_zipfish()
+        errors = [WaveletHistogram.from_dense(dense, k).sse(dense) for k in (1, 4, 16, 64)]
+        assert errors == sorted(errors, reverse=True)
+        assert errors[-1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_best_k_term_is_optimal_among_coefficient_subsets(self):
+        """Keeping the k largest-magnitude coefficients minimises SSE (Parseval)."""
+        dense = _dense_zipfish(u=16, seed=4)
+        k = 3
+        best = WaveletHistogram.from_dense(dense, k).sse(dense)
+        w = haar_transform(dense)
+        # Any other subset of k coefficients cannot do better.
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            subset = rng.choice(16, size=k, replace=False)
+            other = WaveletHistogram(16, {int(i) + 1: float(w[i]) for i in subset})
+            assert other.sse(dense) >= best - 1e-6
+
+    def test_sse_equals_unretained_energy(self):
+        """By Parseval the SSE of a truncated transform is the dropped coefficients' energy."""
+        dense = _dense_zipfish(u=32, seed=5)
+        w = haar_transform(dense)
+        histogram = WaveletHistogram.from_dense(dense, 6)
+        retained = set(histogram.coefficients)
+        dropped_energy = sum(float(w[i - 1]) ** 2 for i in range(1, 33) if i not in retained)
+        assert histogram.sse(dense) == pytest.approx(dropped_energy, rel=1e-9)
+
+    def test_sse_accepts_frequency_vector(self):
+        dense = _dense_zipfish()
+        vector = FrequencyVector.from_dense(dense)
+        histogram = WaveletHistogram.from_dense(dense, 8)
+        assert histogram.sse(vector) == pytest.approx(histogram.sse(dense))
+
+    def test_sse_rejects_mismatched_length(self):
+        histogram = WaveletHistogram.from_dense(_dense_zipfish(), 8)
+        with pytest.raises(InvalidParameterError):
+            histogram.sse(np.zeros(32))
+
+    def test_relative_energy_error_bounds(self):
+        dense = _dense_zipfish()
+        histogram = WaveletHistogram.from_dense(dense, 8)
+        relative = histogram.relative_energy_error(dense)
+        assert 0.0 <= relative < 1.0
+        assert WaveletHistogram.from_dense(dense, 64).relative_energy_error(dense) == pytest.approx(0.0, abs=1e-12)
+
+    def test_relative_energy_error_of_zero_signal(self):
+        histogram = WaveletHistogram(16, {})
+        assert histogram.relative_energy_error(np.zeros(16)) == 0.0
+
+    def test_retained_energy(self):
+        histogram = WaveletHistogram(16, {1: 3.0, 5: -4.0})
+        assert histogram.retained_energy() == pytest.approx(25.0)

@@ -1,0 +1,92 @@
+"""Tests for record readers and input formats (repro.mapreduce.inputformat)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError, SamplingError
+from repro.mapreduce.hdfs import HDFS
+from repro.mapreduce.inputformat import (
+    RandomSamplingInputFormat,
+    RandomSamplingRecordReader,
+    SequentialInputFormat,
+    SequentialRecordReader,
+)
+
+
+@pytest.fixture()
+def hdfs_file_and_split():
+    hdfs = HDFS()
+    hdfs_file = hdfs.create_file("/data", np.arange(1, 1001), record_size_bytes=4)
+    split = hdfs.splits("/data", split_size_bytes=2000)[1]  # records 500..999
+    return hdfs_file, split
+
+
+class TestSequentialReader:
+    def test_reads_every_record_in_order(self, hdfs_file_and_split):
+        hdfs_file, split = hdfs_file_and_split
+        reader = SequentialRecordReader(hdfs_file, split)
+        records = list(reader)
+        assert records == list(range(501, 1001))
+        assert reader.records_read == 500
+        assert reader.bytes_read == 2000
+
+    def test_split_property(self, hdfs_file_and_split):
+        hdfs_file, split = hdfs_file_and_split
+        assert SequentialRecordReader(hdfs_file, split).split is split
+
+    def test_input_format_creates_reader(self, hdfs_file_and_split):
+        hdfs_file, split = hdfs_file_and_split
+        reader = SequentialInputFormat().create_reader(hdfs_file, split)
+        assert isinstance(reader, SequentialRecordReader)
+
+
+class TestRandomSamplingReader:
+    def test_samples_expected_number_of_records(self, hdfs_file_and_split):
+        hdfs_file, split = hdfs_file_and_split
+        reader = RandomSamplingRecordReader(hdfs_file, split, 0.1,
+                                            rng=np.random.default_rng(0))
+        records = list(reader)
+        assert len(records) == 50
+        assert reader.records_read == 50
+        assert reader.bytes_read == 50 * 4
+
+    def test_samples_without_replacement_and_within_split(self, hdfs_file_and_split):
+        hdfs_file, split = hdfs_file_and_split
+        reader = RandomSamplingRecordReader(hdfs_file, split, 0.2,
+                                            rng=np.random.default_rng(1))
+        records = list(reader)
+        assert len(records) == len(set(records))  # keys are unique in this file
+        assert all(501 <= record <= 1000 for record in records)
+
+    def test_full_probability_reads_whole_split(self, hdfs_file_and_split):
+        hdfs_file, split = hdfs_file_and_split
+        reader = RandomSamplingRecordReader(hdfs_file, split, 1.0,
+                                            rng=np.random.default_rng(2))
+        assert sorted(list(reader)) == list(range(501, 1001))
+
+    def test_deterministic_given_rng(self, hdfs_file_and_split):
+        hdfs_file, split = hdfs_file_and_split
+        first = list(RandomSamplingRecordReader(hdfs_file, split, 0.05,
+                                                rng=np.random.default_rng(42)))
+        second = list(RandomSamplingRecordReader(hdfs_file, split, 0.05,
+                                                 rng=np.random.default_rng(42)))
+        assert first == second
+
+    def test_invalid_probability_raises(self, hdfs_file_and_split):
+        hdfs_file, split = hdfs_file_and_split
+        with pytest.raises(SamplingError):
+            RandomSamplingRecordReader(hdfs_file, split, 0.0)
+        with pytest.raises(SamplingError):
+            RandomSamplingRecordReader(hdfs_file, split, 1.5)
+
+    def test_input_format_validation_and_creation(self, hdfs_file_and_split):
+        hdfs_file, split = hdfs_file_and_split
+        with pytest.raises(InvalidParameterError):
+            RandomSamplingInputFormat(0.0)
+        input_format = RandomSamplingInputFormat(0.25)
+        assert input_format.sample_probability == 0.25
+        reader = input_format.create_reader(hdfs_file, split, rng=np.random.default_rng(3))
+        assert isinstance(reader, RandomSamplingRecordReader)
+        assert reader.sample_probability == 0.25

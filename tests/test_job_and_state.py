@@ -1,0 +1,113 @@
+"""Tests for job configuration, distributed cache and state store (repro.mapreduce)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DistributedCacheError, JobConfigurationError
+from repro.mapreduce.api import Mapper, Reducer
+from repro.mapreduce.job import DistributedCache, JobConfiguration, MapReduceJob, hash_partitioner
+from repro.mapreduce.state import StateStore
+
+
+class TestJobConfiguration:
+    def test_set_get_default(self):
+        conf = JobConfiguration()
+        conf.set("a", 1)
+        assert conf.get("a") == 1
+        assert conf.get("missing", 7) == 7
+        assert "a" in conf and "missing" not in conf
+        assert len(conf) == 1
+
+    def test_require_raises_when_missing(self):
+        conf = JobConfiguration({"present": 1})
+        assert conf.require("present") == 1
+        with pytest.raises(JobConfigurationError):
+            conf.require("absent")
+
+    def test_as_dict_returns_copy(self):
+        conf = JobConfiguration({"a": 1})
+        snapshot = conf.as_dict()
+        snapshot["a"] = 2
+        assert conf.get("a") == 1
+
+    def test_serialized_size_counts_keys_and_values(self):
+        conf = JobConfiguration({"ab": 1, "cd": 2.0})
+        # 2 + 4 (int) + 2 + 8 (float) = 16 bytes.
+        assert conf.serialized_size_bytes() == 16
+
+    def test_serialized_size_handles_odd_values(self):
+        conf = JobConfiguration({"x": object()})
+        assert conf.serialized_size_bytes() > 0
+
+
+class TestDistributedCache:
+    def test_add_get_and_sizes(self):
+        cache = DistributedCache()
+        cache.add("candidates", [1, 2, 3])
+        assert cache.get("candidates") == [1, 2, 3]
+        assert cache.size_bytes("candidates") == 12
+        assert cache.total_size_bytes() == 12
+        assert "candidates" in cache and len(cache) == 1
+
+    def test_explicit_size_overrides(self):
+        cache = DistributedCache()
+        cache.add("blob", object(), size_bytes=100)
+        assert cache.size_bytes("blob") == 100
+
+    def test_missing_entry_raises(self):
+        cache = DistributedCache()
+        with pytest.raises(DistributedCacheError):
+            cache.get("nope")
+        with pytest.raises(DistributedCacheError):
+            cache.size_bytes("nope")
+
+
+class TestMapReduceJobValidation:
+    def test_requires_reducers_and_classes(self):
+        with pytest.raises(JobConfigurationError):
+            MapReduceJob(name="j", input_path="/x", mapper_class=Mapper,
+                         reducer_class=Reducer, num_reducers=0)
+        with pytest.raises(JobConfigurationError):
+            MapReduceJob(name="j", input_path="/x", mapper_class=None, reducer_class=Reducer)
+
+    def test_hash_partitioner_range(self):
+        for key in (0, 1, "abc", 12345):
+            assert 0 <= hash_partitioner(key, 4) < 4
+
+
+class TestStateStore:
+    def test_save_load_roundtrip(self):
+        store = StateStore()
+        store.save("split", 3, {"remaining": {1: 2.0}})
+        assert store.load("split", 3) == {"remaining": {1: 2.0}}
+        assert store.exists("split", 3)
+        assert not store.exists("split", 4)
+
+    def test_load_default(self):
+        store = StateStore()
+        assert store.load("reducer", 0, default="fallback") == "fallback"
+
+    def test_overwrite_replaces_previous_blob(self):
+        store = StateStore()
+        store.save("split", 1, "first")
+        store.save("split", 1, "second")
+        assert store.load("split", 1) == "second"
+
+    def test_byte_accounting(self):
+        store = StateStore()
+        store.save("split", 1, None, size_bytes=120)
+        assert store.bytes_written == 120
+
+    def test_clear(self):
+        store = StateStore()
+        store.save("split", 1, "x")
+        store.clear()
+        assert len(store) == 0
+        assert store.bytes_written == 0
+
+    def test_keys_listing(self):
+        store = StateStore()
+        store.save("split", 2, "a")
+        store.save("reducer", 0, "b")
+        assert store.keys() == [("reducer", 0), ("split", 2)]

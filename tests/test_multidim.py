@@ -1,0 +1,95 @@
+"""Tests for multi-dimensional Haar transforms (repro.core.multidim)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.multidim import (
+    haar_transform_nd,
+    inverse_haar_transform_nd,
+    reconstruct_from_top_k_nd,
+    top_k_coefficients_nd,
+)
+from repro.errors import InvalidDomainError, InvalidParameterError
+
+
+class TestTransformNd:
+    def test_2d_roundtrip(self):
+        rng = np.random.default_rng(0)
+        signal = rng.integers(0, 50, size=(8, 16)).astype(float)
+        coefficients = haar_transform_nd(signal)
+        assert np.allclose(inverse_haar_transform_nd(coefficients), signal)
+
+    def test_3d_roundtrip(self):
+        rng = np.random.default_rng(1)
+        signal = rng.normal(size=(4, 8, 4))
+        assert np.allclose(inverse_haar_transform_nd(haar_transform_nd(signal)), signal)
+
+    def test_energy_preservation_2d(self):
+        rng = np.random.default_rng(2)
+        signal = rng.normal(size=(16, 16))
+        coefficients = haar_transform_nd(signal)
+        assert float((signal ** 2).sum()) == pytest.approx(float((coefficients ** 2).sum()))
+
+    def test_1d_matches_haar_transform(self):
+        from repro.core.haar import haar_transform
+
+        signal = np.arange(16, dtype=float)
+        assert np.allclose(haar_transform_nd(signal), haar_transform(signal))
+
+    def test_linearity_2d(self):
+        """Linearity is what lets the paper's algorithms extend to multiple dimensions."""
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(8, 8))
+        b = rng.normal(size=(8, 8))
+        assert np.allclose(
+            haar_transform_nd(a + 3 * b), haar_transform_nd(a) + 3 * haar_transform_nd(b)
+        )
+
+    def test_rejects_non_power_of_two_axis(self):
+        with pytest.raises(InvalidDomainError):
+            haar_transform_nd(np.zeros((8, 6)))
+
+    def test_rejects_empty_shape(self):
+        with pytest.raises(InvalidParameterError):
+            haar_transform_nd(np.array(5.0))
+
+    @given(st.integers(min_value=0, max_value=3))
+    @settings(max_examples=10)
+    def test_constant_image_has_one_nonzero_coefficient(self, seed):
+        signal = np.full((8, 8), float(seed + 1))
+        coefficients = haar_transform_nd(signal)
+        assert np.count_nonzero(np.abs(coefficients) > 1e-9) == 1
+
+
+class TestTopKNd:
+    def test_top_k_selects_largest_magnitudes(self):
+        coefficients = np.zeros((4, 4))
+        coefficients[0, 0] = 10.0
+        coefficients[1, 2] = -20.0
+        coefficients[3, 3] = 5.0
+        top = top_k_coefficients_nd(coefficients, 2)
+        assert set(top) == {(0, 0), (1, 2)}
+
+    def test_reconstruct_from_top_k_with_full_budget_is_exact(self):
+        rng = np.random.default_rng(4)
+        signal = rng.integers(0, 20, size=(8, 8)).astype(float)
+        coefficients = haar_transform_nd(signal)
+        top = top_k_coefficients_nd(coefficients, 64)
+        assert np.allclose(reconstruct_from_top_k_nd(top, (8, 8)), signal)
+
+    def test_sse_decreases_with_k_2d(self):
+        rng = np.random.default_rng(5)
+        signal = np.outer(1000.0 / np.arange(1, 17) ** 1.2, 1000.0 / np.arange(1, 17) ** 1.2)
+        signal += rng.normal(scale=0.1, size=(16, 16))
+        coefficients = haar_transform_nd(signal)
+        errors = []
+        for k in (1, 8, 64, 256):
+            approximation = reconstruct_from_top_k_nd(
+                top_k_coefficients_nd(coefficients, k), (16, 16)
+            )
+            errors.append(float(((approximation - signal) ** 2).sum()))
+        assert errors == sorted(errors, reverse=True)

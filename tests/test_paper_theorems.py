@@ -1,0 +1,149 @@
+"""Statistical checks of the paper's analytical results (Theorems 1-3, Corollary 1).
+
+These tests simulate the two-level sampling pipeline at the estimator level
+(without the MapReduce machinery, so hundreds of repetitions are cheap) and
+verify the guarantees the paper proves:
+
+* Theorem 1 / Corollary 1 — ``s_hat`` and ``v_hat`` are unbiased with bounded
+  standard deviation (also covered in ``test_two_level_sampling``; here the
+  full first+second level pipeline is exercised).
+* Theorem 2 — the estimated wavelet coefficients ``w_hat_i`` are unbiased.
+* Theorem 3 — the expected number of emitted pairs is O(sqrt(m)/eps).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.haar import basis_value, coefficients_for_key, haar_transform
+from repro.sampling.estimators import first_level_probability
+from repro.sampling.two_level import TwoLevelEstimator, second_level_emit
+
+U = 64
+M = 16
+EPSILON = 0.05
+SEED = 2024
+
+
+def _dataset_frequencies(rng: np.random.Generator) -> np.ndarray:
+    """A skewed frequency vector over [1, U] used by all checks."""
+    ranks = np.arange(1, U + 1, dtype=float)
+    frequencies = np.round(20_000.0 / ranks ** 1.1)
+    rng.shuffle(frequencies)
+    return frequencies
+
+
+def _split_frequencies(frequencies: np.ndarray, rng: np.random.Generator) -> list:
+    """Spread the global frequencies over M splits multinomially."""
+    splits = []
+    for key_index, frequency in enumerate(frequencies):
+        counts = rng.multinomial(int(frequency), [1.0 / M] * M)
+        splits.append(counts)
+    # splits[key][split] -> per-split frequency of key.
+    return np.array(splits)
+
+
+def _one_trial(frequencies, per_split, probability, rng):
+    """One end-to-end two-level sampling trial; returns the estimator."""
+    estimator = TwoLevelEstimator(EPSILON, M, first_level_probability=probability)
+    for split in range(M):
+        # First level: binomial sampling of each key's occurrences in the split.
+        sampled_counts = {}
+        for key_index in range(U):
+            count = rng.binomial(int(per_split[key_index][split]), probability)
+            if count:
+                sampled_counts[key_index + 1] = float(count)
+        # Second level: the paper's thresholded emission.
+        for emission in second_level_emit(sampled_counts, EPSILON, M, rng):
+            estimator.observe_emission(emission)
+    return estimator
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    rng = np.random.default_rng(SEED)
+    frequencies = _dataset_frequencies(rng)
+    per_split = _split_frequencies(frequencies, rng)
+    n = int(frequencies.sum())
+    probability = first_level_probability(EPSILON, n)
+    trials = [
+        _one_trial(frequencies, per_split, probability, rng) for _ in range(150)
+    ]
+    return frequencies, n, probability, trials
+
+
+class TestCorollary1:
+    def test_frequency_estimates_are_unbiased(self, pipeline):
+        frequencies, n, probability, trials = pipeline
+        heavy_key = int(np.argmax(frequencies)) + 1
+        estimates = np.array([t.estimate_frequency(heavy_key) for t in trials])
+        standard_error = estimates.std() / np.sqrt(len(estimates))
+        assert estimates.mean() == pytest.approx(frequencies[heavy_key - 1],
+                                                 abs=4 * standard_error)
+
+    def test_frequency_estimate_deviation_is_at_most_eps_n(self, pipeline):
+        frequencies, n, probability, trials = pipeline
+        for key in (int(np.argmax(frequencies)) + 1, 1, U // 2):
+            estimates = np.array([t.estimate_frequency(key) for t in trials])
+            # Corollary 1: sd <= eps * n (first plus second level, so allow 2x).
+            assert estimates.std() <= 2 * EPSILON * n
+
+
+class TestTheorem2:
+    def test_wavelet_coefficient_estimates_are_unbiased(self, pipeline):
+        frequencies, n, probability, trials = pipeline
+        true_coefficients = haar_transform(frequencies)
+        # The largest-magnitude detail coefficient (skip w_1, the total average).
+        index = int(np.argmax(np.abs(true_coefficients[1:]))) + 2
+        path_keys = [key for key in range(1, U + 1)
+                     if index in coefficients_for_key(key, U)]
+        estimates = []
+        for trial in trials:
+            estimate = sum(trial.estimate_frequency(key) * basis_value(index, key, U)
+                           for key in path_keys)
+            estimates.append(estimate)
+        estimates = np.array(estimates)
+        standard_error = estimates.std() / np.sqrt(len(estimates))
+        assert estimates.mean() == pytest.approx(true_coefficients[index - 1],
+                                                 abs=4 * standard_error)
+
+
+class TestTheorem3:
+    def test_expected_emissions_are_order_sqrt_m_over_eps(self):
+        rng = np.random.default_rng(7)
+        # Worst-case-ish: the sample is spread over many distinct keys.
+        sample_per_split = int(1 / (EPSILON ** 2 * M))
+        total_pairs = []
+        for _ in range(50):
+            pairs = 0
+            for _split in range(M):
+                keys = rng.integers(1, 10_000, size=sample_per_split)
+                counts = {}
+                for key in keys:
+                    counts[int(key)] = counts.get(int(key), 0) + 1
+                pairs += sum(1 for _ in second_level_emit(counts, EPSILON, M, rng))
+            total_pairs.append(pairs)
+        bound = 2 * np.sqrt(M) / EPSILON  # exact-pair term + expected NULL term
+        assert np.mean(total_pairs) <= bound * 1.1
+
+    def test_emissions_scale_like_sqrt_m_not_m(self):
+        rng = np.random.default_rng(11)
+
+        def expected_pairs(m: int) -> float:
+            sample_per_split = int(1 / (EPSILON ** 2 * m))
+            totals = []
+            for _ in range(30):
+                pairs = 0
+                for _split in range(m):
+                    keys = rng.integers(1, 10_000, size=sample_per_split)
+                    counts = {}
+                    for key in keys:
+                        counts[int(key)] = counts.get(int(key), 0) + 1
+                    pairs += sum(1 for _ in second_level_emit(counts, EPSILON, m, rng))
+                totals.append(pairs)
+            return float(np.mean(totals))
+
+        four_times_more_splits = expected_pairs(64) / expected_pairs(16)
+        # sqrt(64/16) = 2; linear-in-m behaviour would give 4.
+        assert four_times_more_splits < 3.0

@@ -1,0 +1,209 @@
+"""Tests for the MapReduce execution engine (repro.mapreduce.runtime)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import JobConfigurationError
+from repro.mapreduce.api import Mapper, MapperContext, Reducer, ReducerContext
+from repro.mapreduce.cluster import MachineSpec, ClusterSpec
+from repro.mapreduce.counters import CounterNames
+from repro.mapreduce.hdfs import HDFS
+from repro.mapreduce.job import DistributedCache, JobConfiguration, MapReduceJob
+from repro.mapreduce.runtime import JobRunner
+
+
+class CountMapper(Mapper):
+    """Classic word-count mapper: emits (key, 1) per record."""
+
+    def map(self, record, context):
+        context.emit(record, 1)
+
+
+class SumReducer(Reducer):
+    """Classic word-count reducer: emits (key, sum of values)."""
+
+    def reduce(self, key, values, context):
+        context.emit(key, sum(values))
+
+
+class StatefulMapper(Mapper):
+    """Persists the number of records it saw, for cross-round state tests."""
+
+    def setup(self, context):
+        self._seen = 0
+
+    def map(self, record, context):
+        self._seen += 1
+
+    def close(self, context):
+        previous = context.load_state(default=0)
+        context.save_state(previous + self._seen, size_bytes=8)
+        context.emit(context.split_id, previous + self._seen)
+
+
+class CacheEchoMapper(Mapper):
+    """Emits the content of the distributed cache and a configuration value."""
+
+    def close(self, context):
+        context.emit("cache", tuple(context.distributed_cache.get("payload")))
+        context.emit("conf", context.configuration.require("setting"))
+
+
+class FirstValueReducer(Reducer):
+    """Emits (key, first value) — used when values are non-numeric."""
+
+    def reduce(self, key, values, context):
+        context.emit(key, list(values)[0])
+
+
+@pytest.fixture()
+def small_cluster_4():
+    machines = [MachineSpec(f"m{i}") for i in range(4)]
+    return ClusterSpec(machines=machines, split_size_bytes=100)
+
+
+@pytest.fixture()
+def wordcount_hdfs():
+    hdfs = HDFS(datanodes=["m0", "m1"])
+    keys = np.array([1, 2, 2, 3, 3, 3, 4, 4, 4, 4] * 20)
+    hdfs.create_file("/words", keys, record_size_bytes=4)
+    return hdfs
+
+
+class TestWordCount:
+    def test_output_matches_exact_counts(self, wordcount_hdfs, small_cluster_4):
+        runner = JobRunner(wordcount_hdfs, cluster=small_cluster_4)
+        job = MapReduceJob(name="wc", input_path="/words",
+                           mapper_class=CountMapper, reducer_class=SumReducer)
+        result = runner.run(job)
+        assert result.output_dict() == {1: 20, 2: 40, 3: 60, 4: 80}
+
+    def test_counters_record_volumes(self, wordcount_hdfs, small_cluster_4):
+        runner = JobRunner(wordcount_hdfs, cluster=small_cluster_4)
+        job = MapReduceJob(name="wc", input_path="/words",
+                           mapper_class=CountMapper, reducer_class=SumReducer)
+        result = runner.run(job)
+        counters = result.counters
+        assert counters.get(CounterNames.MAP_INPUT_RECORDS) == 200
+        assert counters.get(CounterNames.MAP_OUTPUT_RECORDS) == 200
+        assert counters.get(CounterNames.MAP_INPUT_BYTES) == 800
+        assert counters.get(CounterNames.HDFS_BYTES_READ) == 800
+        assert counters.get(CounterNames.SHUFFLE_RECORDS) == 200
+        # 4-byte key + 4-byte int value per pair.
+        assert counters.get(CounterNames.SHUFFLE_BYTES) == 200 * 8
+        assert counters.get(CounterNames.REDUCE_INPUT_RECORDS) == 200
+        assert counters.get(CounterNames.REDUCE_INPUT_GROUPS) == 4
+        assert counters.get(CounterNames.REDUCE_OUTPUT_RECORDS) == 4
+
+    def test_number_of_mappers_equals_number_of_splits(self, wordcount_hdfs, small_cluster_4):
+        runner = JobRunner(wordcount_hdfs, cluster=small_cluster_4)
+        job = MapReduceJob(name="wc", input_path="/words",
+                           mapper_class=CountMapper, reducer_class=SumReducer)
+        result = runner.run(job)
+        assert result.num_mappers == len(result.splits) == 8  # 800 bytes / 100-byte splits
+
+    def test_combiner_reduces_shuffle_volume_but_not_result(self, wordcount_hdfs, small_cluster_4):
+        runner = JobRunner(wordcount_hdfs, cluster=small_cluster_4)
+        without = runner.run(MapReduceJob(name="wc", input_path="/words",
+                                          mapper_class=CountMapper, reducer_class=SumReducer))
+        with_combiner = runner.run(MapReduceJob(name="wc-c", input_path="/words",
+                                                mapper_class=CountMapper,
+                                                reducer_class=SumReducer,
+                                                combiner=lambda key, values: sum(values)))
+        assert with_combiner.output_dict() == without.output_dict()
+        assert with_combiner.shuffle_bytes < without.shuffle_bytes
+        # 8 splits x 4 distinct keys = 32 combined pairs.
+        assert with_combiner.counters.get(CounterNames.SHUFFLE_RECORDS) == 32
+
+    def test_multiple_reducers_partition_the_keys(self, wordcount_hdfs, small_cluster_4):
+        runner = JobRunner(wordcount_hdfs, cluster=small_cluster_4)
+        job = MapReduceJob(name="wc", input_path="/words",
+                           mapper_class=CountMapper, reducer_class=SumReducer,
+                           num_reducers=3, partitioner=lambda key, r: key % r)
+        result = runner.run(job)
+        assert result.output_dict() == {1: 20, 2: 40, 3: 60, 4: 80}
+        assert result.num_reducers == 3
+
+    def test_empty_input_raises(self, small_cluster_4):
+        hdfs = HDFS()
+        hdfs.create_file("/empty", [])
+        runner = JobRunner(hdfs, cluster=small_cluster_4)
+        job = MapReduceJob(name="wc", input_path="/empty",
+                           mapper_class=CountMapper, reducer_class=SumReducer)
+        with pytest.raises(JobConfigurationError):
+            runner.run(job)
+
+
+class TestSideChannelsAndState:
+    def test_job_configuration_and_distributed_cache_reach_mappers(self, wordcount_hdfs,
+                                                                    small_cluster_4):
+        runner = JobRunner(wordcount_hdfs, cluster=small_cluster_4)
+        cache = DistributedCache()
+        cache.add("payload", [9, 8, 7])
+        job = MapReduceJob(name="cache", input_path="/words",
+                           mapper_class=CacheEchoMapper, reducer_class=FirstValueReducer,
+                           configuration=JobConfiguration({"setting": 5}),
+                           distributed_cache=cache, read_input=False)
+        result = runner.run(job)
+        # Every mapper saw the cache payload and the configuration value.
+        assert result.output_dict()["cache"] == (9, 8, 7)
+        assert result.output_dict()["conf"] == 5
+        assert result.counters.get(CounterNames.REDUCE_INPUT_RECORDS) == 2 * result.num_mappers
+        assert result.counters.get(CounterNames.DISTRIBUTED_CACHE_BYTES) == (
+            cache.total_size_bytes() * small_cluster_4.num_workers
+        )
+        assert result.counters.get(CounterNames.JOB_CONFIGURATION_BYTES) > 0
+
+    def test_read_input_false_skips_the_scan(self, wordcount_hdfs, small_cluster_4):
+        runner = JobRunner(wordcount_hdfs, cluster=small_cluster_4)
+        job = MapReduceJob(name="noscan", input_path="/words",
+                           mapper_class=CountMapper, reducer_class=SumReducer,
+                           read_input=False)
+        result = runner.run(job)
+        assert result.counters.get(CounterNames.MAP_INPUT_RECORDS) == 0
+        assert result.counters.get(CounterNames.MAP_INPUT_BYTES) == 0
+        assert result.output == []
+
+    def test_state_persists_across_rounds_per_split(self, wordcount_hdfs, small_cluster_4):
+        runner = JobRunner(wordcount_hdfs, cluster=small_cluster_4)
+        job = MapReduceJob(name="stateful", input_path="/words",
+                           mapper_class=StatefulMapper, reducer_class=SumReducer)
+        first = runner.run(job)
+        second = runner.run(job)
+        per_split_records = 25  # 200 records over 8 splits
+        assert all(value == per_split_records for value in first.output_dict().values())
+        assert all(value == 2 * per_split_records for value in second.output_dict().values())
+
+    def test_explicit_splits_keep_ids_stable(self, wordcount_hdfs, small_cluster_4):
+        runner = JobRunner(wordcount_hdfs, cluster=small_cluster_4)
+        splits = wordcount_hdfs.splits("/words", 200)
+        job = MapReduceJob(name="wc", input_path="/words",
+                           mapper_class=CountMapper, reducer_class=SumReducer)
+        result = runner.run(job, splits=splits)
+        assert result.num_mappers == len(splits) == 4
+
+    def test_mapper_rng_is_deterministic_per_seed(self, wordcount_hdfs, small_cluster_4):
+        class RandomEmitMapper(Mapper):
+            def close(self, context):
+                context.emit(context.split_id, float(context.rng.random()))
+
+        job = MapReduceJob(name="rng", input_path="/words",
+                           mapper_class=RandomEmitMapper, reducer_class=SumReducer,
+                           read_input=False)
+        first = JobRunner(wordcount_hdfs, cluster=small_cluster_4, seed=11).run(job)
+        second = JobRunner(wordcount_hdfs, cluster=small_cluster_4, seed=11).run(job)
+        third = JobRunner(wordcount_hdfs, cluster=small_cluster_4, seed=12).run(job)
+        assert first.output == second.output
+        assert first.output != third.output
+
+    def test_communication_property_includes_side_channels(self, wordcount_hdfs, small_cluster_4):
+        runner = JobRunner(wordcount_hdfs, cluster=small_cluster_4)
+        cache = DistributedCache()
+        cache.add("payload", list(range(100)))
+        job = MapReduceJob(name="wc", input_path="/words",
+                           mapper_class=CountMapper, reducer_class=SumReducer,
+                           distributed_cache=cache)
+        result = runner.run(job)
+        assert result.communication_bytes > result.shuffle_bytes

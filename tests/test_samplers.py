@@ -1,0 +1,129 @@
+"""Tests for record samplers and the analytic bounds (repro.sampling)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SamplingError
+from repro.sampling.estimators import (
+    basic_sampling_communication_bound,
+    first_level_probability,
+    improved_sampling_communication_bound,
+    two_level_communication_bound,
+)
+from repro.sampling.samplers import BernoulliSampler, WithoutReplacementSampler
+
+
+class TestBernoulliSampler:
+    def test_probability_validation(self):
+        with pytest.raises(SamplingError):
+            BernoulliSampler(-0.1)
+        with pytest.raises(SamplingError):
+            BernoulliSampler(1.1)
+
+    def test_zero_probability_samples_nothing(self, rng):
+        sampler = BernoulliSampler(0.0, rng=rng)
+        assert list(sampler.sample(range(100))) == []
+        assert sampler.sample_array(np.arange(100)).size == 0
+
+    def test_one_probability_samples_everything(self, rng):
+        sampler = BernoulliSampler(1.0, rng=rng)
+        assert list(sampler.sample(range(10))) == list(range(10))
+
+    def test_sample_size_concentrates_around_pn(self, rng):
+        sampler = BernoulliSampler(0.2, rng=rng)
+        sampled = sampler.sample_array(np.arange(50_000))
+        assert 0.18 * 50_000 < sampled.size < 0.22 * 50_000
+
+    def test_lazy_and_array_paths_agree_statistically(self):
+        lazy = BernoulliSampler(0.5, rng=np.random.default_rng(0))
+        array = BernoulliSampler(0.5, rng=np.random.default_rng(0))
+        lazy_count = len(list(lazy.sample(range(10_000))))
+        array_count = array.sample_array(np.arange(10_000)).size
+        assert abs(lazy_count - array_count) < 600
+
+
+class TestWithoutReplacementSampler:
+    def test_probability_validation(self):
+        with pytest.raises(SamplingError):
+            WithoutReplacementSampler(1.5)
+
+    def test_sample_size_is_exact(self, rng):
+        sampler = WithoutReplacementSampler(0.1, rng=rng)
+        assert sampler.sample_size(1000) == 100
+        assert sampler.sample_array(np.arange(1000)).size == 100
+
+    def test_offsets_are_distinct_and_sorted(self, rng):
+        sampler = WithoutReplacementSampler(0.3, rng=rng)
+        offsets = sampler.sample_offsets(500)
+        assert len(offsets) == len(set(offsets.tolist()))
+        assert list(offsets) == sorted(offsets)
+
+    def test_sample_preserves_file_order(self, rng):
+        records = np.arange(1000, 2000)
+        sampler = WithoutReplacementSampler(0.2, rng=rng)
+        sampled = sampler.sample_array(records)
+        assert list(sampled) == sorted(sampled)
+
+    def test_sample_list_variant(self, rng):
+        sampler = WithoutReplacementSampler(0.5, rng=rng)
+        result = sampler.sample(list(range(10)))
+        assert isinstance(result, list)
+        assert len(result) == 5
+
+    def test_full_probability_returns_everything(self, rng):
+        sampler = WithoutReplacementSampler(1.0, rng=rng)
+        assert list(sampler.sample_array(np.arange(20))) == list(range(20))
+
+    def test_unbiased_frequency_estimation(self):
+        """Sampling then scaling by 1/p estimates frequencies within a few sigma."""
+        rng = np.random.default_rng(7)
+        records = np.repeat(np.arange(1, 11), np.arange(1, 11) * 1000)
+        probability = 0.05
+        sampler = WithoutReplacementSampler(probability, rng=rng)
+        sampled = sampler.sample_array(records)
+        counts = np.bincount(sampled, minlength=11)
+        for key in range(1, 11):
+            estimate = counts[key] / probability
+            truth = key * 1000
+            assert estimate == pytest.approx(truth, rel=0.25)
+
+
+class TestAnalyticBounds:
+    def test_first_level_probability(self):
+        assert first_level_probability(1e-2, 1_000_000) == pytest.approx(1e-2)
+        assert first_level_probability(1.0, 10) == pytest.approx(0.1)
+        assert first_level_probability(1e-3, 100) == 1.0  # capped
+
+    def test_first_level_probability_validation(self):
+        with pytest.raises(SamplingError):
+            first_level_probability(0, 100)
+        with pytest.raises(SamplingError):
+            first_level_probability(0.1, 0)
+
+    def test_paper_example_magnitudes(self):
+        """Section 4: m=1000, eps=1e-4 gives ~400MB / ~40MB / ~1.2MB."""
+        basic = basic_sampling_communication_bound(1e-4, key_bytes=4)
+        improved = improved_sampling_communication_bound(1e-4, 1000, key_bytes=4, count_bytes=0)
+        two_level = two_level_communication_bound(1e-4, 1000, key_bytes=4, count_bytes=0)
+        assert basic == pytest.approx(400e6)
+        assert improved == pytest.approx(40e6)
+        assert two_level == pytest.approx(2.5e6, rel=0.2)
+        assert basic > improved > two_level
+
+    def test_bounds_scale_with_m(self):
+        assert improved_sampling_communication_bound(1e-3, 400) == pytest.approx(
+            4 * improved_sampling_communication_bound(1e-3, 100)
+        )
+        assert two_level_communication_bound(1e-3, 400) == pytest.approx(
+            2 * two_level_communication_bound(1e-3, 100)
+        )
+
+    def test_bounds_validation(self):
+        with pytest.raises(SamplingError):
+            basic_sampling_communication_bound(0)
+        with pytest.raises(SamplingError):
+            improved_sampling_communication_bound(0.1, 0)
+        with pytest.raises(SamplingError):
+            two_level_communication_bound(-1, 10)

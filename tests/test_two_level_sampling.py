@@ -1,0 +1,156 @@
+"""Tests for the two-level sampling scheme (repro.sampling.two_level).
+
+Includes a statistical verification of Theorem 1 (unbiasedness and the 1/eps
+standard-deviation bound of the reconstructed sample count).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SamplingError
+from repro.sampling.two_level import (
+    SecondLevelEmission,
+    TwoLevelEstimator,
+    second_level_emit,
+    second_level_threshold,
+)
+
+
+class TestThreshold:
+    def test_paper_threshold(self):
+        assert second_level_threshold(0.01, 100) == pytest.approx(1.0 / (0.01 * 10))
+
+    def test_threshold_scale(self):
+        assert second_level_threshold(0.01, 100, threshold_scale=2.0) == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(SamplingError):
+            second_level_threshold(0, 10)
+        with pytest.raises(SamplingError):
+            second_level_threshold(0.1, 0)
+        with pytest.raises(SamplingError):
+            second_level_threshold(0.1, 10, threshold_scale=0)
+
+
+class TestSecondLevelEmit:
+    def test_heavy_keys_emitted_exactly(self, rng):
+        epsilon, m = 0.05, 16
+        threshold = second_level_threshold(epsilon, m)
+        counts = {1: threshold * 3, 2: threshold, 3: threshold - 1e-9}
+        emissions = list(second_level_emit(counts, epsilon, m, rng))
+        exact = {e.key: e.count for e in emissions if e.is_exact}
+        assert exact[1] == counts[1]
+        assert exact[2] == counts[2]
+        assert 3 not in exact
+
+    def test_zero_and_negative_counts_skipped(self, rng):
+        emissions = list(second_level_emit({1: 0, 2: -1}, 0.1, 4, rng))
+        assert emissions == []
+
+    def test_light_keys_emitted_with_probability_proportional_to_count(self):
+        epsilon, m = 0.01, 100
+        threshold = second_level_threshold(epsilon, m)  # 10
+        count = threshold / 2  # emission probability 0.5
+        rng = np.random.default_rng(0)
+        hits = 0
+        trials = 2000
+        for _ in range(trials):
+            hits += sum(1 for e in second_level_emit({7: count}, epsilon, m, rng))
+        assert hits / trials == pytest.approx(0.5, abs=0.05)
+
+    def test_emission_dataclass(self):
+        assert SecondLevelEmission(3, 4.0).is_exact
+        assert not SecondLevelEmission(3, None).is_exact
+
+
+class TestTwoLevelEstimator:
+    def test_validation(self):
+        with pytest.raises(SamplingError):
+            TwoLevelEstimator(0, 4, 0.5)
+        with pytest.raises(SamplingError):
+            TwoLevelEstimator(0.1, 0, 0.5)
+        with pytest.raises(SamplingError):
+            TwoLevelEstimator(0.1, 4, 0.0)
+
+    def test_exact_counts_reconstructed_exactly(self):
+        estimator = TwoLevelEstimator(0.1, 4, first_level_probability=0.5)
+        estimator.observe(1, 30.0)
+        estimator.observe(1, 12.0)
+        assert estimator.estimate_sample_count(1) == pytest.approx(42.0)
+        assert estimator.estimate_frequency(1) == pytest.approx(84.0)
+
+    def test_null_markers_add_threshold_each(self):
+        epsilon, m = 0.01, 100
+        estimator = TwoLevelEstimator(epsilon, m, first_level_probability=1.0)
+        estimator.observe(5, None)
+        estimator.observe(5, None)
+        assert estimator.estimate_sample_count(5) == pytest.approx(2 / (epsilon * np.sqrt(m)))
+
+    def test_unobserved_key_estimates_to_zero(self):
+        estimator = TwoLevelEstimator(0.1, 4, 0.5)
+        assert estimator.estimate_sample_count(99) == 0.0
+        assert estimator.observed_keys() == ()
+
+    def test_estimated_frequency_vector_lists_observed_keys(self):
+        estimator = TwoLevelEstimator(0.1, 4, 0.5)
+        estimator.observe(3, 10.0)
+        estimator.observe(8, None)
+        vector = estimator.estimated_frequency_vector()
+        assert set(vector) == {3, 8}
+
+    def test_theorem_1_unbiased_and_bounded_deviation(self):
+        """Statistical check of Theorem 1: E[s_hat] = s, sd(s_hat) <= 1/eps."""
+        epsilon, m = 0.05, 25
+        threshold = second_level_threshold(epsilon, m)  # 4
+        rng = np.random.default_rng(42)
+        # Local sample counts for one key across m splits, all below the threshold.
+        local_counts = [float(c) for c in rng.integers(0, int(threshold), size=m)]
+        true_total = sum(local_counts)
+
+        estimates = []
+        for _ in range(400):
+            estimator = TwoLevelEstimator(epsilon, m, first_level_probability=1.0)
+            for split_id, count in enumerate(local_counts):
+                for emission in second_level_emit({7: count}, epsilon, m, rng):
+                    estimator.observe_emission(emission)
+            estimates.append(estimator.estimate_sample_count(7))
+        estimates = np.array(estimates)
+        standard_error = estimates.std() / np.sqrt(len(estimates))
+        assert estimates.mean() == pytest.approx(true_total, abs=4 * standard_error + 1e-9)
+        assert estimates.std() <= 1.0 / epsilon
+
+    def test_theorem_1_holds_for_scaled_threshold(self):
+        """The generalised estimator stays unbiased for non-default thresholds."""
+        epsilon, m, scale = 0.05, 16, 2.5
+        rng = np.random.default_rng(3)
+        local_counts = [3.0, 5.0, 7.0, 2.0] * 4
+        true_total = sum(local_counts)
+        estimates = []
+        for _ in range(400):
+            estimator = TwoLevelEstimator(epsilon, m, first_level_probability=1.0,
+                                          threshold_scale=scale)
+            for count in local_counts:
+                for emission in second_level_emit({1: count}, epsilon, m, rng,
+                                                  threshold_scale=scale):
+                    estimator.observe_emission(emission)
+            estimates.append(estimator.estimate_sample_count(1))
+        estimates = np.array(estimates)
+        standard_error = estimates.std() / np.sqrt(len(estimates))
+        assert estimates.mean() == pytest.approx(true_total, abs=4 * standard_error + 1e-9)
+
+    @given(st.lists(st.floats(min_value=0, max_value=50, allow_nan=False),
+                    min_size=1, max_size=20))
+    @settings(max_examples=30)
+    def test_estimate_never_negative(self, counts):
+        epsilon, m = 0.1, 20
+        rng = np.random.default_rng(0)
+        estimator = TwoLevelEstimator(epsilon, m, first_level_probability=0.5)
+        for split_counts in counts:
+            for emission in second_level_emit({1: split_counts}, epsilon, m, rng):
+                estimator.observe_emission(emission)
+        assert estimator.estimate_sample_count(1) >= 0
+        assert estimator.estimate_frequency(1) >= 0

@@ -1,0 +1,113 @@
+"""Tests for the wavelet-domain GCS sketch (repro.sketches.wavelet)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.frequency import FrequencyVector
+from repro.core.haar import haar_transform
+from repro.core.topk_coefficients import top_k_from_dense
+from repro.errors import SketchError
+from repro.sketches.wavelet import WaveletGcsSketch
+
+
+def _skewed_dense(u: int = 256, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    dense = np.zeros(u)
+    dense[rng.choice(u, size=30, replace=False)] = 5000.0 / np.arange(1, 31) ** 1.2
+    return np.round(dense)
+
+
+class TestWaveletGcsSketch:
+    def test_update_key_and_frequency_vector_agree(self):
+        dense = _skewed_dense()
+        counts = {i + 1: float(v) for i, v in enumerate(dense) if v}
+        a = WaveletGcsSketch(u=256, bytes_per_level=8192, seed=3)
+        b = WaveletGcsSketch(u=256, bytes_per_level=8192, seed=3)
+        for key, count in counts.items():
+            a.update_key(key, count)
+        b.update_frequency_vector(counts)
+        for index in (1, 2, 10, 100, 256):
+            assert a.estimate_coefficient(index) == pytest.approx(
+                b.estimate_coefficient(index), abs=1e-6
+            )
+
+    def test_coefficient_estimates_track_true_transform(self):
+        dense = _skewed_dense()
+        sketch = WaveletGcsSketch(u=256, bytes_per_level=16 * 1024, seed=5)
+        sketch.update_frequency_vector({i + 1: float(v) for i, v in enumerate(dense) if v})
+        true = haar_transform(dense)
+        top_true = top_k_from_dense(true, 5)
+        for index, value in top_true.items():
+            assert sketch.estimate_coefficient(index) == pytest.approx(value, rel=0.25)
+
+    def test_top_k_overlaps_true_top_k(self):
+        dense = _skewed_dense(seed=2)
+        sketch = WaveletGcsSketch(u=256, bytes_per_level=16 * 1024, seed=7)
+        sketch.update_frequency_vector({i + 1: float(v) for i, v in enumerate(dense) if v})
+        found = sketch.top_k(10)
+        true = top_k_from_dense(haar_transform(dense), 10)
+        assert len(set(found) & set(true)) >= 5
+
+    def test_merge_matches_sketch_of_combined_data(self):
+        dense = _skewed_dense(seed=4)
+        half_a = {i + 1: float(v) for i, v in enumerate(dense[:128]) if v}
+        half_b = {i + 129: float(v) for i, v in enumerate(dense[128:]) if v}
+        a = WaveletGcsSketch(u=256, bytes_per_level=8192, seed=9)
+        b = WaveletGcsSketch(u=256, bytes_per_level=8192, seed=9)
+        union = WaveletGcsSketch(u=256, bytes_per_level=8192, seed=9)
+        a.update_frequency_vector(half_a)
+        b.update_frequency_vector(half_b)
+        union.update_frequency_vector({**half_a, **half_b})
+        a.merge_in_place(b)
+        for index in (1, 2, 3, 64, 200):
+            assert a.estimate_coefficient(index) == pytest.approx(
+                union.estimate_coefficient(index), abs=1e-6
+            )
+        assert a.key_updates == union.key_updates
+
+    def test_merge_rejects_incompatible(self):
+        a = WaveletGcsSketch(u=256, seed=1)
+        b = WaveletGcsSketch(u=256, seed=2)
+        c = WaveletGcsSketch(u=512, seed=1)
+        with pytest.raises(SketchError):
+            a.merge_in_place(b)
+        with pytest.raises(SketchError):
+            a.merge_in_place(c)
+
+    def test_linear_in_counts_like_frequency_vectors(self):
+        """Sketching split-local vectors and merging equals sketching the global vector."""
+        vector_a = FrequencyVector(128, {1: 10.0, 5: 3.0})
+        vector_b = FrequencyVector(128, {5: 2.0, 100: 7.0})
+        merged_vector = vector_a.merge(vector_b)
+        sketch_a = WaveletGcsSketch(u=128, seed=4)
+        sketch_b = WaveletGcsSketch(u=128, seed=4)
+        sketch_union = WaveletGcsSketch(u=128, seed=4)
+        sketch_a.update_frequency_vector(vector_a.counts)
+        sketch_b.update_frequency_vector(vector_b.counts)
+        sketch_union.update_frequency_vector(merged_vector.counts)
+        sketch_a.merge_in_place(sketch_b)
+        for index in (1, 2, 64, 128):
+            assert sketch_a.estimate_coefficient(index) == pytest.approx(
+                sketch_union.estimate_coefficient(index), abs=1e-6
+            )
+
+    def test_zero_count_update_is_noop(self):
+        sketch = WaveletGcsSketch(u=64, seed=1)
+        sketch.update_key(5, 0.0)
+        assert sketch.key_updates == 0
+        assert sketch.nonzero_entries() == 0
+
+    def test_estimate_validation(self):
+        sketch = WaveletGcsSketch(u=64, seed=1)
+        with pytest.raises(SketchError):
+            sketch.estimate_coefficient(0)
+        with pytest.raises(SketchError):
+            sketch.estimate_coefficient(65)
+
+    def test_size_reporting(self):
+        sketch = WaveletGcsSketch(u=64, bytes_per_level=2048, seed=1)
+        sketch.update_key(3, 5.0)
+        assert sketch.serialized_size_bytes() == sketch.nonzero_entries() * 12
+        assert sketch.total_cells > 0
