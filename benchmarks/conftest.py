@@ -20,10 +20,27 @@ from repro.experiments.reporting import FigureTable
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
+def pytest_addoption(parser) -> None:
+    """Select the task executor the benchmarks run the MapReduce phases through.
+
+    ``pytest benchmarks/ --executor parallel --workers 4`` re-measures every
+    figure with process-parallel task execution; the figure tables are
+    bit-identical to serial runs, only the wall-clock time changes.
+    """
+    parser.addoption("--executor", action="store", default="serial",
+                     choices=["serial", "parallel"],
+                     help="task executor for the simulated MapReduce phases")
+    parser.addoption("--workers", action="store", default=None, type=int,
+                     help="worker processes for --executor parallel")
+
+
 @pytest.fixture(scope="session")
-def experiment_config() -> ExperimentConfig:
+def experiment_config(request) -> ExperimentConfig:
     """The scaled default workload (see repro.experiments.config for the mapping)."""
-    return ExperimentConfig()
+    return ExperimentConfig(
+        executor=request.config.getoption("--executor"),
+        workers=request.config.getoption("--workers"),
+    )
 
 
 @pytest.fixture()

@@ -12,6 +12,7 @@ from repro.cost.model import CostModel, CostParameters
 from repro.errors import InvalidParameterError
 from repro.mapreduce.cluster import ClusterSpec, paper_cluster
 from repro.mapreduce.counters import Counters
+from repro.mapreduce.executor import Executor
 from repro.mapreduce.hdfs import HDFS
 from repro.mapreduce.runtime import JobResult, JobRunner
 from repro.mapreduce.state import StateStore
@@ -92,6 +93,7 @@ class HistogramAlgorithm(ABC):
         cluster: Optional[ClusterSpec] = None,
         cost_parameters: Optional[CostParameters] = None,
         seed: int = 7,
+        executor: Optional[Executor] = None,
     ) -> AlgorithmResult:
         """Execute the algorithm against a file already stored in the simulated HDFS.
 
@@ -101,9 +103,14 @@ class HistogramAlgorithm(ABC):
             cluster: cluster description; defaults to the paper's 16-node cluster.
             cost_parameters: per-operation cost constants for the time model.
             seed: seed for all randomised components (sampling, sketches).
+            executor: task executor for the MapReduce phases; defaults to the
+                serial executor.  A
+                :class:`~repro.mapreduce.executor.ParallelExecutor` runs the
+                same rounds concurrently with bit-identical results.
         """
         cluster = cluster if cluster is not None else paper_cluster()
-        runner = JobRunner(hdfs, cluster=cluster, state_store=StateStore(), seed=seed)
+        runner = JobRunner(hdfs, cluster=cluster, state_store=StateStore(), seed=seed,
+                           executor=executor)
         outcome = self._execute(runner, input_path)
 
         cost_model = CostModel(cluster, parameters=cost_parameters)

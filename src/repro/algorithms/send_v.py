@@ -29,10 +29,15 @@ from repro.mapreduce.counters import CounterNames
 from repro.mapreduce.job import JobConfiguration, MapReduceJob
 from repro.mapreduce.runtime import JobRunner
 
-__all__ = ["SendV", "SendVMapper", "SendVReducer"]
+__all__ = ["SendV", "SendVMapper", "SendVReducer", "sum_combiner"]
 
 # Byte sizes the paper uses: 4-byte key plus 4-byte local count at mappers.
 LOCAL_PAIR_BYTES = 8
+
+
+def sum_combiner(key: int, values: list) -> int:
+    """Hadoop's classic summing combiner (module-level so it pickles to workers)."""
+    return sum(values)
 
 
 class SendVMapper(Mapper):
@@ -92,7 +97,7 @@ class SendV(HistogramAlgorithm):
 
     def _execute(self, runner: JobRunner, input_path: str) -> ExecutionOutcome:
         configuration = JobConfiguration({CONF_DOMAIN: self.u, CONF_K: self.k})
-        combiner = (lambda key, values: sum(values)) if self.use_combiner else None
+        combiner = sum_combiner if self.use_combiner else None
         job = MapReduceJob(
             name=f"{self.name}(k={self.k})",
             input_path=input_path,

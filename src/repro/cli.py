@@ -13,6 +13,11 @@ Three sub-commands are provided::
 
     python -m repro list-figures
         List the figure drivers and the paper figures they correspond to.
+
+``compare`` and ``figure`` accept ``--executor {serial,parallel}`` and
+``--workers N`` to run the simulated MapReduce phases through a process pool;
+all reported numbers are bit-identical across executors, only the wall-clock
+time changes.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from repro.core.histogram import WaveletHistogram
 from repro.experiments import figures
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_algorithms, standard_algorithms
+from repro.mapreduce.executor import EXECUTOR_NAMES
 
 __all__ = ["main", "build_parser", "FIGURE_DRIVERS"]
 
@@ -80,37 +86,56 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--k", type=int, default=None, help="histogram size (default: 30)")
     compare.add_argument("--epsilon", type=float, default=None,
                          help="sampling parameter (default: configuration value)")
+    _add_executor_arguments(compare)
 
     figure = subparsers.add_parser("figure", help="regenerate one figure of the evaluation")
     figure.add_argument("name", choices=sorted(FIGURE_DRIVERS), help="figure driver name")
     figure.add_argument("--quick", action="store_true", help="use the small test workload")
+    _add_executor_arguments(figure)
 
     subparsers.add_parser("list-figures", help="list available figure drivers")
     return parser
 
 
+def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--executor", choices=list(EXECUTOR_NAMES), default="serial",
+        help="task executor for the MapReduce phases; 'parallel' runs map tasks "
+             "and reduce partitions in a process pool with bit-identical results",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for --executor parallel (default: CPU count)",
+    )
+
+
 def _configuration(quick: bool, k: Optional[int] = None,
-                   epsilon: Optional[float] = None) -> ExperimentConfig:
+                   epsilon: Optional[float] = None,
+                   executor: str = "serial",
+                   workers: Optional[int] = None) -> ExperimentConfig:
     config = ExperimentConfig.quick() if quick else ExperimentConfig()
-    overrides = {}
+    overrides = {"executor": executor, "workers": workers}
     if k is not None:
         overrides["k"] = k
     if epsilon is not None:
         overrides["epsilon"] = epsilon
-    return config.with_overrides(**overrides) if overrides else config
+    return config.with_overrides(**overrides)
 
 
 def _run_compare(arguments: argparse.Namespace) -> List[str]:
-    config = _configuration(arguments.quick, arguments.k, arguments.epsilon)
+    config = _configuration(arguments.quick, arguments.k, arguments.epsilon,
+                            executor=arguments.executor, workers=arguments.workers)
     dataset = config.build_dataset()
     cluster = config.build_cluster(dataset)
     reference = dataset.frequency_vector()
     ideal_sse = WaveletHistogram.from_frequency_vector(reference, config.k).sse(reference)
     measurements = run_algorithms(dataset, standard_algorithms(config), cluster,
-                                  reference=reference, seed=config.seed)
+                                  reference=reference, seed=config.seed,
+                                  executor=config.build_executor())
     lines = [
         f"workload: n={dataset.n} u=2^{config.u.bit_length() - 1} alpha={config.alpha} "
-        f"k={config.k} eps={config.epsilon} (~{config.target_splits} splits)",
+        f"k={config.k} eps={config.epsilon} (~{config.target_splits} splits, "
+        f"executor={config.executor})",
         f"{'algorithm':<12} {'rounds':>6} {'comm (bytes)':>14} {'time (s)':>12} {'SSE/ideal':>10}",
     ]
     for measurement in measurements:
@@ -123,7 +148,8 @@ def _run_compare(arguments: argparse.Namespace) -> List[str]:
 
 
 def _run_figure(arguments: argparse.Namespace) -> List[str]:
-    config = _configuration(arguments.quick)
+    config = _configuration(arguments.quick, executor=arguments.executor,
+                            workers=arguments.workers)
     table = FIGURE_DRIVERS[arguments.name](config)
     return [table.format()]
 

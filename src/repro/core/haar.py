@@ -74,60 +74,64 @@ def energy(values: Iterable[float]) -> float:
 
 
 def haar_transform(v: np.ndarray | Iterable[float]) -> np.ndarray:
-    """Compute the orthonormal Haar wavelet transform of a dense signal.
+    """Compute the orthonormal Haar wavelet transform of dense signal(s).
 
     Args:
         v: the frequency vector, length ``u`` (a power of two).  Index ``x`` of
-            the array holds ``v(x + 1)`` in the paper's 1-based notation.
+            the array holds ``v(x + 1)`` in the paper's 1-based notation.  A 2-D
+            array of shape ``(batch, u)`` transforms every row in one batched
+            pass (used by the parallel runtime to amortise numpy dispatch over
+            many per-split vectors).
 
     Returns:
-        An array ``w`` of length ``u`` where ``w[i - 1]`` is the paper's
+        An array ``w`` of the same shape where ``w[..., i - 1]`` is the paper's
         coefficient ``w_i``.
 
-    The transform runs bottom-up in ``O(u)`` time: at each level the current
-    averages are pairwise averaged and differenced; the orthonormal scaling
-    ``sqrt(u / 2^level)`` is applied at the end per level.
+    The transform runs bottom-up in ``O(u)`` time per signal: at each level the
+    current averages are pairwise averaged and differenced; the orthonormal
+    scaling ``sqrt(u / 2^level)`` is applied at the end per level.
     """
     v = np.asarray(v, dtype=float)
-    u = v.shape[0]
+    u = v.shape[-1]
     log_u = validate_domain(u)
 
-    w = np.zeros(u, dtype=float)
+    w = np.zeros(v.shape, dtype=float)
     averages = v.copy()
     # Unnormalised tree coefficients: detail at level j has 2^j entries and is
     # stored at indices [2^j, 2^(j+1)) (0-based index i-1 for coefficient i).
     for level in range(log_u - 1, -1, -1):
-        evens = averages[0::2]
-        odds = averages[1::2]
+        evens = averages[..., 0::2]
+        odds = averages[..., 1::2]
         details = (odds - evens) / 2.0
         averages = (evens + odds) / 2.0
         scale = math.sqrt(u / (2 ** level))
-        w[2 ** level : 2 ** (level + 1)] = details * scale
-    w[0] = averages[0] * math.sqrt(u)
+        w[..., 2 ** level : 2 ** (level + 1)] = details * scale
+    w[..., 0] = averages[..., 0] * math.sqrt(u)
     return w
 
 
 def inverse_haar_transform(w: np.ndarray | Iterable[float]) -> np.ndarray:
-    """Invert :func:`haar_transform`, returning the dense signal.
+    """Invert :func:`haar_transform`, returning the dense signal(s).
 
     Args:
         w: array of length ``u`` holding the orthonormal coefficients
-            (``w[i - 1]`` is coefficient ``w_i``).
+            (``w[i - 1]`` is coefficient ``w_i``); a ``(batch, u)`` array
+            inverts every row.
 
     Returns:
-        The reconstructed signal of length ``u``.
+        The reconstructed signal, same shape as ``w``.
     """
     w = np.asarray(w, dtype=float)
-    u = w.shape[0]
+    u = w.shape[-1]
     log_u = validate_domain(u)
 
-    averages = np.array([w[0] / math.sqrt(u)], dtype=float)
+    averages = w[..., :1] / math.sqrt(u)
     for level in range(0, log_u):
         scale = math.sqrt(u / (2 ** level))
-        details = w[2 ** level : 2 ** (level + 1)] / scale
-        next_averages = np.empty(averages.shape[0] * 2, dtype=float)
-        next_averages[0::2] = averages - details
-        next_averages[1::2] = averages + details
+        details = w[..., 2 ** level : 2 ** (level + 1)] / scale
+        next_averages = np.empty(w.shape[:-1] + (averages.shape[-1] * 2,), dtype=float)
+        next_averages[..., 0::2] = averages - details
+        next_averages[..., 1::2] = averages + details
         averages = next_averages
     return averages
 
@@ -242,20 +246,50 @@ def sparse_haar_transform(counts: Mapping[int, float], u: int) -> Dict[int, floa
 
     Runs in ``O(|counts| * log u)`` time using the per-key path decomposition:
     coefficient ``w_i = sum_x v(x) * psi_i(x)``, and a single key contributes
-    to only ``log2(u) + 1`` coefficients.
+    to only ``log2(u) + 1`` coefficients.  The implementation is batched numpy
+    — one vectorised pass per resolution level over all present keys — because
+    this is the hot path of every mapper task.
     """
-    validate_domain(u)
-    coefficients: Dict[int, float] = {}
-    for key, count in counts.items():
-        if count == 0:
-            continue
-        if key < 1 or key > u:
-            raise KeyOutOfDomainError(f"key {key} outside domain [1, {u}]")
-        for index in coefficients_for_key(key, u):
-            contribution = count * _basis_value(index, key, u)
-            if contribution != 0.0:
-                coefficients[index] = coefficients.get(index, 0.0) + contribution
-    return coefficients
+    log_u = validate_domain(u)
+    if not counts:
+        return {}
+    keys = np.fromiter(counts.keys(), dtype=np.int64, count=len(counts))
+    values = np.fromiter(counts.values(), dtype=np.float64, count=len(counts))
+    nonzero = values != 0.0
+    keys, values = keys[nonzero], values[nonzero]
+    if keys.size == 0:
+        return {}
+    if keys.min() < 1 or keys.max() > u:
+        bad = keys[(keys < 1) | (keys > u)][0]
+        raise KeyOutOfDomainError(f"key {bad} outside domain [1, {u}]")
+
+    # One (index, contribution) pair per key per level, plus the w_1 row.
+    num_levels = log_u + 1
+    indices = np.empty((num_levels, keys.size), dtype=np.int64)
+    contributions = np.empty((num_levels, keys.size), dtype=np.float64)
+    indices[0] = 1
+    contributions[0] = values / math.sqrt(u)
+    offsets = keys - 1
+    for j in range(log_u):
+        width = u >> j
+        indices[j + 1] = (1 << j) + offsets // width + 1
+        # psi is -1/sqrt(width) on the left half of its support, +1/sqrt(width)
+        # on the right half.
+        sign = np.where(offsets % width < width >> 1, -1.0, 1.0)
+        contributions[j + 1] = values * sign / math.sqrt(width)
+
+    flat_indices = indices.ravel()
+    flat_contributions = contributions.ravel()
+    order = np.argsort(flat_indices, kind="stable")
+    sorted_indices = flat_indices[order]
+    sorted_contributions = flat_contributions[order]
+    boundaries = np.flatnonzero(np.diff(sorted_indices)) + 1
+    starts = np.concatenate(([0], boundaries))
+    sums = np.add.reduceat(sorted_contributions, starts)
+    return {
+        int(index): float(value)
+        for index, value in zip(sorted_indices[starts], sums)
+    }
 
 
 def sparse_inverse_contribution(coefficients: Mapping[int, float], key: int, u: int) -> float:

@@ -5,14 +5,19 @@ coefficients of largest *magnitude* (paper Section 2.1): because the
 orthonormal transform preserves energy, dropping the smallest-magnitude
 coefficients minimises the energy loss among all k-term representations.
 
-The centralized algorithm keeps a size-``k`` min-heap keyed by magnitude and
-streams over all coefficients in ``O(u log k)`` time, which is what these
-helpers implement.
+The centralized algorithm streams over all coefficients; these helpers
+implement the selection as one batched numpy ``lexsort`` (sort by score with a
+deterministic index tie-break, take the ``k`` head entries).  The tie-break
+rules match the earlier heap-based implementation exactly — magnitude ties go
+to the smaller coefficient index — so for a given coefficient mapping the
+selection is fully deterministic and identical across executors.  (The
+*values* feeding the selection may differ from earlier releases at the ULP
+level, because the vectorised transforms sum float contributions in a
+different order.)
 """
 
 from __future__ import annotations
 
-import heapq
 from typing import Dict, Iterable, Mapping, Tuple
 
 import numpy as np
@@ -27,6 +32,12 @@ def _validate_k(k: int) -> None:
         raise InvalidParameterError(f"k must be a positive integer, got {k}")
 
 
+def _items_as_arrays(items: Mapping[int, float]) -> Tuple[np.ndarray, np.ndarray]:
+    indices = np.fromiter(items.keys(), dtype=np.int64, count=len(items))
+    values = np.fromiter(items.values(), dtype=np.float64, count=len(items))
+    return indices, values
+
+
 def top_k_coefficients(coefficients: Mapping[int, float], k: int) -> Dict[int, float]:
     """Return the ``k`` coefficients of largest magnitude from a sparse mapping.
 
@@ -39,16 +50,19 @@ def top_k_coefficients(coefficients: Mapping[int, float], k: int) -> Dict[int, f
         k: number of coefficients to retain.
 
     Returns:
-        Mapping from index to value containing at most ``k`` entries.
+        Mapping from index to value containing at most ``k`` entries, in
+        descending magnitude order.
     """
     _validate_k(k)
-    # heapq.nlargest with key (magnitude, -index) gives deterministic ties.
-    selected = heapq.nlargest(
-        k,
-        coefficients.items(),
-        key=lambda item: (abs(item[1]), -item[0]),
-    )
-    return {index: value for index, value in selected if value != 0.0}
+    if not coefficients:
+        return {}
+    indices, values = _items_as_arrays(coefficients)
+    # lexsort sorts by the last key first: descending magnitude, then
+    # ascending index among magnitude ties.
+    order = np.lexsort((indices, -np.abs(values)))[:k]
+    return {
+        int(indices[i]): float(values[i]) for i in order if values[i] != 0.0
+    }
 
 
 def top_k_from_dense(w: np.ndarray | Iterable[float], k: int) -> Dict[int, float]:
@@ -59,23 +73,34 @@ def top_k_from_dense(w: np.ndarray | Iterable[float], k: int) -> Dict[int, float
     """
     _validate_k(k)
     arr = np.asarray(w, dtype=float)
-    sparse = {index + 1: float(value) for index, value in enumerate(arr) if value != 0.0}
-    return top_k_coefficients(sparse, k)
+    nonzero = np.flatnonzero(arr)
+    order = np.lexsort((nonzero, -np.abs(arr[nonzero])))[:k]
+    return {int(nonzero[i]) + 1: float(arr[nonzero[i]]) for i in order}
 
 
 def top_k_items(scores: Mapping[int, float], k: int) -> Tuple[Tuple[int, float], ...]:
     """Return the ``k`` items of largest (signed) score, ordered descending.
 
     Used by the H-WTopk mappers which must report their local top-``k`` and
-    bottom-``k`` scored coefficients (paper Section 3, Round 1).
+    bottom-``k`` scored coefficients (paper Section 3, Round 1).  Score ties go
+    to the smaller index.
     """
     _validate_k(k)
-    selected = heapq.nlargest(k, scores.items(), key=lambda item: (item[1], -item[0]))
-    return tuple(selected)
+    if not scores:
+        return ()
+    indices, values = _items_as_arrays(scores)
+    order = np.lexsort((indices, -values))[:k]
+    return tuple((int(indices[i]), float(values[i])) for i in order)
 
 
 def bottom_k_items(scores: Mapping[int, float], k: int) -> Tuple[Tuple[int, float], ...]:
-    """Return the ``k`` items of smallest (most negative) score, ordered ascending."""
+    """Return the ``k`` items of smallest (most negative) score, ordered ascending.
+
+    Score ties go to the smaller index.
+    """
     _validate_k(k)
-    selected = heapq.nsmallest(k, scores.items(), key=lambda item: (item[1], item[0]))
-    return tuple(selected)
+    if not scores:
+        return ()
+    indices, values = _items_as_arrays(scores)
+    order = np.lexsort((indices, values))[:k]
+    return tuple((int(indices[i]), float(values[i])) for i in order)

@@ -48,6 +48,10 @@ class DistributedCacheError(MapReduceError):
     """Raised when reading a missing entry from the simulated Distributed Cache."""
 
 
+class ExecutorError(MapReduceError):
+    """Raised when a task executor cannot run a phase (e.g. unpicklable task)."""
+
+
 class SketchError(ReproError):
     """Raised when a sketch is misconfigured or incompatible sketches are merged."""
 

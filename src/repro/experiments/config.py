@@ -29,6 +29,7 @@ from repro.data.generators import ZipfDatasetGenerator
 from repro.data.worldcup import WorldCupLikeGenerator
 from repro.errors import InvalidParameterError
 from repro.mapreduce.cluster import ClusterSpec, MachineSpec, paper_cluster
+from repro.mapreduce.executor import EXECUTOR_NAMES, Executor, shared_executor
 
 __all__ = ["ExperimentConfig", "PAPER_REFERENCE_BYTES"]
 
@@ -60,6 +61,11 @@ class ExperimentConfig:
             communication position).
         seed: base RNG seed for data generation and sampling.
         reference_bytes: dataset size the time scaling maps to (50 GB).
+        executor: task executor the MapReduce phases run through (``"serial"``
+            or ``"parallel"``); results are executor-independent by
+            construction, so this only changes wall-clock time.
+        workers: worker processes for the parallel executor (machine CPU count
+            when ``None``).
     """
 
     u: int = 2 ** 15
@@ -73,12 +79,26 @@ class ExperimentConfig:
     sketch_bytes_per_level: int = 8 * 1024
     seed: int = 42
     reference_bytes: int = PAPER_REFERENCE_BYTES
+    executor: str = "serial"
+    workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.n < 1 or self.target_splits < 1:
             raise InvalidParameterError("n and target_splits must be positive")
         if self.epsilon <= 0:
             raise InvalidParameterError("epsilon must be positive")
+        if self.executor not in EXECUTOR_NAMES:
+            raise InvalidParameterError(
+                f"executor must be one of {EXECUTOR_NAMES}, got {self.executor!r}"
+            )
+
+    def build_executor(self) -> Executor:
+        """Return the (process-wide shared) executor this configuration selects.
+
+        Sharing means sweeps reuse one worker pool instead of forking a fresh
+        pool per figure point.
+        """
+        return shared_executor(self.executor, self.workers)
 
     # ------------------------------------------------------------------ data
     def build_dataset(self, name: Optional[str] = None) -> Dataset:

@@ -10,6 +10,7 @@ from repro.core.frequency import FrequencyVector
 from repro.data.dataset import Dataset
 from repro.experiments.config import ExperimentConfig
 from repro.mapreduce.cluster import ClusterSpec
+from repro.mapreduce.executor import Executor
 from repro.mapreduce.hdfs import HDFS
 
 __all__ = ["ExperimentMeasurement", "run_algorithms", "standard_algorithms"]
@@ -81,6 +82,7 @@ def run_algorithms(
     cluster: ClusterSpec,
     reference: Optional[FrequencyVector] = None,
     seed: int = 7,
+    executor: Optional[Executor] = None,
 ) -> List[ExperimentMeasurement]:
     """Run every algorithm over the dataset and measure communication, time and SSE.
 
@@ -91,6 +93,8 @@ def run_algorithms(
         reference: the exact frequency vector; computed from the dataset when
             omitted (pass it in when running many sweeps over the same data).
         seed: seed forwarded to every algorithm run.
+        executor: task executor forwarded to every algorithm run (serial when
+            omitted); measurements are executor-independent by construction.
     """
     hdfs = HDFS(datanodes=[machine.name for machine in cluster.machines])
     dataset.to_hdfs(hdfs, INPUT_PATH)
@@ -98,6 +102,7 @@ def run_algorithms(
 
     measurements: List[ExperimentMeasurement] = []
     for algorithm in algorithms:
-        result = algorithm.run(hdfs, INPUT_PATH, cluster=cluster, seed=seed)
+        result = algorithm.run(hdfs, INPUT_PATH, cluster=cluster, seed=seed,
+                               executor=executor)
         measurements.append(ExperimentMeasurement.from_result(result, exact))
     return measurements

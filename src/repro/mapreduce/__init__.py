@@ -1,9 +1,14 @@
-"""A single-process simulation of the Hadoop MapReduce execution model.
+"""A simulation of the Hadoop MapReduce execution model with pluggable executors.
 
 The paper's algorithms are implemented as genuine MapReduce jobs: user code
 subclasses :class:`~repro.mapreduce.api.Mapper` / :class:`~repro.mapreduce.api.Reducer`,
 optionally provides a combiner and partitioner, and submits a
 :class:`~repro.mapreduce.job.MapReduceJob` to the :class:`~repro.mapreduce.runtime.JobRunner`.
+Each phase runs through a pluggable :class:`~repro.mapreduce.executor.Executor` —
+serial in-process by default, or a process pool
+(:class:`~repro.mapreduce.executor.ParallelExecutor`) that runs map tasks and
+reduce partitions concurrently with bit-identical results (see
+:mod:`repro.mapreduce.executor`).
 
 The simulator reproduces the parts of Hadoop the paper depends on:
 
@@ -24,6 +29,13 @@ The simulator reproduces the parts of Hadoop the paper depends on:
 from repro.mapreduce.api import Mapper, Reducer, MapperContext, ReducerContext
 from repro.mapreduce.cluster import ClusterSpec, MachineSpec
 from repro.mapreduce.counters import Counters
+from repro.mapreduce.executor import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    create_executor,
+    shared_executor,
+)
 from repro.mapreduce.hdfs import HDFS, HdfsFile, InputSplit
 from repro.mapreduce.inputformat import SequentialInputFormat, RandomSamplingInputFormat
 from repro.mapreduce.job import DistributedCache, JobConfiguration, MapReduceJob
@@ -38,6 +50,11 @@ __all__ = [
     "ClusterSpec",
     "MachineSpec",
     "Counters",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "create_executor",
+    "shared_executor",
     "HDFS",
     "HdfsFile",
     "InputSplit",

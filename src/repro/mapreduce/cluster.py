@@ -86,6 +86,11 @@ class ClusterSpec:
         return sum(machine.map_slots for machine in self.machines)
 
     @property
+    def total_reduce_slots(self) -> int:
+        """Total number of reduce tasks the cluster can run in parallel."""
+        return sum(machine.reduce_slots for machine in self.machines)
+
+    @property
     def effective_bandwidth_bytes_per_s(self) -> float:
         """Usable network bandwidth in bytes/second for this job."""
         bits_per_second = self.network_mbps * 1_000_000 * self.available_bandwidth_fraction

@@ -1,0 +1,445 @@
+"""Pluggable task executors: serial and process-parallel phase execution.
+
+The simulated runtime decomposes every MapReduce round into *task
+specifications* — one :class:`MapTaskSpec` per input split and one
+:class:`ReduceTaskSpec` per reduce partition — and hands each phase's specs to
+an :class:`Executor`.  Two executors are provided:
+
+``SerialExecutor``
+    Runs every task in the calling process, in task order.  This is the
+    default and reproduces the original single-process behaviour.
+
+``ParallelExecutor``
+    Runs tasks concurrently in a :class:`concurrent.futures.ProcessPoolExecutor`,
+    bounded by the cluster's ``map_slots`` / ``reduce_slots`` so the simulated
+    scheduler constraint is honoured on real hardware.
+
+**Determinism.**  Both executors invoke the *same* module-level task functions
+(:func:`execute_map_task`, :func:`execute_reduce_task`) and the runtime merges
+each task's :class:`~repro.mapreduce.counters.Counters`, state writes and
+emitted pairs at the phase barrier **in task order**, regardless of the order
+tasks finished in.  Each task receives a private RNG seeded from
+``(job seed, round, task id)`` and a private state overlay, so a parallel run
+is bit-identical to a serial run.  The price of this guarantee is that
+everything a task touches must be picklable: mapper/reducer classes, combiner
+functions and input formats must be defined at module level (no lambdas or
+closures), which all of the paper's algorithms satisfy.
+
+A task never sees the whole simulated HDFS: a map spec carries only its own
+split's records (:class:`SplitRecords`), and a task's state overlay carries
+only the ``(kind, id)`` blobs that task is allowed to read, so the payload
+shipped to a worker process stays proportional to the split size.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type, Union
+
+import numpy as np
+
+from repro.errors import ExecutorError, InvalidParameterError
+from repro.mapreduce.api import EmittedPair, MapperContext, ReducerContext
+from repro.mapreduce.counters import CounterNames, Counters
+from repro.mapreduce.hdfs import InputSplit
+from repro.mapreduce.inputformat import InputFormat, SequentialInputFormat
+from repro.mapreduce.job import DistributedCache, JobConfiguration
+from repro.mapreduce.serialization import SerializationModel
+from repro.mapreduce.state import StateStore
+
+__all__ = [
+    "MapTaskSpec",
+    "ReduceTaskSpec",
+    "TaskResult",
+    "SplitRecords",
+    "execute_map_task",
+    "execute_reduce_task",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "EXECUTOR_NAMES",
+    "create_executor",
+    "shared_executor",
+]
+
+StateKey = Tuple[str, int]
+StateSave = Tuple[str, int, Any, int]
+
+
+@dataclass
+class SplitRecords:
+    """The record keys of one split, addressable by the split's absolute offsets.
+
+    Stands in for the :class:`~repro.mapreduce.hdfs.HdfsFile` inside a task so
+    record readers work unchanged without shipping the whole file to a worker.
+    """
+
+    keys: np.ndarray
+    start: int
+    record_size_bytes: int
+
+    def read(self, start: int, length: int) -> np.ndarray:
+        """Return the keys of records ``start .. start + length - 1`` (absolute)."""
+        offset = start - self.start
+        return self.keys[offset : offset + length]
+
+
+class _TaskStateStore(StateStore):
+    """Per-task overlay of the cross-round state store.
+
+    Reads are served from the snapshot the runtime shipped with the task;
+    writes are additionally recorded in :attr:`saves` and replayed into the
+    real store at the phase barrier.  A later read observes an earlier write by
+    the same task, matching the read-your-writes behaviour of the shared store.
+    Inherits all byte accounting from :class:`StateStore` so the charging rules
+    cannot drift between executors and the shared store.
+    """
+
+    def __init__(self, snapshot: Dict[StateKey, Any],
+                 serialization: SerializationModel) -> None:
+        super().__init__(serialization)
+        for (kind, identifier), payload in snapshot.items():
+            self._blobs[(kind, identifier)] = payload
+        self.saves: List[StateSave] = []
+
+    def save(self, kind: str, identifier: int, payload: Any,
+             size_bytes: Optional[int] = None) -> None:
+        written_before = self.bytes_written
+        super().save(kind, identifier, payload, size_bytes=size_bytes)
+        self.saves.append(
+            (kind, identifier, payload, self.bytes_written - written_before)
+        )
+
+
+@dataclass
+class MapTaskSpec:
+    """Everything one map task needs, detached from runner and HDFS."""
+
+    split: InputSplit
+    mapper_class: Type
+    configuration: JobConfiguration
+    distributed_cache: DistributedCache
+    serialization: SerializationModel
+    input_format: Optional[InputFormat]
+    read_input: bool
+    combiner: Optional[Callable[[Any, list], Any]]
+    records: Optional[SplitRecords]
+    state_snapshot: Dict[StateKey, Any]
+    seed_key: Tuple[int, ...]
+    num_splits: int
+
+    @property
+    def task_id(self) -> int:
+        return self.split.split_id
+
+
+@dataclass
+class ReduceTaskSpec:
+    """Everything one reduce task (one partition) needs."""
+
+    reducer_id: int
+    reducer_class: Type
+    configuration: JobConfiguration
+    distributed_cache: DistributedCache
+    serialization: SerializationModel
+    pairs: List[EmittedPair]
+    state_snapshot: Dict[StateKey, Any]
+    seed_key: Tuple[int, ...]
+    num_splits: int
+
+    @property
+    def task_id(self) -> int:
+        return self.reducer_id
+
+
+@dataclass
+class TaskResult:
+    """What one task hands back to the runtime at the phase barrier.
+
+    For map tasks ``pairs`` holds the post-combine spilled pairs; for reduce
+    tasks it holds the reducer's final output pairs.
+    """
+
+    task_id: int
+    pairs: List[EmittedPair]
+    counters: Counters
+    state_saves: List[StateSave] = field(default_factory=list)
+    state_bytes_read: int = 0
+
+
+def _apply_combiner(combiner: Optional[Callable[[Any, list], Any]],
+                    serialization: SerializationModel,
+                    pairs: List[EmittedPair],
+                    counters: Counters) -> List[EmittedPair]:
+    """Hadoop's Combine: group one mapper's output by key, fold each group."""
+    if combiner is None or not pairs:
+        return pairs
+    grouped: Dict[Any, List[Any]] = {}
+    order: List[Any] = []
+    for key, value, _ in pairs:
+        if key not in grouped:
+            grouped[key] = []
+            order.append(key)
+        grouped[key].append(value)
+        counters.increment(CounterNames.COMBINE_INPUT_RECORDS)
+    combined: List[EmittedPair] = []
+    for key in order:
+        value = combiner(key, grouped[key])
+        size = serialization.pair_size(key, value)
+        combined.append((key, value, size))
+        counters.increment(CounterNames.COMBINE_OUTPUT_RECORDS)
+    return combined
+
+
+def execute_map_task(spec: MapTaskSpec) -> TaskResult:
+    """Run one map task: read the split, map, combine, spill.
+
+    Self-contained and side-effect free outside the spec, so it can run in the
+    calling process or a worker process interchangeably.
+    """
+    counters = Counters()
+    rng = np.random.default_rng(spec.seed_key)
+    state = _TaskStateStore(spec.state_snapshot, spec.serialization)
+    context = MapperContext(
+        split=spec.split,
+        configuration=spec.configuration,
+        distributed_cache=spec.distributed_cache,
+        counters=counters,
+        state_store=state,
+        serialization=spec.serialization,
+        rng=rng,
+        num_splits=spec.num_splits,
+    )
+    mapper = spec.mapper_class()
+    mapper.setup(context)
+    if spec.read_input:
+        input_format = (
+            spec.input_format if spec.input_format is not None
+            else SequentialInputFormat()
+        )
+        reader = input_format.create_reader(spec.records, spec.split, rng=rng)
+        for record in reader:
+            mapper.map(record, context)
+            counters.increment(CounterNames.MAP_INPUT_RECORDS)
+        counters.increment(CounterNames.MAP_INPUT_BYTES, reader.bytes_read)
+        counters.increment(CounterNames.HDFS_BYTES_READ, reader.bytes_read)
+    mapper.close(context)
+    spilled = _apply_combiner(spec.combiner, spec.serialization,
+                              context.emitted_pairs, counters)
+    counters.increment(CounterNames.SPILLED_RECORDS, len(spilled))
+    return TaskResult(
+        task_id=spec.task_id,
+        pairs=spilled,
+        counters=counters,
+        state_saves=state.saves,
+        state_bytes_read=state.bytes_read,
+    )
+
+
+def execute_reduce_task(spec: ReduceTaskSpec) -> TaskResult:
+    """Run one reduce task: sort-and-group its partition, reduce each key group.
+
+    Sorting happens here, per partition, rather than in the runtime's shuffle —
+    the paper's reducers see keys in ascending order, and sorting inside the
+    task lets partitions sort concurrently under a parallel executor.
+    """
+    counters = Counters()
+    rng = np.random.default_rng(spec.seed_key)
+    state = _TaskStateStore(spec.state_snapshot, spec.serialization)
+    context = ReducerContext(
+        reducer_id=spec.reducer_id,
+        configuration=spec.configuration,
+        distributed_cache=spec.distributed_cache,
+        counters=counters,
+        state_store=state,
+        serialization=spec.serialization,
+        rng=rng,
+        num_splits=spec.num_splits,
+    )
+    reducer = spec.reducer_class()
+    reducer.setup(context)
+    grouped: Dict[Any, List[Any]] = {}
+    for key, value, _ in spec.pairs:
+        grouped.setdefault(key, []).append(value)
+        counters.increment(CounterNames.REDUCE_INPUT_RECORDS)
+    for key in sorted(grouped):
+        counters.increment(CounterNames.REDUCE_INPUT_GROUPS)
+        reducer.reduce(key, grouped[key], context)
+    reducer.close(context)
+    return TaskResult(
+        task_id=spec.reducer_id,
+        pairs=context.emitted_pairs,
+        counters=counters,
+        state_saves=state.saves,
+        state_bytes_read=state.bytes_read,
+    )
+
+
+TaskSpec = Union[MapTaskSpec, ReduceTaskSpec]
+
+
+def _execute_task(spec: TaskSpec) -> TaskResult:
+    """Dispatch a spec to its task function (the worker-process entry point)."""
+    if isinstance(spec, MapTaskSpec):
+        return execute_map_task(spec)
+    return execute_reduce_task(spec)
+
+
+class Executor(ABC):
+    """Executes the tasks of one phase and returns their results in task order."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def run_tasks(self, specs: Sequence[TaskSpec], slots: int) -> List[TaskResult]:
+        """Run all specs, honouring at most ``slots`` concurrent tasks.
+
+        Results are returned in spec order regardless of completion order.
+        """
+
+    def run_map_tasks(self, specs: Sequence[MapTaskSpec], slots: int) -> List[TaskResult]:
+        """Run one map phase."""
+        return self.run_tasks(specs, slots)
+
+    def run_reduce_tasks(self, specs: Sequence[ReduceTaskSpec],
+                         slots: int) -> List[TaskResult]:
+        """Run one reduce phase."""
+        return self.run_tasks(specs, slots)
+
+    def close(self) -> None:
+        """Release any resources (worker processes); the executor stays reusable."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """Runs every task inline, in task order (the original behaviour)."""
+
+    name = "serial"
+
+    def run_tasks(self, specs: Sequence[TaskSpec], slots: int) -> List[TaskResult]:
+        return [_execute_task(spec) for spec in specs]
+
+
+class ParallelExecutor(Executor):
+    """Runs tasks in a process pool, bounded by the phase's slot count.
+
+    Args:
+        max_workers: worker processes to use; defaults to the machine's CPU
+            count.  The effective concurrency of a phase is
+            ``min(max_workers, slots, len(specs))``.
+
+    The pool is created lazily on first use and reused across jobs and rounds;
+    worker start-up therefore amortises over a whole algorithm run.  The
+    ``fork`` start method is preferred (workers inherit the parent's imported
+    modules and hash seed); ``spawn`` is used where fork is unavailable.
+    """
+
+    name = "parallel"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise InvalidParameterError(
+                f"max_workers must be a positive integer, got {max_workers}"
+            )
+        self.max_workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            import multiprocessing as mp
+
+            method = "fork" if "fork" in mp.get_all_start_methods() else None
+            context = mp.get_context(method) if method else mp.get_context()
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers, mp_context=context
+            )
+        return self._pool
+
+    def run_tasks(self, specs: Sequence[TaskSpec], slots: int) -> List[TaskResult]:
+        if len(specs) <= 1:
+            # A single task gains nothing from a round-trip through the pool.
+            return [_execute_task(spec) for spec in specs]
+        pool = self._ensure_pool()
+        window = max(1, min(self.max_workers, slots))
+        results: List[Optional[TaskResult]] = [None] * len(specs)
+        pending = iter(enumerate(specs))
+        in_flight = {}
+        try:
+            for index, spec in pending:
+                in_flight[pool.submit(_execute_task, spec)] = index
+                if len(in_flight) >= window:
+                    break
+            while in_flight:
+                done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+                for future in done:
+                    results[in_flight.pop(future)] = future.result()
+                for index, spec in pending:
+                    in_flight[pool.submit(_execute_task, spec)] = index
+                    if len(in_flight) >= window:
+                        break
+        except BrokenProcessPool as error:
+            # A worker died mid-phase — almost always task code that does not
+            # survive pickling (e.g. a mapper class defined inside a function).
+            # Discard the broken pool so this executor stays usable.
+            self.close()
+            raise ExecutorError(
+                "a worker process died while executing tasks; this usually "
+                "means the job's mapper/reducer/combiner or an emitted value "
+                "is not picklable (they must be defined at module level)"
+            ) from error
+        except BaseException:
+            # A task raised (or the caller was interrupted): don't leave the
+            # rest of the phase running in the shared pool behind our back.
+            for future in in_flight:
+                future.cancel()
+            wait(list(in_flight))
+            raise
+        return results  # type: ignore[return-value]
+
+    def warm_up(self) -> None:
+        """Start the worker processes eagerly (useful before timing a run)."""
+        pool = self._ensure_pool()
+        for future in [pool.submit(os.getpid) for _ in range(self.max_workers)]:
+            future.result()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+EXECUTOR_NAMES = ("serial", "parallel")
+
+_SHARED_EXECUTORS: Dict[Tuple[str, Optional[int]], Executor] = {}
+
+
+def create_executor(name: str, workers: Optional[int] = None) -> Executor:
+    """Build a fresh executor by name (``"serial"`` or ``"parallel"``)."""
+    if name == "serial":
+        return SerialExecutor()
+    if name == "parallel":
+        return ParallelExecutor(max_workers=workers)
+    raise InvalidParameterError(
+        f"unknown executor {name!r}; expected one of {EXECUTOR_NAMES}"
+    )
+
+
+def shared_executor(name: str, workers: Optional[int] = None) -> Executor:
+    """Return a process-wide shared executor for ``(name, workers)``.
+
+    Sweeps that run many algorithm instances (the figure drivers, the CLI)
+    reuse one pool instead of forking a fresh one per run.
+    """
+    key = (name, workers)
+    if key not in _SHARED_EXECUTORS:
+        _SHARED_EXECUTORS[key] = create_executor(name, workers)
+    return _SHARED_EXECUTORS[key]

@@ -1,20 +1,35 @@
 """The simulated MapReduce execution engine.
 
-:class:`JobRunner` executes a :class:`~repro.mapreduce.job.MapReduceJob` in a
-single process while accounting for every record and byte that would have
-crossed a phase boundary on a real cluster:
+:class:`JobRunner` executes a :class:`~repro.mapreduce.job.MapReduceJob`
+through a pluggable :class:`~repro.mapreduce.executor.Executor` while
+accounting for every record and byte that would have crossed a phase boundary
+on a real cluster:
 
-1. **Map** — one mapper per input split.  The record reader charges HDFS bytes
-   read; every ``emit`` charges map-output records/bytes.
-2. **Combine & spill** — if the job has a combiner it is applied to each
-   mapper's output grouped by key (Hadoop applies it per spill; with the
-   simulator's single in-memory buffer this is equivalent for the paper's
-   associative combiners).  Spilled records are what actually leaves the
-   machine.
-3. **Shuffle-and-Sort** — spilled pairs are routed to reducers by the
-   partitioner and their bytes are charged as the paper's *communication*
-   metric, then sorted and grouped by key.
-4. **Reduce** — one reducer task per partition.
+1. **Map** — one map task per input split, built as a self-contained
+   :class:`~repro.mapreduce.executor.MapTaskSpec` (the split's records, the
+   job's side channels, a private RNG seed and a private state overlay).  The
+   record reader charges HDFS bytes read; every ``emit`` charges map-output
+   records/bytes.
+2. **Combine & spill** — if the job has a combiner it is applied *inside* each
+   map task to that mapper's output grouped by key, as Hadoop does on the map
+   side (with the simulator's single in-memory buffer this is equivalent to
+   per-spill combining for the paper's associative combiners).  Spilled
+   records are what actually leaves the machine.
+3. **Shuffle** — at the map barrier the runtime routes each task's spilled
+   pairs to reduce partitions via the partitioner, in task order, and charges
+   their bytes as the paper's *communication* metric.  Sorting happens
+   per-partition inside each reduce task (a chunked shuffle) rather than
+   globally, so partitions sort concurrently under a parallel executor.
+4. **Reduce** — one reduce task per partition.
+
+**Executors and determinism.**  The default :class:`SerialExecutor` runs tasks
+inline in task order; :class:`~repro.mapreduce.executor.ParallelExecutor` runs
+them in a process pool honouring the cluster's map/reduce slots.  Both invoke
+the same task functions, and the runtime merges per-task
+:class:`~repro.mapreduce.counters.Counters` and state writes at each phase
+barrier in task order, so parallel runs are bit-identical to serial runs (see
+:mod:`repro.mapreduce.executor` for the guarantee and its picklability
+requirements).
 
 Side-channel costs (Job Configuration broadcast, Distributed Cache
 replication) are also charged, because the paper's H-WTopk uses them for
@@ -23,17 +38,23 @@ coordinator-to-mapper communication.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-import numpy as np
-
 from repro.errors import JobConfigurationError
-from repro.mapreduce.api import EmittedPair, MapperContext, ReducerContext
+from repro.mapreduce.api import EmittedPair
 from repro.mapreduce.cluster import ClusterSpec, paper_cluster
 from repro.mapreduce.counters import CounterNames, Counters
+from repro.mapreduce.executor import (
+    Executor,
+    MapTaskSpec,
+    ReduceTaskSpec,
+    SerialExecutor,
+    SplitRecords,
+    TaskResult,
+)
 from repro.mapreduce.hdfs import HDFS, InputSplit
-from repro.mapreduce.inputformat import SequentialInputFormat
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.state import StateStore
 
@@ -92,11 +113,13 @@ class JobRunner:
         cluster: Optional[ClusterSpec] = None,
         state_store: Optional[StateStore] = None,
         seed: int = 7,
+        executor: Optional[Executor] = None,
     ) -> None:
         self._hdfs = hdfs
         self._cluster = cluster if cluster is not None else paper_cluster()
         self._state_store = state_store if state_store is not None else StateStore()
         self._seed = seed
+        self._executor = executor if executor is not None else SerialExecutor()
         self._round_counter = 0
 
     @property
@@ -113,6 +136,11 @@ class JobRunner:
     def state_store(self) -> StateStore:
         """The cross-round state store shared by all jobs run by this runner."""
         return self._state_store
+
+    @property
+    def executor(self) -> Executor:
+        """The task executor phases are dispatched through."""
+        return self._executor
 
     # ------------------------------------------------------------------ run
     def run(self, job: MapReduceJob, splits: Optional[List[InputSplit]] = None) -> JobResult:
@@ -135,12 +163,25 @@ class JobRunner:
 
         self._charge_side_channels(job, counters, num_mappers=len(splits))
 
-        mapper_outputs = [
-            self._run_mapper(job, split, counters, num_splits=len(splits))
-            for split in splits
+        map_specs = [self._build_map_spec(job, split, len(splits)) for split in splits]
+        map_results = self._executor.run_map_tasks(
+            map_specs, slots=self._cluster.total_map_slots
+        )
+        self._merge_task_results(map_results, counters)
+
+        partitions = self._shuffle(job, map_results, counters)
+
+        reduce_specs = [
+            self._build_reduce_spec(job, reducer_id, pairs, len(splits))
+            for reducer_id, pairs in enumerate(partitions)
         ]
-        partitions = self._combine_and_shuffle(job, mapper_outputs, counters)
-        output = self._run_reducers(job, partitions, counters, num_splits=len(splits))
+        reduce_results = self._executor.run_reduce_tasks(
+            reduce_specs, slots=self._cluster.total_reduce_slots
+        )
+        self._merge_task_results(reduce_results, counters)
+        output: List[Tuple[Any, Any]] = []
+        for result in reduce_results:
+            output.extend((key, value) for key, value, _ in result.pairs)
 
         return JobResult(
             job_name=job.name,
@@ -169,110 +210,81 @@ class JobRunner:
                 cache_bytes * self._cluster.num_workers,
             )
 
-    # ------------------------------------------------------------------- map
-    def _run_mapper(self, job: MapReduceJob, split: InputSplit, counters: Counters,
-                    num_splits: int) -> List[EmittedPair]:
-        hdfs_file = self._hdfs.open(job.input_path)
-        rng = np.random.default_rng(
-            (self._seed, self._round_counter, split.split_id)
-        )
-        context = MapperContext(
+    # ------------------------------------------------------------- task specs
+    def _build_map_spec(self, job: MapReduceJob, split: InputSplit,
+                        num_splits: int) -> MapTaskSpec:
+        records: Optional[SplitRecords] = None
+        if job.read_input:
+            hdfs_file = self._hdfs.open(job.input_path)
+            records = SplitRecords(
+                keys=hdfs_file.read(split.start, split.length),
+                start=split.start,
+                record_size_bytes=hdfs_file.record_size_bytes,
+            )
+        snapshot = self._state_snapshot("split", split.split_id)
+        return MapTaskSpec(
             split=split,
+            mapper_class=job.mapper_class,
             configuration=job.configuration,
             distributed_cache=job.distributed_cache,
-            counters=counters,
-            state_store=self._state_store,
             serialization=job.serialization,
-            rng=rng,
+            input_format=job.input_format_class,
+            read_input=job.read_input,
+            combiner=job.combiner,
+            records=records,
+            state_snapshot=snapshot,
+            seed_key=(self._seed, self._round_counter, split.split_id),
             num_splits=num_splits,
         )
-        mapper = job.mapper_class()
-        mapper.setup(context)
-        if job.read_input:
-            input_format = (
-                job.input_format_class if job.input_format_class is not None
-                else SequentialInputFormat()
-            )
-            reader = input_format.create_reader(hdfs_file, split, rng=rng)
-            for record in reader:
-                mapper.map(record, context)
-                counters.increment(CounterNames.MAP_INPUT_RECORDS)
-            counters.increment(CounterNames.MAP_INPUT_BYTES, reader.bytes_read)
-            counters.increment(CounterNames.HDFS_BYTES_READ, reader.bytes_read)
-        mapper.close(context)
-        return context.emitted_pairs
 
-    # -------------------------------------------------------- combine + shuffle
-    def _combine_and_shuffle(
-        self,
-        job: MapReduceJob,
-        mapper_outputs: List[List[EmittedPair]],
-        counters: Counters,
-    ) -> List[List[EmittedPair]]:
-        """Apply the combiner per mapper, then partition pairs across reducers."""
+    def _build_reduce_spec(self, job: MapReduceJob, reducer_id: int,
+                           pairs: List[EmittedPair], num_splits: int) -> ReduceTaskSpec:
+        snapshot = self._state_snapshot("reducer", reducer_id)
+        return ReduceTaskSpec(
+            reducer_id=reducer_id,
+            reducer_class=job.reducer_class,
+            configuration=job.configuration,
+            distributed_cache=job.distributed_cache,
+            serialization=job.serialization,
+            pairs=pairs,
+            state_snapshot=snapshot,
+            seed_key=(self._seed, self._round_counter, 10_000 + reducer_id),
+            num_splits=num_splits,
+        )
+
+    def _state_snapshot(self, kind: str, identifier: int) -> Dict[Tuple[str, int], Any]:
+        """Deep-copied state blob for one task (empty mapping when absent).
+
+        The copy makes serial semantics identical to parallel semantics: a task
+        that mutates a loaded payload in place without re-saving it mutates a
+        private copy under *both* executors, instead of silently leaking the
+        mutation into the shared store when tasks happen to run in-process.
+        """
+        if not self._state_store.exists(kind, identifier):
+            return {}
+        return {(kind, identifier): copy.deepcopy(self._state_store.peek(kind, identifier))}
+
+    # ---------------------------------------------------------- phase barriers
+    def _merge_task_results(self, results: List[TaskResult], counters: Counters) -> None:
+        """Fold per-task counters and state writes into the job, in task order."""
+        for result in results:
+            for name, value in result.counters:
+                counters.increment(name, value)
+            for kind, identifier, payload, size_bytes in result.state_saves:
+                # Copy for the same reason _state_snapshot does: the store must
+                # not alias objects a serial task keeps mutating after save.
+                self._state_store.save(kind, identifier, copy.deepcopy(payload),
+                                       size_bytes=size_bytes)
+            self._state_store.bytes_read += result.state_bytes_read
+
+    def _shuffle(self, job: MapReduceJob, map_results: List[TaskResult],
+                 counters: Counters) -> List[List[EmittedPair]]:
+        """Route each map task's spilled pairs to reduce partitions, in task order."""
         partitions: List[List[EmittedPair]] = [[] for _ in range(job.num_reducers)]
-        for pairs in mapper_outputs:
-            spilled = self._apply_combiner(job, pairs, counters)
-            counters.increment(CounterNames.SPILLED_RECORDS, len(spilled))
-            for key, value, size in spilled:
+        for result in map_results:
+            for key, value, size in result.pairs:
                 reducer_index = job.partitioner(key, job.num_reducers)
                 partitions[reducer_index].append((key, value, size))
                 counters.increment(CounterNames.SHUFFLE_RECORDS)
                 counters.increment(CounterNames.SHUFFLE_BYTES, size)
         return partitions
-
-    def _apply_combiner(self, job: MapReduceJob, pairs: List[EmittedPair],
-                        counters: Counters) -> List[EmittedPair]:
-        if job.combiner is None or not pairs:
-            return pairs
-        grouped: Dict[Any, List[Any]] = {}
-        order: List[Any] = []
-        for key, value, _ in pairs:
-            if key not in grouped:
-                grouped[key] = []
-                order.append(key)
-            grouped[key].append(value)
-            counters.increment(CounterNames.COMBINE_INPUT_RECORDS)
-        combined: List[EmittedPair] = []
-        for key in order:
-            value = job.combiner(key, grouped[key])
-            size = job.serialization.pair_size(key, value)
-            combined.append((key, value, size))
-            counters.increment(CounterNames.COMBINE_OUTPUT_RECORDS)
-        return combined
-
-    # ---------------------------------------------------------------- reduce
-    def _run_reducers(
-        self,
-        job: MapReduceJob,
-        partitions: List[List[EmittedPair]],
-        counters: Counters,
-        num_splits: int,
-    ) -> List[Tuple[Any, Any]]:
-        output: List[Tuple[Any, Any]] = []
-        for reducer_id, pairs in enumerate(partitions):
-            rng = np.random.default_rng(
-                (self._seed, self._round_counter, 10_000 + reducer_id)
-            )
-            context = ReducerContext(
-                reducer_id=reducer_id,
-                configuration=job.configuration,
-                distributed_cache=job.distributed_cache,
-                counters=counters,
-                state_store=self._state_store,
-                serialization=job.serialization,
-                rng=rng,
-                num_splits=num_splits,
-            )
-            reducer = job.reducer_class()
-            reducer.setup(context)
-            grouped: Dict[Any, List[Any]] = {}
-            for key, value, _ in pairs:
-                grouped.setdefault(key, []).append(value)
-                counters.increment(CounterNames.REDUCE_INPUT_RECORDS)
-            for key in sorted(grouped):
-                counters.increment(CounterNames.REDUCE_INPUT_GROUPS)
-                reducer.reduce(key, grouped[key], context)
-            reducer.close(context)
-            output.extend((key, value) for key, value, _ in context.emitted_pairs)
-        return output

@@ -53,6 +53,14 @@ class StateStore:
                 pass
         return payload
 
+    def peek(self, kind: str, identifier: int, default: Any = None) -> Any:
+        """Read a blob without charging read bytes.
+
+        Used by the runtime to snapshot a task's state into its task spec;
+        the read is charged when (and only when) the task actually loads it.
+        """
+        return self._blobs.get((kind, identifier), default)
+
     def exists(self, kind: str, identifier: int) -> bool:
         """Return whether state exists for the task."""
         return (kind, identifier) in self._blobs

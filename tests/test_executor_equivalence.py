@@ -1,0 +1,117 @@
+"""Determinism suite: the parallel executor must be bit-identical to serial.
+
+For every one of the seven algorithms, running on ``small_dataset`` with a
+fixed seed, the parallel executor must reproduce the serial executor exactly:
+same histogram coefficients, same merged counter totals, same per-round
+outputs and shuffle bytes.  This is the guarantee that makes the parallel
+engine safe to use for every figure and benchmark — any scheduling- or
+merge-order-dependence in the runtime shows up here as a float or ordering
+diff.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import (
+    BasicSampling,
+    HWTopk,
+    ImprovedSampling,
+    SendCoef,
+    SendSketch,
+    SendV,
+    TwoLevelSampling,
+)
+from repro.mapreduce.cluster import ClusterSpec, MachineSpec
+from repro.mapreduce.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    create_executor,
+    shared_executor,
+)
+from repro.mapreduce.hdfs import HDFS
+
+U = 256
+K = 10
+EPSILON = 0.02
+SEED = 7
+
+ALGORITHM_FACTORIES = {
+    "Send-V": lambda: SendV(U, K),
+    "Send-V+combine": lambda: SendV(U, K, use_combiner=True),
+    "Send-Coef": lambda: SendCoef(U, K),
+    "H-WTopk": lambda: HWTopk(U, K),
+    "Send-Sketch": lambda: SendSketch(U, K, bytes_per_level=1024),
+    "Basic-S": lambda: BasicSampling(U, K, epsilon=EPSILON),
+    "Improved-S": lambda: ImprovedSampling(U, K, epsilon=EPSILON),
+    "TwoLevel-S": lambda: TwoLevelSampling(U, K, epsilon=EPSILON),
+}
+
+
+@pytest.fixture(scope="module")
+def parallel_executor():
+    """One process pool shared by the whole module (start-up amortised)."""
+    executor = ParallelExecutor(max_workers=4)
+    yield executor
+    executor.close()
+
+
+def _run(algorithm_factory, dataset, cluster, executor):
+    hdfs = HDFS(datanodes=[machine.name for machine in cluster.machines])
+    dataset.to_hdfs(hdfs, "/data/input")
+    return algorithm_factory().run(hdfs, "/data/input", cluster=cluster,
+                                   seed=SEED, executor=executor)
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHM_FACTORIES))
+def test_parallel_matches_serial_bit_for_bit(name, small_dataset, small_cluster,
+                                             parallel_executor):
+    factory = ALGORITHM_FACTORIES[name]
+    serial = _run(factory, small_dataset, small_cluster, SerialExecutor())
+    parallel = _run(factory, small_dataset, small_cluster, parallel_executor)
+
+    # The histogram: same coefficient indices and exactly equal values.
+    assert serial.histogram.coefficients == parallel.histogram.coefficients
+
+    # Every counter total, exactly (float equality is intentional: the merge
+    # order at phase barriers is pinned to task order in both executors).
+    assert serial.counters.as_dict() == parallel.counters.as_dict()
+
+    # Per-round results: outputs in the same order, same communication.
+    assert serial.num_rounds == parallel.num_rounds
+    for serial_round, parallel_round in zip(serial.rounds, parallel.rounds):
+        assert serial_round.output == parallel_round.output
+        assert serial_round.shuffle_bytes == parallel_round.shuffle_bytes
+        assert serial_round.counters.as_dict() == parallel_round.counters.as_dict()
+
+    assert serial.communication_bytes == parallel.communication_bytes
+    assert serial.simulated_time_s == parallel.simulated_time_s
+
+
+def test_parallel_executor_bounded_by_slots(small_dataset, parallel_executor):
+    """A cluster with one map slot still executes correctly (window of 1)."""
+    one_slot = ClusterSpec(
+        machines=[MachineSpec(name="only", map_slots=1, reduce_slots=1)],
+        split_size_bytes=max(4, small_dataset.size_bytes // 4),
+    )
+    serial = _run(ALGORITHM_FACTORIES["Send-V"], small_dataset, one_slot,
+                  SerialExecutor())
+    parallel = _run(ALGORITHM_FACTORIES["Send-V"], small_dataset, one_slot,
+                    parallel_executor)
+    assert serial.histogram.coefficients == parallel.histogram.coefficients
+    assert serial.counters.as_dict() == parallel.counters.as_dict()
+
+
+def test_create_executor_names():
+    assert create_executor("serial").name == "serial"
+    parallel = create_executor("parallel", workers=2)
+    assert parallel.name == "parallel" and parallel.max_workers == 2
+    parallel.close()
+    with pytest.raises(Exception):
+        create_executor("threaded")
+
+
+def test_shared_executor_is_cached():
+    first = shared_executor("serial")
+    assert shared_executor("serial") is first
+    assert shared_executor("serial", None) is first

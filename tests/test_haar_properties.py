@@ -1,0 +1,134 @@
+"""Property-based tests (hypothesis) for the vectorised numeric core.
+
+The batched-numpy rewrites of ``haar_transform`` / ``sparse_haar_transform``
+and the lexsort-based top-k selection must preserve the mathematical contract
+of the originals on *arbitrary* signals, not just the fixtures:
+
+* transform/inverse round-trip is the identity;
+* the orthonormal transform preserves energy (Parseval);
+* the sparse transform agrees with the dense transform;
+* batched (2-D) transforms equal row-by-row 1-D transforms bit-for-bit;
+* top-k selection matches the heap-based reference (same deterministic
+  magnitude-then-index tie-break) on any coefficient mapping.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.haar import (
+    energy,
+    haar_transform,
+    inverse_haar_transform,
+    sparse_haar_transform,
+)
+from repro.core.topk_coefficients import (
+    bottom_k_items,
+    top_k_coefficients,
+    top_k_items,
+)
+
+LOG_U = st.integers(min_value=0, max_value=7)
+
+FINITE = st.floats(min_value=-1e9, max_value=1e9, allow_nan=False,
+                   allow_infinity=False, width=64)
+
+
+@st.composite
+def signals(draw):
+    u = 2 ** draw(LOG_U)
+    return np.array(draw(st.lists(FINITE, min_size=u, max_size=u)), dtype=float)
+
+
+@st.composite
+def sparse_counts(draw):
+    u = 2 ** draw(st.integers(min_value=1, max_value=10))
+    keys = draw(st.lists(st.integers(min_value=1, max_value=u), min_size=0,
+                         max_size=64, unique=True))
+    return {key: draw(FINITE) for key in keys}, u
+
+
+@st.composite
+def coefficient_mappings(draw):
+    indices = draw(st.lists(st.integers(min_value=1, max_value=1024), min_size=0,
+                            max_size=64, unique=True))
+    return {index: draw(FINITE) for index in indices}
+
+
+@given(signals())
+@settings(max_examples=200, deadline=None)
+def test_round_trip_is_identity(v):
+    reconstructed = inverse_haar_transform(haar_transform(v))
+    np.testing.assert_allclose(reconstructed, v, rtol=1e-9, atol=1e-6 * (1 + np.abs(v).max()))
+
+
+@given(signals())
+@settings(max_examples=200, deadline=None)
+def test_parseval_energy_preservation(v):
+    w = haar_transform(v)
+    np.testing.assert_allclose(energy(w), energy(v), rtol=1e-9, atol=1e-6)
+
+
+@given(sparse_counts())
+@settings(max_examples=200, deadline=None)
+def test_sparse_transform_agrees_with_dense(counts_and_u):
+    counts, u = counts_and_u
+    dense = np.zeros(u, dtype=float)
+    for key, count in counts.items():
+        dense[key - 1] = count
+    expected = haar_transform(dense)
+    sparse = sparse_haar_transform(counts, u)
+    actual = np.zeros(u, dtype=float)
+    for index, value in sparse.items():
+        actual[index - 1] = value
+    scale = 1 + np.abs(expected).max()
+    np.testing.assert_allclose(actual, expected, rtol=1e-9, atol=1e-9 * scale)
+
+
+FIXED_WIDTH_SIGNAL = st.lists(FINITE, min_size=16, max_size=16).map(
+    lambda values: np.array(values, dtype=float)
+)
+
+
+@given(st.lists(FIXED_WIDTH_SIGNAL, min_size=1, max_size=8))
+@settings(max_examples=50, deadline=None)
+def test_batched_transform_equals_per_row(rows):
+    batch = np.stack(rows)
+    batched = haar_transform(batch)
+    for row_index in range(batch.shape[0]):
+        assert np.array_equal(batched[row_index], haar_transform(batch[row_index]))
+    restored = inverse_haar_transform(batched)
+    for row_index in range(batch.shape[0]):
+        assert np.array_equal(
+            restored[row_index], inverse_haar_transform(batched[row_index])
+        )
+
+
+@given(coefficient_mappings(), st.integers(min_value=1, max_value=70))
+@settings(max_examples=200, deadline=None)
+def test_top_k_coefficients_matches_heap_reference(coefficients, k):
+    expected = {
+        index: value
+        for index, value in heapq.nlargest(
+            k, coefficients.items(), key=lambda item: (abs(item[1]), -item[0])
+        )
+        if value != 0.0
+    }
+    actual = top_k_coefficients(coefficients, k)
+    assert actual == expected
+    # Selection order (descending magnitude) is part of the contract.
+    assert list(actual) == list(expected)
+
+
+@given(coefficient_mappings(), st.integers(min_value=1, max_value=70))
+@settings(max_examples=200, deadline=None)
+def test_top_and_bottom_k_items_match_heap_reference(scores, k):
+    assert top_k_items(scores, k) == tuple(
+        heapq.nlargest(k, scores.items(), key=lambda item: (item[1], -item[0]))
+    )
+    assert bottom_k_items(scores, k) == tuple(
+        heapq.nsmallest(k, scores.items(), key=lambda item: (item[1], item[0]))
+    )
