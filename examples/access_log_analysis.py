@@ -1,23 +1,31 @@
-"""Summarising a web access log: the paper's WorldCup scenario.
+"""Summarising a web access log: the paper's WorldCup scenario, end to end.
 
 The paper's real workload is the 1998 World Cup access log, keyed by the
 (client id, object id) pairing — the same shape as (src ip, dst ip) pairs in
 network traffic analysis.  This example generates a WorldCup-like log with the
 bundled synthetic generator, summarises the clientobject distribution with
-every algorithm, and reports the cost/quality trade-off plus the heaviest
-traffic concentrations found by the histogram.
+every algorithm — publishing every build into one synopsis store — and then
+serves the analysis questions (hot-pair estimates, traffic concentration
+ranges) from the *stored* synopses through a query server, the way a
+monitoring dashboard would.
 
 Run with:  python examples/access_log_analysis.py
 """
 
 from __future__ import annotations
 
+import tempfile
+
+import numpy as np
+
 from repro import (
     HDFS,
     HWTopk,
     ImprovedSampling,
+    QueryServer,
     SendSketch,
     SendV,
+    SynopsisStore,
     TwoLevelSampling,
     WaveletHistogram,
     WorldCupLikeGenerator,
@@ -38,6 +46,9 @@ def main() -> None:
     reference = log.frequency_vector()
     ideal_sse = WaveletHistogram.from_frequency_vector(reference, 30).sse(reference)
 
+    # Every build is published into one persistent store, one catalog entry
+    # per algorithm — the summarisation pipeline's output artifact.
+    store = SynopsisStore(tempfile.mkdtemp(prefix="repro-access-log-"))
     algorithms = [
         SendV(log.u, 30),
         HWTopk(log.u, 30),
@@ -46,24 +57,45 @@ def main() -> None:
         TwoLevelSampling(log.u, 30, epsilon=0.01),
     ]
     print(f"\n{'algorithm':<12} {'comm (bytes)':>14} {'time (s)':>10} {'SSE / ideal':>12}")
-    results = {}
     for algorithm in algorithms:
-        result = algorithm.run(hdfs, "/logs/worldcup", cluster=cluster)
-        results[result.algorithm] = result
+        result = algorithm.run(hdfs, "/logs/worldcup", cluster=cluster, store=store)
         print(f"{result.algorithm:<12} {result.communication_bytes:>14,.0f} "
               f"{result.simulated_time_s:>10.1f} "
               f"{result.histogram.sse(reference) / ideal_sse:>12.2f}")
+
+    # From here on the analysis runs against the *store*, not the build
+    # results: a query server reloads each synopsis from disk (checksummed,
+    # lazily) and answers query batches through the vectorized engine.
+    server = QueryServer(store)
+    print(f"\nstore holds {len(store.names())} synopses: {', '.join(store.names())}")
 
     # The k-term synopsis captures the heaviest (client, object) pairings: the
     # fine-level coefficients it keeps sit exactly on the hottest keys, so
     # point estimates for those keys are accurate even though the histogram
     # was built from a tiny sample with ~9 kB of communication.
-    histogram = results["TwoLevel-S"].histogram
     top_pairs = sorted(reference.counts.items(), key=lambda item: -item[1])[:8]
-    print("\nheaviest clientobject pairs, true count versus TwoLevel-S histogram estimate:")
-    for key, true_count in top_pairs:
-        estimate = histogram.estimate(key)
+    hot_keys = np.array([key for key, _ in top_pairs], dtype=np.int64)
+    estimates = server.estimates("TwoLevel-S", hot_keys)
+    print("\nheaviest clientobject pairs, true count versus stored TwoLevel-S estimate:")
+    for (key, true_count), estimate in zip(top_pairs, estimates):
         print(f"  clientobject {key:>6}: true {true_count:>8.0f}   estimated {estimate:>10.0f}")
+
+    # Traffic concentration: what fraction of all requests fall in each
+    # sixteenth of the key space?  One batched selectivity query per synopsis.
+    bounds = np.linspace(0, log.u, 17, dtype=np.int64)
+    los, his = bounds[:-1] + 1, bounds[1:]
+    dense = reference.to_dense()
+    prefix = np.concatenate(([0.0], np.cumsum(dense)))
+    truth = (prefix[his] - prefix[los - 1]) / log.n
+    exact_served = server.selectivities("Send-V", los, his, total=log.n)
+    sampled_served = server.selectivities("TwoLevel-S", los, his, total=log.n)
+    print("\ntraffic share per 1/16th of the key space (true / exact synopsis / sampled):")
+    for index in np.argsort(-truth)[:4]:
+        print(f"  keys [{los[index]:>6}, {his[index]:>6}]: "
+              f"{truth[index]:>6.1%} / {exact_served[index]:>6.1%} / "
+              f"{sampled_served[index]:>6.1%}")
+    print(f"\nserver stats: {server.stats()['queries_served']} queries in "
+          f"{server.stats()['batches_served']} batches")
 
 
 if __name__ == "__main__":

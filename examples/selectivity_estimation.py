@@ -46,15 +46,15 @@ def main() -> None:
 
     # A workload of range predicates (price BETWEEN lo AND hi) of varying width.
     rng = np.random.default_rng(3)
-    queries = []
+    los, his = [], []
     for width in (u // 32, u // 8, u // 2):
-        for _ in range(20):
-            lo = int(rng.integers(1, u - width))
-            queries.append((lo, lo + width - 1))
-    true_counts = {
-        (lo, hi): sum(count for key, count in reference.items() if lo <= key <= hi)
-        for lo, hi in queries
-    }
+        starts = rng.integers(1, u - width, size=20)
+        los.extend(int(start) for start in starts)
+        his.extend(int(start) + width - 1 for start in starts)
+    los = np.array(los, dtype=np.int64)
+    his = np.array(his, dtype=np.int64)
+    prefix = np.concatenate(([0.0], np.cumsum(reference.to_dense())))
+    true_counts = prefix[his] - prefix[los - 1]
 
     print(f"{'k':>4} {'builder':<12} {'comm (bytes)':>14} {'mean abs. selectivity error':>28}")
     for k in (10, 30, 50):
@@ -65,10 +65,9 @@ def main() -> None:
         ]
         for builder in builders:
             result = builder.run(hdfs, "/data/orders", cluster=cluster)
-            errors = [
-                abs(result.histogram.range_sum(lo, hi) - true_counts[(lo, hi)]) / n
-                for lo, hi in queries
-            ]
+            # One vectorized pass answers the whole predicate batch at once.
+            estimates = result.histogram.range_sum_many(los, his)
+            errors = np.abs(estimates - true_counts) / n
             print(f"{k:>4} {result.algorithm:<12} {result.communication_bytes:>14,.0f} "
                   f"{float(np.mean(errors)):>28.4f}")
     print("\nLarger k improves every builder; the sampling builders pay a small accuracy "

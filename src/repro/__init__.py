@@ -12,7 +12,11 @@ The package is organised as:
 * :mod:`repro.algorithms` — the paper's five main algorithms plus the two
   extra baselines, each runnable end to end;
 * :mod:`repro.data` — Zipfian / WorldCup-like dataset generators;
-* :mod:`repro.experiments` — the figure-by-figure experiment harness.
+* :mod:`repro.experiments` — the figure-by-figure experiment harness;
+* :mod:`repro.serving` — the synopsis serving layer: a persistent
+  :class:`~repro.serving.store.SynopsisStore`, the vectorized
+  :class:`~repro.serving.engine.BatchQueryEngine` and the thread-safe
+  :class:`~repro.serving.server.QueryServer`.
 
 Quickstart::
 
@@ -41,8 +45,14 @@ from repro.cost import CostModel, CostParameters
 from repro.data import Dataset, UniformDatasetGenerator, WorldCupLikeGenerator, ZipfDatasetGenerator
 from repro.mapreduce import HDFS, ClusterSpec, JobRunner, MapReduceJob
 from repro.mapreduce.cluster import paper_cluster
+from repro.serving import (
+    BatchQueryEngine,
+    QueryServer,
+    SynopsisStore,
+    WorkloadGenerator,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AlgorithmResult",
@@ -69,5 +79,9 @@ __all__ = [
     "JobRunner",
     "MapReduceJob",
     "paper_cluster",
+    "BatchQueryEngine",
+    "QueryServer",
+    "SynopsisStore",
+    "WorkloadGenerator",
     "__version__",
 ]

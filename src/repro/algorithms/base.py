@@ -5,7 +5,7 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from repro.core.histogram import WaveletHistogram
 from repro.cost.model import CostModel, CostParameters
@@ -16,6 +16,9 @@ from repro.mapreduce.executor import Executor
 from repro.mapreduce.hdfs import HDFS
 from repro.mapreduce.runtime import JobResult, JobRunner
 from repro.mapreduce.state import StateStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.store import SynopsisStore
 
 __all__ = ["AlgorithmResult", "HistogramAlgorithm"]
 
@@ -94,6 +97,8 @@ class HistogramAlgorithm(ABC):
         cost_parameters: Optional[CostParameters] = None,
         seed: int = 7,
         executor: Optional[Executor] = None,
+        store: Optional["SynopsisStore"] = None,
+        store_name: Optional[str] = None,
     ) -> AlgorithmResult:
         """Execute the algorithm against a file already stored in the simulated HDFS.
 
@@ -107,6 +112,13 @@ class HistogramAlgorithm(ABC):
                 serial executor.  A
                 :class:`~repro.mapreduce.executor.ParallelExecutor` runs the
                 same rounds concurrently with bit-identical results.
+            store: when given, the built histogram is persisted to this
+                :class:`~repro.serving.store.SynopsisStore` as a new version,
+                with the build's provenance (algorithm, seed, communication,
+                time, counters) in its metadata.  The stored entry's name and
+                version are reported under ``details["store_entry"]``.
+            store_name: catalog name to persist under; defaults to the
+                algorithm name.
         """
         cluster = cluster if cluster is not None else paper_cluster()
         runner = JobRunner(hdfs, cluster=cluster, state_store=StateStore(), seed=seed,
@@ -119,7 +131,7 @@ class HistogramAlgorithm(ABC):
             counters = counters.merge(round_result.counters)
 
         histogram = WaveletHistogram.from_coefficients(outcome.coefficients, self.u, k=self.k)
-        return AlgorithmResult(
+        result = AlgorithmResult(
             algorithm=self.name,
             histogram=histogram,
             rounds=outcome.rounds,
@@ -128,6 +140,25 @@ class HistogramAlgorithm(ABC):
             counters=counters,
             details=outcome.details,
         )
+        if store is not None:
+            metadata = store.save(
+                store_name if store_name is not None else self.name,
+                histogram,
+                algorithm=self.name,
+                seed=seed,
+                build={
+                    "communication_bytes": result.communication_bytes,
+                    "simulated_time_s": result.simulated_time_s,
+                    "rounds": result.num_rounds,
+                    "counters": counters.as_dict(),
+                },
+            )
+            result.details["store_entry"] = {
+                "name": metadata.name,
+                "version": metadata.version,
+                "checksum_sha256": metadata.checksum_sha256,
+            }
+        return result
 
     # ------------------------------------------------------------- utilities
     @staticmethod

@@ -1,6 +1,6 @@
-"""Command-line interface: run the paper's algorithms and figures from a shell.
+"""Command-line interface: build, evaluate and *serve* wavelet histograms.
 
-Three sub-commands are provided::
+Six sub-commands are provided::
 
     python -m repro compare   [--quick] [--k 30] [--epsilon 0.003]
         Run the paper's five algorithms over the (scaled) default workload and
@@ -14,10 +14,23 @@ Three sub-commands are provided::
     python -m repro list-figures
         List the figure drivers and the paper figures they correspond to.
 
-``compare`` and ``figure`` accept ``--executor {serial,parallel}`` and
-``--workers N`` to run the simulated MapReduce phases through a process pool;
-all reported numbers are bit-identical across executors, only the wall-clock
-time changes.
+    python -m repro build --store DIR [--name NAME] [--algorithm twolevel-s]
+        Build a histogram over the configured workload and persist it to a
+        synopsis store as a new checksummed version.
+
+    python -m repro query --store DIR --name NAME [--range LO HI ... | --count N]
+        Load a stored synopsis (latest or ``--version``) and answer range-sum
+        queries — explicit ``--range`` pairs or a generated workload.
+
+    python -m repro serve-bench [--quick] [--count N] [--mix mixed]
+        Measure serving throughput: the vectorized batch engine versus the
+        scalar per-query loop (plus the cached path), verifying on the way
+        that both agree to within 1e-9.
+
+``compare``, ``figure`` and ``build`` accept ``--executor {serial,parallel}``
+and ``--workers N`` to run the simulated MapReduce phases through a process
+pool; all reported numbers are bit-identical across executors, only the
+wall-clock time changes.
 """
 
 from __future__ import annotations
@@ -25,13 +38,33 @@ from __future__ import annotations
 import argparse
 from typing import Callable, Dict, List, Optional
 
+import numpy as np
+
 from repro.core.histogram import WaveletHistogram
+from repro.errors import ServingError
 from repro.experiments import figures
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_algorithms, standard_algorithms
 from repro.mapreduce.executor import EXECUTOR_NAMES
+from repro.mapreduce.hdfs import HDFS
+from repro.serving.bench import measure_serving_throughput
+from repro.serving.server import QueryServer
+from repro.serving.store import SynopsisStore
+from repro.serving.workload import MIX_NAMES, WorkloadGenerator
 
-__all__ = ["main", "build_parser", "FIGURE_DRIVERS"]
+__all__ = ["main", "build_parser", "FIGURE_DRIVERS", "ALGORITHM_SLUGS"]
+
+# CLI slugs for the ``build`` command: the lowercased names of the paper's
+# five standard algorithms, constructed through the same
+# ``standard_algorithms`` factory ``compare`` and the figures use, so the two
+# surfaces cannot drift in how they wire configuration into builders.
+ALGORITHM_SLUGS = ("send-v", "h-wtopk", "send-sketch", "improved-s", "twolevel-s")
+
+
+def _build_algorithm(slug: str, config: ExperimentConfig):
+    by_slug = {algorithm.name.lower(): algorithm
+               for algorithm in standard_algorithms(config)}
+    return by_slug[slug]
 
 # Figure name -> (driver, description) used by the ``figure`` sub-command.
 FIGURE_DRIVERS: Dict[str, Callable[[ExperimentConfig], object]] = {
@@ -94,6 +127,56 @@ def build_parser() -> argparse.ArgumentParser:
     _add_executor_arguments(figure)
 
     subparsers.add_parser("list-figures", help="list available figure drivers")
+
+    build = subparsers.add_parser(
+        "build", help="build a histogram and persist it to a synopsis store"
+    )
+    build.add_argument("--store", required=True, metavar="DIR",
+                       help="root directory of the synopsis store")
+    build.add_argument("--name", default=None,
+                       help="catalog name to store under (default: the algorithm name)")
+    build.add_argument("--algorithm", choices=sorted(ALGORITHM_SLUGS),
+                       default="twolevel-s", help="builder to run (default: twolevel-s)")
+    build.add_argument("--quick", action="store_true", help="use the small test workload")
+    build.add_argument("--k", type=int, default=None, help="histogram size (default: 30)")
+    build.add_argument("--epsilon", type=float, default=None,
+                       help="sampling parameter (default: configuration value)")
+    _add_executor_arguments(build)
+
+    query = subparsers.add_parser(
+        "query", help="answer range-sum queries from a stored synopsis"
+    )
+    query.add_argument("--store", required=True, metavar="DIR",
+                       help="root directory of the synopsis store")
+    query.add_argument("--name", required=True, help="catalog name of the synopsis")
+    query.add_argument("--version", type=int, default=None,
+                       help="version to serve (default: latest)")
+    query.add_argument("--range", dest="ranges", nargs=2, type=int, metavar=("LO", "HI"),
+                       action="append", default=None,
+                       help="an explicit range query; repeatable")
+    query.add_argument("--count", type=int, default=1000,
+                       help="generated queries when no --range is given (default: 1000)")
+    query.add_argument("--mix", choices=list(MIX_NAMES), default="mixed",
+                       help="generated workload mix (default: mixed)")
+    query.add_argument("--seed", type=int, default=7, help="workload seed (default: 7)")
+    query.add_argument("--show", type=int, default=10,
+                       help="how many individual answers to print (default: 10)")
+
+    bench = subparsers.add_parser(
+        "serve-bench",
+        help="measure batch-engine query throughput against the scalar loop",
+    )
+    bench.add_argument("--quick", action="store_true", help="use the small test workload")
+    bench.add_argument("--count", type=int, default=None,
+                       help="queries to serve (default: configuration num_queries)")
+    bench.add_argument("--mix", choices=list(MIX_NAMES), default=None,
+                       help="workload mix (default: configuration query_mix)")
+    bench.add_argument("--store", default=None, metavar="DIR",
+                       help="persist/reload the synopsis through this store "
+                            "(default: a temporary store)")
+    bench.add_argument("--cache", type=int, default=None,
+                       help="LRU range-cache capacity for the cached pass "
+                            "(default: configuration query_cache_size)")
     return parser
 
 
@@ -160,6 +243,106 @@ def _list_figures() -> List[str]:
             for name in sorted(FIGURE_DRIVERS)]
 
 
+def _run_build(arguments: argparse.Namespace) -> List[str]:
+    config = _configuration(arguments.quick, arguments.k, arguments.epsilon,
+                            executor=arguments.executor, workers=arguments.workers
+                            ).with_overrides(store_path=arguments.store)
+    dataset = config.build_dataset()
+    hdfs = HDFS()
+    dataset.to_hdfs(hdfs, "/data/build")
+    algorithm = _build_algorithm(arguments.algorithm, config)
+    result = algorithm.run(
+        hdfs, "/data/build", cluster=config.build_cluster(dataset),
+        seed=config.seed, executor=config.build_executor(),
+        store=config.build_store(), store_name=arguments.name,
+    )
+    entry = result.details["store_entry"]
+    return [
+        f"built {result.algorithm} over n={dataset.n} u=2^{config.u.bit_length() - 1} "
+        f"in {result.num_rounds} round(s), "
+        f"{result.communication_bytes:,.0f} bytes communicated",
+        f"stored {entry['name']} v{entry['version']} "
+        f"({len(result.histogram)} coefficients, "
+        f"sha256 {entry['checksum_sha256'][:12]}...) in {arguments.store}",
+    ]
+
+
+def _run_query(arguments: argparse.Namespace) -> List[str]:
+    store = SynopsisStore(arguments.store)
+    server = QueryServer(store)
+    synopsis = server.synopsis(arguments.name, arguments.version)
+    metadata = synopsis.metadata
+    if arguments.ranges:
+        los = np.array([lo for lo, _ in arguments.ranges], dtype=np.int64)
+        his = np.array([hi for _, hi in arguments.ranges], dtype=np.int64)
+        source = f"{los.size} explicit range(s)"
+    else:
+        workload = WorkloadGenerator(metadata.u, seed=arguments.seed).generate(
+            arguments.count, arguments.mix)
+        los, his = workload.los, workload.his
+        source = f"{los.size} generated {arguments.mix} queries (seed {arguments.seed})"
+    estimates = server.range_sums(arguments.name, los, his, version=arguments.version)
+    engine = server.engine(arguments.name, arguments.version)
+    total = engine.estimated_total()
+    lines = [
+        f"synopsis {metadata.name} v{metadata.version}: algorithm={metadata.algorithm} "
+        f"u=2^{metadata.u.bit_length() - 1} coefficients={metadata.coefficient_count} "
+        f"estimated total={total:,.0f}",
+        f"answered {source}",
+        f"{'lo':>10} {'hi':>10} {'estimate':>16} {'selectivity':>12}",
+    ]
+    shown = min(max(arguments.show, 0), estimates.size)
+    for lo, hi, estimate in zip(los[:shown], his[:shown], estimates[:shown]):
+        selectivity = estimate / total if total else 0.0
+        lines.append(f"{lo:>10} {hi:>10} {estimate:>16,.1f} {selectivity:>12.5f}")
+    if estimates.size > shown:
+        lines.append(f"... {estimates.size - shown} more")
+    lines.append(
+        f"batch mean estimate {float(np.mean(estimates)):,.1f}, "
+        f"min {float(np.min(estimates)):,.1f}, max {float(np.max(estimates)):,.1f}"
+    )
+    return lines
+
+
+def _run_serve_bench(arguments: argparse.Namespace) -> List[str]:
+    config = _configuration(arguments.quick)
+    count = arguments.count if arguments.count is not None else config.num_queries
+    mix = arguments.mix if arguments.mix is not None else config.query_mix
+    cache_size = arguments.cache if arguments.cache is not None else config.query_cache_size
+
+    dataset = config.build_dataset()
+    reference = dataset.frequency_vector()
+    histogram = WaveletHistogram.from_frequency_vector(reference, config.k)
+
+    # Round-trip through a store so the benchmark serves what a server would.
+    if arguments.store is not None:
+        store = SynopsisStore(arguments.store)
+    else:
+        import tempfile
+
+        store = SynopsisStore(tempfile.mkdtemp(prefix="repro-serve-bench-"))
+    metadata = store.save("serve-bench", histogram, algorithm="exact-topk",
+                          seed=config.seed)
+    served = store.load("serve-bench", metadata.version)
+    workload = config.build_workload(count=count, mix=mix)
+
+    report = measure_serving_throughput(served, workload, cache_size=cache_size)
+
+    # The synopsis was built exact, so its served total must match the data.
+    total = served.engine().estimated_total()
+    if abs(total - dataset.n) > 1e-6 * max(1.0, dataset.n):
+        raise ServingError(
+            f"estimated total {total} deviates from the dataset size {dataset.n}"
+        )
+
+    header = (
+        f"serve-bench: {count} {mix} queries over {metadata.name} "
+        f"v{metadata.version} (u=2^{metadata.u.bit_length() - 1}, "
+        f"{metadata.coefficient_count} coefficients)"
+    )
+    return [header] + report.table_lines()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -168,6 +351,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         lines = _run_compare(arguments)
     elif arguments.command == "figure":
         lines = _run_figure(arguments)
+    elif arguments.command == "build":
+        lines = _run_build(arguments)
+    elif arguments.command == "query":
+        lines = _run_query(arguments)
+    elif arguments.command == "serve-bench":
+        lines = _run_serve_bench(arguments)
     else:
         lines = _list_figures()
     print("\n".join(lines))

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import TYPE_CHECKING, Dict, Mapping, Optional
 
 import numpy as np
 
@@ -32,6 +32,9 @@ from repro.core.haar import (
 )
 from repro.core.topk_coefficients import top_k_coefficients, top_k_from_dense
 from repro.errors import InvalidParameterError, KeyOutOfDomainError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.serving.engine import BatchQueryEngine
 
 __all__ = ["WaveletHistogram"]
 
@@ -104,11 +107,56 @@ class WaveletHistogram:
         return inverse_haar_transform(dense_coefficients)
 
     def range_sum(self, lo: int, hi: int) -> float:
-        """Estimate ``sum_{x=lo..hi} v(x)`` (range selectivity) in ``O(k + log u)``.
+        """Estimate ``sum_{x=lo..hi} v(x)`` (range selectivity).
+
+        Delegates to the vectorized batch engine (numerically identical to
+        the scalar coefficient loop, kept as :meth:`range_sum_scalar`); for
+        many queries call :meth:`range_sum_many`, which amortises the numpy
+        dispatch over the whole batch.
+        """
+        return float(self.query_engine().range_sum_many((lo,), (hi,))[0])
+
+    def range_sum_many(self, los, his) -> "np.ndarray":
+        """Estimate ``sum_{x=lo..hi} v(x)`` for a whole batch of ranges at once.
+
+        Args:
+            los: 1-based inclusive lower bounds, shape ``(q,)``.
+            his: 1-based inclusive upper bounds, shape ``(q,)``.
+
+        Returns:
+            ``float64`` array of shape ``(q,)``; evaluated by the
+            :class:`~repro.serving.engine.BatchQueryEngine` in ``O(q * k)``
+            numpy work rather than ``q`` Python coefficient loops.
+        """
+        return self.query_engine().range_sum_many(los, his)
+
+    def estimate_many(self, keys) -> "np.ndarray":
+        """Estimate ``v(key)`` for a whole batch of keys at once (vectorized)."""
+        return self.query_engine().estimate_many(keys)
+
+    def query_engine(self) -> "BatchQueryEngine":
+        """The (lazily built, cached) batch query engine over this synopsis.
+
+        The engine snapshots the coefficients, so it must not be used after
+        mutating :attr:`coefficients` in place — histograms are treated as
+        immutable once built, as everywhere else in the library.
+        """
+        engine = getattr(self, "_engine", None)
+        if engine is None:
+            from repro.serving.engine import BatchQueryEngine
+
+            engine = BatchQueryEngine.from_histogram(self)
+            self._engine = engine
+        return engine
+
+    def range_sum_scalar(self, lo: int, hi: int) -> float:
+        """The legacy per-coefficient Python loop for one range (``O(k)``).
 
         Each retained coefficient contributes its value times the sum of its
         basis vector over ``[lo, hi]``, which has a closed form because Haar
         basis vectors are piecewise constant on two halves of their support.
+        Kept as the independently-implemented reference the batch engine is
+        validated (and benchmarked) against.
         """
         if lo > hi:
             raise InvalidParameterError(f"empty range [{lo}, {hi}]")
@@ -168,6 +216,13 @@ class WaveletHistogram:
         return float(sum(w * w for w in self.coefficients.values()))
 
     # ------------------------------------------------------------------ dunder
+    def __getstate__(self) -> Dict[str, object]:
+        # The cached query engine holds a lock and is cheap to rebuild; keep
+        # histograms picklable (tasks ship across processes) by dropping it.
+        state = self.__dict__.copy()
+        state.pop("_engine", None)
+        return state
+
     def __len__(self) -> int:
         return len(self.coefficients)
 

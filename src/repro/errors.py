@@ -62,3 +62,15 @@ class SamplingError(ReproError):
 
 class TopKError(ReproError):
     """Raised when distributed top-k inputs are inconsistent across rounds."""
+
+
+class ServingError(ReproError):
+    """Base class for synopsis serving-layer errors (store, engine, server)."""
+
+
+class SynopsisNotFoundError(ServingError):
+    """Raised when loading a synopsis name/version the store does not hold."""
+
+
+class SynopsisIntegrityError(ServingError):
+    """Raised when a stored synopsis payload fails its checksum or header check."""

@@ -30,6 +30,8 @@ from repro.data.worldcup import WorldCupLikeGenerator
 from repro.errors import InvalidParameterError
 from repro.mapreduce.cluster import ClusterSpec, MachineSpec, paper_cluster
 from repro.mapreduce.executor import EXECUTOR_NAMES, Executor, shared_executor
+from repro.serving.store import SynopsisStore
+from repro.serving.workload import MIX_NAMES, QueryWorkload, WorkloadGenerator
 
 __all__ = ["ExperimentConfig", "PAPER_REFERENCE_BYTES"]
 
@@ -66,6 +68,13 @@ class ExperimentConfig:
             construction, so this only changes wall-clock time.
         workers: worker processes for the parallel executor (machine CPU count
             when ``None``).
+        store_path: root directory of the synopsis store built histograms are
+            published to (``None`` disables persistence).
+        query_mix: workload mix served by the query benchmarks
+            (one of :data:`repro.serving.workload.MIX_NAMES`).
+        num_queries: queries per generated serving workload.
+        query_cache_size: LRU range-cache capacity of serving engines
+            (0 disables caching).
     """
 
     u: int = 2 ** 15
@@ -81,6 +90,10 @@ class ExperimentConfig:
     reference_bytes: int = PAPER_REFERENCE_BYTES
     executor: str = "serial"
     workers: Optional[int] = None
+    store_path: Optional[str] = None
+    query_mix: str = "mixed"
+    num_queries: int = 10_000
+    query_cache_size: int = 4096
 
     def __post_init__(self) -> None:
         if self.n < 1 or self.target_splits < 1:
@@ -91,6 +104,14 @@ class ExperimentConfig:
             raise InvalidParameterError(
                 f"executor must be one of {EXECUTOR_NAMES}, got {self.executor!r}"
             )
+        if self.query_mix not in MIX_NAMES:
+            raise InvalidParameterError(
+                f"query_mix must be one of {MIX_NAMES}, got {self.query_mix!r}"
+            )
+        if self.num_queries < 1:
+            raise InvalidParameterError("num_queries must be positive")
+        if self.query_cache_size < 0:
+            raise InvalidParameterError("query_cache_size must be >= 0")
 
     def build_executor(self) -> Executor:
         """Return the (process-wide shared) executor this configuration selects.
@@ -99,6 +120,30 @@ class ExperimentConfig:
         pool per figure point.
         """
         return shared_executor(self.executor, self.workers)
+
+    # --------------------------------------------------------------- serving
+    def build_store(self) -> SynopsisStore:
+        """Open (creating if needed) the synopsis store at :attr:`store_path`."""
+        if self.store_path is None:
+            raise InvalidParameterError(
+                "store_path is not configured; pass store_path=... (or --store on the CLI)"
+            )
+        return SynopsisStore(self.store_path)
+
+    def build_workload(self, u: Optional[int] = None,
+                       count: Optional[int] = None,
+                       mix: Optional[str] = None) -> QueryWorkload:
+        """Generate the serving workload this configuration describes.
+
+        Args:
+            u: domain to query (defaults to the configuration's domain — pass
+                the synopsis' own domain when they differ).
+            count: number of queries (defaults to :attr:`num_queries`).
+            mix: workload mix (defaults to :attr:`query_mix`).
+        """
+        generator = WorkloadGenerator(u if u is not None else self.u, seed=self.seed)
+        return generator.generate(count if count is not None else self.num_queries,
+                                  mix if mix is not None else self.query_mix)
 
     # ------------------------------------------------------------------ data
     def build_dataset(self, name: Optional[str] = None) -> Dataset:

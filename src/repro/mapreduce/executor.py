@@ -54,10 +54,12 @@ from repro.mapreduce.state import StateStore
 __all__ = [
     "MapTaskSpec",
     "ReduceTaskSpec",
+    "FunctionTaskSpec",
     "TaskResult",
     "SplitRecords",
     "execute_map_task",
     "execute_reduce_task",
+    "execute_function_task",
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
@@ -279,14 +281,43 @@ def execute_reduce_task(spec: ReduceTaskSpec) -> TaskResult:
     )
 
 
-TaskSpec = Union[MapTaskSpec, ReduceTaskSpec]
+@dataclass
+class FunctionTaskSpec:
+    """A generic task: a module-level function applied to a picklable payload.
+
+    This is the executor seam's escape hatch for work that is not a MapReduce
+    phase — the serving layer uses it to fan query-batch shards across the
+    same serial/parallel executors the runtime uses for map and reduce tasks.
+    The function must be defined at module level (same picklability contract
+    as mappers and reducers) and its return value must be picklable; the
+    result is delivered as the single pair ``("result", value, 0)``.
+    """
+
+    task_id: int
+    function: Callable[[Any], Any]
+    payload: Any
+
+
+def execute_function_task(spec: FunctionTaskSpec) -> TaskResult:
+    """Run one generic function task and wrap its return value as a TaskResult."""
+    value = spec.function(spec.payload)
+    return TaskResult(
+        task_id=spec.task_id,
+        pairs=[("result", value, 0)],
+        counters=Counters(),
+    )
+
+
+TaskSpec = Union[MapTaskSpec, ReduceTaskSpec, FunctionTaskSpec]
 
 
 def _execute_task(spec: TaskSpec) -> TaskResult:
     """Dispatch a spec to its task function (the worker-process entry point)."""
     if isinstance(spec, MapTaskSpec):
         return execute_map_task(spec)
-    return execute_reduce_task(spec)
+    if isinstance(spec, ReduceTaskSpec):
+        return execute_reduce_task(spec)
+    return execute_function_task(spec)
 
 
 class Executor(ABC):

@@ -1,0 +1,161 @@
+"""Shared serving-throughput measurement harness.
+
+Both user-facing surfaces that report queries/sec — the ``serve-bench`` CLI
+command and ``benchmarks/test_query_throughput.py`` — run this one harness,
+so the warm-up protocol, the scalar baseline, the 1e-9 agreement bound and
+the cache accounting cannot drift apart.  The harness always measures a
+synopsis *after* a store round trip (a :class:`~repro.serving.store.StoredSynopsis`),
+because that is the path a serving process executes: load, verify checksum,
+build the engine, answer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ServingError
+from repro.serving.store import StoredSynopsis
+from repro.serving.workload import QueryWorkload
+
+__all__ = ["ThroughputReport", "measure_serving_throughput", "AGREEMENT_ATOL"]
+
+# The batch engine must match the scalar loop to this absolute tolerance.
+AGREEMENT_ATOL = 1e-9
+
+
+@dataclass(frozen=True)
+class ThroughputReport:
+    """One serving-throughput measurement: scalar loop vs batch vs cached batch.
+
+    Attributes:
+        queries: queries per measured pass.
+        mix: workload mix of the primary (scalar vs batch) comparison.
+        scalar_seconds: wall-clock of the legacy per-query coefficient loop.
+        batch_seconds: wall-clock of one warmed, uncached vectorized pass.
+        max_abs_difference: worst |batch - scalar| (verified <= atol).
+        cached_seconds: wall-clock of a warmed LRU-cached pass over
+            ``cached_mix`` (``None`` when caching was disabled).
+        cached_mix: workload mix the cached pass replayed.
+        cache_info: the cached engine's statistics after measurement.
+    """
+
+    queries: int
+    mix: str
+    scalar_seconds: float
+    batch_seconds: float
+    max_abs_difference: float
+    cached_seconds: Optional[float] = None
+    cached_mix: Optional[str] = None
+    cache_info: Optional[Dict[str, int]] = None
+
+    @property
+    def scalar_qps(self) -> float:
+        return self.queries / self.scalar_seconds if self.scalar_seconds else float("inf")
+
+    @property
+    def batch_qps(self) -> float:
+        return self.queries / self.batch_seconds if self.batch_seconds else float("inf")
+
+    @property
+    def cached_qps(self) -> Optional[float]:
+        if self.cached_seconds is None:
+            return None
+        return self.queries / self.cached_seconds if self.cached_seconds else float("inf")
+
+    @property
+    def speedup(self) -> float:
+        """Batch engine speedup over the scalar loop."""
+        return self.scalar_seconds / self.batch_seconds if self.batch_seconds else float("inf")
+
+    def table_lines(self) -> List[str]:
+        """The throughput table both the CLI and the benchmark print."""
+        lines = [
+            f"max |batch - scalar| = {self.max_abs_difference:.2e} "
+            f"(bound {AGREEMENT_ATOL:g} verified)",
+            f"{'path':<16} {'queries/s':>14} {'speedup':>9}",
+            f"{'scalar loop':<16} {self.scalar_qps:>14,.0f} {1.0:>9.1f}",
+            f"{'batch engine':<16} {self.batch_qps:>14,.0f} {self.speedup:>9.1f}",
+        ]
+        if self.cached_qps is not None and self.cache_info is not None:
+            suffix = (f"  ({self.cached_mix} workload)"
+                      if self.cached_mix != self.mix else "")
+            lines.append(
+                f"{'batch + cache':<16} {self.cached_qps:>14,.0f} "
+                f"{self.scalar_seconds / self.cached_seconds:>9.1f}{suffix}"
+            )
+            hits, misses = self.cache_info["hits"], self.cache_info["misses"]
+            lines.append(
+                f"cache: capacity {self.cache_info['capacity']}, hit rate "
+                f"{hits / (hits + misses):.1%} ({hits} hits / {misses} misses)"
+            )
+        return lines
+
+
+def measure_serving_throughput(
+    served: StoredSynopsis,
+    workload: QueryWorkload,
+    *,
+    cache_size: int = 0,
+    cached_workload: Optional[QueryWorkload] = None,
+    atol: float = AGREEMENT_ATOL,
+) -> ThroughputReport:
+    """Measure one stored synopsis: scalar loop vs batch engine (vs cached).
+
+    Args:
+        served: the store-round-tripped synopsis to serve.
+        workload: the queries timed for the scalar-vs-batch comparison.
+        cache_size: LRU capacity for the cached pass (0 skips it).
+        cached_workload: queries for the cached pass (defaults to
+            ``workload``; pass a zipfian mix to measure the repeated-range
+            regime the cache exists for).
+        atol: scalar/batch agreement bound.
+
+    Raises:
+        ServingError: if the batch engine disagrees with the scalar loop
+            beyond ``atol``, or a cached pass disagrees with an uncached one.
+    """
+    histogram = served.histogram
+    start = time.perf_counter()
+    scalar = np.array([histogram.range_sum_scalar(lo, hi) for lo, hi in workload])
+    scalar_seconds = time.perf_counter() - start
+
+    engine = served.engine(cache_size=0)
+    engine.range_sum_many(workload.los[:8], workload.his[:8])  # warm numpy dispatch
+    start = time.perf_counter()
+    batch = engine.range_sum_many(workload.los, workload.his)
+    batch_seconds = time.perf_counter() - start
+
+    worst = float(np.max(np.abs(batch - scalar)))
+    if worst > atol:
+        raise ServingError(
+            f"batch engine disagrees with the scalar loop: max |diff| = {worst:.3e}"
+        )
+
+    cached_seconds = None
+    cache_info = None
+    replay = None
+    if cache_size > 0:
+        replay = cached_workload if cached_workload is not None else workload
+        cached_engine = served.engine(cache_size=cache_size)
+        cached_engine.range_sum_many(replay.los, replay.his)  # warm the cache
+        start = time.perf_counter()
+        cached = cached_engine.range_sum_many(replay.los, replay.his)
+        cached_seconds = time.perf_counter() - start
+        if not np.array_equal(cached, engine.range_sum_many(replay.los, replay.his)):
+            raise ServingError("cached results differ from uncached results")
+        cache_info = cached_engine.cache_info()
+
+    return ThroughputReport(
+        queries=len(workload),
+        mix=workload.mix,
+        scalar_seconds=scalar_seconds,
+        batch_seconds=batch_seconds,
+        max_abs_difference=worst,
+        cached_seconds=cached_seconds,
+        cached_mix=replay.mix if replay is not None else None,
+        cache_info=cache_info,
+    )

@@ -1,0 +1,329 @@
+"""Vectorized batch evaluation of wavelet-histogram queries.
+
+The legacy query path (:meth:`repro.core.histogram.WaveletHistogram.range_sum`)
+loops over the retained coefficients in Python for every query.  This module
+replaces that with an **error-tree formulation evaluated in numpy**: the
+engine precomputes, per retained coefficient, the geometry of its dyadic
+support (start, midpoint, half-width and the orthonormal scale), and answers a
+whole batch of queries with a handful of broadcast operations.
+
+The math.  Let ``C_i(x) = sum_{y=1..x} psi_i(x)`` be the prefix sum of basis
+vector ``psi_i``.  A Haar basis vector is ``-1/sqrt(W)`` on the left half of
+its dyadic support ``[s, s + W - 1]`` and ``+1/sqrt(W)`` on the right half, so
+with ``t = clamp(x, s - 1, s + W - 1)`` and ``m = s + W/2 - 1``::
+
+    C_i(x) = ( clip(t - m, 0, W/2) - clip(t - s + 1, 0, W/2) ) / sqrt(W)
+
+and a range sum is a difference of prefix sums::
+
+    range_sum(lo, hi) = sum_i w_i * (C_i(hi) - C_i(lo - 1))
+
+The engine evaluates the inner counts as exact int64 arithmetic on a
+``(queries, coefficients)`` broadcast grid and reduces with one matrix-vector
+product, so a batch of ``q`` queries over a ``k``-term synopsis costs
+``O(q * k)`` *numpy* work — one to three orders of magnitude faster than the
+per-query Python loop (see ``benchmarks/test_query_throughput.py``) while
+remaining numerically identical to it within ``1e-9``.
+
+Large batches are processed in blocks of :attr:`BatchQueryEngine.block_size`
+queries to bound peak memory.  An optional LRU cache memoises repeated
+``(lo, hi)`` ranges — zipfian query workloads repeat a small hot set of
+ranges, and a cache hit skips the numpy pass entirely.  All public methods
+are thread-safe: evaluation only reads immutable arrays, and the cache is
+guarded by a lock.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Dict, Iterable, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.haar import validate_domain
+from repro.errors import InvalidParameterError, KeyOutOfDomainError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.histogram import WaveletHistogram
+
+__all__ = ["BatchQueryEngine", "normalize_selectivities"]
+
+ArrayLike = Union[np.ndarray, Iterable[int]]
+
+# Cap on elements per (block, coefficients) broadcast grid: each int64
+# temporary stays <= 16 MiB however large the synopsis is.
+_BLOCK_ELEMENT_BUDGET = 1 << 21
+
+
+def normalize_selectivities(sums: np.ndarray, total: float) -> np.ndarray:
+    """Turn range sums into selectivities, guarding a degenerate total."""
+    if total == 0.0:
+        return np.zeros_like(sums)
+    return sums / total
+
+
+class BatchQueryEngine:
+    """Answers batches of range-sum / point / selectivity queries over one synopsis.
+
+    Args:
+        u: domain size (power of two).
+        coefficients: mapping from 1-based coefficient index to its value
+            (the :attr:`WaveletHistogram.coefficients` payload).
+        cache_size: capacity of the LRU range cache; ``0`` disables caching.
+        block_size: maximum queries evaluated per numpy pass (bounds the
+            ``(block, k)`` working set).
+    """
+
+    def __init__(
+        self,
+        u: int,
+        coefficients: Mapping[int, float],
+        *,
+        cache_size: int = 0,
+        block_size: int = 65536,
+    ) -> None:
+        validate_domain(u)
+        if cache_size < 0:
+            raise InvalidParameterError(f"cache_size must be >= 0, got {cache_size}")
+        if block_size < 1:
+            raise InvalidParameterError(f"block_size must be positive, got {block_size}")
+        self.u = u
+        self.block_size = block_size
+        self.cache_size = cache_size
+
+        items = sorted((int(i), float(w)) for i, w in coefficients.items() if w != 0.0)
+        indices = np.array([i for i, _ in items], dtype=np.int64)
+        values = np.array([w for _, w in items], dtype=np.float64)
+        if indices.size and (indices[0] < 1 or indices[-1] > u):
+            bad = indices[0] if indices[0] < 1 else indices[-1]
+            raise KeyOutOfDomainError(f"coefficient index {bad} outside [1, {u}]")
+        indices.setflags(write=False)
+        values.setflags(write=False)
+        self._indices = indices
+        self._values = values
+
+        self._inv_sqrt_u = 1.0 / math.sqrt(u)
+        self._w1 = float(values[0]) if indices.size and indices[0] == 1 else 0.0
+
+        detail = indices[indices >= 2]
+        self._detail_values = values[indices >= 2]
+        # Support geometry of each detail coefficient i = 2^j + k + 1: dyadic
+        # range [slo, shi] of width W = u / 2^j, negative half ending at mid.
+        _, exponent = np.frexp((detail - 1).astype(np.float64))
+        level = exponent.astype(np.int64) - 1
+        width = np.int64(u) >> level
+        offset = detail - 1 - (np.int64(1) << level)
+        self._slo = offset * width + 1
+        self._shi = self._slo + width - 1
+        self._half = width >> 1
+        self._mid = self._slo + self._half - 1
+        self._scale = 1.0 / np.sqrt(width.astype(np.float64))
+
+        self._lock = threading.Lock()
+        self._cache: Optional[OrderedDict[Tuple[int, int], float]] = (
+            OrderedDict() if cache_size > 0 else None
+        )
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def from_histogram(
+        cls, histogram: "WaveletHistogram", *, cache_size: int = 0,
+        block_size: int = 65536,
+    ) -> "BatchQueryEngine":
+        """Build an engine over a histogram's retained coefficients."""
+        return cls(histogram.u, histogram.coefficients, cache_size=cache_size,
+                   block_size=block_size)
+
+    @classmethod
+    def from_arrays(
+        cls, u: int, indices: ArrayLike, values: Iterable[float], *,
+        cache_size: int = 0, block_size: int = 65536,
+    ) -> "BatchQueryEngine":
+        """Build an engine from parallel index/value arrays (the pickled shard form)."""
+        mapping: Dict[int, float] = {
+            int(i): float(w) for i, w in zip(np.asarray(indices), np.asarray(values))
+        }
+        return cls(u, mapping, cache_size=cache_size, block_size=block_size)
+
+    # -------------------------------------------------------------- properties
+    @property
+    def num_coefficients(self) -> int:
+        """Number of non-zero coefficients the engine evaluates."""
+        return int(self._indices.size)
+
+    def coefficient_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The (indices, values) arrays, sorted by index (read-only views)."""
+        return self._indices, self._values
+
+    def estimated_total(self) -> float:
+        """The synopsis' estimate of ``sum_x v(x)`` (``w_1 * sqrt(u)``)."""
+        return self._w1 * math.sqrt(self.u)
+
+    # --------------------------------------------------------------- queries
+    def range_sum_many(self, los: ArrayLike, his: ArrayLike) -> np.ndarray:
+        """Estimate ``sum_{x=lo..hi} v(x)`` for every ``(lo, hi)`` pair.
+
+        Args:
+            los: 1-based inclusive lower bounds, shape ``(q,)``.
+            his: 1-based inclusive upper bounds, shape ``(q,)``.
+
+        Returns:
+            ``float64`` array of shape ``(q,)``, numerically identical (within
+            ``1e-9``) to calling the scalar coefficient loop per query.
+        """
+        los, his = self._validate_ranges(los, his)
+        if los.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        if self._cache is None:
+            return self._evaluate_blocks(los, his)
+        return self._evaluate_cached(los, his)
+
+    def estimate_many(self, keys: ArrayLike) -> np.ndarray:
+        """Estimate ``v(key)`` for every key (vectorized point reconstruction)."""
+        keys = np.atleast_1d(np.asarray(keys, dtype=np.int64))
+        if keys.ndim != 1:
+            raise InvalidParameterError("keys must be a 1-D array")
+        if keys.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        if keys.min() < 1 or keys.max() > self.u:
+            bad = keys[(keys < 1) | (keys > self.u)][0]
+            raise KeyOutOfDomainError(f"key {bad} outside domain [1, {self.u}]")
+        out = np.empty(keys.size, dtype=np.float64)
+        step = self._block_length()
+        for start in range(0, keys.size, step):
+            block = keys[start : start + step]
+            x = block[:, None]
+            result = np.full(block.size, self._w1 * self._inv_sqrt_u)
+            if self._detail_values.size:
+                in_support = (x >= self._slo) & (x <= self._shi)
+                signed = np.where(x > self._mid, self._scale, -self._scale)
+                result += np.where(in_support, signed, 0.0) @ self._detail_values
+            out[start : start + step] = result
+        return out
+
+    def selectivity_many(
+        self, los: ArrayLike, his: ArrayLike, total: Optional[float] = None
+    ) -> np.ndarray:
+        """Range sums normalised by the (estimated or supplied) total count.
+
+        Args:
+            los: lower bounds, as in :meth:`range_sum_many`.
+            his: upper bounds.
+            total: the dataset size ``n``; the synopsis' own estimate
+                ``w_1 * sqrt(u)`` when omitted.
+        """
+        denominator = self.estimated_total() if total is None else float(total)
+        return normalize_selectivities(self.range_sum_many(los, his), denominator)
+
+    # ------------------------------------------------------------------ cache
+    def cache_info(self) -> Dict[str, int]:
+        """Current LRU cache statistics (all zeros when caching is disabled)."""
+        with self._lock:
+            return {
+                "capacity": self.cache_size,
+                "size": len(self._cache) if self._cache is not None else 0,
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+            }
+
+    def cache_clear(self) -> None:
+        """Drop all cached ranges (statistics are kept)."""
+        with self._lock:
+            if self._cache is not None:
+                self._cache.clear()
+
+    # -------------------------------------------------------------- internals
+    def _validate_ranges(self, los: ArrayLike, his: ArrayLike) -> Tuple[np.ndarray, np.ndarray]:
+        los = np.atleast_1d(np.asarray(los, dtype=np.int64))
+        his = np.atleast_1d(np.asarray(his, dtype=np.int64))
+        if los.ndim != 1 or his.ndim != 1 or los.shape != his.shape:
+            raise InvalidParameterError(
+                f"los and his must be 1-D arrays of equal length, "
+                f"got shapes {los.shape} and {his.shape}"
+            )
+        if los.size == 0:
+            return los, his
+        inverted = los > his
+        if inverted.any():
+            where = int(np.flatnonzero(inverted)[0])
+            raise InvalidParameterError(
+                f"empty range [{los[where]}, {his[where]}] at query {where}"
+            )
+        if los.min() < 1 or his.max() > self.u:
+            where = int(np.flatnonzero((los < 1) | (his > self.u))[0])
+            raise KeyOutOfDomainError(
+                f"range [{los[where]}, {his[where]}] outside domain [1, {self.u}]"
+            )
+        return los, his
+
+    def _block_length(self) -> int:
+        """Queries per pass: ``block_size``, further capped so one broadcast
+        grid never exceeds the element budget even for full-budget synopses."""
+        per_grid = _BLOCK_ELEMENT_BUDGET // max(1, int(self._detail_values.size))
+        return max(1, min(self.block_size, per_grid))
+
+    def _evaluate_blocks(self, los: np.ndarray, his: np.ndarray) -> np.ndarray:
+        out = np.empty(los.size, dtype=np.float64)
+        step = self._block_length()
+        for start in range(0, los.size, step):
+            stop = start + step
+            out[start:stop] = self._evaluate_block(los[start:stop], his[start:stop])
+        return out
+
+    def _evaluate_block(self, los: np.ndarray, his: np.ndarray) -> np.ndarray:
+        # w_1's basis is constant, so its prefix-sum difference is just the
+        # range width; the detail terms are exact integer half-counts.
+        result = self._w1 * ((his - los + 1).astype(np.float64) * self._inv_sqrt_u)
+        if self._detail_values.size:
+            t_hi = np.clip(his[:, None], self._slo - 1, self._shi)
+            t_lo = np.clip(los[:, None] - 1, self._slo - 1, self._shi)
+            d_neg = (
+                np.clip(t_hi - self._slo + 1, 0, self._half)
+                - np.clip(t_lo - self._slo + 1, 0, self._half)
+            )
+            d_pos = (
+                np.clip(t_hi - self._mid, 0, self._half)
+                - np.clip(t_lo - self._mid, 0, self._half)
+            )
+            result += ((d_pos - d_neg) * self._scale) @ self._detail_values
+        return result
+
+    def _evaluate_cached(self, los: np.ndarray, his: np.ndarray) -> np.ndarray:
+        pairs = np.stack([los, his], axis=1)
+        unique, inverse = np.unique(pairs, axis=0, return_inverse=True)
+        inverse = np.reshape(inverse, -1)
+        occurrences = np.bincount(inverse, minlength=unique.shape[0])
+        unique_results = np.empty(unique.shape[0], dtype=np.float64)
+        cache = self._cache
+        assert cache is not None
+        with self._lock:
+            miss_rows = []
+            for row, (lo, hi) in enumerate(zip(unique[:, 0], unique[:, 1])):
+                cached = cache.get((int(lo), int(hi)))
+                if cached is not None:
+                    cache.move_to_end((int(lo), int(hi)))
+                    unique_results[row] = cached
+                    self.cache_hits += int(occurrences[row])
+                else:
+                    miss_rows.append(row)
+                    # The first occurrence computes; the rest of the batch's
+                    # occurrences of the same range reuse it within the pass.
+                    self.cache_misses += 1
+                    self.cache_hits += int(occurrences[row]) - 1
+        if miss_rows:
+            # Evaluate misses outside the lock so concurrent batches overlap
+            # their numpy work; evaluation is a pure function of the range, so
+            # two threads racing on the same miss insert identical values.
+            rows = np.asarray(miss_rows, dtype=np.int64)
+            computed = self._evaluate_blocks(unique[rows, 0], unique[rows, 1])
+            unique_results[rows] = computed
+            with self._lock:
+                for (lo, hi), value in zip(unique[rows], computed):
+                    cache[(int(lo), int(hi))] = float(value)
+                    if len(cache) > self.cache_size:
+                        cache.popitem(last=False)
+        return unique_results[inverse]

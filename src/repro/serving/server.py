@@ -1,0 +1,210 @@
+"""The query-serving front end: a thread-safe server over a synopsis store.
+
+A :class:`QueryServer` is what a client-facing process holds: it owns a
+:class:`~repro.serving.store.SynopsisStore`, faults synopses in lazily on
+first query (caching one :class:`~repro.serving.engine.BatchQueryEngine` per
+synopsis, each with an LRU range cache), and answers batches of range-sum /
+point / selectivity queries by name.
+
+Concurrency model:
+
+* **Thread safety** — many threads may query concurrently.  Engine state is
+  immutable after construction except its range cache, which is internally
+  locked; the server's own engine table and statistics are lock-guarded.
+  Repeating the same batch always returns bit-identical answers.
+* **Executor pluggability** — batches larger than ``shard_size`` can be
+  fanned out across the PR-1 :class:`~repro.mapreduce.executor.Executor`
+  seam via generic :class:`~repro.mapreduce.executor.FunctionTaskSpec` tasks:
+  a :class:`~repro.mapreduce.executor.SerialExecutor` evaluates shards inline
+  while a :class:`~repro.mapreduce.executor.ParallelExecutor` spreads them
+  over worker processes.  Shard results are merged in task order, so the
+  answer vector is independent of the executor (same guarantee the MapReduce
+  runtime makes for build jobs).  With no executor configured the server
+  evaluates every batch in one vectorized pass, which is the right default:
+  the numpy engine clears hundreds of thousands of queries per second per
+  core, so process fan-out only pays off for very large batches.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.mapreduce.executor import Executor, FunctionTaskSpec
+from repro.serving.engine import BatchQueryEngine, normalize_selectivities
+from repro.serving.store import StoredSynopsis, SynopsisStore
+from repro.serving.workload import QueryWorkload
+
+__all__ = ["QueryServer"]
+
+
+def _evaluate_range_shard(payload: Tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]) -> np.ndarray:
+    """Worker entry point: evaluate one shard of a range-sum batch.
+
+    Module-level (picklable) so a ParallelExecutor can ship it to worker
+    processes; rebuilds a cache-less engine from the coefficient arrays and
+    evaluates its slice of the batch.
+    """
+    u, indices, values, los, his = payload
+    engine = BatchQueryEngine.from_arrays(u, indices, values)
+    return engine.range_sum_many(los, his)
+
+
+class QueryServer:
+    """Serves range-sum / point / selectivity queries out of a synopsis store.
+
+    Args:
+        store: the persistent catalog to serve from.
+        executor: optional task executor for sharded evaluation of large
+            batches; ``None`` evaluates every batch in one vectorized pass.
+        cache_size: per-synopsis LRU range-cache capacity (0 disables).
+        shard_size: minimum queries per shard when an executor is configured;
+            batches at or below this size are never sharded.
+    """
+
+    def __init__(
+        self,
+        store: SynopsisStore,
+        *,
+        executor: Optional[Executor] = None,
+        cache_size: int = 4096,
+        shard_size: int = 8192,
+    ) -> None:
+        if shard_size < 1:
+            raise InvalidParameterError(f"shard_size must be positive, got {shard_size}")
+        self.store = store
+        self.executor = executor
+        self.cache_size = cache_size
+        self.shard_size = shard_size
+        self._lock = threading.Lock()
+        self._synopses: Dict[Tuple[str, Optional[int]], StoredSynopsis] = {}
+        self._queries_served = 0
+        self._batches_served = 0
+
+    # ----------------------------------------------------------------- lookup
+    def synopsis(self, name: str, version: Optional[int] = None) -> StoredSynopsis:
+        """The (lazily loaded, cached) stored synopsis for ``name``/``version``."""
+        key = (name, version)
+        with self._lock:
+            handle = self._synopses.get(key)
+            if handle is None:
+                handle = self.store.load(name, version)
+                self._synopses[key] = handle
+                if version is None:
+                    # Pin the resolved version too, so explicit and implicit
+                    # lookups share one engine (and one cache).
+                    self._synopses.setdefault(
+                        (name, handle.metadata.version), handle
+                    )
+            return handle
+
+    def engine(self, name: str, version: Optional[int] = None) -> BatchQueryEngine:
+        """The batch engine serving ``name`` (faults the payload in on first use)."""
+        return self.synopsis(name, version).engine(cache_size=self.cache_size)
+
+    def refresh(self) -> None:
+        """Forget cached synopses so the next query re-resolves latest versions."""
+        with self._lock:
+            self._synopses.clear()
+
+    # ---------------------------------------------------------------- queries
+    def range_sums(
+        self,
+        name: str,
+        los: Any,
+        his: Any,
+        *,
+        version: Optional[int] = None,
+    ) -> np.ndarray:
+        """Answer a batch of range-sum queries against one synopsis."""
+        engine = self.engine(name, version)
+        los = np.atleast_1d(np.asarray(los, dtype=np.int64))
+        his = np.atleast_1d(np.asarray(his, dtype=np.int64))
+        if (
+            self.executor is not None
+            and los.size > self.shard_size
+        ):
+            results = self._sharded_range_sums(engine, los, his)
+        else:
+            results = engine.range_sum_many(los, his)
+        self._count(results.size)
+        return results
+
+    def estimates(
+        self, name: str, keys: Any, *, version: Optional[int] = None
+    ) -> np.ndarray:
+        """Answer a batch of point-estimate queries against one synopsis."""
+        results = self.engine(name, version).estimate_many(keys)
+        self._count(results.size)
+        return results
+
+    def selectivities(
+        self,
+        name: str,
+        los: Any,
+        his: Any,
+        *,
+        total: Optional[float] = None,
+        version: Optional[int] = None,
+    ) -> np.ndarray:
+        """Range sums normalised by the dataset size (estimated when omitted)."""
+        engine = self.engine(name, version)
+        sums = self.range_sums(name, los, his, version=version)
+        denominator = engine.estimated_total() if total is None else float(total)
+        return normalize_selectivities(sums, denominator)
+
+    def serve_workload(
+        self, name: str, workload: QueryWorkload, *, version: Optional[int] = None
+    ) -> np.ndarray:
+        """Replay a generated workload's range queries against one synopsis."""
+        return self.range_sums(name, workload.los, workload.his, version=version)
+
+    # ------------------------------------------------------------------ stats
+    def stats(self) -> Dict[str, Any]:
+        """Serving statistics: totals plus per-loaded-synopsis cache counters."""
+        with self._lock:
+            loaded = {}
+            for (name, version), handle in self._synopses.items():
+                if version is None or not handle.loaded:
+                    continue
+                engine = handle.engine(cache_size=self.cache_size)
+                loaded[f"{name}@v{version}"] = engine.cache_info()
+            return {
+                "queries_served": self._queries_served,
+                "batches_served": self._batches_served,
+                "synopses_loaded": len(loaded),
+                "caches": loaded,
+            }
+
+    # -------------------------------------------------------------- internals
+    def _count(self, queries: int) -> None:
+        with self._lock:
+            self._queries_served += int(queries)
+            self._batches_served += 1
+
+    def _sharded_range_sums(
+        self, engine: BatchQueryEngine, los: np.ndarray, his: np.ndarray
+    ) -> np.ndarray:
+        indices, values = engine.coefficient_arrays()
+        num_shards = -(-los.size // self.shard_size)  # ceil division
+        bounds = [
+            (shard * self.shard_size, min((shard + 1) * self.shard_size, los.size))
+            for shard in range(num_shards)
+        ]
+        specs = [
+            FunctionTaskSpec(
+                task_id=shard,
+                function=_evaluate_range_shard,
+                payload=(engine.u, indices, values, los[start:stop], his[start:stop]),
+            )
+            for shard, (start, stop) in enumerate(bounds)
+        ]
+        assert self.executor is not None
+        results: List[np.ndarray] = [
+            result.pairs[0][1]
+            for result in self.executor.run_tasks(specs, slots=num_shards)
+        ]
+        return np.concatenate(results)

@@ -1,0 +1,369 @@
+"""Persistent, versioned, checksummed storage of wavelet synopses.
+
+A :class:`SynopsisStore` is a directory-backed catalog mapping a synopsis
+*name* to an append-only sequence of *versions*.  Each version is one
+directory holding exactly two files::
+
+    <root>/<name>/v00001/meta.json      # metadata + sha256 of the payload
+    <root>/<name>/v00001/synopsis.bin   # deterministic binary coefficient dump
+
+The binary format is fixed-endian and fully deterministic — serialising the
+same histogram twice produces byte-identical files, which is what makes the
+store's round-trip guarantee testable::
+
+    WHSYN001 | header_len (u32 LE) | header JSON (u, k, count)
+             | count * int64 LE coefficient indices (ascending)
+             | count * float64 LE coefficient values
+
+Design points:
+
+* **Versioned**: ``save`` never overwrites; it creates ``v<N+1>``.  Readers
+  can pin a version or follow the latest, so a serving process can keep
+  answering from version N while a rebuild publishes N+1.
+* **Checksummed**: ``meta.json`` records the sha256 of ``synopsis.bin``;
+  every load verifies it and raises
+  :class:`~repro.errors.SynopsisIntegrityError` on mismatch, so silent disk
+  corruption cannot flow into query answers.
+* **Lazy**: :meth:`SynopsisStore.load` reads only the (small) metadata;
+  the coefficient payload is read and verified on first access to
+  :attr:`StoredSynopsis.histogram`.  A server can therefore enumerate a large
+  catalog cheaply and fault synopses in on first query.
+* **Atomic-ish publish**: both files are written to a temporary directory that
+  is renamed into place, so readers never observe a half-written version.
+
+Writers are expected to be single-process per store root (the simulated
+cluster's "master"); concurrent readers are safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import struct
+import threading
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.histogram import WaveletHistogram
+from repro.errors import (
+    InvalidParameterError,
+    SynopsisIntegrityError,
+    SynopsisNotFoundError,
+)
+from repro.serving.engine import BatchQueryEngine
+
+__all__ = [
+    "MAGIC",
+    "SynopsisMetadata",
+    "StoredSynopsis",
+    "SynopsisStore",
+    "serialize_histogram",
+    "deserialize_histogram",
+]
+
+MAGIC = b"WHSYN001"
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+_VERSION_PATTERN = re.compile(r"^v(\d{5})$")
+META_FILENAME = "meta.json"
+PAYLOAD_FILENAME = "synopsis.bin"
+
+
+# ----------------------------------------------------------------- byte format
+def serialize_histogram(histogram: WaveletHistogram) -> bytes:
+    """Serialise a histogram to the store's deterministic binary format."""
+    items = sorted(histogram.coefficients.items())
+    indices = np.array([i for i, _ in items], dtype="<i8")
+    values = np.array([w for _, w in items], dtype="<f8")
+    header = json.dumps(
+        {"u": histogram.u, "k": histogram.k, "count": len(items)},
+        sort_keys=True, separators=(",", ":"),
+    ).encode("utf-8")
+    return b"".join([
+        MAGIC,
+        struct.pack("<I", len(header)),
+        header,
+        indices.tobytes(),
+        values.tobytes(),
+    ])
+
+
+def deserialize_histogram(payload: bytes) -> WaveletHistogram:
+    """Parse the binary format back into a histogram.
+
+    Raises:
+        SynopsisIntegrityError: if the payload is truncated or malformed.
+    """
+    if len(payload) < len(MAGIC) + 4 or not payload.startswith(MAGIC):
+        raise SynopsisIntegrityError("synopsis payload does not start with the WHSYN magic")
+    offset = len(MAGIC)
+    (header_len,) = struct.unpack_from("<I", payload, offset)
+    offset += 4
+    try:
+        header = json.loads(payload[offset : offset + header_len].decode("utf-8"))
+        u, count = int(header["u"]), int(header["count"])
+        k = int(header["k"]) if header["k"] is not None else None
+    except (TypeError, ValueError, KeyError, UnicodeDecodeError) as error:
+        raise SynopsisIntegrityError(f"unreadable synopsis header: {error}") from error
+    offset += header_len
+    expected = offset + count * 16
+    if len(payload) != expected:
+        raise SynopsisIntegrityError(
+            f"synopsis payload has {len(payload)} bytes, header implies {expected}"
+        )
+    indices = np.frombuffer(payload, dtype="<i8", count=count, offset=offset)
+    values = np.frombuffer(payload, dtype="<f8", count=count, offset=offset + count * 8)
+    coefficients = {int(i): float(w) for i, w in zip(indices, values)}
+    return WaveletHistogram.from_coefficients(coefficients, u, k=k)
+
+
+# ------------------------------------------------------------------- metadata
+@dataclass(frozen=True)
+class SynopsisMetadata:
+    """Everything ``meta.json`` records about one stored synopsis version.
+
+    Attributes:
+        name: catalog name the synopsis was saved under.
+        version: 1-based, monotonically increasing per name.
+        algorithm: name of the builder that produced it (e.g. ``"TwoLevel-S"``).
+        u: domain size.
+        k: coefficient budget the synopsis was built with (may be ``None``).
+        coefficient_count: number of non-zero coefficients actually stored.
+        seed: the build's RNG seed (``None`` for deterministic builders).
+        checksum_sha256: sha256 hex digest of ``synopsis.bin``.
+        payload_bytes: size of ``synopsis.bin``.
+        build: build-side counters worth keeping with the synopsis —
+            communication bytes, simulated seconds, MapReduce rounds, and any
+            algorithm-specific extras.
+    """
+
+    name: str
+    version: int
+    algorithm: str
+    u: int
+    k: Optional[int]
+    coefficient_count: int
+    seed: Optional[int]
+    checksum_sha256: str
+    payload_bytes: int
+    build: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SynopsisMetadata":
+        try:
+            data = json.loads(text)
+            return cls(**{key: data[key] for key in
+                          ("name", "version", "algorithm", "u", "k",
+                           "coefficient_count", "seed", "checksum_sha256",
+                           "payload_bytes", "build")})
+        except ValueError as error:  # includes json.JSONDecodeError
+            raise SynopsisIntegrityError(f"unreadable meta.json: {error}") from error
+        except (KeyError, TypeError) as error:
+            raise SynopsisIntegrityError(f"malformed meta.json: {error}") from error
+
+
+class StoredSynopsis:
+    """A lazily loaded synopsis version: metadata now, payload on first use."""
+
+    def __init__(self, directory: str, metadata: SynopsisMetadata) -> None:
+        self.directory = directory
+        self.metadata = metadata
+        self._lock = threading.Lock()
+        self._histogram: Optional[WaveletHistogram] = None
+        self._engines: Dict[tuple, BatchQueryEngine] = {}
+
+    @property
+    def loaded(self) -> bool:
+        """Whether the coefficient payload has been read yet."""
+        return self._histogram is not None
+
+    @property
+    def histogram(self) -> WaveletHistogram:
+        """The synopsis itself; reads and checksum-verifies the payload once."""
+        with self._lock:
+            if self._histogram is None:
+                path = os.path.join(self.directory, PAYLOAD_FILENAME)
+                try:
+                    with open(path, "rb") as handle:
+                        payload = handle.read()
+                except OSError as error:
+                    raise SynopsisNotFoundError(
+                        f"payload of {self.metadata.name} v{self.metadata.version} "
+                        f"is unreadable: {error}"
+                    ) from error
+                digest = hashlib.sha256(payload).hexdigest()
+                if digest != self.metadata.checksum_sha256:
+                    raise SynopsisIntegrityError(
+                        f"checksum mismatch for {self.metadata.name} "
+                        f"v{self.metadata.version}: stored "
+                        f"{self.metadata.checksum_sha256}, computed {digest}"
+                    )
+                histogram = deserialize_histogram(payload)
+                if histogram.u != self.metadata.u or len(histogram) != self.metadata.coefficient_count:
+                    raise SynopsisIntegrityError(
+                        f"payload of {self.metadata.name} v{self.metadata.version} "
+                        f"disagrees with its metadata (u or coefficient count)"
+                    )
+                self._histogram = histogram
+            return self._histogram
+
+    def engine(self, cache_size: int = 0, block_size: int = 65536) -> BatchQueryEngine:
+        """A batch query engine over this synopsis (memoised per parameters)."""
+        histogram = self.histogram
+        with self._lock:
+            key = (cache_size, block_size)
+            engine = self._engines.get(key)
+            if engine is None:
+                engine = BatchQueryEngine.from_histogram(
+                    histogram, cache_size=cache_size, block_size=block_size
+                )
+                self._engines[key] = engine
+            return engine
+
+
+# ---------------------------------------------------------------------- store
+class SynopsisStore:
+    """A directory-backed catalog of named, versioned wavelet synopses."""
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+        self._lock = threading.Lock()
+
+    # ----------------------------------------------------------------- saving
+    def save(
+        self,
+        name: str,
+        histogram: WaveletHistogram,
+        *,
+        algorithm: str = "unknown",
+        seed: Optional[int] = None,
+        build: Optional[Dict[str, Any]] = None,
+    ) -> SynopsisMetadata:
+        """Persist a histogram as the next version of ``name``.
+
+        Returns the metadata of the new version (including its checksum).
+        """
+        if not _NAME_PATTERN.match(name):
+            raise InvalidParameterError(
+                f"synopsis name must match {_NAME_PATTERN.pattern}, got {name!r}"
+            )
+        payload = serialize_histogram(histogram)
+        with self._lock:
+            version = self.latest_version(name, default=0) + 1
+            metadata = SynopsisMetadata(
+                name=name,
+                version=version,
+                algorithm=algorithm,
+                u=histogram.u,
+                k=histogram.k,
+                coefficient_count=len(histogram),
+                seed=seed,
+                checksum_sha256=hashlib.sha256(payload).hexdigest(),
+                payload_bytes=len(payload),
+                build=dict(build or {}),
+            )
+            name_dir = os.path.join(self.root, name)
+            os.makedirs(name_dir, exist_ok=True)
+            final_dir = os.path.join(name_dir, f"v{version:05d}")
+            staging_dir = final_dir + ".tmp"
+            os.makedirs(staging_dir, exist_ok=True)
+            with open(os.path.join(staging_dir, PAYLOAD_FILENAME), "wb") as handle:
+                handle.write(payload)
+            with open(os.path.join(staging_dir, META_FILENAME), "w", encoding="utf-8") as handle:
+                handle.write(metadata.to_json() + "\n")
+            os.replace(staging_dir, final_dir)
+            self._write_catalog()
+        return metadata
+
+    # ---------------------------------------------------------------- loading
+    def load(self, name: str, version: Optional[int] = None) -> StoredSynopsis:
+        """Return a lazy handle on ``name`` (latest version unless pinned)."""
+        if version is None:
+            version = self.latest_version(name, default=0)
+            if version == 0:
+                raise SynopsisNotFoundError(f"store has no synopsis named {name!r}")
+        directory = os.path.join(self.root, name, f"v{version:05d}")
+        meta_path = os.path.join(directory, META_FILENAME)
+        try:
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                metadata = SynopsisMetadata.from_json(handle.read())
+        except OSError as error:
+            raise SynopsisNotFoundError(
+                f"store has no synopsis {name!r} version {version}: {error}"
+            ) from error
+        return StoredSynopsis(directory, metadata)
+
+    # -------------------------------------------------------------- catalogue
+    def names(self) -> List[str]:
+        """All synopsis names in the store, sorted."""
+        try:
+            entries = os.listdir(self.root)
+        except OSError:
+            return []
+        return sorted(
+            entry for entry in entries
+            if _NAME_PATTERN.match(entry)
+            and os.path.isdir(os.path.join(self.root, entry))
+            and self.versions(entry)
+        )
+
+    def versions(self, name: str) -> List[int]:
+        """All stored versions of ``name``, ascending (empty when unknown)."""
+        try:
+            entries = os.listdir(os.path.join(self.root, name))
+        except OSError:
+            return []
+        found: List[int] = []
+        for entry in entries:
+            match = _VERSION_PATTERN.match(entry)
+            if match and os.path.exists(
+                os.path.join(self.root, name, entry, META_FILENAME)
+            ):
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def latest_version(self, name: str, default: int = 0) -> int:
+        """The newest version number of ``name`` (``default`` when unknown)."""
+        versions = self.versions(name)
+        return versions[-1] if versions else default
+
+    def entries(self) -> List[SynopsisMetadata]:
+        """Latest-version metadata for every name (the catalog listing)."""
+        return [self.load(name).metadata for name in self.names()]
+
+    def _write_catalog(self) -> None:
+        """Refresh the human-readable ``catalog.json`` summary.
+
+        Genuinely best effort: the catalog is a convenience view derived from
+        the per-version metadata (which is already durably published by the
+        time this runs), so a failure here must not fail the save.
+        """
+        try:
+            catalog: Dict[str, Dict[str, Any]] = {}
+            for name in self.names():
+                versions = self.versions(name)
+                metadata = self.load(name, versions[-1]).metadata
+                catalog[name] = {
+                    "latest": versions[-1],
+                    "versions": versions,
+                    "algorithm": metadata.algorithm,
+                    "u": metadata.u,
+                    "k": metadata.k,
+                }
+            path = os.path.join(self.root, "catalog.json")
+            staging = path + ".tmp"
+            with open(staging, "w", encoding="utf-8") as handle:
+                json.dump(catalog, handle, sort_keys=True, indent=2)
+                handle.write("\n")
+            os.replace(staging, path)
+        except Exception:
+            # Any failure — unreadable sibling metadata, an unwritable root —
+            # must not fail (or brick) saves; the catalog is derived data.
+            pass

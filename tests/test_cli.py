@@ -4,7 +4,16 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cli import FIGURE_DESCRIPTIONS, FIGURE_DRIVERS, build_parser, main
+from repro.cli import (
+    ALGORITHM_SLUGS,
+    FIGURE_DESCRIPTIONS,
+    FIGURE_DRIVERS,
+    build_parser,
+    main,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import standard_algorithms
+from repro.serving.store import SynopsisStore
 
 
 class TestParser:
@@ -26,6 +35,31 @@ class TestParser:
 
     def test_every_driver_has_a_description(self):
         assert set(FIGURE_DRIVERS) == set(FIGURE_DESCRIPTIONS)
+
+    def test_build_requires_a_store(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["build"])
+        arguments = build_parser().parse_args(
+            ["build", "--store", "/tmp/s", "--algorithm", "send-v", "--quick"])
+        assert arguments.store == "/tmp/s" and arguments.algorithm == "send-v"
+
+    def test_build_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["build", "--store", "/tmp/s",
+                                       "--algorithm", "not-an-algorithm"])
+
+    def test_query_accepts_repeated_ranges(self):
+        arguments = build_parser().parse_args(
+            ["query", "--store", "/tmp/s", "--name", "n",
+             "--range", "1", "10", "--range", "5", "7"])
+        assert arguments.ranges == [[1, 10], [5, 7]]
+
+    def test_slugs_cover_the_papers_five_algorithms(self):
+        # The build command's slugs are exactly the lowercased names of the
+        # standard_algorithms factory the other commands use.
+        names = {algorithm.name.lower()
+                 for algorithm in standard_algorithms(ExperimentConfig.quick())}
+        assert set(ALGORITHM_SLUGS) == names
 
 
 class TestCommands:
@@ -51,3 +85,49 @@ class TestCommands:
         assert main(["figure", "ablation_twolevel_threshold", "--quick"]) == 0
         output = capsys.readouterr().out
         assert "threshold_scale" in output
+
+
+class TestServingCommands:
+    def test_build_then_query_round_trip(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "synopses")
+        assert main(["build", "--quick", "--store", store_dir,
+                     "--name", "cli-demo", "--algorithm", "twolevel-s",
+                     "--k", "16", "--epsilon", "0.05"]) == 0
+        output = capsys.readouterr().out
+        assert "stored cli-demo v1" in output
+
+        store = SynopsisStore(store_dir)
+        metadata = store.load("cli-demo").metadata
+        assert metadata.algorithm == "TwoLevel-S" and metadata.k == 16
+
+        assert main(["query", "--store", store_dir, "--name", "cli-demo",
+                     "--range", "1", "512", "--range", "100", "200"]) == 0
+        output = capsys.readouterr().out
+        assert "answered 2 explicit range(s)" in output
+        assert "cli-demo v1" in output
+
+    def test_query_generated_workload(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "synopses")
+        assert main(["build", "--quick", "--store", store_dir,
+                     "--algorithm", "send-v", "--k", "12"]) == 0
+        capsys.readouterr()
+        assert main(["query", "--store", store_dir, "--name", "Send-V",
+                     "--count", "64", "--mix", "zipfian", "--show", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "64 generated zipfian queries" in output
+
+    def test_rebuild_appends_a_version(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "synopses")
+        for _ in range(2):
+            assert main(["build", "--quick", "--store", store_dir,
+                         "--name", "versioned", "--algorithm", "improved-s"]) == 0
+        assert "stored versioned v2" in capsys.readouterr().out
+        assert SynopsisStore(store_dir).versions("versioned") == [1, 2]
+
+    def test_serve_bench_verifies_and_reports(self, capsys, tmp_path):
+        assert main(["serve-bench", "--quick", "--count", "2000",
+                     "--store", str(tmp_path / "bench-store")]) == 0
+        output = capsys.readouterr().out
+        assert "bound 1e-09 verified" in output
+        assert "batch engine" in output and "scalar loop" in output
+        assert "cache" in output
