@@ -97,6 +97,7 @@ class HistogramAlgorithm(ABC):
         cost_parameters: Optional[CostParameters] = None,
         seed: int = 7,
         executor: Optional[Executor] = None,
+        data_plane: Optional[str] = None,
         store: Optional["SynopsisStore"] = None,
         store_name: Optional[str] = None,
     ) -> AlgorithmResult:
@@ -112,6 +113,11 @@ class HistogramAlgorithm(ABC):
                 serial executor.  A
                 :class:`~repro.mapreduce.executor.ParallelExecutor` runs the
                 same rounds concurrently with bit-identical results.
+            data_plane: how records move through the runtime — ``"batch"``
+                (the default: columnar readers, vectorised mappers, blocked
+                spills) or ``"records"`` (the record-at-a-time reference
+                path).  Results are plane-independent by construction; only
+                wall-clock time changes.
             store: when given, the built histogram is persisted to this
                 :class:`~repro.serving.store.SynopsisStore` as a new version,
                 with the build's provenance (algorithm, seed, communication,
@@ -122,7 +128,8 @@ class HistogramAlgorithm(ABC):
         """
         cluster = cluster if cluster is not None else paper_cluster()
         runner = JobRunner(hdfs, cluster=cluster, state_store=StateStore(), seed=seed,
-                           executor=executor)
+                           executor=executor,
+                           data_plane=data_plane if data_plane is not None else "batch")
         outcome = self._execute(runner, input_path)
 
         cost_model = CostModel(cluster, parameters=cost_parameters)

@@ -10,6 +10,8 @@ two-level schemes attack.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.algorithms.base import (
     CONF_DOMAIN,
     CONF_EPSILON,
@@ -46,6 +48,14 @@ class BasicSamplingMapper(SamplingMapperBase):
     def close(self, context: MapperContext) -> None:
         aggregate = bool(context.configuration.get("wavelet.basic.aggregate", True))
         if aggregate:
+            if self.batched:
+                n = len(self.sample_counts)
+                context.emit_block(
+                    np.fromiter(self.sample_counts.keys(), dtype=np.int64, count=n),
+                    np.fromiter(self.sample_counts.values(), dtype=np.int64, count=n),
+                    SAMPLE_PAIR_BYTES,
+                )
+                return
             for key, count in self.sample_counts.items():
                 context.emit(key, int(count), size_bytes=SAMPLE_PAIR_BYTES)
         else:

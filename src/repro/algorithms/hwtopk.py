@@ -32,6 +32,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Set, Tuple
 
+import numpy as np
+
 from repro.algorithms.base import (
     CONF_DOMAIN,
     CONF_K,
@@ -40,10 +42,11 @@ from repro.algorithms.base import (
     ExecutionOutcome,
     HistogramAlgorithm,
 )
+from repro.core.frequency import merge_key_counts
 from repro.core.haar import sparse_haar_transform
 from repro.core.topk_coefficients import bottom_k_items, top_k_coefficients, top_k_items
 from repro.errors import TopKError
-from repro.mapreduce.api import Mapper, MapperContext, Reducer, ReducerContext
+from repro.mapreduce.api import BatchMapper, Mapper, MapperContext, Reducer, ReducerContext
 from repro.mapreduce.counters import CounterNames
 from repro.mapreduce.job import DistributedCache, JobConfiguration, MapReduceJob
 from repro.mapreduce.runtime import JobRunner
@@ -61,8 +64,13 @@ FLAG_KTH_LOWEST = 2
 
 
 # --------------------------------------------------------------------- Round 1
-class Round1Mapper(Mapper):
-    """Scans the split, emits local top-k/bottom-k coefficients, persists the rest."""
+class Round1Mapper(BatchMapper):
+    """Scans the split, emits local top-k/bottom-k coefficients, persists the rest.
+
+    Round 1 is the only round that reads input, so it is the only round with a
+    batch-plane fast path (one vectorised counting pass per split); rounds 2
+    and 3 read only their persisted state.
+    """
 
     def setup(self, context: MapperContext) -> None:
         self._u = int(context.configuration.require(CONF_DOMAIN))
@@ -72,6 +80,11 @@ class Round1Mapper(Mapper):
     def map(self, record: int, context: MapperContext) -> None:
         self._counts[record] = self._counts.get(record, 0) + 1
         context.counters.increment(CounterNames.HASHMAP_UPDATES)
+
+    def map_batch(self, keys: np.ndarray, context: MapperContext) -> None:
+        merge_key_counts(self._counts, keys)
+        context.counters.increment_by(CounterNames.HASHMAP_UPDATES, 1.0,
+                                      int(keys.size))
 
     def close(self, context: MapperContext) -> None:
         log_u = max(1, self._u.bit_length() - 1)

@@ -10,6 +10,8 @@ is why the paper's Figures 6 and 7 show Improved-S with the worst SSE.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.algorithms.base import (
     CONF_DOMAIN,
     CONF_EPSILON,
@@ -39,6 +41,13 @@ class ImprovedSamplingMapper(SamplingMapperBase):
 
     def close(self, context: MapperContext) -> None:
         threshold = self._epsilon * self.total_sampled
+        if self.batched:
+            n = len(self.sample_counts)
+            keys = np.fromiter(self.sample_counts.keys(), dtype=np.int64, count=n)
+            counts = np.fromiter(self.sample_counts.values(), dtype=np.int64, count=n)
+            keep = counts >= threshold
+            context.emit_block(keys[keep], counts[keep], SAMPLE_PAIR_BYTES)
+            return
         for key, count in self.sample_counts.items():
             if count >= threshold:
                 context.emit(key, int(count), size_bytes=SAMPLE_PAIR_BYTES)

@@ -17,15 +17,18 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional
 
+import numpy as np
+
 from repro.algorithms.base import (
     CONF_DOMAIN,
     CONF_EPSILON,
     CONF_K,
     CONF_SAMPLE_PROBABILITY,
 )
+from repro.core.frequency import merge_key_counts
 from repro.core.haar import sparse_haar_transform
 from repro.core.topk_coefficients import top_k_coefficients
-from repro.mapreduce.api import Mapper, MapperContext, Reducer, ReducerContext
+from repro.mapreduce.api import BatchMapper, MapperContext, Reducer, ReducerContext
 from repro.mapreduce.counters import CounterNames
 from repro.sampling.two_level import TwoLevelEstimator
 
@@ -43,13 +46,21 @@ SAMPLE_PAIR_BYTES = 8
 NULL_PAIR_BYTES = 4
 
 
-class SamplingMapperBase(Mapper):
-    """Aggregates the local sample counts ``s_j(x)`` of the split's random sample."""
+class SamplingMapperBase(BatchMapper):
+    """Aggregates the local sample counts ``s_j(x)`` of the split's random sample.
+
+    On the batch plane the sampling record reader draws all offsets in one
+    vectorised without-replacement call and hands the sampled keys over as a
+    single array; :meth:`map_batch` folds them with one counting pass.  The
+    ``batched`` flag lets subclasses' Close methods pick their own vectorised
+    emission path.
+    """
 
     def setup(self, context: MapperContext) -> None:
         self._epsilon = float(context.configuration.require(CONF_EPSILON))
         self._sample_counts: Dict[int, int] = {}
         self._total_sampled = 0
+        self._batched = False
 
     def map(self, record: int, context: MapperContext) -> None:
         # The record reader already applied the first-level sampling; every
@@ -57,6 +68,18 @@ class SamplingMapperBase(Mapper):
         self._sample_counts[record] = self._sample_counts.get(record, 0) + 1
         self._total_sampled += 1
         context.counters.increment(CounterNames.SAMPLED_RECORDS)
+
+    def map_batch(self, keys: np.ndarray, context: MapperContext) -> None:
+        self._batched = True
+        merge_key_counts(self._sample_counts, keys)
+        self._total_sampled += int(keys.size)
+        context.counters.increment_by(CounterNames.SAMPLED_RECORDS, 1.0,
+                                      int(keys.size))
+
+    @property
+    def batched(self) -> bool:
+        """Whether this task ran on the batch plane."""
+        return self._batched
 
     @property
     def sample_counts(self) -> Dict[int, int]:

@@ -17,15 +17,18 @@ from __future__ import annotations
 
 from typing import Dict, Iterable
 
+import numpy as np
+
 from repro.algorithms.base import (
     CONF_DOMAIN,
     CONF_K,
     ExecutionOutcome,
     HistogramAlgorithm,
 )
+from repro.core.frequency import merge_key_counts
 from repro.core.haar import sparse_haar_transform
 from repro.core.topk_coefficients import top_k_coefficients
-from repro.mapreduce.api import Mapper, MapperContext, Reducer, ReducerContext
+from repro.mapreduce.api import BatchMapper, MapperContext, Reducer, ReducerContext
 from repro.mapreduce.counters import CounterNames
 from repro.mapreduce.job import JobConfiguration, MapReduceJob
 from repro.mapreduce.runtime import JobRunner
@@ -36,16 +39,23 @@ __all__ = ["SendCoef", "SendCoefMapper", "SendCoefReducer"]
 COEFFICIENT_PAIR_BYTES = 12
 
 
-class SendCoefMapper(Mapper):
+class SendCoefMapper(BatchMapper):
     """Computes the split's local wavelet coefficients and emits every non-zero one."""
 
     def setup(self, context: MapperContext) -> None:
         self._u = int(context.configuration.require(CONF_DOMAIN))
         self._counts: Dict[int, int] = {}
+        self._batched = False
 
     def map(self, record: int, context: MapperContext) -> None:
         self._counts[record] = self._counts.get(record, 0) + 1
         context.counters.increment(CounterNames.HASHMAP_UPDATES)
+
+    def map_batch(self, keys: np.ndarray, context: MapperContext) -> None:
+        self._batched = True
+        merge_key_counts(self._counts, keys)
+        context.counters.increment_by(CounterNames.HASHMAP_UPDATES, 1.0,
+                                      int(keys.size))
 
     def close(self, context: MapperContext) -> None:
         log_u = max(1, self._u.bit_length() - 1)
@@ -53,6 +63,14 @@ class SendCoefMapper(Mapper):
         context.counters.increment(
             CounterNames.WAVELET_TRANSFORM_OPS, len(self._counts) * (log_u + 1)
         )
+        if self._batched:
+            n = len(coefficients)
+            indices = np.fromiter(coefficients.keys(), dtype=np.int64, count=n)
+            values = np.fromiter(coefficients.values(), dtype=np.float64, count=n)
+            nonzero = values != 0.0
+            context.emit_block(indices[nonzero], values[nonzero],
+                               COEFFICIENT_PAIR_BYTES)
+            return
         for index, value in coefficients.items():
             if value != 0.0:
                 context.emit(index, float(value), size_bytes=COEFFICIENT_PAIR_BYTES)

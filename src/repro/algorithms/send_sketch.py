@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable
 
+import numpy as np
+
 from repro.algorithms.base import (
     CONF_DOMAIN,
     CONF_K,
@@ -28,8 +30,9 @@ from repro.algorithms.base import (
     ExecutionOutcome,
     HistogramAlgorithm,
 )
+from repro.core.frequency import merge_key_counts
 from repro.errors import InvalidParameterError
-from repro.mapreduce.api import Mapper, MapperContext, Reducer, ReducerContext
+from repro.mapreduce.api import BatchMapper, MapperContext, Reducer, ReducerContext
 from repro.mapreduce.counters import CounterNames
 from repro.mapreduce.job import JobConfiguration, MapReduceJob
 from repro.mapreduce.runtime import JobRunner
@@ -38,8 +41,14 @@ from repro.sketches.wavelet import WaveletGcsSketch
 __all__ = ["SendSketch", "SendSketchMapper", "SendSketchReducer"]
 
 
-class SendSketchMapper(Mapper):
-    """Builds the split's local GCS wavelet sketch and ships its non-zero entries."""
+class SendSketchMapper(BatchMapper):
+    """Builds the split's local GCS wavelet sketch and ships its non-zero entries.
+
+    On the batch plane the split's local frequency vector is aggregated with
+    one vectorised counting pass; the sketch insertion itself was already
+    array-at-a-time (the GCS's precomputed hash tables turn a whole
+    coefficient batch into fancy indexing), so Close is unchanged.
+    """
 
     def setup(self, context: MapperContext) -> None:
         self._u = int(context.configuration.require(CONF_DOMAIN))
@@ -50,6 +59,11 @@ class SendSketchMapper(Mapper):
     def map(self, record: int, context: MapperContext) -> None:
         self._counts[record] = self._counts.get(record, 0) + 1
         context.counters.increment(CounterNames.HASHMAP_UPDATES)
+
+    def map_batch(self, keys: np.ndarray, context: MapperContext) -> None:
+        merge_key_counts(self._counts, keys)
+        context.counters.increment_by(CounterNames.HASHMAP_UPDATES, 1.0,
+                                      int(keys.size))
 
     def close(self, context: MapperContext) -> None:
         sketch = WaveletGcsSketch(

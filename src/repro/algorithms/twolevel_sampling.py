@@ -15,6 +15,8 @@ and builds the histogram.  Expected communication is ``O(sqrt(m)/eps)`` pairs
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.algorithms.base import (
     CONF_DOMAIN,
     CONF_EPSILON,
@@ -37,7 +39,7 @@ from repro.mapreduce.inputformat import RandomSamplingInputFormat
 from repro.mapreduce.job import JobConfiguration, MapReduceJob
 from repro.mapreduce.runtime import JobRunner
 from repro.sampling.estimators import first_level_probability
-from repro.sampling.two_level import second_level_emit
+from repro.sampling.two_level import second_level_emit, second_level_emit_batch
 
 __all__ = ["TwoLevelSampling", "TwoLevelSamplingMapper"]
 
@@ -46,10 +48,31 @@ CONF_THRESHOLD_SCALE = "wavelet.twolevel.threshold.scale"
 
 
 class TwoLevelSamplingMapper(SamplingMapperBase):
-    """Applies second-level sampling to the split's local sample counts."""
+    """Applies second-level sampling to the split's local sample counts.
+
+    On the batch plane all the Bernoulli coin flips of the second level happen
+    in one vectorised draw from the task RNG (same stream, same per-key
+    decisions as the scalar generator — see
+    :func:`repro.sampling.two_level.second_level_emit_batch`); the exact
+    counts ship as one columnar block and only the few NULL markers are
+    emitted per pair (their value, ``None``, has no columnar encoding).
+    """
 
     def close(self, context: MapperContext) -> None:
         threshold_scale = float(context.configuration.get(CONF_THRESHOLD_SCALE, 1.0))
+        if self.batched:
+            exact_keys, exact_counts, null_keys = second_level_emit_batch(
+                self.sample_counts,
+                epsilon=self._epsilon,
+                num_splits=context.num_splits,
+                rng=context.rng,
+                threshold_scale=threshold_scale,
+            )
+            context.emit_block(exact_keys, exact_counts.astype(np.int64),
+                               SAMPLE_PAIR_BYTES)
+            for key in null_keys.tolist():
+                context.emit(key, None, size_bytes=NULL_PAIR_BYTES)
+            return
         for emission in second_level_emit(
             self.sample_counts,
             epsilon=self._epsilon,

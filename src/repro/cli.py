@@ -29,8 +29,9 @@ Six sub-commands are provided::
 
 ``compare``, ``figure`` and ``build`` accept ``--executor {serial,parallel}``
 and ``--workers N`` to run the simulated MapReduce phases through a process
-pool; all reported numbers are bit-identical across executors, only the
-wall-clock time changes.
+pool, plus ``--data-plane {batch,records}`` to pick the columnar fast path or
+the record-at-a-time reference path; all reported numbers are bit-identical
+across executors and data planes, only the wall-clock time changes.
 """
 
 from __future__ import annotations
@@ -45,7 +46,7 @@ from repro.errors import ServingError
 from repro.experiments import figures
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_algorithms, standard_algorithms
-from repro.mapreduce.executor import EXECUTOR_NAMES
+from repro.mapreduce.executor import DATA_PLANE_NAMES, EXECUTOR_NAMES
 from repro.mapreduce.hdfs import HDFS
 from repro.serving.bench import measure_serving_throughput
 from repro.serving.server import QueryServer
@@ -190,14 +191,22 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
         "--workers", type=int, default=None, metavar="N",
         help="worker processes for --executor parallel (default: CPU count)",
     )
+    parser.add_argument(
+        "--data-plane", dest="data_plane", choices=list(DATA_PLANE_NAMES),
+        default="batch",
+        help="how records move through the build runtime: 'batch' is the "
+             "columnar fast path, 'records' the record-at-a-time reference "
+             "path; results are bit-identical either way",
+    )
 
 
 def _configuration(quick: bool, k: Optional[int] = None,
                    epsilon: Optional[float] = None,
                    executor: str = "serial",
-                   workers: Optional[int] = None) -> ExperimentConfig:
+                   workers: Optional[int] = None,
+                   data_plane: str = "batch") -> ExperimentConfig:
     config = ExperimentConfig.quick() if quick else ExperimentConfig()
-    overrides = {"executor": executor, "workers": workers}
+    overrides = {"executor": executor, "workers": workers, "data_plane": data_plane}
     if k is not None:
         overrides["k"] = k
     if epsilon is not None:
@@ -207,18 +216,20 @@ def _configuration(quick: bool, k: Optional[int] = None,
 
 def _run_compare(arguments: argparse.Namespace) -> List[str]:
     config = _configuration(arguments.quick, arguments.k, arguments.epsilon,
-                            executor=arguments.executor, workers=arguments.workers)
+                            executor=arguments.executor, workers=arguments.workers,
+                            data_plane=arguments.data_plane)
     dataset = config.build_dataset()
     cluster = config.build_cluster(dataset)
     reference = dataset.frequency_vector()
     ideal_sse = WaveletHistogram.from_frequency_vector(reference, config.k).sse(reference)
     measurements = run_algorithms(dataset, standard_algorithms(config), cluster,
                                   reference=reference, seed=config.seed,
-                                  executor=config.build_executor())
+                                  executor=config.build_executor(),
+                                  data_plane=config.data_plane)
     lines = [
         f"workload: n={dataset.n} u=2^{config.u.bit_length() - 1} alpha={config.alpha} "
         f"k={config.k} eps={config.epsilon} (~{config.target_splits} splits, "
-        f"executor={config.executor})",
+        f"executor={config.executor}, data-plane={config.data_plane})",
         f"{'algorithm':<12} {'rounds':>6} {'comm (bytes)':>14} {'time (s)':>12} {'SSE/ideal':>10}",
     ]
     for measurement in measurements:
@@ -232,7 +243,8 @@ def _run_compare(arguments: argparse.Namespace) -> List[str]:
 
 def _run_figure(arguments: argparse.Namespace) -> List[str]:
     config = _configuration(arguments.quick, executor=arguments.executor,
-                            workers=arguments.workers)
+                            workers=arguments.workers,
+                            data_plane=arguments.data_plane)
     table = FIGURE_DRIVERS[arguments.name](config)
     return [table.format()]
 
@@ -245,7 +257,8 @@ def _list_figures() -> List[str]:
 
 def _run_build(arguments: argparse.Namespace) -> List[str]:
     config = _configuration(arguments.quick, arguments.k, arguments.epsilon,
-                            executor=arguments.executor, workers=arguments.workers
+                            executor=arguments.executor, workers=arguments.workers,
+                            data_plane=arguments.data_plane
                             ).with_overrides(store_path=arguments.store)
     dataset = config.build_dataset()
     hdfs = HDFS()
@@ -254,6 +267,7 @@ def _run_build(arguments: argparse.Namespace) -> List[str]:
     result = algorithm.run(
         hdfs, "/data/build", cluster=config.build_cluster(dataset),
         seed=config.seed, executor=config.build_executor(),
+        data_plane=config.data_plane,
         store=config.build_store(), store_name=arguments.name,
     )
     entry = result.details["store_entry"]

@@ -18,7 +18,47 @@ import numpy as np
 from repro.core.haar import validate_domain
 from repro.errors import KeyOutOfDomainError
 
-__all__ = ["FrequencyVector", "frequency_vector_from_keys"]
+__all__ = [
+    "FrequencyVector",
+    "frequency_vector_from_keys",
+    "first_occurrence_counts",
+    "merge_key_counts",
+]
+
+
+def first_occurrence_counts(keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Count key occurrences, returning distinct keys in first-occurrence order.
+
+    The vectorised equivalent of the mapper's per-record hash-map loop: the
+    returned ``(unique_keys, counts)`` arrays list each distinct key exactly
+    once, ordered by where the key *first* appears in ``keys`` — the same
+    insertion order a ``dict`` built record-at-a-time would have.  Matching
+    the dict order matters because mapper Close methods iterate their
+    aggregation (and, for the sampling algorithms, consume the task RNG per
+    entry), so any other order would break plane equivalence.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    if keys.size == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    unique, first_index, counts = np.unique(keys, return_index=True,
+                                            return_counts=True)
+    order = np.argsort(first_index, kind="stable")
+    return unique[order], counts[order]
+
+
+def merge_key_counts(counts: Dict[int, int], keys: np.ndarray) -> None:
+    """Fold a batch of record keys into a mapper's count dict, in place.
+
+    Exactly equivalent to ``for key in keys: counts[key] = counts.get(key, 0) + 1``
+    — including the dict's resulting insertion order — but one vectorised
+    counting pass plus one update per *distinct* key.
+    """
+    unique, batch_counts = first_occurrence_counts(keys)
+    if not counts:
+        counts.update(zip(unique.tolist(), batch_counts.tolist()))
+        return
+    for key, count in zip(unique.tolist(), batch_counts.tolist()):
+        counts[key] = counts.get(key, 0) + count
 
 
 @dataclass
@@ -121,14 +161,21 @@ def frequency_vector_from_keys(keys: Iterable[int], u: int) -> FrequencyVector:
     """Count key occurrences into a :class:`FrequencyVector`.
 
     This is exactly what a mapper does when it scans its split (paper
-    Appendix A): a hash map from key to count.
+    Appendix A): a hash map from key to count — computed here with one
+    vectorised counting pass (:func:`first_occurrence_counts`), which
+    produces the same mapping in the same insertion order as the
+    record-at-a-time loop.
     """
+    arr = np.asarray(keys if isinstance(keys, np.ndarray) else list(keys),
+                     dtype=np.int64)
     vector = FrequencyVector(u)
-    counts = vector.counts
-    for key in keys:
-        if not 1 <= key <= u:
-            raise KeyOutOfDomainError(f"key {key} outside domain [1, {u}]")
-        counts[key] = counts.get(key, 0) + 1
-    # Normalise to float counts for consistency with arithmetic operations.
-    vector.counts = {k: float(c) for k, c in counts.items()}
+    if arr.size == 0:
+        return vector
+    bad = (arr < 1) | (arr > u)
+    if bad.any():
+        raise KeyOutOfDomainError(f"key {int(arr[bad][0])} outside domain [1, {u}]")
+    unique, counts = first_occurrence_counts(arr)
+    vector.counts = {
+        key: float(count) for key, count in zip(unique.tolist(), counts.tolist())
+    }
     return vector

@@ -29,7 +29,12 @@ from repro.data.generators import ZipfDatasetGenerator
 from repro.data.worldcup import WorldCupLikeGenerator
 from repro.errors import InvalidParameterError
 from repro.mapreduce.cluster import ClusterSpec, MachineSpec, paper_cluster
-from repro.mapreduce.executor import EXECUTOR_NAMES, Executor, shared_executor
+from repro.mapreduce.executor import (
+    DATA_PLANE_NAMES,
+    EXECUTOR_NAMES,
+    Executor,
+    shared_executor,
+)
 from repro.serving.store import SynopsisStore
 from repro.serving.workload import MIX_NAMES, QueryWorkload, WorkloadGenerator
 
@@ -68,6 +73,10 @@ class ExperimentConfig:
             construction, so this only changes wall-clock time.
         workers: worker processes for the parallel executor (machine CPU count
             when ``None``).
+        data_plane: how records move through the build runtime (``"batch"``
+            for the columnar fast path, ``"records"`` for the record-at-a-time
+            reference path); results are plane-independent by construction,
+            so this only changes wall-clock time.
         store_path: root directory of the synopsis store built histograms are
             published to (``None`` disables persistence).
         query_mix: workload mix served by the query benchmarks
@@ -90,6 +99,7 @@ class ExperimentConfig:
     reference_bytes: int = PAPER_REFERENCE_BYTES
     executor: str = "serial"
     workers: Optional[int] = None
+    data_plane: str = "batch"
     store_path: Optional[str] = None
     query_mix: str = "mixed"
     num_queries: int = 10_000
@@ -103,6 +113,10 @@ class ExperimentConfig:
         if self.executor not in EXECUTOR_NAMES:
             raise InvalidParameterError(
                 f"executor must be one of {EXECUTOR_NAMES}, got {self.executor!r}"
+            )
+        if self.data_plane not in DATA_PLANE_NAMES:
+            raise InvalidParameterError(
+                f"data_plane must be one of {DATA_PLANE_NAMES}, got {self.data_plane!r}"
             )
         if self.query_mix not in MIX_NAMES:
             raise InvalidParameterError(

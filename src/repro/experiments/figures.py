@@ -100,6 +100,7 @@ def vary_k(config: Optional[ExperimentConfig] = None,
         measurements = run_algorithms(
             dataset, standard_algorithms(config, k=k), cluster, reference=reference,
             seed=config.seed, executor=config.build_executor(),
+                              data_plane=config.data_plane,
         )
         _add_measurements(table, k, measurements)
     return table
@@ -123,7 +124,8 @@ def vary_epsilon(config: Optional[ExperimentConfig] = None,
         notes=[_scale_note(config, dataset)],
     )
     ideal = run_algorithms(dataset, [HWTopk(config.u, config.k)], cluster,
-                           reference=reference, seed=config.seed, executor=config.build_executor())
+                           reference=reference, seed=config.seed, executor=config.build_executor(),
+                                                                  data_plane=config.data_plane)
     _add_measurements(table, "exact", ideal)
     for epsilon in epsilons:
         algorithms = [
@@ -131,7 +133,8 @@ def vary_epsilon(config: Optional[ExperimentConfig] = None,
             TwoLevelSampling(config.u, config.k, epsilon=epsilon),
         ]
         measurements = run_algorithms(dataset, algorithms, cluster,
-                                      reference=reference, seed=config.seed, executor=config.build_executor())
+                                      reference=reference, seed=config.seed, executor=config.build_executor(),
+                                                                             data_plane=config.data_plane)
         _add_measurements(table, epsilon, measurements)
     return table
 
@@ -164,7 +167,8 @@ def sse_tradeoff(config: Optional[ExperimentConfig] = None,
             TwoLevelSampling(data.u, config.k, epsilon=epsilon),
         ]
         for measurement in run_algorithms(data, algorithms, cluster,
-                                          reference=reference, seed=config.seed, executor=config.build_executor()):
+                                          reference=reference, seed=config.seed, executor=config.build_executor(),
+                                                                                 data_plane=config.data_plane):
             table.add_row(algorithm=measurement.algorithm, setting=f"eps={epsilon}",
                           sse=measurement.sse,
                           communication_bytes=measurement.communication_bytes,
@@ -172,7 +176,8 @@ def sse_tradeoff(config: Optional[ExperimentConfig] = None,
     for budget in sketch_bytes:
         algorithm = SendSketch(data.u, config.k, bytes_per_level=budget)
         for measurement in run_algorithms(data, [algorithm], cluster,
-                                          reference=reference, seed=config.seed, executor=config.build_executor()):
+                                          reference=reference, seed=config.seed, executor=config.build_executor(),
+                                                                                 data_plane=config.data_plane):
             table.add_row(algorithm=measurement.algorithm, setting=f"sketch={budget}B/level",
                           sse=measurement.sse,
                           communication_bytes=measurement.communication_bytes,
@@ -208,7 +213,8 @@ def vary_n(config: Optional[ExperimentConfig] = None,
         cluster = sweep_config.build_cluster(dataset, scale=anchor_scale)
         cluster = cluster.with_split_size(fixed_split_size)
         measurements = run_algorithms(dataset, standard_algorithms(sweep_config), cluster,
-                                      reference=reference, seed=config.seed, executor=config.build_executor())
+                                      reference=reference, seed=config.seed, executor=config.build_executor(),
+                                                                             data_plane=config.data_plane)
         _add_measurements(table, n, measurements)
     return table
 
@@ -245,7 +251,8 @@ def vary_record_size(config: Optional[ExperimentConfig] = None,
         cluster = sweep_config.build_cluster(dataset, scale=anchor_scale)
         cluster = cluster.with_split_size(fixed_split_size)
         measurements = run_algorithms(dataset, standard_algorithms(sweep_config), cluster,
-                                      reference=reference, seed=config.seed, executor=config.build_executor())
+                                      reference=reference, seed=config.seed, executor=config.build_executor(),
+                                                                             data_plane=config.data_plane)
         _add_measurements(table, record_size, measurements)
     if not table.notes:
         table.notes.append(
@@ -275,7 +282,8 @@ def vary_domain(config: Optional[ExperimentConfig] = None,
         cluster = sweep_config.build_cluster(dataset)
         algorithms = standard_algorithms(sweep_config) + [SendCoef(u, sweep_config.k)]
         measurements = run_algorithms(dataset, algorithms, cluster,
-                                      reference=reference, seed=config.seed, executor=config.build_executor())
+                                      reference=reference, seed=config.seed, executor=config.build_executor(),
+                                                                             data_plane=config.data_plane)
         _add_measurements(table, log2_u, measurements)
     return table
 
@@ -301,7 +309,8 @@ def vary_split_size(config: Optional[ExperimentConfig] = None,
         sweep_config = config.with_overrides(target_splits=split_count)
         cluster = sweep_config.build_cluster(dataset)
         measurements = run_algorithms(dataset, standard_algorithms(sweep_config), cluster,
-                                      reference=reference, seed=config.seed, executor=config.build_executor())
+                                      reference=reference, seed=config.seed, executor=config.build_executor(),
+                                                                             data_plane=config.data_plane)
         _add_measurements(table, sweep_config.split_size_bytes(dataset), measurements)
     return table
 
@@ -322,7 +331,8 @@ def vary_skew(config: Optional[ExperimentConfig] = None,
         reference = dataset.frequency_vector()
         cluster = sweep_config.build_cluster(dataset)
         measurements = run_algorithms(dataset, standard_algorithms(sweep_config), cluster,
-                                      reference=reference, seed=config.seed, executor=config.build_executor())
+                                      reference=reference, seed=config.seed, executor=config.build_executor(),
+                                                                             data_plane=config.data_plane)
         _add_measurements(table, alpha, measurements)
         if not table.notes:
             table.notes.append(_scale_note(sweep_config, dataset))
@@ -345,7 +355,8 @@ def vary_bandwidth(config: Optional[ExperimentConfig] = None,
     for fraction in fractions:
         cluster = config.build_cluster(dataset, bandwidth_fraction=fraction)
         measurements = run_algorithms(dataset, standard_algorithms(config), cluster,
-                                      reference=reference, seed=config.seed, executor=config.build_executor())
+                                      reference=reference, seed=config.seed, executor=config.build_executor(),
+                                                                             data_plane=config.data_plane)
         _add_measurements(table, fraction, measurements)
     return table
 
@@ -368,7 +379,8 @@ def worldcup_costs(config: Optional[ExperimentConfig] = None) -> FigureTable:
         ],
     )
     measurements = run_algorithms(dataset, standard_algorithms(config), cluster,
-                                  reference=reference, seed=config.seed, executor=config.build_executor())
+                                  reference=reference, seed=config.seed, executor=config.build_executor(),
+                                                                         data_plane=config.data_plane)
     _add_measurements(table, "worldcup", measurements)
     return table
 
@@ -444,7 +456,8 @@ def ablation_combiner(config: Optional[ExperimentConfig] = None) -> FigureTable:
         notes=[_scale_note(config, dataset)],
     )
     measurements = run_algorithms(dataset, algorithms, cluster,
-                                  reference=reference, seed=config.seed, executor=config.build_executor())
+                                  reference=reference, seed=config.seed, executor=config.build_executor(),
+                                                                         data_plane=config.data_plane)
     for label, measurement in zip(labels, measurements):
         table.add_row(variant=label,
                       communication_bytes=measurement.communication_bytes,
@@ -468,9 +481,11 @@ def ablation_hwtopk_rounds(config: Optional[ExperimentConfig] = None) -> FigureT
     hdfs = HDFS(datanodes=[machine.name for machine in cluster.machines])
     dataset.to_hdfs(hdfs, "/data/input")
     hwtopk_result = HWTopk(config.u, config.k).run(hdfs, "/data/input", cluster=cluster,
-                                                   seed=config.seed, executor=config.build_executor())
+                                                   seed=config.seed, executor=config.build_executor(),
+                                                                     data_plane=config.data_plane)
     sendcoef_result = SendCoef(config.u, config.k).run(hdfs, "/data/input", cluster=cluster,
-                                                       seed=config.seed, executor=config.build_executor())
+                                                       seed=config.seed, executor=config.build_executor(),
+                                                                         data_plane=config.data_plane)
     table = FigureTable(
         figure="Ablation: H-WTopk rounds",
         title="per-round communication of H-WTopk versus shipping all local coefficients",
@@ -520,7 +535,8 @@ def ablation_twolevel_threshold(config: Optional[ExperimentConfig] = None,
         algorithm = TwoLevelSampling(config.u, config.k, epsilon=config.epsilon,
                                      threshold_scale=scale)
         measurement = run_algorithms(dataset, [algorithm], cluster,
-                                     reference=reference, seed=config.seed, executor=config.build_executor())[0]
+                                     reference=reference, seed=config.seed, executor=config.build_executor(),
+                                                                            data_plane=config.data_plane)[0]
         table.add_row(threshold_scale=scale,
                       communication_bytes=measurement.communication_bytes,
                       time_s=measurement.simulated_time_s,

@@ -83,6 +83,7 @@ def run_algorithms(
     reference: Optional[FrequencyVector] = None,
     seed: int = 7,
     executor: Optional[Executor] = None,
+    data_plane: Optional[str] = None,
 ) -> List[ExperimentMeasurement]:
     """Run every algorithm over the dataset and measure communication, time and SSE.
 
@@ -95,6 +96,8 @@ def run_algorithms(
         seed: seed forwarded to every algorithm run.
         executor: task executor forwarded to every algorithm run (serial when
             omitted); measurements are executor-independent by construction.
+        data_plane: data plane forwarded to every algorithm run (``"batch"``
+            when omitted); measurements are plane-independent by construction.
     """
     hdfs = HDFS(datanodes=[machine.name for machine in cluster.machines])
     dataset.to_hdfs(hdfs, INPUT_PATH)
@@ -103,6 +106,6 @@ def run_algorithms(
     measurements: List[ExperimentMeasurement] = []
     for algorithm in algorithms:
         result = algorithm.run(hdfs, INPUT_PATH, cluster=cluster, seed=seed,
-                               executor=executor)
+                               executor=executor, data_plane=data_plane)
         measurements.append(ExperimentMeasurement.from_result(result, exact))
     return measurements

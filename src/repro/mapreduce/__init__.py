@@ -8,7 +8,11 @@ Each phase runs through a pluggable :class:`~repro.mapreduce.executor.Executor` 
 serial in-process by default, or a process pool
 (:class:`~repro.mapreduce.executor.ParallelExecutor`) that runs map tasks and
 reduce partitions concurrently with bit-identical results (see
-:mod:`repro.mapreduce.executor`).
+:mod:`repro.mapreduce.executor`).  Orthogonally to the executor, records move
+through one of two *data planes*: the default columnar ``"batch"`` plane
+(whole-split arrays, :class:`~repro.mapreduce.api.BatchMapper`, blocked spills
+and a sharded shuffle) or the record-at-a-time ``"records"`` reference plane —
+also with bit-identical results.
 
 The simulator reproduces the parts of Hadoop the paper depends on:
 
@@ -26,10 +30,12 @@ The simulator reproduces the parts of Hadoop the paper depends on:
   (:mod:`repro.mapreduce.cluster`).
 """
 
-from repro.mapreduce.api import Mapper, Reducer, MapperContext, ReducerContext
+from repro.mapreduce.api import BatchMapper, Mapper, Reducer, MapperContext, ReducerContext
 from repro.mapreduce.cluster import ClusterSpec, MachineSpec
+from repro.mapreduce.columnar import ColumnarBlock
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.executor import (
+    DATA_PLANE_NAMES,
     Executor,
     ParallelExecutor,
     SerialExecutor,
@@ -44,12 +50,15 @@ from repro.mapreduce.state import StateStore
 
 __all__ = [
     "Mapper",
+    "BatchMapper",
     "Reducer",
     "MapperContext",
     "ReducerContext",
     "ClusterSpec",
     "MachineSpec",
+    "ColumnarBlock",
     "Counters",
+    "DATA_PLANE_NAMES",
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",

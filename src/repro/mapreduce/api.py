@@ -13,6 +13,14 @@ Contexts expose the pieces of Hadoop the paper relies on:
 * ``save_state`` / ``load_state`` — per-split persistent state across rounds;
 * ``counters`` — CPU-work accounting for the cost model;
 * ``rng`` — a deterministic per-task random generator.
+
+The batch data plane adds two pieces on top of the Hadoop-shaped surface:
+:class:`BatchMapper` (a mapper that can consume a whole split's keys as one
+int64 numpy array) and :meth:`MapperContext.emit_block` (emit a uniform
+key/value stream as one :class:`~repro.mapreduce.columnar.ColumnarBlock`
+instead of one tuple per pair).  Both are *exact* accelerations: the runtime
+guarantees bit-identical coefficients, counters and shuffle accounting
+whichever plane executes a job.
 """
 
 from __future__ import annotations
@@ -21,13 +29,22 @@ from typing import Any, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.mapreduce.columnar import ColumnarBlock
 from repro.mapreduce.counters import CounterNames, Counters
 from repro.mapreduce.hdfs import InputSplit
 from repro.mapreduce.job import DistributedCache, JobConfiguration
 from repro.mapreduce.serialization import SerializationModel
 from repro.mapreduce.state import StateStore
 
-__all__ = ["EmittedPair", "MapperContext", "ReducerContext", "Mapper", "Reducer"]
+__all__ = [
+    "EmittedPair",
+    "MapperContext",
+    "ReducerContext",
+    "Mapper",
+    "BatchMapper",
+    "Reducer",
+    "BatchReducer",
+]
 
 
 EmittedPair = Tuple[Any, Any, int]
@@ -52,11 +69,12 @@ class _TaskContext:
         self.serialization = serialization
         self.rng = rng
         self._state_store = state_store
-        self._emitted: List[EmittedPair] = []
+        # Emission stream in order: EmittedPair tuples and/or ColumnarBlocks.
+        self._emitted: List[Any] = []
 
     @property
-    def emitted_pairs(self) -> List[EmittedPair]:
-        """Pairs emitted so far by this task (consumed by the runtime)."""
+    def emitted_pairs(self) -> List[Any]:
+        """The emission stream so far (pairs and/or columnar blocks), in order."""
         return self._emitted
 
     def _record_emit(self, key: Any, value: Any, size_bytes: Optional[int]) -> int:
@@ -101,6 +119,30 @@ class MapperContext(_TaskContext):
         size = self._record_emit(key, value, size_bytes)
         self.counters.increment(CounterNames.MAP_OUTPUT_RECORDS)
         self.counters.increment(CounterNames.MAP_OUTPUT_BYTES, size)
+
+    def emit_block(self, keys: np.ndarray, values: np.ndarray,
+                   pair_size_bytes: int) -> None:
+        """Emit a uniform stream of ``(keys[i], values[i])`` pairs columnar.
+
+        The batch-plane counterpart of calling :meth:`emit` once per pair with
+        ``size_bytes=pair_size_bytes``: byte accounting, shuffle routing and
+        reduce-side grouping all see exactly the pairs the loop would have
+        produced (same order, same per-pair size), but the stream travels as
+        two numpy arrays.  Empty streams are a no-op.
+
+        Args:
+            keys: int64 array of intermediate keys, in emission order.
+            values: aligned numeric array of intermediate values.
+            pair_size_bytes: explicit payload size per pair (excluding
+                per-pair overhead), as in :meth:`emit`'s ``size_bytes``.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size == 0:
+            return
+        size = self.serialization.pair_size(None, None, explicit=pair_size_bytes)
+        self._emitted.append(ColumnarBlock(keys, np.asarray(values), size))
+        self.counters.increment_by(CounterNames.MAP_OUTPUT_RECORDS, 1.0, int(keys.size))
+        self.counters.increment_by(CounterNames.MAP_OUTPUT_BYTES, size, int(keys.size))
 
     def save_state(self, payload: Any, size_bytes: Optional[int] = None) -> None:
         """Persist state for this split, readable by the mapper of a later round."""
@@ -166,6 +208,28 @@ class Mapper:
         """Called once after all records have been processed (Hadoop's Close)."""
 
 
+class BatchMapper(Mapper):
+    """A mapper that can consume a whole split per call (the batch data plane).
+
+    When the runtime executes a job on the ``"batch"`` data plane and the
+    job's mapper is a :class:`BatchMapper`, the record reader yields the
+    split's keys as one int64 numpy array and :meth:`map_batch` is invoked
+    once instead of :meth:`map` once per record.  The contract is strict
+    equivalence: ``map_batch(keys, context)`` must leave the mapper and the
+    context in *exactly* the state the per-record loop would have — same
+    aggregation contents in the same insertion order, same counter totals,
+    same RNG consumption — because the equivalence suite asserts bit-identical
+    outcomes across planes.  The default implementation is the reference
+    per-record loop, so a subclass that only overrides :meth:`map` is still
+    correct (just not vectorised).
+    """
+
+    def map_batch(self, keys: np.ndarray, context: MapperContext) -> None:
+        """Process one split's record keys in a single call."""
+        for key in keys:
+            self.map(int(key), context)
+
+
 class Reducer:
     """Base class for reduce tasks."""
 
@@ -177,3 +241,37 @@ class Reducer:
 
     def close(self, context: ReducerContext) -> None:
         """Called once after all key groups have been processed."""
+
+
+class BatchReducer(Reducer):
+    """A reducer that can consume a whole sorted columnar partition per call.
+
+    When a reduce task's partition arrives fully columnar (the batch plane's
+    sorted-and-grouped arrays) and the job's reducer is a
+    :class:`BatchReducer`, the runtime invokes :meth:`reduce_batch` once with
+    the grouped stream instead of :meth:`reduce` once per key.  Same
+    equivalence contract as :class:`BatchMapper`: the batch call must leave
+    reducer state and counters exactly as the per-group loop would have.  The
+    default implementation is that reference loop, so overriding only
+    :meth:`reduce` stays correct; and :meth:`reduce` must still be
+    implemented, because per-pair partitions (mixed streams, the records
+    plane) always take the per-group path.
+    """
+
+    def reduce_batch(self, keys: np.ndarray, starts: np.ndarray,
+                     values: np.ndarray, context: ReducerContext) -> None:
+        """Process every key group of the partition in a single call.
+
+        Args:
+            keys: int64 array of the distinct keys, ascending.
+            starts: int64 array, ``starts[i]`` is the offset of group ``i``
+                in ``values`` (groups are contiguous; the last runs to the
+                end).
+            values: all values of the partition, stably sorted by key —
+                within a group, arrival order is preserved.
+            context: the task context (for emitting and counters).
+        """
+        ends = np.concatenate((starts[1:], [values.size]))
+        values_list = values.tolist()
+        for key, start, end in zip(keys.tolist(), starts.tolist(), ends.tolist()):
+            self.reduce(key, values_list[start:end], context)

@@ -1,0 +1,106 @@
+"""Columnar spill blocks: the unit of the batch data plane.
+
+The record-at-a-time runtime moves intermediate data as one Python tuple per
+pair.  On the batch plane a mapper that emits a *uniform* stream — int64 keys,
+numeric values, one fixed payload size per pair — packs the whole stream into
+a :class:`ColumnarBlock` instead: two numpy arrays plus a scalar pair size.
+Blocks flow through spill, the sharded shuffle and reduce-side grouping
+without ever being widened into per-pair tuples, which is what makes the
+build-side hot path vectorisable end to end.
+
+Equivalence contract (enforced by ``tests/test_batch_plane_equivalence.py``):
+materialising a block with :meth:`ColumnarBlock.to_pairs` yields exactly the
+pairs the record-at-a-time path would have emitted, in the same order, with
+the same Python scalar types (``int64 -> int``, ``float64 -> float``) and the
+same per-pair byte size — so any consumer may fall back to pairs at any point
+without changing a single counter or output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+__all__ = ["ColumnarBlock", "emitted_length"]
+
+# Structurally identical to repro.mapreduce.api.EmittedPair; re-declared here
+# (rather than imported) so api.py can import this module without a cycle.
+EmittedPair = Tuple[Any, Any, int]
+
+
+@dataclass
+class ColumnarBlock:
+    """One mapper's uniform emission stream in columnar form.
+
+    Attributes:
+        keys: int64 array of intermediate keys, in emission order.
+        values: numeric array (int64 or float64) of intermediate values,
+            aligned with ``keys``.
+        pair_size_bytes: serialized size charged per pair (the full per-pair
+            size, i.e. payload plus any serialization-model overhead).
+    """
+
+    keys: np.ndarray
+    values: np.ndarray
+    pair_size_bytes: int
+
+    def __post_init__(self) -> None:
+        self.keys = np.asarray(self.keys, dtype=np.int64)
+        self.values = np.asarray(self.values)
+        if self.keys.shape != self.values.shape:
+            raise InvalidParameterError(
+                f"keys and values must align, got {self.keys.shape} vs {self.values.shape}"
+            )
+        if self.keys.size == 0:
+            raise InvalidParameterError("a columnar block must hold at least one pair")
+
+    def __len__(self) -> int:
+        return int(self.keys.size)
+
+    @property
+    def total_bytes(self) -> int:
+        """Serialized size of the whole block (``len * pair_size_bytes``)."""
+        return int(self.keys.size) * self.pair_size_bytes
+
+    def to_pairs(self) -> List[EmittedPair]:
+        """Materialise the per-pair tuples the records plane would have produced."""
+        size = self.pair_size_bytes
+        return [
+            (key, value, size)
+            for key, value in zip(self.keys.tolist(), self.values.tolist())
+        ]
+
+    def split_by_partition(self, partition_ids: np.ndarray,
+                           num_partitions: int) -> List[Tuple[int, "ColumnarBlock"]]:
+        """Split into per-partition sub-blocks, preserving emission order.
+
+        Args:
+            partition_ids: per-pair reducer index, aligned with ``keys``.
+            num_partitions: number of reduce partitions.
+
+        Returns:
+            ``(partition_id, block)`` tuples for every non-empty partition, in
+            ascending partition order.
+        """
+        parts: List[Tuple[int, ColumnarBlock]] = []
+        for partition in range(num_partitions):
+            mask = partition_ids == partition
+            if mask.any():
+                parts.append(
+                    (partition,
+                     ColumnarBlock(self.keys[mask], self.values[mask],
+                                   self.pair_size_bytes))
+                )
+        return parts
+
+
+def emitted_length(items: List) -> int:
+    """Number of logical pairs in a mixed list of pairs and columnar blocks."""
+    total = 0
+    for item in items:
+        total += len(item) if isinstance(item, ColumnarBlock) else 1
+    return total

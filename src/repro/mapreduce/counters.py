@@ -68,6 +68,29 @@ class Counters:
         """Add ``amount`` to counter ``name`` (creating it at zero if absent)."""
         self.values[name] = self.values.get(name, 0.0) + amount
 
+    def increment_by(self, name: str, amount: float = 1.0, times: int = 1) -> None:
+        """Accumulate ``times`` repeated increments of ``amount`` in one call.
+
+        This is the batched form the columnar data plane charges per-record
+        counters with (one call per split instead of one ``increment`` per
+        record), and it is guaranteed to produce *bit-identical* totals to the
+        equivalent loop of ``increment`` calls: for integral ``amount`` the
+        closed form ``value + amount * times`` is exact whenever the repeated
+        float additions are (every intermediate is an exactly representable
+        sum below 2**53 — true for all record/byte counters), and non-integral
+        amounts fall back to the literal loop so the float accumulation order
+        cannot diverge.
+        """
+        if times < 0:
+            raise ValueError(f"times must be non-negative, got {times}")
+        if times == 0:
+            return
+        if not float(amount).is_integer():
+            for _ in range(times):
+                self.increment(name, amount)
+            return
+        self.values[name] = self.values.get(name, 0.0) + amount * times
+
     def get(self, name: str) -> float:
         """Return the current value of ``name`` (0 if never incremented)."""
         return self.values.get(name, 0.0)

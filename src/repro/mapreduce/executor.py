@@ -22,8 +22,14 @@ tasks finished in.  Each task receives a private RNG seeded from
 ``(job seed, round, task id)`` and a private state overlay, so a parallel run
 is bit-identical to a serial run.  The price of this guarantee is that
 everything a task touches must be picklable: mapper/reducer classes, combiner
-functions and input formats must be defined at module level (no lambdas or
-closures), which all of the paper's algorithms satisfy.
+functions, input formats and — since the shuffle is sharded into the map
+tasks — the job's partitioner must be defined at module level (no lambdas or
+closures), which all of the paper's algorithms satisfy.  The partitioner must
+also be process-stable; the default ``hash_partitioner`` is, for the int keys
+every shipped algorithm emits (CPython int hashing is hash-seed independent),
+but jobs that hash *strings* across processes should prefer the ``fork``
+start method (the default where available) so workers share the parent's hash
+seed.  The serial executor imposes none of these constraints.
 
 A task never sees the whole simulated HDFS: a map spec carries only its own
 split's records (:class:`SplitRecords`), and a task's state overlay carries
@@ -43,11 +49,18 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type, U
 import numpy as np
 
 from repro.errors import ExecutorError, InvalidParameterError
-from repro.mapreduce.api import EmittedPair, MapperContext, ReducerContext
+from repro.mapreduce.api import (
+    BatchMapper,
+    BatchReducer,
+    EmittedPair,
+    MapperContext,
+    ReducerContext,
+)
+from repro.mapreduce.columnar import ColumnarBlock, emitted_length
 from repro.mapreduce.counters import CounterNames, Counters
 from repro.mapreduce.hdfs import InputSplit
 from repro.mapreduce.inputformat import InputFormat, SequentialInputFormat
-from repro.mapreduce.job import DistributedCache, JobConfiguration
+from repro.mapreduce.job import DistributedCache, JobConfiguration, hash_partitioner
 from repro.mapreduce.serialization import SerializationModel
 from repro.mapreduce.state import StateStore
 
@@ -64,9 +77,16 @@ __all__ = [
     "SerialExecutor",
     "ParallelExecutor",
     "EXECUTOR_NAMES",
+    "DATA_PLANE_NAMES",
     "create_executor",
     "shared_executor",
 ]
+
+# Data planes the runtime can move a job's records through.  ``"batch"`` is
+# the columnar fast path (whole-split arrays, vectorised mappers, blocked
+# spills); ``"records"`` is the record-at-a-time reference path.  Both are
+# bit-identical in every outcome; only wall-clock differs.
+DATA_PLANE_NAMES = ("batch", "records")
 
 StateKey = Tuple[str, int]
 StateSave = Tuple[str, int, Any, int]
@@ -119,7 +139,17 @@ class _TaskStateStore(StateStore):
 
 @dataclass
 class MapTaskSpec:
-    """Everything one map task needs, detached from runner and HDFS."""
+    """Everything one map task needs, detached from runner and HDFS.
+
+    ``partitioner`` and ``num_reducers`` live on the map spec because the
+    shuffle is sharded: each map task routes its own spilled output to reduce
+    partitions (so the parent's shuffle step is a pure concatenation).  Under
+    a parallel executor the partitioner therefore runs in worker processes —
+    it must be module-level (picklable) and process-stable; the default
+    ``hash_partitioner`` over the int keys every shipped algorithm emits
+    qualifies.  ``data_plane`` selects the columnar fast path (``"batch"``)
+    or the record-at-a-time reference path (``"records"``).
+    """
 
     split: InputSplit
     mapper_class: Type
@@ -133,6 +163,9 @@ class MapTaskSpec:
     state_snapshot: Dict[StateKey, Any]
     seed_key: Tuple[int, ...]
     num_splits: int
+    partitioner: Callable[[Any, int], int] = hash_partitioner
+    num_reducers: int = 1
+    data_plane: str = "batch"
 
     @property
     def task_id(self) -> int:
@@ -141,14 +174,19 @@ class MapTaskSpec:
 
 @dataclass
 class ReduceTaskSpec:
-    """Everything one reduce task (one partition) needs."""
+    """Everything one reduce task (one partition) needs.
+
+    ``pairs`` is the partition's shuffled stream in task order: per-pair
+    tuples, :class:`~repro.mapreduce.columnar.ColumnarBlock` objects, or a
+    mixture.
+    """
 
     reducer_id: int
     reducer_class: Type
     configuration: JobConfiguration
     distributed_cache: DistributedCache
     serialization: SerializationModel
-    pairs: List[EmittedPair]
+    pairs: List[Any]
     state_snapshot: Dict[StateKey, Any]
     seed_key: Tuple[int, ...]
     num_splits: int
@@ -162,8 +200,10 @@ class ReduceTaskSpec:
 class TaskResult:
     """What one task hands back to the runtime at the phase barrier.
 
-    For map tasks ``pairs`` holds the post-combine spilled pairs; for reduce
-    tasks it holds the reducer's final output pairs.
+    For reduce and function tasks ``pairs`` holds the final output pairs.
+    Map tasks instead fill ``partitions``: their post-combine spill already
+    routed to reduce partitions (the sharded shuffle), as a list with one
+    entry per reducer holding pairs and/or columnar blocks in emission order.
     """
 
     task_id: int
@@ -171,15 +211,33 @@ class TaskResult:
     counters: Counters
     state_saves: List[StateSave] = field(default_factory=list)
     state_bytes_read: int = 0
+    partitions: Optional[List[List[Any]]] = None
+
+
+def _materialize(items: List[Any]) -> List[EmittedPair]:
+    """Widen a mixed pairs/blocks emission stream into per-pair tuples."""
+    pairs: List[EmittedPair] = []
+    for item in items:
+        if isinstance(item, ColumnarBlock):
+            pairs.extend(item.to_pairs())
+        else:
+            pairs.append(item)
+    return pairs
 
 
 def _apply_combiner(combiner: Optional[Callable[[Any, list], Any]],
                     serialization: SerializationModel,
-                    pairs: List[EmittedPair],
-                    counters: Counters) -> List[EmittedPair]:
-    """Hadoop's Combine: group one mapper's output by key, fold each group."""
-    if combiner is None or not pairs:
-        return pairs
+                    items: List[Any],
+                    counters: Counters) -> List[Any]:
+    """Hadoop's Combine: group one mapper's output by key, fold each group.
+
+    Columnar blocks are widened to pairs first — combining is a per-group
+    Python fold either way, and materialising keeps the combine counters and
+    output identical across data planes.
+    """
+    if combiner is None or not items:
+        return items
+    pairs = _materialize(items)
     grouped: Dict[Any, List[Any]] = {}
     order: List[Any] = []
     for key, value, _ in pairs:
@@ -197,11 +255,55 @@ def _apply_combiner(combiner: Optional[Callable[[Any, list], Any]],
     return combined
 
 
+def _partition_spill(items: List[Any], partitioner: Callable[[Any, int], int],
+                     num_reducers: int, counters: Counters) -> List[List[Any]]:
+    """The map-side half of the sharded shuffle: route the spill per reducer.
+
+    Runs inside the map task (so it parallelises with the rest of the phase)
+    and charges the shuffle counters in batched form; the parent's shuffle
+    step then only concatenates the returned lists in task order.  Columnar
+    blocks are routed without widening: with one reducer they pass through
+    untouched, and under the default ``hash_partitioner`` a block's int64 keys
+    are their own hashes (CPython: ``hash(x) == x`` for ``0 <= x < 2**61-1``),
+    so the reducer index is one vectorised modulo.  A custom partitioner or
+    negative keys fall back to per-pair routing.
+    """
+    partitions: List[List[Any]] = [[] for _ in range(num_reducers)]
+    records = 0
+    size_total = 0
+    for item in items:
+        if isinstance(item, ColumnarBlock):
+            records += len(item)
+            size_total += item.total_bytes
+            if num_reducers == 1:
+                partitions[0].append(item)
+            elif partitioner is hash_partitioner and int(item.keys.min()) >= 0:
+                ids = item.keys % num_reducers
+                for partition, sub_block in item.split_by_partition(ids, num_reducers):
+                    partitions[partition].append(sub_block)
+            else:
+                for key, value, size in item.to_pairs():
+                    partitions[partitioner(key, num_reducers)].append((key, value, size))
+        else:
+            key, _, size = item
+            partitions[partitioner(key, num_reducers)].append(item)
+            records += 1
+            size_total += size
+    counters.increment_by(CounterNames.SHUFFLE_RECORDS, 1.0, records)
+    counters.increment(CounterNames.SHUFFLE_BYTES, size_total)
+    return partitions
+
+
 def execute_map_task(spec: MapTaskSpec) -> TaskResult:
-    """Run one map task: read the split, map, combine, spill.
+    """Run one map task: read the split, map, combine, spill, partition.
 
     Self-contained and side-effect free outside the spec, so it can run in the
-    calling process or a worker process interchangeably.
+    calling process or a worker process interchangeably.  On the ``"batch"``
+    data plane a :class:`~repro.mapreduce.api.BatchMapper` consumes the whole
+    split as one array and the per-record counters are charged in batched
+    form; any other mapper (or the ``"records"`` plane) takes the reference
+    record-at-a-time loop.  Either way the task ends with the map-side half of
+    the sharded shuffle: the spill leaves the task already routed per reducer.
     """
     counters = Counters()
     rng = np.random.default_rng(spec.seed_key)
@@ -224,22 +326,59 @@ def execute_map_task(spec: MapTaskSpec) -> TaskResult:
             else SequentialInputFormat()
         )
         reader = input_format.create_reader(spec.records, spec.split, rng=rng)
-        for record in reader:
-            mapper.map(record, context)
-            counters.increment(CounterNames.MAP_INPUT_RECORDS)
+        if spec.data_plane == "batch" and isinstance(mapper, BatchMapper):
+            keys = reader.read_batch()
+            mapper.map_batch(keys, context)
+            counters.increment_by(CounterNames.MAP_INPUT_RECORDS, 1.0, int(keys.size))
+        else:
+            for record in reader:
+                mapper.map(record, context)
+                counters.increment(CounterNames.MAP_INPUT_RECORDS)
         counters.increment(CounterNames.MAP_INPUT_BYTES, reader.bytes_read)
         counters.increment(CounterNames.HDFS_BYTES_READ, reader.bytes_read)
     mapper.close(context)
     spilled = _apply_combiner(spec.combiner, spec.serialization,
                               context.emitted_pairs, counters)
-    counters.increment(CounterNames.SPILLED_RECORDS, len(spilled))
+    counters.increment(CounterNames.SPILLED_RECORDS, emitted_length(spilled))
+    partitions = _partition_spill(spilled, spec.partitioner, spec.num_reducers,
+                                  counters)
     return TaskResult(
         task_id=spec.task_id,
-        pairs=spilled,
+        pairs=[],
         counters=counters,
         state_saves=state.saves,
         state_bytes_read=state.bytes_read,
+        partitions=partitions,
     )
+
+
+def _reduce_columnar(reducer: Any, blocks: List[ColumnarBlock],
+                     context: ReducerContext, counters: Counters) -> None:
+    """Vectorised sort-and-group over an all-columnar partition.
+
+    Equivalent to the reference dict-grouping loop: groups are visited in
+    ascending key order and each group's values keep their arrival order (the
+    stable sort preserves the stream order across blocks), so reducers that
+    fold floats see the exact same summation order on either plane.  A
+    :class:`~repro.mapreduce.api.BatchReducer` receives the grouped arrays in
+    one call; any other reducer gets the per-group reference loop.
+    """
+    keys = np.concatenate([block.keys for block in blocks])
+    values = np.concatenate([block.values for block in blocks])
+    counters.increment_by(CounterNames.REDUCE_INPUT_RECORDS, 1.0, int(keys.size))
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    sorted_values = values[order]
+    starts = np.concatenate(([0], np.flatnonzero(np.diff(sorted_keys)) + 1))
+    counters.increment_by(CounterNames.REDUCE_INPUT_GROUPS, 1.0, int(starts.size))
+    if isinstance(reducer, BatchReducer):
+        reducer.reduce_batch(sorted_keys[starts], starts, sorted_values, context)
+    else:
+        # Unbound call: feed a plain reducer through the one reference
+        # per-group loop (BatchReducer's default body), so the grouping-fold
+        # contract lives in a single place.
+        BatchReducer.reduce_batch(reducer, sorted_keys[starts], starts,
+                                  sorted_values, context)
 
 
 def execute_reduce_task(spec: ReduceTaskSpec) -> TaskResult:
@@ -247,7 +386,10 @@ def execute_reduce_task(spec: ReduceTaskSpec) -> TaskResult:
 
     Sorting happens here, per partition, rather than in the runtime's shuffle —
     the paper's reducers see keys in ascending order, and sorting inside the
-    task lets partitions sort concurrently under a parallel executor.
+    task lets partitions sort concurrently under a parallel executor.  A
+    partition that arrives fully columnar (same value dtype throughout) is
+    grouped with one stable numpy sort instead of the per-pair dict loop; any
+    mixed or per-pair partition takes the reference loop.
     """
     counters = Counters()
     rng = np.random.default_rng(spec.seed_key)
@@ -264,13 +406,22 @@ def execute_reduce_task(spec: ReduceTaskSpec) -> TaskResult:
     )
     reducer = spec.reducer_class()
     reducer.setup(context)
-    grouped: Dict[Any, List[Any]] = {}
-    for key, value, _ in spec.pairs:
-        grouped.setdefault(key, []).append(value)
-        counters.increment(CounterNames.REDUCE_INPUT_RECORDS)
-    for key in sorted(grouped):
-        counters.increment(CounterNames.REDUCE_INPUT_GROUPS)
-        reducer.reduce(key, grouped[key], context)
+    items = spec.pairs
+    all_columnar = (
+        bool(items)
+        and all(isinstance(item, ColumnarBlock) for item in items)
+        and len({item.values.dtype for item in items}) == 1
+    )
+    if all_columnar:
+        _reduce_columnar(reducer, items, context, counters)
+    else:
+        grouped: Dict[Any, List[Any]] = {}
+        for key, value, _ in _materialize(items):
+            grouped.setdefault(key, []).append(value)
+            counters.increment(CounterNames.REDUCE_INPUT_RECORDS)
+        for key in sorted(grouped):
+            counters.increment(CounterNames.REDUCE_INPUT_GROUPS)
+            reducer.reduce(key, grouped[key], context)
     reducer.close(context)
     return TaskResult(
         task_id=spec.reducer_id,
@@ -309,6 +460,23 @@ def execute_function_task(spec: FunctionTaskSpec) -> TaskResult:
 
 
 TaskSpec = Union[MapTaskSpec, ReduceTaskSpec, FunctionTaskSpec]
+
+
+def _is_pickling_failure(error: BaseException) -> bool:
+    """Whether an exception is a (submit-side) task-spec serialization failure.
+
+    ``multiprocessing`` surfaces these as :class:`pickle.PicklingError`, or as
+    ``AttributeError``/``TypeError`` with a "can't pickle" message when the
+    payload holds a local class or closure.
+    """
+    import pickle
+
+    if isinstance(error, pickle.PicklingError):
+        return True
+    if isinstance(error, (AttributeError, TypeError)):
+        message = str(error).lower()
+        return "pickle" in message
+    return False
 
 
 def _execute_task(spec: TaskSpec) -> TaskResult:
@@ -427,12 +595,21 @@ class ParallelExecutor(Executor):
                 "means the job's mapper/reducer/combiner or an emitted value "
                 "is not picklable (they must be defined at module level)"
             ) from error
-        except BaseException:
+        except BaseException as error:
             # A task raised (or the caller was interrupted): don't leave the
             # rest of the phase running in the shared pool behind our back.
             for future in in_flight:
                 future.cancel()
             wait(list(in_flight))
+            if _is_pickling_failure(error):
+                # Submit-side serialization failed (the spec never reached a
+                # worker) — almost always job code defined inside a function.
+                raise ExecutorError(
+                    "a task spec could not be pickled for a worker process; "
+                    "under the parallel executor the job's mapper, reducer, "
+                    "combiner and partitioner must be defined at module "
+                    "level (no lambdas or closures)"
+                ) from error
             raise
         return results  # type: ignore[return-value]
 

@@ -33,7 +33,16 @@ __all__ = [
 
 
 class RecordReader:
-    """Iterates over the records of one split and tracks how much was read."""
+    """Iterates over the records of one split and tracks how much was read.
+
+    Readers expose two access modes with identical semantics: the classic
+    record-at-a-time iterator, and :meth:`read_batch`, which returns every
+    record the iterator would have yielded as one int64 numpy array (the batch
+    data plane's fast path).  Both modes charge the same ``records_read`` /
+    ``bytes_read`` and consume the task RNG identically, so the runtime may
+    pick either without changing any outcome.  A reader instance serves one
+    pass: use either the iterator or ``read_batch``, not both.
+    """
 
     def __init__(self, hdfs_file: HdfsFile, split: InputSplit) -> None:
         self._file = hdfs_file
@@ -43,6 +52,15 @@ class RecordReader:
 
     def __iter__(self) -> Iterator[int]:  # pragma: no cover - interface
         raise NotImplementedError
+
+    def read_batch(self) -> np.ndarray:
+        """Return all records of the pass as one int64 array.
+
+        The base implementation materialises the iterator (correct for any
+        reader, including the per-record accounting and RNG consumption);
+        concrete readers override it with a vectorised equivalent.
+        """
+        return np.fromiter(iter(self), dtype=np.int64)
 
     @property
     def split(self) -> InputSplit:
@@ -60,6 +78,19 @@ class SequentialRecordReader(RecordReader):
             self.records_read += 1
             self.bytes_read += record_size
             yield int(key)
+
+    def read_batch(self) -> np.ndarray:
+        """The whole split as one array, charged exactly like the full scan.
+
+        Returns a private copy: ``HdfsFile.read`` hands out a view of the
+        file's backing array, and a mapper must be free to mutate its batch
+        without corrupting the simulated HDFS for later rounds.
+        """
+        keys = np.array(self._file.read(self._split.start, self._split.length),
+                        dtype=np.int64, copy=True)
+        self.records_read += int(keys.size)
+        self.bytes_read += int(keys.size) * self._file.record_size_bytes
+        return keys
 
 
 class RandomSamplingRecordReader(RecordReader):
@@ -91,20 +122,43 @@ class RandomSamplingRecordReader(RecordReader):
         """First-level sampling probability ``p``."""
         return self._probability
 
-    def __iter__(self) -> Iterator[int]:
+    def _draw_offsets(self) -> Optional[np.ndarray]:
+        """Sampled record offsets in ascending order (``None`` when the sample is empty).
+
+        One vectorised without-replacement draw from the task RNG, shared by
+        both access modes so they consume the generator identically (in
+        particular, an empty sample draws nothing in either mode).
+        """
         num_records = self._split.length
         sample_size = int(round(self._probability * num_records))
         sample_size = min(max(sample_size, 0), num_records)
         if sample_size == 0:
-            return
+            return None
         offsets = self._rng.choice(num_records, size=sample_size, replace=False)
         offsets.sort()
+        return offsets
+
+    def __iter__(self) -> Iterator[int]:
+        offsets = self._draw_offsets()
+        if offsets is None:
+            return
         keys = self._file.read(self._split.start, self._split.length)
         record_size = self._file.record_size_bytes
         for offset in offsets:
             self.records_read += 1
             self.bytes_read += record_size
             yield int(keys[offset])
+
+    def read_batch(self) -> np.ndarray:
+        """All sampled keys at once: one RNG draw, one fancy-indexed gather."""
+        offsets = self._draw_offsets()
+        if offsets is None:
+            return np.empty(0, dtype=np.int64)
+        keys = np.asarray(self._file.read(self._split.start, self._split.length),
+                          dtype=np.int64)
+        self.records_read += int(offsets.size)
+        self.bytes_read += int(offsets.size) * self._file.record_size_bytes
+        return keys[offsets]
 
 
 class InputFormat:

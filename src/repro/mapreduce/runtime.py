@@ -15,12 +15,24 @@ on a real cluster:
    side (with the simulator's single in-memory buffer this is equivalent to
    per-spill combining for the paper's associative combiners).  Spilled
    records are what actually leaves the machine.
-3. **Shuffle** — at the map barrier the runtime routes each task's spilled
-   pairs to reduce partitions via the partitioner, in task order, and charges
-   their bytes as the paper's *communication* metric.  Sorting happens
-   per-partition inside each reduce task (a chunked shuffle) rather than
-   globally, so partitions sort concurrently under a parallel executor.
+3. **Shuffle** — the shuffle is *sharded*: each map task routes its own
+   spilled output to reduce partitions inside the task (charging the paper's
+   *communication* metric there), so at the map barrier the runtime only
+   concatenates the per-partition streams in task order — no per-pair work
+   remains in the parent process.  Sorting happens per-partition inside each
+   reduce task (a chunked shuffle) rather than globally, so partitions sort
+   concurrently under a parallel executor.
 4. **Reduce** — one reduce task per partition.
+
+**Data planes.**  Records move through a round on one of two planes, selected
+by the runner's ``data_plane``: the default ``"batch"`` plane reads each split
+as one int64 array, lets :class:`~repro.mapreduce.api.BatchMapper` subclasses
+consume it in a single vectorised call, charges per-record counters in batched
+form and ships uniform emission streams as columnar blocks; the ``"records"``
+plane is the record-at-a-time reference implementation (also the automatic
+fallback for mappers that are not batch-capable).  The two planes are
+bit-identical in coefficients, counters and shuffle accounting — enforced by
+``tests/test_batch_plane_equivalence.py``.
 
 **Executors and determinism.**  The default :class:`SerialExecutor` runs tasks
 inline in task order; :class:`~repro.mapreduce.executor.ParallelExecutor` runs
@@ -42,11 +54,11 @@ import copy
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.errors import JobConfigurationError
-from repro.mapreduce.api import EmittedPair
+from repro.errors import InvalidParameterError, JobConfigurationError
 from repro.mapreduce.cluster import ClusterSpec, paper_cluster
 from repro.mapreduce.counters import CounterNames, Counters
 from repro.mapreduce.executor import (
+    DATA_PLANE_NAMES,
     Executor,
     MapTaskSpec,
     ReduceTaskSpec,
@@ -114,12 +126,18 @@ class JobRunner:
         state_store: Optional[StateStore] = None,
         seed: int = 7,
         executor: Optional[Executor] = None,
+        data_plane: str = "batch",
     ) -> None:
+        if data_plane not in DATA_PLANE_NAMES:
+            raise InvalidParameterError(
+                f"data_plane must be one of {DATA_PLANE_NAMES}, got {data_plane!r}"
+            )
         self._hdfs = hdfs
         self._cluster = cluster if cluster is not None else paper_cluster()
         self._state_store = state_store if state_store is not None else StateStore()
         self._seed = seed
         self._executor = executor if executor is not None else SerialExecutor()
+        self._data_plane = data_plane
         self._round_counter = 0
 
     @property
@@ -141,6 +159,11 @@ class JobRunner:
     def executor(self) -> Executor:
         """The task executor phases are dispatched through."""
         return self._executor
+
+    @property
+    def data_plane(self) -> str:
+        """The data plane records move through (``"batch"`` or ``"records"``)."""
+        return self._data_plane
 
     # ------------------------------------------------------------------ run
     def run(self, job: MapReduceJob, splits: Optional[List[InputSplit]] = None) -> JobResult:
@@ -169,7 +192,7 @@ class JobRunner:
         )
         self._merge_task_results(map_results, counters)
 
-        partitions = self._shuffle(job, map_results, counters)
+        partitions = self._shuffle(job, map_results)
 
         reduce_specs = [
             self._build_reduce_spec(job, reducer_id, pairs, len(splits))
@@ -235,10 +258,13 @@ class JobRunner:
             state_snapshot=snapshot,
             seed_key=(self._seed, self._round_counter, split.split_id),
             num_splits=num_splits,
+            partitioner=job.partitioner,
+            num_reducers=job.num_reducers,
+            data_plane=self._data_plane,
         )
 
     def _build_reduce_spec(self, job: MapReduceJob, reducer_id: int,
-                           pairs: List[EmittedPair], num_splits: int) -> ReduceTaskSpec:
+                           pairs: List[Any], num_splits: int) -> ReduceTaskSpec:
         snapshot = self._state_snapshot("reducer", reducer_id)
         return ReduceTaskSpec(
             reducer_id=reducer_id,
@@ -277,14 +303,16 @@ class JobRunner:
                                        size_bytes=size_bytes)
             self._state_store.bytes_read += result.state_bytes_read
 
-    def _shuffle(self, job: MapReduceJob, map_results: List[TaskResult],
-                 counters: Counters) -> List[List[EmittedPair]]:
-        """Route each map task's spilled pairs to reduce partitions, in task order."""
-        partitions: List[List[EmittedPair]] = [[] for _ in range(job.num_reducers)]
+    def _shuffle(self, job: MapReduceJob,
+                 map_results: List[TaskResult]) -> List[List[Any]]:
+        """Concatenate the tasks' pre-routed spill streams, in task order.
+
+        The partition/route work (and the shuffle-byte accounting) already
+        happened inside each map task — the sharded shuffle — so the only
+        serial work left at the barrier is list concatenation.
+        """
+        partitions: List[List[Any]] = [[] for _ in range(job.num_reducers)]
         for result in map_results:
-            for key, value, size in result.pairs:
-                reducer_index = job.partitioner(key, job.num_reducers)
-                partitions[reducer_index].append((key, value, size))
-                counters.increment(CounterNames.SHUFFLE_RECORDS)
-                counters.increment(CounterNames.SHUFFLE_BYTES, size)
+            for reducer_index, items in enumerate(result.partitions or []):
+                partitions[reducer_index].extend(items)
         return partitions

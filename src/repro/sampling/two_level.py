@@ -37,6 +37,7 @@ __all__ = [
     "SecondLevelEmission",
     "second_level_threshold",
     "second_level_emit",
+    "second_level_emit_batch",
     "TwoLevelEstimator",
 ]
 
@@ -107,6 +108,42 @@ def second_level_emit(
             # count < threshold.
             if rng.random() < count / threshold:
                 yield SecondLevelEmission(key=key, count=None)
+
+
+def second_level_emit_batch(
+    local_sample_counts: Mapping[int, float],
+    epsilon: float,
+    num_splits: int,
+    rng: np.random.Generator,
+    threshold_scale: float = 1.0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorised :func:`second_level_emit`: all Bernoulli draws in one call.
+
+    Returns ``(exact_keys, exact_counts, null_keys)`` arrays.  The RNG
+    consumption is bit-identical to the scalar generator: the scalar path
+    draws one uniform per *below-threshold* key in mapping order, and
+    ``rng.random(n)`` produces exactly the same stream as ``n`` scalar
+    ``rng.random()`` calls, so each below-threshold key receives the same
+    draw — and therefore the same keep/drop decision — on either path.  Only
+    the emission *order* differs (exact pairs first, then NULL markers), which
+    is irrelevant downstream: the estimator's per-key sums are commutative and
+    the reducer visits keys in sorted order.
+    """
+    threshold = second_level_threshold(epsilon, num_splits, threshold_scale)
+    n = len(local_sample_counts)
+    keys = np.fromiter(local_sample_counts.keys(), dtype=np.int64, count=n)
+    counts = np.fromiter(local_sample_counts.values(), dtype=np.float64, count=n)
+    positive = counts > 0
+    keys, counts = keys[positive], counts[positive]
+    exact = counts >= threshold
+    below_keys, below_counts = keys[~exact], counts[~exact]
+    if below_counts.size:
+        draws = rng.random(below_counts.size)
+        accepted = draws < below_counts / threshold
+        null_keys = below_keys[accepted]
+    else:
+        null_keys = np.empty(0, dtype=np.int64)
+    return keys[exact], counts[exact], null_keys
 
 
 class TwoLevelEstimator:

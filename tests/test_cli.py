@@ -26,6 +26,16 @@ class TestParser:
                                                "--epsilon", "0.05"])
         assert arguments.command == "compare"
         assert arguments.quick and arguments.k == 12 and arguments.epsilon == 0.05
+        assert arguments.data_plane == "batch"  # the columnar plane is the default
+
+    def test_data_plane_option(self):
+        for command in (["compare", "--quick"],
+                        ["figure", "vary_k", "--quick"],
+                        ["build", "--store", "/tmp/s"]):
+            arguments = build_parser().parse_args(command + ["--data-plane", "records"])
+            assert arguments.data_plane == "records"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--data-plane", "rows"])
 
     def test_figure_requires_known_name(self):
         with pytest.raises(SystemExit):
@@ -86,6 +96,20 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "threshold_scale" in output
 
+    def test_compare_is_identical_across_data_planes(self, capsys):
+        """The report (communication, time, SSE) must not depend on the plane."""
+        assert main(["compare", "--quick", "--k", "10", "--epsilon", "0.05",
+                     "--data-plane", "batch"]) == 0
+        batch_output = capsys.readouterr().out
+        assert main(["compare", "--quick", "--k", "10", "--epsilon", "0.05",
+                     "--data-plane", "records"]) == 0
+        records_output = capsys.readouterr().out
+        strip = lambda text: [line for line in text.splitlines()
+                              if not line.startswith("workload:")]
+        assert strip(batch_output) == strip(records_output)
+        assert "data-plane=batch" in batch_output
+        assert "data-plane=records" in records_output
+
 
 class TestServingCommands:
     def test_build_then_query_round_trip(self, capsys, tmp_path):
@@ -130,4 +154,7 @@ class TestServingCommands:
         output = capsys.readouterr().out
         assert "bound 1e-09 verified" in output
         assert "batch engine" in output and "scalar loop" in output
-        assert "cache" in output
+        assert "hit rate" in output  # cache effectiveness
+        # p50/p99 per-batch latency of the uncached engine.
+        assert "latency per 256-query batch" in output
+        assert "p50" in output and "p99" in output

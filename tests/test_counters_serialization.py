@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.mapreduce.counters import CounterNames, Counters
@@ -32,6 +34,60 @@ class TestCounters:
     def test_well_known_names_are_distinct(self):
         names = [value for key, value in vars(CounterNames).items() if not key.startswith("_")]
         assert len(names) == len(set(names))
+
+
+class TestIncrementBy:
+    """``increment_by`` must match repeated ``increment`` calls bit for bit."""
+
+    @staticmethod
+    def _reference(amount, times, start=0.0):
+        counters = Counters({"c": start} if start else {})
+        for _ in range(times):
+            counters.increment("c", amount)
+        return counters.get("c")
+
+    @pytest.mark.parametrize("amount,times", [
+        (1.0, 1), (1.0, 1000), (1.0, 640_000),       # per-record charges
+        (8.0, 4096), (12.0, 99_999), (4.0, 123_457),  # per-byte charges
+        (0.5, 777), (0.25, 10_000),                   # dyadic fractions
+        (0.1, 3), (0.1, 1000), (1e-3, 500),           # non-integral fallback
+        (0.0, 50),
+    ])
+    def test_matches_repeated_increments_exactly(self, amount, times):
+        counters = Counters()
+        counters.increment_by("c", amount, times)
+        assert counters.get("c") == self._reference(amount, times)
+
+    def test_matches_from_a_nonzero_float_start(self):
+        for start in (0.5, 3.25, 1e6 + 0.125):
+            counters = Counters({"c": start})
+            counters.increment_by("c", 7.0, 12_345)
+            assert counters.get("c") == self._reference(7.0, 12_345, start=start)
+
+    def test_interleaved_mixed_sequence_matches_loop(self):
+        """A randomised mix of batched and unit charges accumulates identically."""
+        rng = random.Random(99)
+        batched = Counters()
+        looped = Counters()
+        for _ in range(200):
+            amount = rng.choice([1.0, 2.0, 8.0, 0.5, 0.1, 12.0])
+            times = rng.randrange(0, 50)
+            batched.increment_by("c", amount, times)
+            for _ in range(times):
+                looped.increment("c", amount)
+        assert batched.get("c") == looped.get("c")
+
+    def test_zero_times_is_a_noop_and_negative_raises(self):
+        counters = Counters()
+        counters.increment_by("c", 5.0, 0)
+        assert "c" not in counters.values
+        with pytest.raises(ValueError):
+            counters.increment_by("c", 1.0, -1)
+
+    def test_default_times_is_one(self):
+        counters = Counters()
+        counters.increment_by("c", 3.0)
+        assert counters.get("c") == 3.0
 
 
 class TestSerializationModel:

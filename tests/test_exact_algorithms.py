@@ -72,6 +72,39 @@ class TestSendV:
         result = SendV(dataset.u, K, use_combiner=True).run(hdfs, "/data/input", cluster=cluster)
         _assert_same_topk(result.histogram.coefficients, expected)
 
+    @pytest.mark.parametrize("num_reducers", [2, 3, 7])
+    def test_multi_reducer_output_is_identical_to_single_reducer(self, exact_setup,
+                                                                 num_reducers):
+        """Sharded aggregation: the multi-reducer top-k equals the 1-reducer run
+        bit for bit, on both data planes."""
+        dataset, hdfs, cluster, _, _ = exact_setup
+        baseline = SendV(dataset.u, K).run(hdfs, "/data/input", cluster=cluster)
+        for data_plane in ("batch", "records"):
+            sharded = SendV(dataset.u, K, num_reducers=num_reducers).run(
+                hdfs, "/data/input", cluster=cluster, data_plane=data_plane)
+            assert (sharded.histogram.coefficients
+                    == baseline.histogram.coefficients)
+            assert sharded.rounds[0].num_reducers == num_reducers
+            # The sharding changes where the aggregation runs, not what is
+            # shuffled: the communication metric is unchanged.
+            assert sharded.rounds[0].shuffle_bytes == baseline.rounds[0].shuffle_bytes
+
+    def test_multi_reducer_distributes_the_key_groups(self, exact_setup):
+        dataset, hdfs, cluster, _, _ = exact_setup
+        result = SendV(dataset.u, K, num_reducers=4).run(hdfs, "/data/input",
+                                                         cluster=cluster)
+        # Every reducer received a share of the keys: the emitted partial
+        # vectors jointly cover every distinct key exactly once.
+        emitted_keys = [key for key, _ in result.rounds[0].output]
+        assert len(emitted_keys) == len(set(emitted_keys))
+        assert len(emitted_keys) == dataset.frequency_vector().distinct_keys
+
+    def test_invalid_num_reducers_raises(self):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            SendV(256, K, num_reducers=0)
+
 
 class TestSendCoef:
     def test_matches_centralized_topk(self, exact_setup):

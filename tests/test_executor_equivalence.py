@@ -102,6 +102,56 @@ def test_parallel_executor_bounded_by_slots(small_dataset, parallel_executor):
     assert serial.counters.as_dict() == parallel.counters.as_dict()
 
 
+def test_unpicklable_job_code_raises_executor_error(parallel_executor):
+    """Local classes and lambda partitioners fail with a diagnosis, not a raw
+    pickling traceback, and the pool stays usable afterwards."""
+    import numpy as np
+
+    from repro.errors import ExecutorError
+    from repro.mapreduce.api import Mapper, Reducer
+    from repro.mapreduce.cluster import paper_cluster
+    from repro.mapreduce.job import MapReduceJob
+    from repro.mapreduce.runtime import JobRunner
+
+    class LocalMapper(Mapper):
+        def map(self, record, context):
+            context.emit(record, 1)
+
+    class LocalReducer(Reducer):
+        def reduce(self, key, values, context):
+            context.emit(key, sum(values))
+
+    hdfs = HDFS()
+    hdfs.create_file("/input", np.arange(1, 2001))
+    runner = JobRunner(hdfs, cluster=paper_cluster(split_size_bytes=1000),
+                       executor=parallel_executor)
+    with pytest.raises(ExecutorError, match="partitioner"):
+        runner.run(MapReduceJob(name="bad", input_path="/input",
+                                mapper_class=LocalMapper,
+                                reducer_class=LocalReducer))
+
+    # The sharded shuffle ships the partitioner to workers: a lambda
+    # partitioner on an otherwise-picklable job fails the same way.
+    factory = ALGORITHM_FACTORIES["Send-V"]
+    hdfs2 = HDFS()
+    hdfs2.create_file("/input", np.arange(1, 2001) % 200 + 1)
+    runner2 = JobRunner(hdfs2, cluster=paper_cluster(split_size_bytes=1000),
+                        executor=parallel_executor)
+    from repro.algorithms.send_v import SendVMapper, SendVReducer
+    from repro.algorithms.base import CONF_DOMAIN, CONF_K
+    from repro.mapreduce.job import JobConfiguration
+    with pytest.raises(ExecutorError):
+        runner2.run(MapReduceJob(
+            name="bad-partitioner", input_path="/input",
+            mapper_class=SendVMapper, reducer_class=SendVReducer,
+            partitioner=lambda key, r: key % r,
+            configuration=JobConfiguration({CONF_DOMAIN: 256, CONF_K: 5}),
+        ))
+
+    # The executor survives both failures.
+    assert len(parallel_executor.run_tasks([], slots=4)) == 0
+
+
 def test_create_executor_names():
     assert create_executor("serial").name == "serial"
     parallel = create_executor("parallel", workers=2)

@@ -41,6 +41,16 @@ class TestSequentialReader:
         reader = SequentialInputFormat().create_reader(hdfs_file, split)
         assert isinstance(reader, SequentialRecordReader)
 
+    def test_read_batch_matches_iteration(self, hdfs_file_and_split):
+        hdfs_file, split = hdfs_file_and_split
+        batch_reader = SequentialRecordReader(hdfs_file, split)
+        keys = batch_reader.read_batch()
+        assert keys.dtype == np.int64
+        assert keys.tolist() == list(SequentialRecordReader(hdfs_file, split))
+        # Identical accounting on either access mode.
+        assert batch_reader.records_read == 500
+        assert batch_reader.bytes_read == 2000
+
 
 class TestRandomSamplingReader:
     def test_samples_expected_number_of_records(self, hdfs_file_and_split):
@@ -80,6 +90,47 @@ class TestRandomSamplingReader:
             RandomSamplingRecordReader(hdfs_file, split, 0.0)
         with pytest.raises(SamplingError):
             RandomSamplingRecordReader(hdfs_file, split, 1.5)
+
+    def test_read_batch_matches_iteration_including_rng_stream(self, hdfs_file_and_split):
+        """Batch mode must draw the same sample as iteration, from the same RNG state."""
+        hdfs_file, split = hdfs_file_and_split
+        for probability in (0.05, 0.3, 1.0):
+            batch_reader = RandomSamplingRecordReader(hdfs_file, split, probability,
+                                                      rng=np.random.default_rng(7))
+            scalar_reader = RandomSamplingRecordReader(hdfs_file, split, probability,
+                                                       rng=np.random.default_rng(7))
+            keys = batch_reader.read_batch()
+            assert keys.tolist() == list(scalar_reader)
+            assert batch_reader.records_read == scalar_reader.records_read
+            assert batch_reader.bytes_read == scalar_reader.bytes_read
+
+    def test_read_batch_empty_sample_consumes_no_rng(self, hdfs_file_and_split):
+        """A rounds-to-zero sample must leave the task RNG untouched (both modes)."""
+        hdfs_file, split = hdfs_file_and_split
+        probability = 1e-6  # round(p * 500) == 0
+        rng_batch = np.random.default_rng(3)
+        rng_iter = np.random.default_rng(3)
+        assert RandomSamplingRecordReader(
+            hdfs_file, split, probability, rng=rng_batch).read_batch().size == 0
+        assert list(RandomSamplingRecordReader(
+            hdfs_file, split, probability, rng=rng_iter)) == []
+        untouched = np.random.default_rng(3)
+        assert rng_batch.random() == rng_iter.random() == untouched.random()
+
+    def test_base_reader_read_batch_materialises_the_iterator(self, hdfs_file_and_split):
+        """A custom reader that only implements __iter__ still supports batch mode."""
+        from repro.mapreduce.inputformat import RecordReader
+
+        class EveryOtherReader(RecordReader):
+            def __iter__(self):
+                keys = self._file.read(self._split.start, self._split.length)
+                for key in keys[::2]:
+                    self.records_read += 1
+                    yield int(key)
+
+        hdfs_file, split = hdfs_file_and_split
+        batch = EveryOtherReader(hdfs_file, split).read_batch()
+        assert batch.tolist() == list(EveryOtherReader(hdfs_file, split))
 
     def test_input_format_validation_and_creation(self, hdfs_file_and_split):
         hdfs_file, split = hdfs_file_and_split
