@@ -19,14 +19,10 @@ import tempfile
 import numpy as np
 
 from repro import (
-    HDFS,
-    HWTopk,
-    ImprovedSampling,
-    QueryServer,
-    SendSketch,
-    SendV,
+    AlgorithmSpec,
+    RuntimeProfile,
+    SynopsisService,
     SynopsisStore,
-    TwoLevelSampling,
     WaveletHistogram,
     WorldCupLikeGenerator,
     paper_cluster,
@@ -40,33 +36,36 @@ def main() -> None:
     print(f"access log: {log.n} requests, {log.frequency_vector().distinct_keys} distinct "
           f"clientobject pairs, {log.size_bytes / 1024:.0f} kB on disk")
 
-    hdfs = HDFS()
-    log.to_hdfs(hdfs, "/logs/worldcup")
-    cluster = paper_cluster(split_size_bytes=log.size_bytes // 32)
     reference = log.frequency_vector()
     ideal_sse = WaveletHistogram.from_frequency_vector(reference, 30).sse(reference)
 
-    # Every build is published into one persistent store, one catalog entry
-    # per algorithm — the summarisation pipeline's output artifact.
+    # The three-object service flow: a RuntimeProfile says *how* to run, the
+    # registry specs say *what* to build, and the service publishes every
+    # build into one persistent store — the summarisation pipeline's output
+    # artifact, one catalog entry per algorithm.
+    profile = RuntimeProfile(
+        cluster=paper_cluster(split_size_bytes=log.size_bytes // 32), seed=7)
     store = SynopsisStore(tempfile.mkdtemp(prefix="repro-access-log-"))
-    algorithms = [
-        SendV(log.u, 30),
-        HWTopk(log.u, 30),
-        SendSketch(log.u, 30, bytes_per_level=8 * 1024),
-        ImprovedSampling(log.u, 30, epsilon=0.01),
-        TwoLevelSampling(log.u, 30, epsilon=0.01),
+    service = SynopsisService(store=store, profile=profile)
+    specs = [
+        AlgorithmSpec("send-v", k=30),
+        AlgorithmSpec("h-wtopk", k=30),
+        AlgorithmSpec("send-sketch", k=30, parameters={"bytes_per_level": 8 * 1024}),
+        AlgorithmSpec("improved-s", k=30, parameters={"epsilon": 0.01}),
+        AlgorithmSpec("twolevel-s", k=30, parameters={"epsilon": 0.01}),
     ]
     print(f"\n{'algorithm':<12} {'comm (bytes)':>14} {'time (s)':>10} {'SSE / ideal':>12}")
-    for algorithm in algorithms:
-        result = algorithm.run(hdfs, "/logs/worldcup", cluster=cluster, store=store)
+    for spec in specs:
+        result = service.build(spec, log).result
         print(f"{result.algorithm:<12} {result.communication_bytes:>14,.0f} "
               f"{result.simulated_time_s:>10.1f} "
               f"{result.histogram.sse(reference) / ideal_sse:>12.2f}")
 
     # From here on the analysis runs against the *store*, not the build
-    # results: a query server reloads each synopsis from disk (checksummed,
-    # lazily) and answers query batches through the vectorized engine.
-    server = QueryServer(store)
+    # results: the service's query server reloads each synopsis from disk
+    # (checksummed, lazily) and answers query batches through the vectorized
+    # engine.
+    server = service.server
     print(f"\nstore holds {len(store.names())} synopses: {', '.join(store.names())}")
 
     # The k-term synopsis captures the heaviest (client, object) pairings: the
@@ -81,14 +80,16 @@ def main() -> None:
         print(f"  clientobject {key:>6}: true {true_count:>8.0f}   estimated {estimate:>10.0f}")
 
     # Traffic concentration: what fraction of all requests fall in each
-    # sixteenth of the key space?  One batched selectivity query per synopsis.
+    # sixteenth of the key space?  One multi-synopsis fan-out answers the same
+    # workload against the exact and the sampled synopsis in a single call.
     bounds = np.linspace(0, log.u, 17, dtype=np.int64)
     los, his = bounds[:-1] + 1, bounds[1:]
     dense = reference.to_dense()
     prefix = np.concatenate(([0.0], np.cumsum(dense)))
     truth = (prefix[his] - prefix[los - 1]) / log.n
-    exact_served = server.selectivities("Send-V", los, his, total=log.n)
-    sampled_served = server.selectivities("TwoLevel-S", los, his, total=log.n)
+    fanned = service.query(["Send-V", "TwoLevel-S"], los, his)
+    exact_served = fanned["Send-V"] / log.n
+    sampled_served = fanned["TwoLevel-S"] / log.n
     print("\ntraffic share per 1/16th of the key space (true / exact synopsis / sampled):")
     for index in np.argsort(-truth)[:4]:
         print(f"  keys [{los[index]:>6}, {his[index]:>6}]: "

@@ -36,7 +36,8 @@ def main() -> None:
           f"(scale factor {config.scale_factor(dataset):.0f}x)\n")
 
     measurements = run_algorithms(dataset, standard_algorithms(config), cluster,
-                                  reference=reference, seed=config.seed)
+                                  reference=reference,
+                                  profile=config.build_profile())
     print(f"{'algorithm':<12} {'rounds':>6} {'comm (bytes)':>14} {'time (s)':>12} "
           f"{'SSE':>12} {'SSE/ideal':>10}")
     for measurement in measurements:

@@ -16,11 +16,11 @@ import tempfile
 import numpy as np
 
 from repro import (
-    HDFS,
-    HWTopk,
+    AlgorithmSpec,
     QueryServer,
+    RuntimeProfile,
+    SynopsisService,
     SynopsisStore,
-    TwoLevelSampling,
     WaveletHistogram,
     WorkloadGenerator,
     ZipfDatasetGenerator,
@@ -34,23 +34,27 @@ def main() -> None:
     print(f"dataset: {dataset.name}  n={dataset.n}  u={dataset.u}  "
           f"size={dataset.size_bytes / 1024:.0f} kB")
 
-    # 2. Load it into the simulated HDFS and describe the cluster.
-    hdfs = HDFS()
-    dataset.to_hdfs(hdfs, "/data/quickstart")
-    cluster = paper_cluster(split_size_bytes=dataset.size_bytes // 16)  # ~16 splits
+    # 2. *How to run*: one RuntimeProfile bundles cluster, seed, executor and
+    #    data plane for every build.
+    profile = RuntimeProfile(
+        cluster=paper_cluster(split_size_bytes=dataset.size_bytes // 16),  # ~16 splits
+        seed=7,
+    )
 
-    # 3. A persistent synopsis store the builds publish into.
+    # 3. *Where it lives*: a persistent synopsis store the service publishes
+    #    into (swap for SynopsisStore.in_memory() to stay diskless).
     store = SynopsisStore(tempfile.mkdtemp(prefix="repro-quickstart-"))
+    service = SynopsisService(store=store, profile=profile)
 
-    # 4. The exact top-30 wavelet histogram with the paper's 3-round algorithm,
-    #    and the two-level sampling approximation (one round, tiny
-    #    communication) — both persisted as checksummed store versions.
-    exact = HWTopk(u=dataset.u, k=30).run(
-        hdfs, "/data/quickstart", cluster=cluster, store=store, store_name="quickstart"
-    )
-    approximate = TwoLevelSampling(u=dataset.u, k=30, epsilon=0.01).run(
-        hdfs, "/data/quickstart", cluster=cluster, store=store, store_name="quickstart"
-    )
+    # 4. *What to build*: the exact top-30 wavelet histogram with the paper's
+    #    3-round algorithm, and the two-level sampling approximation (one
+    #    round, tiny communication) — both resolved by name through the
+    #    algorithm registry and persisted as checksummed store versions.
+    exact = service.build(AlgorithmSpec("h-wtopk", k=30), dataset,
+                          name="quickstart").result
+    approximate = service.build(
+        AlgorithmSpec("twolevel-s", k=30, parameters={"epsilon": 0.01}),
+        dataset, name="quickstart").result
 
     # 5. Compare quality and cost against the exact frequency vector.
     reference = dataset.frequency_vector()

@@ -19,6 +19,7 @@ from repro import (
     Dataset,
     HDFS,
     ImprovedSampling,
+    RuntimeProfile,
     SendV,
     TwoLevelSampling,
     paper_cluster,
@@ -41,7 +42,8 @@ def main() -> None:
     dataset = generate_price_attribute(u, n)
     hdfs = HDFS()
     dataset.to_hdfs(hdfs, "/data/orders")
-    cluster = paper_cluster(split_size_bytes=dataset.size_bytes // 16)
+    profile = RuntimeProfile(
+        cluster=paper_cluster(split_size_bytes=dataset.size_bytes // 16))
     reference = dataset.frequency_vector()
 
     # A workload of range predicates (price BETWEEN lo AND hi) of varying width.
@@ -64,7 +66,7 @@ def main() -> None:
             TwoLevelSampling(u, k, epsilon=0.01),
         ]
         for builder in builders:
-            result = builder.run(hdfs, "/data/orders", cluster=cluster)
+            result = builder.run(hdfs, "/data/orders", profile=profile)
             # One vectorized pass answers the whole predicate batch at once.
             estimates = result.histogram.range_sum_many(los, his)
             errors = np.abs(estimates - true_counts) / n

@@ -14,19 +14,28 @@ The package is organised as:
 * :mod:`repro.data` — Zipfian / WorldCup-like dataset generators;
 * :mod:`repro.experiments` — the figure-by-figure experiment harness;
 * :mod:`repro.serving` — the synopsis serving layer: a persistent
-  :class:`~repro.serving.store.SynopsisStore`, the vectorized
-  :class:`~repro.serving.engine.BatchQueryEngine` and the thread-safe
-  :class:`~repro.serving.server.QueryServer`.
+  :class:`~repro.serving.store.SynopsisStore` over pluggable backends, the
+  vectorized :class:`~repro.serving.engine.BatchQueryEngine` and the
+  thread-safe :class:`~repro.serving.server.QueryServer`;
+* :mod:`repro.service` — the unified service API:
+  :class:`~repro.service.profile.RuntimeProfile` (*how to run*), the
+  algorithm registry (*what to build*) and the
+  :class:`~repro.service.facade.SynopsisService` façade (build → store →
+  multi-synopsis serving).
 
 Quickstart::
 
-    from repro import ZipfDatasetGenerator, TwoLevelSampling, HDFS, paper_cluster
+    from repro import (RuntimeProfile, SynopsisService, ZipfDatasetGenerator,
+                       make_algorithm)
 
     dataset = ZipfDatasetGenerator(u=2**14, alpha=1.1).generate(200_000)
-    hdfs = HDFS()
-    dataset.to_hdfs(hdfs, "/data/zipf")
-    result = TwoLevelSampling(u=dataset.u, k=30, epsilon=0.005).run(hdfs, "/data/zipf")
-    print(result.histogram.coefficients, result.communication_bytes)
+    service = SynopsisService()                 # in-memory store
+    profile = RuntimeProfile(seed=7)            # how to run
+    report = service.build(                     # what to build, built + stored
+        make_algorithm("twolevel-s", u=dataset.u, k=30, epsilon=0.005),
+        dataset, profile)
+    answers = service.query([report.name], [1], [dataset.u])
+    print(report.version, report.checksum_sha256[:12], answers)
 """
 
 from repro.algorithms import (
@@ -39,20 +48,25 @@ from repro.algorithms import (
     SendSketch,
     SendV,
     TwoLevelSampling,
+    algorithm_names,
+    make_algorithm,
 )
 from repro.core import FrequencyVector, WaveletHistogram, haar_transform, inverse_haar_transform
 from repro.cost import CostModel, CostParameters
 from repro.data import Dataset, UniformDatasetGenerator, WorldCupLikeGenerator, ZipfDatasetGenerator
 from repro.mapreduce import HDFS, ClusterSpec, JobRunner, MapReduceJob
 from repro.mapreduce.cluster import paper_cluster
+from repro.service import AlgorithmSpec, RuntimeProfile, SynopsisService
 from repro.serving import (
     BatchQueryEngine,
+    DirectoryBackend,
+    MemoryBackend,
     QueryServer,
     SynopsisStore,
     WorkloadGenerator,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AlgorithmResult",
@@ -79,8 +93,15 @@ __all__ = [
     "JobRunner",
     "MapReduceJob",
     "paper_cluster",
+    "make_algorithm",
+    "algorithm_names",
+    "RuntimeProfile",
+    "AlgorithmSpec",
+    "SynopsisService",
     "BatchQueryEngine",
     "QueryServer",
+    "DirectoryBackend",
+    "MemoryBackend",
     "SynopsisStore",
     "WorkloadGenerator",
     "__version__",

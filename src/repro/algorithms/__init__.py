@@ -30,6 +30,12 @@ from repro.algorithms.base import AlgorithmResult, HistogramAlgorithm
 from repro.algorithms.basic_sampling import BasicSampling
 from repro.algorithms.hwtopk import HWTopk
 from repro.algorithms.improved_sampling import ImprovedSampling
+from repro.algorithms.registry import (
+    algorithm_class,
+    algorithm_names,
+    make_algorithm,
+    register,
+)
 from repro.algorithms.send_coef import SendCoef
 from repro.algorithms.send_sketch import SendSketch
 from repro.algorithms.send_v import SendV
@@ -45,4 +51,8 @@ __all__ = [
     "BasicSampling",
     "ImprovedSampling",
     "TwoLevelSampling",
+    "register",
+    "make_algorithm",
+    "algorithm_class",
+    "algorithm_names",
 ]

@@ -3,24 +3,37 @@
 from __future__ import annotations
 
 import math
+import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from repro.core.histogram import WaveletHistogram
-from repro.cost.model import CostModel, CostParameters
+from repro.cost.model import CostModel
 from repro.errors import InvalidParameterError
-from repro.mapreduce.cluster import ClusterSpec, paper_cluster
+from repro.mapreduce.cluster import ClusterSpec
 from repro.mapreduce.counters import Counters
-from repro.mapreduce.executor import Executor
 from repro.mapreduce.hdfs import HDFS
 from repro.mapreduce.runtime import JobResult, JobRunner
 from repro.mapreduce.state import StateStore
+from repro.service.profile import RuntimeProfile
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.serving.store import SynopsisStore
 
 __all__ = ["AlgorithmResult", "HistogramAlgorithm"]
+
+# Sentinel distinguishing "caller never passed this" from an explicit None in
+# the deprecated kwarg shim of :meth:`HistogramAlgorithm.run`.
+_UNSET: Any = object()
+
+_RUN_KWARGS_DEPRECATION = (
+    "HistogramAlgorithm.run's loose keyword arguments (cluster=, "
+    "cost_parameters=, seed=, executor=, data_plane=, store=, store_name=) "
+    "are deprecated: pass a repro.service.RuntimeProfile via profile=..., "
+    "and persist builds through repro.service.SynopsisService (results are "
+    "bit-identical either way)"
+)
 
 # Job Configuration keys shared by all algorithms.
 CONF_DOMAIN = "wavelet.domain.u"
@@ -65,6 +78,45 @@ class AlgorithmResult:
         """SSE of the histogram against a reference frequency vector."""
         return self.histogram.sse(reference)
 
+    def publish(self, store: "SynopsisStore", *, name: Optional[str] = None,
+                seed: Optional[int] = None,
+                extra_build: Optional[Dict[str, Any]] = None):
+        """Persist the histogram to ``store`` with this run's provenance.
+
+        The single publish path shared by :meth:`HistogramAlgorithm.run`'s
+        deprecated ``store=`` shim and the service façade, so the stored
+        build metadata cannot drift between entry points.  Records the entry
+        under ``details["store_entry"]`` and returns the new version's
+        metadata.
+
+        Args:
+            store: the catalog to publish into.
+            name: catalog name (the algorithm name when omitted).
+            seed: the build's RNG seed, recorded as provenance.
+            extra_build: additional build-metadata keys (e.g. the dataset
+                name) merged over the standard counters.
+        """
+        build = {
+            "communication_bytes": self.communication_bytes,
+            "simulated_time_s": self.simulated_time_s,
+            "rounds": self.num_rounds,
+            "counters": self.counters.as_dict(),
+        }
+        build.update(extra_build or {})
+        metadata = store.save(
+            name if name is not None else self.algorithm,
+            self.histogram,
+            algorithm=self.algorithm,
+            seed=seed,
+            build=build,
+        )
+        self.details["store_entry"] = {
+            "name": metadata.name,
+            "version": metadata.version,
+            "checksum_sha256": metadata.checksum_sha256,
+        }
+        return metadata
+
 
 class HistogramAlgorithm(ABC):
     """Base class for all wavelet-histogram construction algorithms.
@@ -93,46 +145,55 @@ class HistogramAlgorithm(ABC):
         self,
         hdfs: HDFS,
         input_path: str,
-        cluster: Optional[ClusterSpec] = None,
-        cost_parameters: Optional[CostParameters] = None,
-        seed: int = 7,
-        executor: Optional[Executor] = None,
-        data_plane: Optional[str] = None,
-        store: Optional["SynopsisStore"] = None,
-        store_name: Optional[str] = None,
+        profile: Optional[RuntimeProfile] = None,
+        cost_parameters: Any = _UNSET,
+        seed: Any = _UNSET,
+        executor: Any = _UNSET,
+        data_plane: Any = _UNSET,
+        store: Any = _UNSET,
+        store_name: Any = _UNSET,
+        *,
+        cluster: Any = _UNSET,
     ) -> AlgorithmResult:
         """Execute the algorithm against a file already stored in the simulated HDFS.
 
         Args:
             hdfs: the simulated file system holding the input.
             input_path: path of the input file.
-            cluster: cluster description; defaults to the paper's 16-node cluster.
+            profile: a :class:`~repro.service.profile.RuntimeProfile` bundling
+                cluster, cost parameters, seed, executor spec and data plane.
+                The default profile runs on the paper's 16-node cluster with
+                the serial executor and the batch data plane, seed 7.
+
+        Deprecated args (the pre-profile kwarg surface — every one of these,
+        positionally or by keyword, emits a single :class:`DeprecationWarning`
+        and is folded into an equivalent profile, so both spellings are
+        bit-identical):
+
+            cluster: cluster description.
             cost_parameters: per-operation cost constants for the time model.
-            seed: seed for all randomised components (sampling, sketches).
-            executor: task executor for the MapReduce phases; defaults to the
-                serial executor.  A
-                :class:`~repro.mapreduce.executor.ParallelExecutor` runs the
-                same rounds concurrently with bit-identical results.
-            data_plane: how records move through the runtime — ``"batch"``
-                (the default: columnar readers, vectorised mappers, blocked
-                spills) or ``"records"`` (the record-at-a-time reference
-                path).  Results are plane-independent by construction; only
-                wall-clock time changes.
-            store: when given, the built histogram is persisted to this
-                :class:`~repro.serving.store.SynopsisStore` as a new version,
-                with the build's provenance (algorithm, seed, communication,
-                time, counters) in its metadata.  The stored entry's name and
-                version are reported under ``details["store_entry"]``.
+            seed: seed for all randomised components.
+            executor: task executor for the MapReduce phases.
+            data_plane: ``"batch"`` or ``"records"``.
+            store: persist the built histogram to this
+                :class:`~repro.serving.store.SynopsisStore` (new code builds
+                through :class:`~repro.service.facade.SynopsisService`
+                instead).  The stored entry is reported under
+                ``details["store_entry"]``.
             store_name: catalog name to persist under; defaults to the
                 algorithm name.
         """
-        cluster = cluster if cluster is not None else paper_cluster()
-        runner = JobRunner(hdfs, cluster=cluster, state_store=StateStore(), seed=seed,
-                           executor=executor,
-                           data_plane=data_plane if data_plane is not None else "batch")
+        profile, store_value, store_name_value = self._resolve_run_arguments(
+            profile, cluster, cost_parameters, seed, executor, data_plane,
+            store, store_name,
+        )
+        cluster_spec = profile.resolved_cluster()
+        runner = JobRunner(hdfs, cluster=cluster_spec, state_store=StateStore(),
+                           seed=profile.seed, executor=profile.build_executor(),
+                           data_plane=profile.data_plane)
         outcome = self._execute(runner, input_path)
 
-        cost_model = CostModel(cluster, parameters=cost_parameters)
+        cost_model = CostModel(cluster_spec, parameters=profile.cost_parameters)
         counters = Counters()
         for round_result in outcome.rounds:
             counters = counters.merge(round_result.counters)
@@ -147,25 +208,61 @@ class HistogramAlgorithm(ABC):
             counters=counters,
             details=outcome.details,
         )
-        if store is not None:
-            metadata = store.save(
-                store_name if store_name is not None else self.name,
-                histogram,
-                algorithm=self.name,
-                seed=seed,
-                build={
-                    "communication_bytes": result.communication_bytes,
-                    "simulated_time_s": result.simulated_time_s,
-                    "rounds": result.num_rounds,
-                    "counters": counters.as_dict(),
-                },
-            )
-            result.details["store_entry"] = {
-                "name": metadata.name,
-                "version": metadata.version,
-                "checksum_sha256": metadata.checksum_sha256,
-            }
+        if store_value is not None:
+            result.publish(store_value, name=store_name_value, seed=profile.seed)
         return result
+
+    @staticmethod
+    def _resolve_run_arguments(
+        profile: Any,
+        cluster: Any,
+        cost_parameters: Any,
+        seed: Any,
+        executor: Any,
+        data_plane: Any,
+        store: Any,
+        store_name: Any,
+    ) -> "tuple[RuntimeProfile, Optional[SynopsisStore], Optional[str]]":
+        """Fold the deprecated kwarg surface into one RuntimeProfile.
+
+        The third positional of the old signature was ``cluster``; a non-profile
+        value in the ``profile`` slot is therefore treated as a positional
+        legacy cluster.  Any legacy argument — runtime or persistence — emits
+        exactly one DeprecationWarning per call.
+        """
+        legacy: Dict[str, Any] = {}
+        if profile is not None and not isinstance(profile, RuntimeProfile):
+            if not isinstance(profile, ClusterSpec):
+                raise InvalidParameterError(
+                    f"run() expected a RuntimeProfile (or a legacy ClusterSpec), "
+                    f"got {type(profile).__name__}"
+                )
+            legacy["cluster"] = profile
+            profile = None
+        if cluster is not _UNSET and cluster is not None:
+            if "cluster" in legacy:
+                raise InvalidParameterError(
+                    "cluster passed both positionally and by keyword"
+                )
+            legacy["cluster"] = cluster
+        for key, value in (("cost_parameters", cost_parameters), ("seed", seed),
+                           ("executor", executor), ("data_plane", data_plane)):
+            if value is not _UNSET and value is not None:
+                legacy[key] = value
+        store_value = store if store is not _UNSET else None
+        store_name_value = store_name if store_name is not _UNSET else None
+
+        if legacy or store is not _UNSET or store_name is not _UNSET:
+            warnings.warn(_RUN_KWARGS_DEPRECATION, DeprecationWarning, stacklevel=3)
+        if legacy:
+            if profile is not None:
+                raise InvalidParameterError(
+                    "pass either profile= or the deprecated loose kwargs, not both"
+                )
+            profile = RuntimeProfile(**legacy)
+        elif profile is None:
+            profile = RuntimeProfile()
+        return profile, store_value, store_name_value
 
     # ------------------------------------------------------------- utilities
     @staticmethod

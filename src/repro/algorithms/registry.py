@@ -1,0 +1,111 @@
+"""Name-indexed factory for the paper's histogram-construction algorithms.
+
+Every entry point that turns a *name* into a builder — the CLI's ``build``
+command, the experiment harness's standard competitor list, the
+:class:`~repro.service.facade.SynopsisService` — used to hand-roll its own
+if/elif table, and the tables drifted.  This registry is the single mapping:
+
+>>> from repro.algorithms.registry import make_algorithm
+>>> make_algorithm("twolevel-s", u=1024, k=30, epsilon=0.01)
+TwoLevelSampling(...)
+
+Names are the algorithms' paper names, matched case-insensitively
+(``"Send-V"`` and ``"send-v"`` are the same entry).  Algorithm-specific
+constructor parameters (``epsilon``, ``bytes_per_level``, ``num_reducers``,
+...) pass through ``**params`` unchanged.
+
+The seven shipped algorithms are pre-registered; :func:`register` is public so
+out-of-tree subclasses of :class:`~repro.algorithms.base.HistogramAlgorithm`
+can join the same namespace (and therefore the same CLI and service surface).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+from repro.algorithms.base import HistogramAlgorithm
+from repro.algorithms.basic_sampling import BasicSampling
+from repro.algorithms.hwtopk import HWTopk
+from repro.algorithms.improved_sampling import ImprovedSampling
+from repro.algorithms.send_coef import SendCoef
+from repro.algorithms.send_sketch import SendSketch
+from repro.algorithms.send_v import SendV
+from repro.algorithms.twolevel_sampling import TwoLevelSampling
+from repro.errors import InvalidParameterError
+
+__all__ = ["register", "make_algorithm", "algorithm_class", "algorithm_names"]
+
+_REGISTRY: Dict[str, Type[HistogramAlgorithm]] = {}
+
+
+def _slug(name: str) -> str:
+    return name.strip().lower()
+
+
+def register(cls: Type[HistogramAlgorithm]) -> Type[HistogramAlgorithm]:
+    """Register a :class:`HistogramAlgorithm` subclass under its ``name``.
+
+    Returns the class, so it can be used as a decorator.  Re-registering the
+    same class is a no-op; claiming an existing name with a different class
+    raises, so two algorithms can never shadow each other silently.
+    """
+    if not isinstance(cls, type) or not issubclass(cls, HistogramAlgorithm):
+        raise InvalidParameterError(
+            f"only HistogramAlgorithm subclasses can be registered, got {cls!r}"
+        )
+    slug = _slug(cls.name)
+    if not slug or slug == "abstract":
+        raise InvalidParameterError(
+            f"{cls.__name__} must set a concrete 'name' before registration"
+        )
+    existing = _REGISTRY.get(slug)
+    if existing is not None and existing is not cls:
+        raise InvalidParameterError(
+            f"algorithm name {cls.name!r} is already registered to {existing.__name__}"
+        )
+    _REGISTRY[slug] = cls
+    return cls
+
+
+def algorithm_class(name: str) -> Type[HistogramAlgorithm]:
+    """Look up the registered class for ``name`` (case-insensitive)."""
+    try:
+        return _REGISTRY[_slug(name)]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise InvalidParameterError(
+            f"unknown algorithm {name!r}; registered algorithms: {known}"
+        ) from None
+
+
+def algorithm_names() -> Tuple[str, ...]:
+    """All registered algorithm slugs, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def make_algorithm(name: str, u: int, k: int = 30,
+                   **params) -> HistogramAlgorithm:
+    """Construct a registered algorithm by name.
+
+    Args:
+        name: registered name, case-insensitive (e.g. ``"twolevel-s"``).
+        u: key domain size.
+        k: wavelet coefficient budget.
+        **params: algorithm-specific constructor parameters (``epsilon``,
+            ``bytes_per_level``, ``use_combiner``, ``num_reducers``, ...).
+
+    Raises:
+        InvalidParameterError: unknown name, or parameters the algorithm's
+            constructor does not accept.
+    """
+    cls = algorithm_class(name)
+    try:
+        return cls(u, k, **params)
+    except TypeError as error:
+        raise InvalidParameterError(f"cannot build {name!r}: {error}") from error
+
+
+for _cls in (SendV, SendCoef, HWTopk, SendSketch,
+             BasicSampling, ImprovedSampling, TwoLevelSampling):
+    register(_cls)
+del _cls

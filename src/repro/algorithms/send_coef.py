@@ -28,7 +28,7 @@ from repro.algorithms.base import (
 from repro.core.frequency import merge_key_counts
 from repro.core.haar import sparse_haar_transform
 from repro.core.topk_coefficients import top_k_coefficients
-from repro.mapreduce.api import BatchMapper, MapperContext, Reducer, ReducerContext
+from repro.mapreduce.api import BatchMapper, BatchReducer, MapperContext, ReducerContext
 from repro.mapreduce.counters import CounterNames
 from repro.mapreduce.job import JobConfiguration, MapReduceJob
 from repro.mapreduce.runtime import JobRunner
@@ -76,7 +76,7 @@ class SendCoefMapper(BatchMapper):
                 context.emit(index, float(value), size_bytes=COEFFICIENT_PAIR_BYTES)
 
 
-class SendCoefReducer(Reducer):
+class SendCoefReducer(BatchReducer):
     """Sums local coefficients per index and keeps the top-k by magnitude."""
 
     def setup(self, context: ReducerContext) -> None:
@@ -88,6 +88,32 @@ class SendCoefReducer(Reducer):
         if total != 0.0:
             self._totals[int(key)] = total
         context.counters.increment(CounterNames.REDUCE_CPU_OPS)
+
+    def reduce_batch(self, keys: np.ndarray, starts: np.ndarray,
+                     values: np.ndarray, context: ReducerContext) -> None:
+        """All coefficient groups in one order-preserving segmented fold.
+
+        Unlike Send-V's integer counts, these are *float* partial coefficients,
+        so ``np.add.reduceat`` would change the summation order (pairwise tree
+        reduction) and drift from the reference answer in the last bits.
+        Instead each sorted segment is folded with the same left-to-right
+        Python ``sum`` the per-group :meth:`reduce` uses — the stable sort
+        upstream preserved arrival order within a group, so every float lands
+        in the accumulator in the reference order and the totals (and the
+        top-k built from them) are bit-identical across planes.  Keys arrive
+        ascending and distinct, matching the reference insertion order.
+        """
+        if keys.size == 0:
+            return
+        boundaries = starts.tolist() + [int(values.size)]
+        values_list = values.tolist()
+        totals = self._totals
+        for position, key in enumerate(keys.tolist()):
+            total = float(sum(values_list[boundaries[position]:boundaries[position + 1]]))
+            if total != 0.0:
+                totals[int(key)] = total
+        context.counters.increment_by(CounterNames.REDUCE_CPU_OPS, 1.0,
+                                      int(keys.size))
 
     def close(self, context: ReducerContext) -> None:
         for index, value in top_k_coefficients(self._totals, self._k).items():

@@ -1,6 +1,6 @@
 """Command-line interface: build, evaluate and *serve* wavelet histograms.
 
-Six sub-commands are provided::
+Seven sub-commands are provided::
 
     python -m repro compare   [--quick] [--k 30] [--epsilon 0.003]
         Run the paper's five algorithms over the (scaled) default workload and
@@ -15,23 +15,32 @@ Six sub-commands are provided::
         List the figure drivers and the paper figures they correspond to.
 
     python -m repro build --store DIR [--name NAME] [--algorithm twolevel-s]
-        Build a histogram over the configured workload and persist it to a
-        synopsis store as a new checksummed version.
+        Build a histogram over the configured workload (any registered
+        algorithm, resolved through ``repro.algorithms.registry``) and persist
+        it to a synopsis store as a new checksummed version.
 
     python -m repro query --store DIR --name NAME [--range LO HI ... | --count N]
         Load a stored synopsis (latest or ``--version``) and answer range-sum
         queries — explicit ``--range`` pairs or a generated workload.
+
+    python -m repro serve catalog --store DIR
+    python -m repro serve query --store DIR --name A --name B [--count N]
+        The multi-synopsis serving verbs: list a store's catalog, or fan one
+        generated workload out across several stored synopses through the
+        :class:`~repro.service.facade.SynopsisService` (answers are
+        deterministic in name-then-task order, whatever the executor).
 
     python -m repro serve-bench [--quick] [--count N] [--mix mixed]
         Measure serving throughput: the vectorized batch engine versus the
         scalar per-query loop (plus the cached path), verifying on the way
         that both agree to within 1e-9.
 
-``compare``, ``figure`` and ``build`` accept ``--executor {serial,parallel}``
-and ``--workers N`` to run the simulated MapReduce phases through a process
-pool, plus ``--data-plane {batch,records}`` to pick the columnar fast path or
-the record-at-a-time reference path; all reported numbers are bit-identical
-across executors and data planes, only the wall-clock time changes.
+``compare``, ``figure`` and ``build`` accept ``--executor {serial,parallel}``,
+``--workers N`` and ``--data-plane {batch,records}``, or the combined
+``--profile`` specification (e.g. ``--profile parallel:4`` or ``--profile
+executor=parallel,workers=4,data-plane=records,seed=3``) which overrides the
+individual flags; all reported numbers are bit-identical across executors and
+data planes, only the wall-clock time changes.
 """
 
 from __future__ import annotations
@@ -41,13 +50,14 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.algorithms.registry import algorithm_class, algorithm_names, make_algorithm
 from repro.core.histogram import WaveletHistogram
 from repro.errors import ServingError
 from repro.experiments import figures
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_algorithms, standard_algorithms
 from repro.mapreduce.executor import DATA_PLANE_NAMES, EXECUTOR_NAMES
-from repro.mapreduce.hdfs import HDFS
+from repro.service import RuntimeProfile, SynopsisService
 from repro.serving.bench import measure_serving_throughput
 from repro.serving.server import QueryServer
 from repro.serving.store import SynopsisStore
@@ -55,17 +65,33 @@ from repro.serving.workload import MIX_NAMES, WorkloadGenerator
 
 __all__ = ["main", "build_parser", "FIGURE_DRIVERS", "ALGORITHM_SLUGS"]
 
-# CLI slugs for the ``build`` command: the lowercased names of the paper's
-# five standard algorithms, constructed through the same
-# ``standard_algorithms`` factory ``compare`` and the figures use, so the two
-# surfaces cannot drift in how they wire configuration into builders.
-ALGORITHM_SLUGS = ("send-v", "h-wtopk", "send-sketch", "improved-s", "twolevel-s")
+# CLI slugs for the ``build`` command: every algorithm in the registry — the
+# same factory ``compare``, the figures and the service façade resolve
+# builders through, so the surfaces cannot drift in how they wire
+# configuration into builders.
+ALGORITHM_SLUGS = algorithm_names()
+
+
+def _algorithm_parameters(slug: str, config: ExperimentConfig) -> Dict[str, object]:
+    """Configuration-derived constructor parameters for a registered algorithm.
+
+    Driven by the builder's own signature rather than a per-slug table, so
+    any registered algorithm — including out-of-tree ones — picks up the
+    configuration values its constructor actually accepts.
+    """
+    import inspect
+
+    accepted = inspect.signature(algorithm_class(slug).__init__).parameters
+    configured = {
+        "epsilon": config.epsilon,
+        "bytes_per_level": config.sketch_bytes_per_level,
+    }
+    return {key: value for key, value in configured.items() if key in accepted}
 
 
 def _build_algorithm(slug: str, config: ExperimentConfig):
-    by_slug = {algorithm.name.lower(): algorithm
-               for algorithm in standard_algorithms(config)}
-    return by_slug[slug]
+    return make_algorithm(slug, u=config.u, k=config.k,
+                          **_algorithm_parameters(slug, config))
 
 # Figure name -> (driver, description) used by the ``figure`` sub-command.
 FIGURE_DRIVERS: Dict[str, Callable[[ExperimentConfig], object]] = {
@@ -178,6 +204,36 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--cache", type=int, default=None,
                        help="LRU range-cache capacity for the cached pass "
                             "(default: configuration query_cache_size)")
+
+    serve = subparsers.add_parser(
+        "serve", help="serve stored synopses: catalog listing and "
+                      "multi-synopsis fan-out queries"
+    )
+    serve_commands = serve.add_subparsers(dest="serve_command", required=True)
+
+    catalog = serve_commands.add_parser(
+        "catalog", help="list every stored synopsis (latest versions)"
+    )
+    catalog.add_argument("--store", required=True, metavar="DIR",
+                         help="root directory of the synopsis store")
+
+    fanout = serve_commands.add_parser(
+        "query", help="fan one workload out across several stored synopses"
+    )
+    fanout.add_argument("--store", required=True, metavar="DIR",
+                        help="root directory of the synopsis store")
+    fanout.add_argument("--name", dest="names", action="append", required=True,
+                        metavar="NAME",
+                        help="a stored synopsis to query; repeatable")
+    fanout.add_argument("--count", type=int, default=1000,
+                        help="generated queries per synopsis (default: 1000)")
+    fanout.add_argument("--mix", choices=list(MIX_NAMES), default="mixed",
+                        help="generated workload mix (default: mixed)")
+    fanout.add_argument("--seed", type=int, default=7,
+                        help="workload seed (default: 7)")
+    fanout.add_argument("--profile", default=None, metavar="SPEC",
+                        help="runtime profile for the fan-out executor, e.g. "
+                             "'parallel:4' (default: serial)")
     return parser
 
 
@@ -198,34 +254,46 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
              "columnar fast path, 'records' the record-at-a-time reference "
              "path; results are bit-identical either way",
     )
+    parser.add_argument(
+        "--profile", default=None, metavar="SPEC",
+        help="combined runtime-profile specification overriding the flags "
+             "above: an executor shorthand ('serial', 'parallel', "
+             "'parallel:8') or key=value pairs over executor/workers/"
+             "seed/data-plane, e.g. 'executor=parallel,data-plane=records'",
+    )
 
 
 def _configuration(quick: bool, k: Optional[int] = None,
                    epsilon: Optional[float] = None,
                    executor: str = "serial",
                    workers: Optional[int] = None,
-                   data_plane: str = "batch") -> ExperimentConfig:
+                   data_plane: str = "batch",
+                   profile: Optional[str] = None) -> ExperimentConfig:
     config = ExperimentConfig.quick() if quick else ExperimentConfig()
     overrides = {"executor": executor, "workers": workers, "data_plane": data_plane}
     if k is not None:
         overrides["k"] = k
     if epsilon is not None:
         overrides["epsilon"] = epsilon
+    if profile is not None:
+        # The combined --profile spec wins over the individual flags; only the
+        # keys actually present in the spec are applied.
+        overrides.update(RuntimeProfile.parse_overrides(profile))
     return config.with_overrides(**overrides)
 
 
 def _run_compare(arguments: argparse.Namespace) -> List[str]:
     config = _configuration(arguments.quick, arguments.k, arguments.epsilon,
                             executor=arguments.executor, workers=arguments.workers,
-                            data_plane=arguments.data_plane)
+                            data_plane=arguments.data_plane,
+                            profile=arguments.profile)
     dataset = config.build_dataset()
     cluster = config.build_cluster(dataset)
     reference = dataset.frequency_vector()
     ideal_sse = WaveletHistogram.from_frequency_vector(reference, config.k).sse(reference)
     measurements = run_algorithms(dataset, standard_algorithms(config), cluster,
-                                  reference=reference, seed=config.seed,
-                                  executor=config.build_executor(),
-                                  data_plane=config.data_plane)
+                                  reference=reference,
+                                  profile=config.build_profile())
     lines = [
         f"workload: n={dataset.n} u=2^{config.u.bit_length() - 1} alpha={config.alpha} "
         f"k={config.k} eps={config.epsilon} (~{config.target_splits} splits, "
@@ -244,7 +312,8 @@ def _run_compare(arguments: argparse.Namespace) -> List[str]:
 def _run_figure(arguments: argparse.Namespace) -> List[str]:
     config = _configuration(arguments.quick, executor=arguments.executor,
                             workers=arguments.workers,
-                            data_plane=arguments.data_plane)
+                            data_plane=arguments.data_plane,
+                            profile=arguments.profile)
     table = FIGURE_DRIVERS[arguments.name](config)
     return [table.format()]
 
@@ -258,26 +327,24 @@ def _list_figures() -> List[str]:
 def _run_build(arguments: argparse.Namespace) -> List[str]:
     config = _configuration(arguments.quick, arguments.k, arguments.epsilon,
                             executor=arguments.executor, workers=arguments.workers,
-                            data_plane=arguments.data_plane
+                            data_plane=arguments.data_plane,
+                            profile=arguments.profile
                             ).with_overrides(store_path=arguments.store)
     dataset = config.build_dataset()
-    hdfs = HDFS()
-    dataset.to_hdfs(hdfs, "/data/build")
     algorithm = _build_algorithm(arguments.algorithm, config)
-    result = algorithm.run(
-        hdfs, "/data/build", cluster=config.build_cluster(dataset),
-        seed=config.seed, executor=config.build_executor(),
-        data_plane=config.data_plane,
-        store=config.build_store(), store_name=arguments.name,
+    service = SynopsisService(
+        store=config.build_store(),
+        profile=config.build_profile(config.build_cluster(dataset)),
     )
-    entry = result.details["store_entry"]
+    report = service.build(algorithm, dataset, name=arguments.name)
+    result = report.result
     return [
         f"built {result.algorithm} over n={dataset.n} u=2^{config.u.bit_length() - 1} "
         f"in {result.num_rounds} round(s), "
         f"{result.communication_bytes:,.0f} bytes communicated",
-        f"stored {entry['name']} v{entry['version']} "
+        f"stored {report.name} v{report.version} "
         f"({len(result.histogram)} coefficients, "
-        f"sha256 {entry['checksum_sha256'][:12]}...) in {arguments.store}",
+        f"sha256 {report.checksum_sha256[:12]}...) in {arguments.store}",
     ]
 
 
@@ -315,6 +382,50 @@ def _run_query(arguments: argparse.Namespace) -> List[str]:
         f"batch mean estimate {float(np.mean(estimates)):,.1f}, "
         f"min {float(np.min(estimates)):,.1f}, max {float(np.max(estimates)):,.1f}"
     )
+    return lines
+
+
+def _run_serve_catalog(arguments: argparse.Namespace) -> List[str]:
+    service = SynopsisService(store=SynopsisStore(arguments.store))
+    entries = service.catalog()
+    if not entries:
+        return [f"store {arguments.store} holds no synopses"]
+    lines = [
+        f"store {arguments.store}: {len(entries)} synopsis(es)",
+        f"{'name':<24} {'latest':>6} {'algorithm':<12} {'u':>10} {'k':>5} {'coeffs':>7}",
+    ]
+    for metadata in entries:
+        lines.append(
+            f"{metadata.name:<24} {metadata.version:>6} {metadata.algorithm:<12} "
+            f"{metadata.u:>10} {metadata.k if metadata.k is not None else '-':>5} "
+            f"{metadata.coefficient_count:>7}"
+        )
+    return lines
+
+
+def _run_serve_query(arguments: argparse.Namespace) -> List[str]:
+    profile = (RuntimeProfile.parse(arguments.profile)
+               if arguments.profile is not None else RuntimeProfile())
+    service = SynopsisService(store=SynopsisStore(arguments.store), profile=profile)
+    names = list(arguments.names)
+    # One workload over the smallest domain among the targets, so every
+    # query is valid against every synopsis it fans out to.
+    domain = min(service.store.load(name).metadata.u for name in names)
+    workload = WorkloadGenerator(domain, seed=arguments.seed).generate(
+        arguments.count, arguments.mix)
+    answers = service.query_workload(names, workload)
+    lines = [
+        f"fanned {arguments.count} {arguments.mix} queries (seed {arguments.seed}, "
+        f"domain 2^{domain.bit_length() - 1}) across {len(names)} synopsis(es) "
+        f"[{profile.describe()}]",
+        f"{'name':<24} {'mean':>14} {'min':>14} {'max':>14}",
+    ]
+    for name in names:
+        estimates = answers[name]
+        lines.append(
+            f"{name:<24} {float(np.mean(estimates)):>14,.1f} "
+            f"{float(np.min(estimates)):>14,.1f} {float(np.max(estimates)):>14,.1f}"
+        )
     return lines
 
 
@@ -369,6 +480,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         lines = _run_build(arguments)
     elif arguments.command == "query":
         lines = _run_query(arguments)
+    elif arguments.command == "serve":
+        if arguments.serve_command == "catalog":
+            lines = _run_serve_catalog(arguments)
+        else:
+            lines = _run_serve_query(arguments)
     elif arguments.command == "serve-bench":
         lines = _run_serve_bench(arguments)
     else:

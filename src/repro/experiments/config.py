@@ -35,6 +35,7 @@ from repro.mapreduce.executor import (
     Executor,
     shared_executor,
 )
+from repro.service.profile import RuntimeProfile
 from repro.serving.store import SynopsisStore
 from repro.serving.workload import MIX_NAMES, QueryWorkload, WorkloadGenerator
 
@@ -134,6 +135,22 @@ class ExperimentConfig:
         pool per figure point.
         """
         return shared_executor(self.executor, self.workers)
+
+    def build_profile(self, cluster: Optional[ClusterSpec] = None) -> RuntimeProfile:
+        """The :class:`~repro.service.profile.RuntimeProfile` this configuration selects.
+
+        Bundles the configuration's seed, executor spec and data plane (plus
+        an optional per-call cluster) into the one value the profile-aware
+        entry points — ``HistogramAlgorithm.run``, ``run_algorithms``, the
+        service façade — consume.
+        """
+        return RuntimeProfile(
+            cluster=cluster,
+            seed=self.seed,
+            executor=self.executor,
+            workers=self.workers,
+            data_plane=self.data_plane,
+        )
 
     # --------------------------------------------------------------- serving
     def build_store(self) -> SynopsisStore:

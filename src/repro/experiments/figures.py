@@ -99,8 +99,7 @@ def vary_k(config: Optional[ExperimentConfig] = None,
         cluster = config.build_cluster(dataset)
         measurements = run_algorithms(
             dataset, standard_algorithms(config, k=k), cluster, reference=reference,
-            seed=config.seed, executor=config.build_executor(),
-                              data_plane=config.data_plane,
+            profile=config.build_profile()
         )
         _add_measurements(table, k, measurements)
     return table
@@ -124,8 +123,7 @@ def vary_epsilon(config: Optional[ExperimentConfig] = None,
         notes=[_scale_note(config, dataset)],
     )
     ideal = run_algorithms(dataset, [HWTopk(config.u, config.k)], cluster,
-                           reference=reference, seed=config.seed, executor=config.build_executor(),
-                                                                  data_plane=config.data_plane)
+                           reference=reference, profile=config.build_profile())
     _add_measurements(table, "exact", ideal)
     for epsilon in epsilons:
         algorithms = [
@@ -133,8 +131,7 @@ def vary_epsilon(config: Optional[ExperimentConfig] = None,
             TwoLevelSampling(config.u, config.k, epsilon=epsilon),
         ]
         measurements = run_algorithms(dataset, algorithms, cluster,
-                                      reference=reference, seed=config.seed, executor=config.build_executor(),
-                                                                             data_plane=config.data_plane)
+                                      reference=reference, profile=config.build_profile())
         _add_measurements(table, epsilon, measurements)
     return table
 
@@ -167,8 +164,7 @@ def sse_tradeoff(config: Optional[ExperimentConfig] = None,
             TwoLevelSampling(data.u, config.k, epsilon=epsilon),
         ]
         for measurement in run_algorithms(data, algorithms, cluster,
-                                          reference=reference, seed=config.seed, executor=config.build_executor(),
-                                                                                 data_plane=config.data_plane):
+                                          reference=reference, profile=config.build_profile()):
             table.add_row(algorithm=measurement.algorithm, setting=f"eps={epsilon}",
                           sse=measurement.sse,
                           communication_bytes=measurement.communication_bytes,
@@ -176,8 +172,7 @@ def sse_tradeoff(config: Optional[ExperimentConfig] = None,
     for budget in sketch_bytes:
         algorithm = SendSketch(data.u, config.k, bytes_per_level=budget)
         for measurement in run_algorithms(data, [algorithm], cluster,
-                                          reference=reference, seed=config.seed, executor=config.build_executor(),
-                                                                                 data_plane=config.data_plane):
+                                          reference=reference, profile=config.build_profile()):
             table.add_row(algorithm=measurement.algorithm, setting=f"sketch={budget}B/level",
                           sse=measurement.sse,
                           communication_bytes=measurement.communication_bytes,
@@ -213,8 +208,7 @@ def vary_n(config: Optional[ExperimentConfig] = None,
         cluster = sweep_config.build_cluster(dataset, scale=anchor_scale)
         cluster = cluster.with_split_size(fixed_split_size)
         measurements = run_algorithms(dataset, standard_algorithms(sweep_config), cluster,
-                                      reference=reference, seed=config.seed, executor=config.build_executor(),
-                                                                             data_plane=config.data_plane)
+                                      reference=reference, profile=config.build_profile())
         _add_measurements(table, n, measurements)
     return table
 
@@ -251,8 +245,7 @@ def vary_record_size(config: Optional[ExperimentConfig] = None,
         cluster = sweep_config.build_cluster(dataset, scale=anchor_scale)
         cluster = cluster.with_split_size(fixed_split_size)
         measurements = run_algorithms(dataset, standard_algorithms(sweep_config), cluster,
-                                      reference=reference, seed=config.seed, executor=config.build_executor(),
-                                                                             data_plane=config.data_plane)
+                                      reference=reference, profile=config.build_profile())
         _add_measurements(table, record_size, measurements)
     if not table.notes:
         table.notes.append(
@@ -282,8 +275,7 @@ def vary_domain(config: Optional[ExperimentConfig] = None,
         cluster = sweep_config.build_cluster(dataset)
         algorithms = standard_algorithms(sweep_config) + [SendCoef(u, sweep_config.k)]
         measurements = run_algorithms(dataset, algorithms, cluster,
-                                      reference=reference, seed=config.seed, executor=config.build_executor(),
-                                                                             data_plane=config.data_plane)
+                                      reference=reference, profile=config.build_profile())
         _add_measurements(table, log2_u, measurements)
     return table
 
@@ -309,8 +301,7 @@ def vary_split_size(config: Optional[ExperimentConfig] = None,
         sweep_config = config.with_overrides(target_splits=split_count)
         cluster = sweep_config.build_cluster(dataset)
         measurements = run_algorithms(dataset, standard_algorithms(sweep_config), cluster,
-                                      reference=reference, seed=config.seed, executor=config.build_executor(),
-                                                                             data_plane=config.data_plane)
+                                      reference=reference, profile=config.build_profile())
         _add_measurements(table, sweep_config.split_size_bytes(dataset), measurements)
     return table
 
@@ -331,8 +322,7 @@ def vary_skew(config: Optional[ExperimentConfig] = None,
         reference = dataset.frequency_vector()
         cluster = sweep_config.build_cluster(dataset)
         measurements = run_algorithms(dataset, standard_algorithms(sweep_config), cluster,
-                                      reference=reference, seed=config.seed, executor=config.build_executor(),
-                                                                             data_plane=config.data_plane)
+                                      reference=reference, profile=config.build_profile())
         _add_measurements(table, alpha, measurements)
         if not table.notes:
             table.notes.append(_scale_note(sweep_config, dataset))
@@ -355,8 +345,7 @@ def vary_bandwidth(config: Optional[ExperimentConfig] = None,
     for fraction in fractions:
         cluster = config.build_cluster(dataset, bandwidth_fraction=fraction)
         measurements = run_algorithms(dataset, standard_algorithms(config), cluster,
-                                      reference=reference, seed=config.seed, executor=config.build_executor(),
-                                                                             data_plane=config.data_plane)
+                                      reference=reference, profile=config.build_profile())
         _add_measurements(table, fraction, measurements)
     return table
 
@@ -379,8 +368,7 @@ def worldcup_costs(config: Optional[ExperimentConfig] = None) -> FigureTable:
         ],
     )
     measurements = run_algorithms(dataset, standard_algorithms(config), cluster,
-                                  reference=reference, seed=config.seed, executor=config.build_executor(),
-                                                                         data_plane=config.data_plane)
+                                  reference=reference, profile=config.build_profile())
     _add_measurements(table, "worldcup", measurements)
     return table
 
@@ -456,8 +444,7 @@ def ablation_combiner(config: Optional[ExperimentConfig] = None) -> FigureTable:
         notes=[_scale_note(config, dataset)],
     )
     measurements = run_algorithms(dataset, algorithms, cluster,
-                                  reference=reference, seed=config.seed, executor=config.build_executor(),
-                                                                         data_plane=config.data_plane)
+                                  reference=reference, profile=config.build_profile())
     for label, measurement in zip(labels, measurements):
         table.add_row(variant=label,
                       communication_bytes=measurement.communication_bytes,
@@ -480,12 +467,10 @@ def ablation_hwtopk_rounds(config: Optional[ExperimentConfig] = None) -> FigureT
 
     hdfs = HDFS(datanodes=[machine.name for machine in cluster.machines])
     dataset.to_hdfs(hdfs, "/data/input")
-    hwtopk_result = HWTopk(config.u, config.k).run(hdfs, "/data/input", cluster=cluster,
-                                                   seed=config.seed, executor=config.build_executor(),
-                                                                     data_plane=config.data_plane)
-    sendcoef_result = SendCoef(config.u, config.k).run(hdfs, "/data/input", cluster=cluster,
-                                                       seed=config.seed, executor=config.build_executor(),
-                                                                         data_plane=config.data_plane)
+    hwtopk_result = HWTopk(config.u, config.k).run(
+        hdfs, "/data/input", profile=config.build_profile(cluster))
+    sendcoef_result = SendCoef(config.u, config.k).run(
+        hdfs, "/data/input", profile=config.build_profile(cluster))
     table = FigureTable(
         figure="Ablation: H-WTopk rounds",
         title="per-round communication of H-WTopk versus shipping all local coefficients",
@@ -535,8 +520,7 @@ def ablation_twolevel_threshold(config: Optional[ExperimentConfig] = None,
         algorithm = TwoLevelSampling(config.u, config.k, epsilon=config.epsilon,
                                      threshold_scale=scale)
         measurement = run_algorithms(dataset, [algorithm], cluster,
-                                     reference=reference, seed=config.seed, executor=config.build_executor(),
-                                                                            data_plane=config.data_plane)[0]
+                                     reference=reference, profile=config.build_profile())[0]
         table.add_row(threshold_scale=scale,
                       communication_bytes=measurement.communication_bytes,
                       time_s=measurement.simulated_time_s,

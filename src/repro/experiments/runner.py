@@ -6,12 +6,14 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.algorithms.base import AlgorithmResult, HistogramAlgorithm
+from repro.algorithms.registry import make_algorithm
 from repro.core.frequency import FrequencyVector
 from repro.data.dataset import Dataset
 from repro.experiments.config import ExperimentConfig
 from repro.mapreduce.cluster import ClusterSpec
 from repro.mapreduce.executor import Executor
 from repro.mapreduce.hdfs import HDFS
+from repro.service.profile import RuntimeProfile
 
 __all__ = ["ExperimentMeasurement", "run_algorithms", "standard_algorithms"]
 
@@ -60,52 +62,71 @@ def standard_algorithms(config: ExperimentConfig, u: Optional[int] = None,
 
     Send-V and H-WTopk (exact), Send-Sketch, Improved-S and TwoLevel-S
     (approximate).  Send-Coef and Basic-S are added only where the paper adds
-    them (Figure 12 and the sampling ablations).
+    them (Figure 12 and the sampling ablations).  All five are resolved
+    through the algorithm registry, the same factory the CLI and the service
+    façade use, so the surfaces cannot drift in how they build algorithms.
     """
-    from repro.algorithms import HWTopk, ImprovedSampling, SendSketch, SendV, TwoLevelSampling
-
     domain = u if u is not None else config.u
     top_k = k if k is not None else config.k
     eps = epsilon if epsilon is not None else config.epsilon
     return [
-        SendV(domain, top_k),
-        HWTopk(domain, top_k),
-        SendSketch(domain, top_k, bytes_per_level=config.sketch_bytes_per_level),
-        ImprovedSampling(domain, top_k, epsilon=eps),
-        TwoLevelSampling(domain, top_k, epsilon=eps),
+        make_algorithm("send-v", u=domain, k=top_k),
+        make_algorithm("h-wtopk", u=domain, k=top_k),
+        make_algorithm("send-sketch", u=domain, k=top_k,
+                       bytes_per_level=config.sketch_bytes_per_level),
+        make_algorithm("improved-s", u=domain, k=top_k, epsilon=eps),
+        make_algorithm("twolevel-s", u=domain, k=top_k, epsilon=eps),
     ]
 
 
 def run_algorithms(
     dataset: Dataset,
     algorithms: Sequence[HistogramAlgorithm],
-    cluster: ClusterSpec,
+    cluster: Optional[ClusterSpec] = None,
     reference: Optional[FrequencyVector] = None,
     seed: int = 7,
     executor: Optional[Executor] = None,
     data_plane: Optional[str] = None,
+    profile: Optional[RuntimeProfile] = None,
 ) -> List[ExperimentMeasurement]:
     """Run every algorithm over the dataset and measure communication, time and SSE.
 
     Args:
         dataset: the input dataset (loaded into a fresh simulated HDFS).
         algorithms: algorithm instances to run.
-        cluster: the (possibly time-scaled) cluster description.
+        cluster: the (possibly time-scaled) cluster description; overrides the
+            profile's cluster so sweeps can reprice points against per-point
+            clusters while sharing one profile.
         reference: the exact frequency vector; computed from the dataset when
             omitted (pass it in when running many sweeps over the same data).
-        seed: seed forwarded to every algorithm run.
-        executor: task executor forwarded to every algorithm run (serial when
-            omitted); measurements are executor-independent by construction.
-        data_plane: data plane forwarded to every algorithm run (``"batch"``
-            when omitted); measurements are plane-independent by construction.
+        profile: the :class:`~repro.service.profile.RuntimeProfile` forwarded
+            to every algorithm run.  Measurements are executor- and
+            plane-independent by construction, so the profile only changes
+            wall-clock time.
+        seed: legacy alternative to ``profile`` (ignored when a profile is
+            given).
+        executor: legacy alternative to ``profile`` (ignored when a profile
+            is given).
+        data_plane: legacy alternative to ``profile`` (ignored when a profile
+            is given).
     """
-    hdfs = HDFS(datanodes=[machine.name for machine in cluster.machines])
+    if profile is None:
+        profile = RuntimeProfile(
+            seed=seed,
+            executor=executor if executor is not None else "serial",
+            data_plane=data_plane if data_plane is not None else "batch",
+        )
+    if cluster is not None:
+        profile = profile.with_overrides(cluster=cluster)
+    resolved_cluster = profile.resolved_cluster()
+    profile = profile.with_overrides(cluster=resolved_cluster)
+
+    hdfs = HDFS(datanodes=[machine.name for machine in resolved_cluster.machines])
     dataset.to_hdfs(hdfs, INPUT_PATH)
     exact = reference if reference is not None else dataset.frequency_vector()
 
     measurements: List[ExperimentMeasurement] = []
     for algorithm in algorithms:
-        result = algorithm.run(hdfs, INPUT_PATH, cluster=cluster, seed=seed,
-                               executor=executor, data_plane=data_plane)
+        result = algorithm.run(hdfs, INPUT_PATH, profile=profile)
         measurements.append(ExperimentMeasurement.from_result(result, exact))
     return measurements

@@ -52,7 +52,7 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.errors import InvalidParameterError, JobConfigurationError
 from repro.mapreduce.cluster import ClusterSpec, paper_cluster
@@ -69,6 +69,9 @@ from repro.mapreduce.executor import (
 from repro.mapreduce.hdfs import HDFS, InputSplit
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.state import StateStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.profile import RuntimeProfile
 
 __all__ = ["JobResult", "JobRunner"]
 
@@ -139,6 +142,25 @@ class JobRunner:
         self._executor = executor if executor is not None else SerialExecutor()
         self._data_plane = data_plane
         self._round_counter = 0
+
+    @classmethod
+    def from_profile(cls, hdfs: HDFS, profile: "RuntimeProfile",
+                     state_store: Optional[StateStore] = None) -> "JobRunner":
+        """A runner configured by a :class:`~repro.service.profile.RuntimeProfile`.
+
+        The profile carries the cluster, seed, executor spec and data plane;
+        this is the construction path every profile-aware entry point
+        (``HistogramAlgorithm.run``, the experiment harness, the service
+        façade) funnels through, so runner wiring cannot drift between them.
+        """
+        return cls(
+            hdfs,
+            cluster=profile.resolved_cluster(),
+            state_store=state_store,
+            seed=profile.seed,
+            executor=profile.build_executor(),
+            data_plane=profile.data_plane,
+        )
 
     @property
     def hdfs(self) -> HDFS:

@@ -1,0 +1,275 @@
+"""The :class:`SynopsisService` façade: build → store → serve, one object.
+
+The paper's pipeline is *build a synopsis in MapReduce, then serve approximate
+range queries from it*.  The pieces have always existed separately —
+algorithms, the job runner, the synopsis store, the query server — and every
+caller wired them together by hand.  The service is the one seam:
+
+* ``service.build(algorithm_spec, dataset, profile)`` — turn a dataset into a
+  stored, versioned, checksummed synopsis.  *What to build* is an
+  :class:`AlgorithmSpec` (resolved through the algorithm registry) or a
+  ready-made :class:`~repro.algorithms.base.HistogramAlgorithm`; *how to run*
+  is a :class:`~repro.service.profile.RuntimeProfile`; *where it lives* is the
+  service's :class:`~repro.serving.store.SynopsisStore` (any backend).
+* ``service.query(names, los, his)`` — **multi-synopsis fan-out**: one
+  workload evaluated across many stored attributes.  Every (synopsis, shard)
+  pair becomes one :class:`~repro.mapreduce.executor.FunctionTaskSpec`
+  dispatched through the profile's executor in a single phase, and results
+  merge in deterministic *name-then-task* order — so the answer vectors are
+  bit-identical whether the fan-out ran serially or on a process pool, and
+  whether the synopses live in a directory or in memory.
+
+The service layers strictly on public seams (registry, profile, store,
+server, executor); it adds no new math and therefore no new numerics — every
+answer it returns is the one the underlying engine computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.algorithms.base import AlgorithmResult, HistogramAlgorithm
+from repro.algorithms.registry import make_algorithm
+from repro.data.dataset import Dataset
+from repro.errors import InvalidParameterError
+from repro.mapreduce.executor import FunctionTaskSpec
+from repro.mapreduce.hdfs import HDFS
+from repro.serving.server import QueryServer, evaluate_range_shard
+from repro.serving.store import SynopsisMetadata, SynopsisStore
+from repro.serving.workload import QueryWorkload
+from repro.service.profile import RuntimeProfile
+
+__all__ = ["AlgorithmSpec", "BuildReport", "SynopsisService"]
+
+SERVICE_INPUT_PATH = "/service/input"
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """*What to build*: a registry name plus its parameters, as one value.
+
+    Attributes:
+        name: registered algorithm name, case-insensitive (``"twolevel-s"``).
+        k: wavelet coefficient budget.
+        u: key domain size; defaults to the dataset's domain at build time.
+        parameters: algorithm-specific constructor parameters (``epsilon``,
+            ``bytes_per_level``, ``num_reducers``, ...).
+    """
+
+    name: str
+    k: int = 30
+    u: Optional[int] = None
+    parameters: Mapping[str, Any] = field(default_factory=dict)
+
+    def create(self, default_u: Optional[int] = None) -> HistogramAlgorithm:
+        """Instantiate the algorithm through the registry."""
+        domain = self.u if self.u is not None else default_u
+        if domain is None:
+            raise InvalidParameterError(
+                f"AlgorithmSpec {self.name!r} has no domain: set u= on the "
+                f"spec or build against a dataset"
+            )
+        return make_algorithm(self.name, u=domain, k=self.k,
+                              **dict(self.parameters))
+
+
+@dataclass
+class BuildReport:
+    """What one ``service.build`` produced: the stored version + the run."""
+
+    metadata: SynopsisMetadata
+    result: AlgorithmResult
+
+    @property
+    def name(self) -> str:
+        return self.metadata.name
+
+    @property
+    def version(self) -> int:
+        return self.metadata.version
+
+    @property
+    def checksum_sha256(self) -> str:
+        return self.metadata.checksum_sha256
+
+
+class SynopsisService:
+    """One object for the whole synopsis lifecycle: build, store, serve.
+
+    Args:
+        store: the catalog builds publish to and queries serve from; a fresh
+            in-memory store when omitted.
+        profile: default :class:`RuntimeProfile` for builds and for the
+            query fan-out's executor (a serial-executor profile when omitted).
+        cache_size: per-synopsis LRU range-cache capacity.
+        shard_size: maximum queries per fan-out task (and the server's
+            single-synopsis sharding threshold).
+        max_synopses: LRU bound on concurrently materialised synopses.
+    """
+
+    def __init__(
+        self,
+        store: Optional[SynopsisStore] = None,
+        *,
+        profile: Optional[RuntimeProfile] = None,
+        cache_size: int = 4096,
+        shard_size: int = 8192,
+        max_synopses: Optional[int] = 64,
+    ) -> None:
+        if shard_size < 1:
+            raise InvalidParameterError(f"shard_size must be positive, got {shard_size}")
+        self.store = store if store is not None else SynopsisStore.in_memory()
+        self.profile = profile if profile is not None else RuntimeProfile()
+        self.shard_size = shard_size
+        self.server = QueryServer(
+            self.store,
+            cache_size=cache_size,
+            shard_size=shard_size,
+            max_synopses=max_synopses,
+        )
+        self._fanout_queries = 0
+        self._fanout_batches = 0
+
+    # ------------------------------------------------------------------ build
+    def build(
+        self,
+        algorithm: Union[HistogramAlgorithm, AlgorithmSpec, str],
+        dataset: Dataset,
+        profile: Optional[RuntimeProfile] = None,
+        *,
+        name: Optional[str] = None,
+    ) -> BuildReport:
+        """Build a synopsis over ``dataset`` and publish it as a new version.
+
+        Args:
+            algorithm: a ready-made builder, an :class:`AlgorithmSpec`, or a
+                bare registry name (spec defaults apply).
+            dataset: the input data; it is loaded into a fresh simulated HDFS.
+            profile: how to run; the service's default profile when omitted.
+            name: catalog name to publish under (the algorithm's paper name
+                when omitted).
+
+        Returns:
+            A :class:`BuildReport` with the stored version's metadata and the
+            full :class:`~repro.algorithms.base.AlgorithmResult`.
+        """
+        profile = profile if profile is not None else self.profile
+        if isinstance(algorithm, str):
+            algorithm = AlgorithmSpec(algorithm)
+        if isinstance(algorithm, AlgorithmSpec):
+            algorithm = algorithm.create(default_u=dataset.u)
+        hdfs = HDFS()
+        dataset.to_hdfs(hdfs, SERVICE_INPUT_PATH)
+        result = algorithm.run(hdfs, SERVICE_INPUT_PATH, profile=profile)
+        metadata = result.publish(
+            self.store, name=name, seed=profile.seed,
+            extra_build={"dataset": dataset.name},
+        )
+        return BuildReport(metadata=metadata, result=result)
+
+    # ------------------------------------------------------------------ query
+    def query(
+        self,
+        names: Union[str, Sequence[str]],
+        los: Any,
+        his: Any,
+        *,
+        versions: Optional[Mapping[str, int]] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Evaluate one range-sum workload across many stored synopses.
+
+        The batch is sharded into at-most-``shard_size`` slices per synopsis;
+        every (synopsis, shard) pair runs as one task on the profile's
+        executor in a single phase, and the per-name answer vectors are
+        assembled in deterministic name-then-task order.  The answers are
+        therefore bit-identical across executors and store backends.
+
+        Args:
+            names: stored synopsis names, in the order the result dict should
+                hold them (duplicates rejected).
+            los: 1-based inclusive lower bounds, shape ``(q,)``.
+            his: 1-based inclusive upper bounds, shape ``(q,)``.
+            versions: optional per-name version pins (latest when absent).
+
+        Returns:
+            ``{name: float64 array of shape (q,)}`` in input-name order.
+        """
+        if isinstance(names, str):
+            names = [names]
+        names = list(names)
+        if not names:
+            raise InvalidParameterError("query needs at least one synopsis name")
+        if len(set(names)) != len(names):
+            raise InvalidParameterError(f"duplicate synopsis names in {names}")
+        los = np.atleast_1d(np.asarray(los, dtype=np.int64))
+        his = np.atleast_1d(np.asarray(his, dtype=np.int64))
+        if los.shape != his.shape or los.ndim != 1:
+            raise InvalidParameterError(
+                f"los and his must be 1-D arrays of equal length, "
+                f"got shapes {los.shape} and {his.shape}"
+            )
+        if los.size == 0:
+            return {name: np.zeros(0, dtype=np.float64) for name in names}
+
+        bounds = [
+            (start, min(start + self.shard_size, los.size))
+            for start in range(0, los.size, self.shard_size)
+        ]
+        specs: List[FunctionTaskSpec] = []
+        owners: List[str] = []
+        for name in names:  # name-major task order: the merge order
+            engine = self.server.engine(
+                name, versions.get(name) if versions is not None else None
+            )
+            # Validate against this synopsis' domain up front, so a bad range
+            # fails the whole batch before any task is dispatched.
+            engine.validate_ranges(los, his)
+            indices, values = engine.coefficient_arrays()
+            for start, stop in bounds:
+                specs.append(FunctionTaskSpec(
+                    task_id=len(specs),
+                    function=evaluate_range_shard,
+                    payload=(engine.u, indices, values,
+                             los[start:stop], his[start:stop]),
+                ))
+                owners.append(name)
+
+        executor = self.profile.build_executor()
+        results = executor.run_tasks(specs, slots=len(specs))
+
+        shards: Dict[str, List[np.ndarray]] = {name: [] for name in names}
+        for owner, task_result in zip(owners, results):  # spec order == task order
+            shards[owner].append(task_result.pairs[0][1])
+        answers = {name: np.concatenate(shards[name]) for name in names}
+        self._fanout_queries += los.size * len(names)
+        self._fanout_batches += 1
+        return answers
+
+    def query_workload(
+        self,
+        names: Union[str, Sequence[str]],
+        workload: QueryWorkload,
+        *,
+        versions: Optional[Mapping[str, int]] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Fan a generated workload's range queries across many synopses."""
+        return self.query(names, workload.los, workload.his, versions=versions)
+
+    # ---------------------------------------------------------------- serving
+    def catalog(self) -> List[SynopsisMetadata]:
+        """Latest-version metadata for every stored synopsis."""
+        return self.store.entries()
+
+    def refresh(self) -> None:
+        """Drop cached synopses so the next query re-resolves latest versions."""
+        self.server.refresh()
+
+    def stats(self) -> Dict[str, Any]:
+        """Server statistics plus the service's fan-out counters."""
+        stats = self.server.stats()
+        stats["fanout_queries"] = self._fanout_queries
+        stats["fanout_batches"] = self._fanout_batches
+        return stats

@@ -1,0 +1,190 @@
+"""The :class:`RuntimeProfile` value object: *how* to run a build.
+
+Before this module existed, every entry point re-plumbed the same bundle of
+orthogonal knobs by hand — ``HistogramAlgorithm.run(hdfs, input_path, cluster,
+cost_parameters, seed, executor, data_plane, ...)`` — and every new runtime
+option meant touching the CLI, the experiment harness, the figure drivers and
+every example.  A :class:`RuntimeProfile` packages those knobs into one frozen,
+reusable value:
+
+* **cluster** — the simulated cluster the MapReduce rounds are priced against
+  (the paper's 16-node cluster when omitted);
+* **cost_parameters** — the per-operation constants of the running-time model;
+* **seed** — the base RNG seed for all randomised components;
+* **executor** / **workers** — the task-execution seam: an executor *name*
+  (``"serial"`` or ``"parallel"``, resolved through the process-wide shared
+  pool) or an already-constructed :class:`~repro.mapreduce.executor.Executor`;
+* **data_plane** — ``"batch"`` (columnar fast path) or ``"records"``
+  (reference path).
+
+Profiles are immutable; derive variants with :meth:`with_overrides`.  Because
+executors, data planes and seeds are all result-preserving by construction,
+two runs that differ only in their profile's *execution* fields (executor,
+workers, data_plane) are bit-identical — the profile changes how fast the
+answer arrives, never what it is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, Dict, Optional, Union
+
+from repro.cost.model import CostParameters
+from repro.errors import InvalidParameterError
+from repro.mapreduce.cluster import ClusterSpec, paper_cluster
+from repro.mapreduce.executor import (
+    DATA_PLANE_NAMES,
+    EXECUTOR_NAMES,
+    Executor,
+    shared_executor,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mapreduce.hdfs import HDFS
+    from repro.mapreduce.runtime import JobRunner
+    from repro.mapreduce.state import StateStore
+
+__all__ = ["RuntimeProfile"]
+
+
+@dataclass(frozen=True)
+class RuntimeProfile:
+    """Everything about *how* a synopsis build executes, as one value.
+
+    Attributes:
+        cluster: cluster description; the paper's 16-node cluster when ``None``.
+        cost_parameters: per-operation cost constants; model defaults when
+            ``None``.
+        seed: seed for all randomised components (sampling, sketches).
+        executor: executor name (``"serial"``/``"parallel"``, resolved through
+            :func:`~repro.mapreduce.executor.shared_executor`) or a concrete
+            :class:`~repro.mapreduce.executor.Executor` instance.
+        workers: worker processes for a named parallel executor (machine CPU
+            count when ``None``); ignored when ``executor`` is an instance.
+        data_plane: ``"batch"`` (columnar fast path) or ``"records"``
+            (record-at-a-time reference path).
+    """
+
+    cluster: Optional[ClusterSpec] = None
+    cost_parameters: Optional[CostParameters] = None
+    seed: int = 7
+    executor: Union[str, Executor] = "serial"
+    workers: Optional[int] = None
+    data_plane: str = "batch"
+
+    def __post_init__(self) -> None:
+        if isinstance(self.executor, str) and self.executor not in EXECUTOR_NAMES:
+            raise InvalidParameterError(
+                f"executor must be one of {EXECUTOR_NAMES} or an Executor "
+                f"instance, got {self.executor!r}"
+            )
+        if not isinstance(self.executor, (str, Executor)):
+            raise InvalidParameterError(
+                f"executor must be a name or an Executor, got {type(self.executor).__name__}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise InvalidParameterError(f"workers must be positive, got {self.workers}")
+        if self.data_plane not in DATA_PLANE_NAMES:
+            raise InvalidParameterError(
+                f"data_plane must be one of {DATA_PLANE_NAMES}, got {self.data_plane!r}"
+            )
+
+    # ------------------------------------------------------------- resolution
+    @property
+    def executor_name(self) -> str:
+        """The executor's name, whether configured by name or by instance."""
+        return self.executor if isinstance(self.executor, str) else self.executor.name
+
+    def build_executor(self) -> Executor:
+        """The concrete executor this profile selects.
+
+        Named executors resolve through the process-wide shared table, so
+        sweeps that reuse one profile also reuse one worker pool.
+        """
+        if isinstance(self.executor, Executor):
+            return self.executor
+        return shared_executor(self.executor, self.workers)
+
+    def resolved_cluster(self) -> ClusterSpec:
+        """The cluster to run against (the paper's cluster when unset)."""
+        return self.cluster if self.cluster is not None else paper_cluster()
+
+    def create_runner(self, hdfs: "HDFS",
+                      state_store: Optional["StateStore"] = None) -> "JobRunner":
+        """A :class:`~repro.mapreduce.runtime.JobRunner` configured by this profile."""
+        from repro.mapreduce.runtime import JobRunner
+
+        return JobRunner.from_profile(hdfs, self, state_store=state_store)
+
+    # -------------------------------------------------------------- variation
+    def with_overrides(self, **changes: Any) -> "RuntimeProfile":
+        """Return a copy of the profile with the given fields replaced."""
+        return replace(self, **changes)
+
+    # ---------------------------------------------------------------- parsing
+    @classmethod
+    def parse_overrides(cls, text: str) -> Dict[str, Any]:
+        """Parse a CLI profile specification into constructor overrides.
+
+        Two spellings are accepted:
+
+        * a bare executor shorthand — ``"serial"``, ``"parallel"`` or
+          ``"parallel:8"`` (name plus worker count);
+        * comma-separated ``key=value`` pairs over the keys ``executor``,
+          ``workers``, ``seed`` and ``data_plane`` (dashes allowed in keys),
+          e.g. ``"executor=parallel,workers=4,data-plane=records,seed=3"``.
+
+        Only keys actually present in the text appear in the result, so
+        callers can layer the overrides onto an existing configuration
+        without clobbering its other defaults.
+        """
+        overrides: Dict[str, Any] = {}
+        if not text or not text.strip():
+            raise InvalidParameterError("empty profile specification")
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" in part:
+                key, _, value = part.partition("=")
+                key = key.strip().replace("-", "_")
+                value = value.strip()
+                if key in ("executor", "data_plane"):
+                    overrides[key] = value
+                elif key in ("workers", "seed"):
+                    try:
+                        overrides[key] = int(value)
+                    except ValueError as error:
+                        raise InvalidParameterError(
+                            f"profile key {key!r} needs an integer, got {value!r}"
+                        ) from error
+                else:
+                    raise InvalidParameterError(
+                        f"unknown profile key {key!r}; expected one of "
+                        f"executor, workers, seed, data-plane"
+                    )
+            else:
+                name, _, workers = part.partition(":")
+                overrides["executor"] = name.strip()
+                if workers:
+                    try:
+                        overrides["workers"] = int(workers)
+                    except ValueError as error:
+                        raise InvalidParameterError(
+                            f"profile worker count must be an integer, got {workers!r}"
+                        ) from error
+        return overrides
+
+    @classmethod
+    def parse(cls, text: str) -> "RuntimeProfile":
+        """Build a profile from a CLI specification (see :meth:`parse_overrides`)."""
+        return cls(**cls.parse_overrides(text))
+
+    # ------------------------------------------------------------- reporting
+    def describe(self) -> str:
+        """A one-line human-readable summary (used by the CLI reports)."""
+        workers = f":{self.workers}" if (
+            isinstance(self.executor, str) and self.workers is not None
+        ) else ""
+        return (f"executor={self.executor_name}{workers} "
+                f"data-plane={self.data_plane} seed={self.seed}")

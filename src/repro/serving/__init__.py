@@ -22,6 +22,7 @@ on ``algorithms`` or ``experiments``, so any synopsis â€” however it was built â
 can be stored and served.
 """
 
+from repro.serving.backends import DirectoryBackend, MemoryBackend, StoreBackend
 from repro.serving.bench import ThroughputReport, measure_serving_throughput
 from repro.serving.engine import BatchQueryEngine
 from repro.serving.server import QueryServer
@@ -33,6 +34,9 @@ __all__ = [
     "QueryServer",
     "ThroughputReport",
     "measure_serving_throughput",
+    "StoreBackend",
+    "DirectoryBackend",
+    "MemoryBackend",
     "StoredSynopsis",
     "SynopsisMetadata",
     "SynopsisStore",

@@ -236,6 +236,19 @@ class BatchQueryEngine:
             if self._cache is not None:
                 self._cache.clear()
 
+    def validate_ranges(self, los: ArrayLike, his: ArrayLike) -> Tuple[np.ndarray, np.ndarray]:
+        """Canonicalise and bounds-check a range batch without evaluating it.
+
+        Returns the int64 ``(los, his)`` arrays the query methods would use.
+        Callers that shard a batch themselves (the service façade's fan-out)
+        validate up front so a bad range fails before any task is dispatched.
+
+        Raises:
+            InvalidParameterError: mismatched shapes or an empty range.
+            KeyOutOfDomainError: a bound outside ``[1, u]``.
+        """
+        return self._validate_ranges(los, his)
+
     # -------------------------------------------------------------- internals
     def _validate_ranges(self, los: ArrayLike, his: ArrayLike) -> Tuple[np.ndarray, np.ndarray]:
         los = np.atleast_1d(np.asarray(los, dtype=np.int64))

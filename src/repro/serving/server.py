@@ -12,6 +12,14 @@ Concurrency model:
   immutable after construction except its range cache, which is internally
   locked; the server's own engine table and statistics are lock-guarded.
   Repeating the same batch always returns bit-identical answers.
+* **Bounded engine table** — the server's synopsis/engine table is an LRU
+  bounded by ``max_synopses`` (``None`` disables the bound): when a catalog
+  holds more synopses than the server should keep materialised, the least
+  recently *queried* synopsis is evicted — its engine, range cache and
+  payload are dropped together, and the next query for that name faults it
+  back in from the store (re-resolving the latest version, exactly as a
+  fresh first touch would).  Eviction never changes answers, only which
+  payloads are resident.
 * **Executor pluggability** — batches larger than ``shard_size`` can be
   fanned out across the PR-1 :class:`~repro.mapreduce.executor.Executor`
   seam via generic :class:`~repro.mapreduce.executor.FunctionTaskSpec` tasks:
@@ -28,6 +36,7 @@ Concurrency model:
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -38,15 +47,16 @@ from repro.serving.engine import BatchQueryEngine, normalize_selectivities
 from repro.serving.store import StoredSynopsis, SynopsisStore
 from repro.serving.workload import QueryWorkload
 
-__all__ = ["QueryServer"]
+__all__ = ["QueryServer", "evaluate_range_shard"]
 
 
-def _evaluate_range_shard(payload: Tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]) -> np.ndarray:
+def evaluate_range_shard(payload: Tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]) -> np.ndarray:
     """Worker entry point: evaluate one shard of a range-sum batch.
 
     Module-level (picklable) so a ParallelExecutor can ship it to worker
     processes; rebuilds a cache-less engine from the coefficient arrays and
-    evaluates its slice of the batch.
+    evaluates its slice of the batch.  Shared by :class:`QueryServer`'s
+    single-synopsis sharding and the service façade's multi-synopsis fan-out.
     """
     u, indices, values, los, his = payload
     engine = BatchQueryEngine.from_arrays(u, indices, values)
@@ -63,6 +73,8 @@ class QueryServer:
         cache_size: per-synopsis LRU range-cache capacity (0 disables).
         shard_size: minimum queries per shard when an executor is configured;
             batches at or below this size are never sharded.
+        max_synopses: LRU bound on concurrently materialised synopses
+            (engines + payloads); ``None`` keeps every synopsis ever touched.
     """
 
     def __init__(
@@ -72,17 +84,28 @@ class QueryServer:
         executor: Optional[Executor] = None,
         cache_size: int = 4096,
         shard_size: int = 8192,
+        max_synopses: Optional[int] = 64,
     ) -> None:
         if shard_size < 1:
             raise InvalidParameterError(f"shard_size must be positive, got {shard_size}")
+        if max_synopses is not None and max_synopses < 1:
+            raise InvalidParameterError(
+                f"max_synopses must be positive or None, got {max_synopses}"
+            )
         self.store = store
         self.executor = executor
         self.cache_size = cache_size
         self.shard_size = shard_size
+        self.max_synopses = max_synopses
         self._lock = threading.Lock()
-        self._synopses: Dict[Tuple[str, Optional[int]], StoredSynopsis] = {}
+        # LRU engine table: least recently used first.  A synopsis resolved
+        # as "latest" occupies two keys — (name, None) and its pinned
+        # (name, version) — pointing at one shared handle; the eviction bound
+        # counts distinct handles, and touching either key refreshes both.
+        self._synopses: "OrderedDict[Tuple[str, Optional[int]], StoredSynopsis]" = OrderedDict()
         self._queries_served = 0
         self._batches_served = 0
+        self._synopses_evicted = 0
 
     # ----------------------------------------------------------------- lookup
     def synopsis(self, name: str, version: Optional[int] = None) -> StoredSynopsis:
@@ -99,6 +122,8 @@ class QueryServer:
                     self._synopses.setdefault(
                         (name, handle.metadata.version), handle
                     )
+                self._evict_locked(keep=handle)
+            self._touch_locked(handle)
             return handle
 
     def engine(self, name: str, version: Optional[int] = None) -> BatchQueryEngine:
@@ -176,6 +201,8 @@ class QueryServer:
                 "queries_served": self._queries_served,
                 "batches_served": self._batches_served,
                 "synopses_loaded": len(loaded),
+                "synopses_resident": len({id(h) for h in self._synopses.values()}),
+                "synopses_evicted": self._synopses_evicted,
                 "caches": loaded,
             }
 
@@ -184,6 +211,27 @@ class QueryServer:
         with self._lock:
             self._queries_served += int(queries)
             self._batches_served += 1
+
+    def _touch_locked(self, handle: StoredSynopsis) -> None:
+        """Mark a handle most-recently-used (all alias keys move together)."""
+        if self.max_synopses is None:
+            return
+        for key in [k for k, h in self._synopses.items() if h is handle]:
+            self._synopses.move_to_end(key)
+
+    def _evict_locked(self, keep: StoredSynopsis) -> None:
+        """Drop least-recently-used handles until the table fits the bound."""
+        if self.max_synopses is None:
+            return
+        while len({id(h) for h in self._synopses.values()}) > self.max_synopses:
+            victim = next(
+                (h for h in self._synopses.values() if h is not keep), None
+            )
+            if victim is None:
+                return
+            for key in [k for k, h in self._synopses.items() if h is victim]:
+                del self._synopses[key]
+            self._synopses_evicted += 1
 
     def _sharded_range_sums(
         self, engine: BatchQueryEngine, los: np.ndarray, his: np.ndarray
@@ -197,7 +245,7 @@ class QueryServer:
         specs = [
             FunctionTaskSpec(
                 task_id=shard,
-                function=_evaluate_range_shard,
+                function=evaluate_range_shard,
                 payload=(engine.u, indices, values, los[start:stop], his[start:stop]),
             )
             for shard, (start, stop) in enumerate(bounds)

@@ -1,15 +1,21 @@
 """Persistent, versioned, checksummed storage of wavelet synopses.
 
-A :class:`SynopsisStore` is a directory-backed catalog mapping a synopsis
-*name* to an append-only sequence of *versions*.  Each version is one
-directory holding exactly two files::
+A :class:`SynopsisStore` is a catalog mapping a synopsis *name* to an
+append-only sequence of *versions*.  Where the bytes live is delegated to a
+pluggable :class:`~repro.serving.backends.StoreBackend`; the default
+:class:`~repro.serving.backends.DirectoryBackend` keeps the original on-disk
+layout of one directory per version::
 
     <root>/<name>/v00001/meta.json      # metadata + sha256 of the payload
     <root>/<name>/v00001/synopsis.bin   # deterministic binary coefficient dump
 
+while :class:`~repro.serving.backends.MemoryBackend` holds the identical
+bytes in process memory (see :meth:`SynopsisStore.in_memory`).
+
 The binary format is fixed-endian and fully deterministic — serialising the
 same histogram twice produces byte-identical files, which is what makes the
-store's round-trip guarantee testable::
+store's round-trip guarantee testable *and* makes backends interchangeable
+(the same synopsis has the same checksum everywhere)::
 
     WHSYN001 | header_len (u32 LE) | header JSON (u, k, count)
              | count * int64 LE coefficient indices (ascending)
@@ -20,18 +26,19 @@ Design points:
 * **Versioned**: ``save`` never overwrites; it creates ``v<N+1>``.  Readers
   can pin a version or follow the latest, so a serving process can keep
   answering from version N while a rebuild publishes N+1.
-* **Checksummed**: ``meta.json`` records the sha256 of ``synopsis.bin``;
-  every load verifies it and raises
-  :class:`~repro.errors.SynopsisIntegrityError` on mismatch, so silent disk
-  corruption cannot flow into query answers.
+* **Checksummed**: the metadata records the sha256 of the payload; every load
+  verifies it — in the store layer, *above* the backend seam, so no backend
+  can opt out — and raises :class:`~repro.errors.SynopsisIntegrityError` on
+  mismatch, so silent corruption cannot flow into query answers.
 * **Lazy**: :meth:`SynopsisStore.load` reads only the (small) metadata;
   the coefficient payload is read and verified on first access to
   :attr:`StoredSynopsis.histogram`.  A server can therefore enumerate a large
   catalog cheaply and fault synopses in on first query.
-* **Atomic-ish publish**: both files are written to a temporary directory that
-  is renamed into place, so readers never observe a half-written version.
+* **Atomic-ish publish**: the backend publishes metadata and payload together
+  (the directory backend stages and renames), so readers never observe a
+  half-written version.
 
-Writers are expected to be single-process per store root (the simulated
+Writers are expected to be single-process per backend (the simulated
 cluster's "master"); concurrent readers are safe.
 """
 
@@ -39,8 +46,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
-import re
 import struct
 import threading
 from dataclasses import asdict, dataclass, field
@@ -54,10 +59,20 @@ from repro.errors import (
     SynopsisIntegrityError,
     SynopsisNotFoundError,
 )
+from repro.serving.backends import (
+    META_FILENAME,
+    NAME_PATTERN,
+    PAYLOAD_FILENAME,
+    DirectoryBackend,
+    MemoryBackend,
+    StoreBackend,
+)
 from repro.serving.engine import BatchQueryEngine
 
 __all__ = [
     "MAGIC",
+    "META_FILENAME",
+    "PAYLOAD_FILENAME",
     "SynopsisMetadata",
     "StoredSynopsis",
     "SynopsisStore",
@@ -66,10 +81,7 @@ __all__ = [
 ]
 
 MAGIC = b"WHSYN001"
-_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
-_VERSION_PATTERN = re.compile(r"^v(\d{5})$")
-META_FILENAME = "meta.json"
-PAYLOAD_FILENAME = "synopsis.bin"
+_NAME_PATTERN = NAME_PATTERN  # backwards-compatible alias
 
 
 # ----------------------------------------------------------------- byte format
@@ -123,7 +135,7 @@ def deserialize_histogram(payload: bytes) -> WaveletHistogram:
 # ------------------------------------------------------------------- metadata
 @dataclass(frozen=True)
 class SynopsisMetadata:
-    """Everything ``meta.json`` records about one stored synopsis version.
+    """Everything the store records about one stored synopsis version.
 
     Attributes:
         name: catalog name the synopsis was saved under.
@@ -133,8 +145,8 @@ class SynopsisMetadata:
         k: coefficient budget the synopsis was built with (may be ``None``).
         coefficient_count: number of non-zero coefficients actually stored.
         seed: the build's RNG seed (``None`` for deterministic builders).
-        checksum_sha256: sha256 hex digest of ``synopsis.bin``.
-        payload_bytes: size of ``synopsis.bin``.
+        checksum_sha256: sha256 hex digest of the payload.
+        payload_bytes: size of the payload.
         build: build-side counters worth keeping with the synopsis —
             communication bytes, simulated seconds, MapReduce rounds, and any
             algorithm-specific extras.
@@ -171,12 +183,17 @@ class SynopsisMetadata:
 class StoredSynopsis:
     """A lazily loaded synopsis version: metadata now, payload on first use."""
 
-    def __init__(self, directory: str, metadata: SynopsisMetadata) -> None:
-        self.directory = directory
+    def __init__(self, backend: StoreBackend, metadata: SynopsisMetadata) -> None:
+        self.backend = backend
         self.metadata = metadata
         self._lock = threading.Lock()
         self._histogram: Optional[WaveletHistogram] = None
         self._engines: Dict[tuple, BatchQueryEngine] = {}
+
+    @property
+    def directory(self) -> Optional[str]:
+        """Filesystem location of this version (``None`` on diskless backends)."""
+        return self.backend.location(self.metadata.name, self.metadata.version)
 
     @property
     def loaded(self) -> bool:
@@ -188,15 +205,9 @@ class StoredSynopsis:
         """The synopsis itself; reads and checksum-verifies the payload once."""
         with self._lock:
             if self._histogram is None:
-                path = os.path.join(self.directory, PAYLOAD_FILENAME)
-                try:
-                    with open(path, "rb") as handle:
-                        payload = handle.read()
-                except OSError as error:
-                    raise SynopsisNotFoundError(
-                        f"payload of {self.metadata.name} v{self.metadata.version} "
-                        f"is unreadable: {error}"
-                    ) from error
+                payload = self.backend.read_payload(
+                    self.metadata.name, self.metadata.version
+                )
                 digest = hashlib.sha256(payload).hexdigest()
                 if digest != self.metadata.checksum_sha256:
                     raise SynopsisIntegrityError(
@@ -229,12 +240,37 @@ class StoredSynopsis:
 
 # ---------------------------------------------------------------------- store
 class SynopsisStore:
-    """A directory-backed catalog of named, versioned wavelet synopses."""
+    """A catalog of named, versioned wavelet synopses over a pluggable backend.
 
-    def __init__(self, root: str) -> None:
-        self.root = str(root)
-        os.makedirs(self.root, exist_ok=True)
+    Args:
+        root: root directory — shorthand for a
+            :class:`~repro.serving.backends.DirectoryBackend` at that path.
+        backend: an explicit :class:`~repro.serving.backends.StoreBackend`
+            (mutually exclusive with ``root``).
+    """
+
+    def __init__(self, root: Optional[str] = None, *,
+                 backend: Optional[StoreBackend] = None) -> None:
+        if backend is not None and root is not None:
+            raise InvalidParameterError("pass either root or backend, not both")
+        if backend is None:
+            if root is None:
+                raise InvalidParameterError(
+                    "SynopsisStore needs a root directory or a backend"
+                )
+            backend = DirectoryBackend(str(root))
+        self.backend = backend
         self._lock = threading.Lock()
+
+    @classmethod
+    def in_memory(cls) -> "SynopsisStore":
+        """A store over a fresh :class:`~repro.serving.backends.MemoryBackend`."""
+        return cls(backend=MemoryBackend())
+
+    @property
+    def root(self) -> Optional[str]:
+        """The backend's root directory (``None`` on diskless backends)."""
+        return getattr(self.backend, "root", None)
 
     # ----------------------------------------------------------------- saving
     def save(
@@ -250,9 +286,9 @@ class SynopsisStore:
 
         Returns the metadata of the new version (including its checksum).
         """
-        if not _NAME_PATTERN.match(name):
+        if not NAME_PATTERN.match(name):
             raise InvalidParameterError(
-                f"synopsis name must match {_NAME_PATTERN.pattern}, got {name!r}"
+                f"synopsis name must match {NAME_PATTERN.pattern}, got {name!r}"
             )
         payload = serialize_histogram(histogram)
         with self._lock:
@@ -269,16 +305,7 @@ class SynopsisStore:
                 payload_bytes=len(payload),
                 build=dict(build or {}),
             )
-            name_dir = os.path.join(self.root, name)
-            os.makedirs(name_dir, exist_ok=True)
-            final_dir = os.path.join(name_dir, f"v{version:05d}")
-            staging_dir = final_dir + ".tmp"
-            os.makedirs(staging_dir, exist_ok=True)
-            with open(os.path.join(staging_dir, PAYLOAD_FILENAME), "wb") as handle:
-                handle.write(payload)
-            with open(os.path.join(staging_dir, META_FILENAME), "w", encoding="utf-8") as handle:
-                handle.write(metadata.to_json() + "\n")
-            os.replace(staging_dir, final_dir)
+            self.backend.publish(name, version, metadata.to_json() + "\n", payload)
             self._write_catalog()
         return metadata
 
@@ -289,45 +316,19 @@ class SynopsisStore:
             version = self.latest_version(name, default=0)
             if version == 0:
                 raise SynopsisNotFoundError(f"store has no synopsis named {name!r}")
-        directory = os.path.join(self.root, name, f"v{version:05d}")
-        meta_path = os.path.join(directory, META_FILENAME)
-        try:
-            with open(meta_path, "r", encoding="utf-8") as handle:
-                metadata = SynopsisMetadata.from_json(handle.read())
-        except OSError as error:
-            raise SynopsisNotFoundError(
-                f"store has no synopsis {name!r} version {version}: {error}"
-            ) from error
-        return StoredSynopsis(directory, metadata)
+        metadata = SynopsisMetadata.from_json(
+            self.backend.read_metadata(name, version)
+        )
+        return StoredSynopsis(self.backend, metadata)
 
     # -------------------------------------------------------------- catalogue
     def names(self) -> List[str]:
         """All synopsis names in the store, sorted."""
-        try:
-            entries = os.listdir(self.root)
-        except OSError:
-            return []
-        return sorted(
-            entry for entry in entries
-            if _NAME_PATTERN.match(entry)
-            and os.path.isdir(os.path.join(self.root, entry))
-            and self.versions(entry)
-        )
+        return self.backend.names()
 
     def versions(self, name: str) -> List[int]:
         """All stored versions of ``name``, ascending (empty when unknown)."""
-        try:
-            entries = os.listdir(os.path.join(self.root, name))
-        except OSError:
-            return []
-        found: List[int] = []
-        for entry in entries:
-            match = _VERSION_PATTERN.match(entry)
-            if match and os.path.exists(
-                os.path.join(self.root, name, entry, META_FILENAME)
-            ):
-                found.append(int(match.group(1)))
-        return sorted(found)
+        return self.backend.versions(name)
 
     def latest_version(self, name: str, default: int = 0) -> int:
         """The newest version number of ``name`` (``default`` when unknown)."""
@@ -339,7 +340,7 @@ class SynopsisStore:
         return [self.load(name).metadata for name in self.names()]
 
     def _write_catalog(self) -> None:
-        """Refresh the human-readable ``catalog.json`` summary.
+        """Refresh the human-readable catalog summary.
 
         Genuinely best effort: the catalog is a convenience view derived from
         the per-version metadata (which is already durably published by the
@@ -357,12 +358,9 @@ class SynopsisStore:
                     "u": metadata.u,
                     "k": metadata.k,
                 }
-            path = os.path.join(self.root, "catalog.json")
-            staging = path + ".tmp"
-            with open(staging, "w", encoding="utf-8") as handle:
-                json.dump(catalog, handle, sort_keys=True, indent=2)
-                handle.write("\n")
-            os.replace(staging, path)
+            self.backend.write_catalog(
+                json.dumps(catalog, sort_keys=True, indent=2) + "\n"
+            )
         except Exception:
             # Any failure — unreadable sibling metadata, an unwritable root —
             # must not fail (or brick) saves; the catalog is derived data.

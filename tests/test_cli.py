@@ -65,11 +65,32 @@ class TestParser:
         assert arguments.ranges == [[1, 10], [5, 7]]
 
     def test_slugs_cover_the_papers_five_algorithms(self):
-        # The build command's slugs are exactly the lowercased names of the
-        # standard_algorithms factory the other commands use.
+        # The build command's slugs are the registry's names, which must
+        # include the lowercased names of the standard_algorithms factory the
+        # other commands use (plus the two extra baselines).
+        from repro.algorithms.registry import algorithm_names
+
         names = {algorithm.name.lower()
                  for algorithm in standard_algorithms(ExperimentConfig.quick())}
-        assert set(ALGORITHM_SLUGS) == names
+        assert names <= set(ALGORITHM_SLUGS)
+        assert set(ALGORITHM_SLUGS) == set(algorithm_names())
+        assert {"send-coef", "basic-s"} <= set(ALGORITHM_SLUGS)
+
+    def test_profile_flag_overrides_executor_flags(self):
+        arguments = build_parser().parse_args(
+            ["compare", "--quick", "--profile", "executor=serial,data-plane=records"])
+        assert arguments.profile == "executor=serial,data-plane=records"
+
+    def test_serve_verbs_parse(self):
+        catalog = build_parser().parse_args(["serve", "catalog", "--store", "/tmp/s"])
+        assert catalog.command == "serve" and catalog.serve_command == "catalog"
+        query = build_parser().parse_args(
+            ["serve", "query", "--store", "/tmp/s", "--name", "a", "--name", "b",
+             "--count", "64", "--profile", "parallel:2"])
+        assert query.serve_command == "query"
+        assert query.names == ["a", "b"] and query.profile == "parallel:2"
+        with pytest.raises(SystemExit):  # --name is required
+            build_parser().parse_args(["serve", "query", "--store", "/tmp/s"])
 
 
 class TestCommands:
@@ -147,6 +168,31 @@ class TestServingCommands:
                          "--name", "versioned", "--algorithm", "improved-s"]) == 0
         assert "stored versioned v2" in capsys.readouterr().out
         assert SynopsisStore(store_dir).versions("versioned") == [1, 2]
+
+    def test_serve_catalog_and_fanout_query(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "synopses")
+        assert main(["build", "--quick", "--store", store_dir,
+                     "--name", "alpha", "--algorithm", "send-v", "--k", "12"]) == 0
+        assert main(["build", "--quick", "--store", store_dir,
+                     "--name", "beta", "--algorithm", "twolevel-s", "--k", "12"]) == 0
+        capsys.readouterr()
+
+        assert main(["serve", "catalog", "--store", store_dir]) == 0
+        output = capsys.readouterr().out
+        assert "alpha" in output and "beta" in output and "Send-V" in output
+
+        assert main(["serve", "query", "--store", store_dir,
+                     "--name", "alpha", "--name", "beta", "--count", "128"]) == 0
+        output = capsys.readouterr().out
+        assert "across 2 synopsis(es)" in output
+        assert "alpha" in output and "beta" in output
+
+    def test_build_accepts_profile_spec(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "synopses")
+        assert main(["build", "--quick", "--store", store_dir,
+                     "--name", "profiled", "--algorithm", "send-v",
+                     "--profile", "executor=serial,data-plane=records"]) == 0
+        assert "stored profiled v1" in capsys.readouterr().out
 
     def test_serve_bench_verifies_and_reports(self, capsys, tmp_path):
         assert main(["serve-bench", "--quick", "--count", "2000",

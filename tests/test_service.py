@@ -1,0 +1,436 @@
+"""Tests for the unified service API: RuntimeProfile, the algorithm registry,
+the deprecated kwarg shim on ``HistogramAlgorithm.run`` and the
+``SynopsisService`` façade (build → store → multi-synopsis fan-out).
+
+``TestServiceSmoke`` doubles as the CI smoke entry point: the workflow runs it
+with ``REPRO_API_PATH=profile`` and ``REPRO_API_PATH=shim`` so both spellings
+of the build API stay part of the test matrix.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.algorithms import SendV, TwoLevelSampling
+from repro.algorithms.base import HistogramAlgorithm
+from repro.algorithms.registry import (
+    algorithm_class,
+    algorithm_names,
+    make_algorithm,
+    register,
+)
+from repro.data.generators import ZipfDatasetGenerator
+from repro.errors import InvalidParameterError
+from repro.mapreduce.cluster import paper_cluster
+from repro.mapreduce.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    shared_executor,
+)
+from repro.mapreduce.hdfs import HDFS
+from repro.mapreduce.runtime import JobRunner
+from repro.service import AlgorithmSpec, BuildReport, RuntimeProfile, SynopsisService
+from repro.serving.backends import MemoryBackend
+from repro.serving.store import SynopsisStore
+from repro.serving.workload import WorkloadGenerator
+
+U = 256
+K = 12
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def service_dataset():
+    return ZipfDatasetGenerator(u=U, alpha=1.1, seed=5).generate(8_000, name="svc-zipf")
+
+
+def _legacy_run(algorithm, dataset, **kwargs):
+    """Run with the deprecated kwarg surface, asserting exactly one warning."""
+    hdfs = HDFS()
+    dataset.to_hdfs(hdfs, "/data/input")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = algorithm.run(hdfs, "/data/input", **kwargs)
+    deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1, "legacy kwargs must emit exactly one warning"
+    assert "RuntimeProfile" in str(deprecations[0].message)
+    return result
+
+
+def _profile_run(algorithm, dataset, profile):
+    """Run through the profile path, asserting it is warning-free."""
+    hdfs = HDFS()
+    dataset.to_hdfs(hdfs, "/data/input")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = algorithm.run(hdfs, "/data/input", profile=profile)
+    assert not [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    return result
+
+
+def _assert_identical(first, second):
+    assert first.histogram.coefficients == second.histogram.coefficients
+    assert first.counters.as_dict() == second.counters.as_dict()
+    assert first.communication_bytes == second.communication_bytes
+    assert first.simulated_time_s == second.simulated_time_s
+    assert first.num_rounds == second.num_rounds
+    for round_a, round_b in zip(first.rounds, second.rounds):
+        assert round_a.output == round_b.output
+        assert round_a.shuffle_bytes == round_b.shuffle_bytes
+
+
+class TestRuntimeProfile:
+    def test_defaults(self):
+        profile = RuntimeProfile()
+        assert profile.seed == 7
+        assert profile.executor_name == "serial"
+        assert profile.data_plane == "batch"
+        assert profile.cluster is None and profile.cost_parameters is None
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            RuntimeProfile(executor="threaded")
+        with pytest.raises(InvalidParameterError):
+            RuntimeProfile(data_plane="rows")
+        with pytest.raises(InvalidParameterError):
+            RuntimeProfile(workers=0)
+        with pytest.raises(InvalidParameterError):
+            RuntimeProfile(executor=42)  # type: ignore[arg-type]
+
+    def test_is_frozen_and_overridable(self):
+        profile = RuntimeProfile()
+        with pytest.raises(Exception):
+            profile.seed = 9  # type: ignore[misc]
+        derived = profile.with_overrides(seed=9, data_plane="records")
+        assert derived.seed == 9 and derived.data_plane == "records"
+        assert profile.seed == 7  # original untouched
+
+    def test_build_executor_resolution(self):
+        assert RuntimeProfile().build_executor() is shared_executor("serial")
+        instance = SerialExecutor()
+        assert RuntimeProfile(executor=instance).build_executor() is instance
+        assert RuntimeProfile(executor=instance).executor_name == "serial"
+
+    def test_resolved_cluster_defaults_to_paper_cluster(self):
+        assert RuntimeProfile().resolved_cluster().machines
+        cluster = paper_cluster(split_size_bytes=512)
+        assert RuntimeProfile(cluster=cluster).resolved_cluster() is cluster
+
+    def test_create_runner(self):
+        runner = RuntimeProfile(seed=3, data_plane="records").create_runner(HDFS())
+        assert isinstance(runner, JobRunner)
+        assert runner.data_plane == "records"
+        assert isinstance(runner.executor, SerialExecutor)
+
+    def test_parse_shorthand_and_pairs(self):
+        assert RuntimeProfile.parse("serial").executor_name == "serial"
+        parallel = RuntimeProfile.parse("parallel:4")
+        assert parallel.executor_name == "parallel" and parallel.workers == 4
+        full = RuntimeProfile.parse(
+            "executor=parallel,workers=2,seed=5,data-plane=records")
+        assert (full.executor_name, full.workers, full.seed, full.data_plane) == (
+            "parallel", 2, 5, "records")
+
+    def test_parse_rejects_bad_specs(self):
+        for bad in ("", "   ", "executor=threaded", "seed=x", "parallel:x",
+                    "colour=blue"):
+            with pytest.raises(InvalidParameterError):
+                RuntimeProfile.parse(bad)
+
+    def test_parse_overrides_only_mentioned_keys(self):
+        overrides = RuntimeProfile.parse_overrides("data-plane=records")
+        assert overrides == {"data_plane": "records"}
+
+    def test_describe_mentions_the_executor(self):
+        assert "executor=parallel:3" in RuntimeProfile(
+            executor="parallel", workers=3).describe()
+
+
+class TestRunShim:
+    def test_legacy_kwargs_and_profile_are_bit_identical(self, service_dataset):
+        cluster = paper_cluster(split_size_bytes=service_dataset.size_bytes // 8)
+        legacy = _legacy_run(TwoLevelSampling(U, K, epsilon=0.05), service_dataset,
+                             cluster=cluster, seed=SEED, data_plane="batch")
+        profiled = _profile_run(TwoLevelSampling(U, K, epsilon=0.05), service_dataset,
+                                RuntimeProfile(cluster=cluster, seed=SEED))
+        _assert_identical(legacy, profiled)
+
+    def test_positional_legacy_cluster_matches_keyword(self, service_dataset):
+        cluster = paper_cluster(split_size_bytes=service_dataset.size_bytes // 8)
+        hdfs = HDFS()
+        service_dataset.to_hdfs(hdfs, "/data/input")
+        with pytest.warns(DeprecationWarning, match="RuntimeProfile"):
+            positional = SendV(U, K).run(hdfs, "/data/input", cluster)
+        with pytest.warns(DeprecationWarning, match="RuntimeProfile"):
+            keyword = SendV(U, K).run(hdfs, "/data/input", cluster=cluster)
+        _assert_identical(positional, keyword)
+
+    def test_store_kwargs_warn_and_persist(self, service_dataset, tmp_path):
+        store = SynopsisStore(str(tmp_path / "store"))
+        result = _legacy_run(SendV(U, K), service_dataset,
+                             store=store, store_name="legacy-entry")
+        entry = result.details["store_entry"]
+        assert entry["name"] == "legacy-entry" and entry["version"] == 1
+        assert store.load("legacy-entry").histogram.coefficients == \
+            result.histogram.coefficients
+
+    def test_mixing_profile_and_legacy_kwargs_raises(self, service_dataset):
+        hdfs = HDFS()
+        service_dataset.to_hdfs(hdfs, "/data/input")
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(InvalidParameterError):
+                SendV(U, K).run(hdfs, "/data/input", RuntimeProfile(), seed=3)
+
+    def test_profile_slot_rejects_garbage(self, service_dataset):
+        hdfs = HDFS()
+        service_dataset.to_hdfs(hdfs, "/data/input")
+        with pytest.raises(InvalidParameterError):
+            SendV(U, K).run(hdfs, "/data/input", 42)  # type: ignore[arg-type]
+
+    def test_executor_instance_through_legacy_kwarg(self, service_dataset):
+        serial = _profile_run(SendV(U, K), service_dataset, RuntimeProfile(seed=SEED))
+        executor = ParallelExecutor(max_workers=2)
+        try:
+            legacy = _legacy_run(SendV(U, K), service_dataset,
+                                 seed=SEED, executor=executor)
+        finally:
+            executor.close()
+        _assert_identical(serial, legacy)
+
+
+class TestRegistry:
+    def test_all_seven_algorithms_are_registered(self):
+        assert algorithm_names() == (
+            "basic-s", "h-wtopk", "improved-s", "send-coef",
+            "send-sketch", "send-v", "twolevel-s",
+        )
+
+    def test_make_algorithm_is_case_insensitive(self):
+        assert isinstance(make_algorithm("Send-V", u=64, k=5), SendV)
+        assert algorithm_class("SEND-V") is SendV
+
+    def test_parameters_pass_through(self):
+        sketch = make_algorithm("send-sketch", u=64, k=5, bytes_per_level=2048)
+        assert sketch.bytes_per_level == 2048
+        sharded = make_algorithm("send-v", u=64, k=5, num_reducers=3)
+        assert sharded.num_reducers == 3
+
+    def test_unknown_name_lists_the_registry(self):
+        with pytest.raises(InvalidParameterError, match="twolevel-s"):
+            make_algorithm("nope", u=64, k=5)
+
+    def test_bad_parameters_are_reported(self):
+        with pytest.raises(InvalidParameterError, match="send-v"):
+            make_algorithm("send-v", u=64, k=5, flux_capacitor=True)
+
+    def test_register_guards(self):
+        with pytest.raises(InvalidParameterError):
+            register(int)  # type: ignore[arg-type]
+        # Re-registering the same class is a no-op...
+        assert register(SendV) is SendV
+
+        # ...but claiming an existing name with a new class is rejected.
+        class Impostor(SendV):
+            name = "Send-V"
+
+        with pytest.raises(InvalidParameterError, match="already registered"):
+            register(Impostor)
+
+    def test_out_of_tree_registration(self):
+        class Custom(SendV):
+            name = "Custom-For-Test"
+
+        try:
+            register(Custom)
+            assert isinstance(make_algorithm("custom-for-test", u=64, k=5), Custom)
+        finally:
+            from repro.algorithms import registry
+
+            registry._REGISTRY.pop("custom-for-test", None)
+
+
+class TestAlgorithmSpec:
+    def test_create_through_the_registry(self):
+        spec = AlgorithmSpec("twolevel-s", k=8, parameters={"epsilon": 0.05})
+        algorithm = spec.create(default_u=128)
+        assert isinstance(algorithm, TwoLevelSampling)
+        assert algorithm.u == 128 and algorithm.k == 8
+
+    def test_explicit_u_wins(self):
+        assert AlgorithmSpec("send-v", u=64).create(default_u=128).u == 64
+
+    def test_missing_domain_raises(self):
+        with pytest.raises(InvalidParameterError, match="domain"):
+            AlgorithmSpec("send-v").create()
+
+
+class TestSynopsisService:
+    def test_build_publishes_versions_with_provenance(self, service_dataset):
+        service = SynopsisService(profile=RuntimeProfile(seed=SEED))
+        report = service.build(AlgorithmSpec("send-v", k=K), service_dataset)
+        assert isinstance(report, BuildReport)
+        assert report.name == "Send-V" and report.version == 1
+        assert report.metadata.seed == SEED
+        assert report.metadata.build["rounds"] == report.result.num_rounds
+        assert report.metadata.build["dataset"] == "svc-zipf"
+        assert report.result.details["store_entry"]["version"] == 1
+        again = service.build(AlgorithmSpec("send-v", k=K), service_dataset)
+        assert again.version == 2
+
+    def test_build_accepts_name_string_instance_and_override(self, service_dataset):
+        service = SynopsisService(profile=RuntimeProfile(seed=SEED))
+        by_string = service.build("send-v", service_dataset)
+        assert by_string.name == "Send-V" and by_string.metadata.k == 30
+        by_instance = service.build(SendV(U, K), service_dataset, name="renamed")
+        assert by_instance.name == "renamed"
+        assert service.store.names() == ["Send-V", "renamed"]
+
+    def test_single_name_query_matches_the_engine(self, service_dataset):
+        service = SynopsisService(profile=RuntimeProfile(seed=SEED))
+        report = service.build(AlgorithmSpec("send-v", k=K), service_dataset)
+        workload = WorkloadGenerator(U, seed=3).generate(500, "mixed")
+        answers = service.query_workload(report.name, workload)
+        engine = service.store.load(report.name).engine()
+        assert np.array_equal(
+            answers[report.name],
+            engine.range_sum_many(workload.los, workload.his),
+        )
+
+    def test_fanout_result_keys_follow_input_order(self, service_dataset):
+        service = SynopsisService(profile=RuntimeProfile(seed=SEED))
+        service.build(AlgorithmSpec("send-v", k=K), service_dataset, name="b")
+        service.build(AlgorithmSpec("h-wtopk", k=K), service_dataset, name="a")
+        answers = service.query(["b", "a"], [1, 10], [U, 20])
+        assert list(answers) == ["b", "a"]
+        assert all(estimate.shape == (2,) for estimate in answers.values())
+
+    def test_fanout_rejects_bad_inputs(self, service_dataset):
+        service = SynopsisService(profile=RuntimeProfile(seed=SEED))
+        service.build(AlgorithmSpec("send-v", k=K), service_dataset)
+        with pytest.raises(InvalidParameterError):
+            service.query([], [1], [2])
+        with pytest.raises(InvalidParameterError):
+            service.query(["Send-V", "Send-V"], [1], [2])
+        with pytest.raises(InvalidParameterError):
+            service.query(["Send-V"], [1, 2], [3])
+        empty = service.query(["Send-V"], [], [])
+        assert empty["Send-V"].size == 0
+
+    def test_version_pins_in_fanout(self, service_dataset):
+        service = SynopsisService(profile=RuntimeProfile(seed=SEED))
+        first = service.build(AlgorithmSpec("send-v", k=K), service_dataset)
+        second = service.build(AlgorithmSpec("send-v", k=4), service_dataset)
+        assert (first.version, second.version) == (1, 2)
+        los, his = [1], [U]
+        pinned = service.query(["Send-V"], los, his,
+                               versions={"Send-V": 1})["Send-V"]
+        engine = service.store.load("Send-V", 1).engine()
+        assert np.array_equal(pinned, engine.range_sum_many(
+            np.asarray(los, dtype=np.int64), np.asarray(his, dtype=np.int64)))
+
+    def test_stats_count_fanout_batches(self, service_dataset):
+        service = SynopsisService(profile=RuntimeProfile(seed=SEED))
+        service.build(AlgorithmSpec("send-v", k=K), service_dataset, name="x")
+        service.build(AlgorithmSpec("send-v", k=K), service_dataset, name="y")
+        service.query(["x", "y"], [1, 2], [10, 20])
+        stats = service.stats()
+        assert stats["fanout_batches"] == 1
+        assert stats["fanout_queries"] == 4  # 2 queries x 2 synopses
+
+    def test_catalog_and_refresh(self, service_dataset):
+        service = SynopsisService(profile=RuntimeProfile(seed=SEED))
+        service.build(AlgorithmSpec("send-v", k=K), service_dataset)
+        assert [metadata.name for metadata in service.catalog()] == ["Send-V"]
+        service.query(["Send-V"], [1], [U])
+        service.build(AlgorithmSpec("send-v", k=K), service_dataset)
+        # Until refreshed, the served version stays pinned at 1.
+        assert service.server.synopsis("Send-V").metadata.version == 1
+        service.refresh()
+        assert service.server.synopsis("Send-V").metadata.version == 2
+
+
+class TestFanoutDeterminism:
+    """Fan-out answers are bit-identical across executors and backends."""
+
+    @pytest.fixture(scope="class")
+    def reports(self, service_dataset):
+        """Build two synopses into one memory store; reuse across the class."""
+        service = SynopsisService(profile=RuntimeProfile(seed=SEED))
+        first = service.build(AlgorithmSpec("send-v", k=K), service_dataset,
+                              name="web")
+        second = service.build(
+            AlgorithmSpec("twolevel-s", k=K, parameters={"epsilon": 0.05}),
+            service_dataset, name="orders")
+        return service, (first, second)
+
+    def test_serial_and_parallel_fanout_agree(self, reports):
+        serial_service, _ = reports
+        workload = WorkloadGenerator(U, seed=23).generate(5_000, "mixed")
+        serial = serial_service.query_workload(["web", "orders"], workload)
+
+        executor = ParallelExecutor(max_workers=2)
+        try:
+            parallel_service = SynopsisService(
+                store=serial_service.store,
+                profile=RuntimeProfile(executor=executor),
+                shard_size=512,
+            )
+            parallel = parallel_service.query_workload(["web", "orders"], workload)
+        finally:
+            executor.close()
+        for name in ("web", "orders"):
+            assert np.array_equal(serial[name], parallel[name])
+
+    def test_repeat_queries_are_bit_identical(self, reports):
+        service, _ = reports
+        workload = WorkloadGenerator(U, seed=29).generate(1_000, "zipfian")
+        first = service.query_workload(["web", "orders"], workload)
+        second = service.query_workload(["web", "orders"], workload)
+        for name in ("web", "orders"):
+            assert np.array_equal(first[name], second[name])
+
+
+class TestServiceSmoke:
+    """The CI smoke: registry build x fan-out query on the memory backend.
+
+    ``REPRO_API_PATH=shim`` additionally routes one build through the
+    deprecated kwarg surface and asserts it is byte-identical to the profile
+    path (same stored checksum).
+    """
+
+    def test_build_two_fanout_deterministically(self, service_dataset):
+        api_path = os.environ.get("REPRO_API_PATH", "profile")
+        profile = RuntimeProfile(seed=SEED)
+        service = SynopsisService(profile=profile)
+        assert isinstance(service.store.backend, MemoryBackend)
+
+        web = service.build(AlgorithmSpec("send-v", k=K), service_dataset,
+                            name="web")
+        orders = service.build(
+            AlgorithmSpec("twolevel-s", k=K, parameters={"epsilon": 0.05}),
+            service_dataset, name="orders")
+
+        if api_path == "shim":
+            # The deprecated spelling must publish byte-identical synopses.
+            legacy = _legacy_run(
+                make_algorithm("send-v", u=service_dataset.u, k=K),
+                service_dataset,
+                cluster=profile.resolved_cluster(), seed=profile.seed,
+                store=service.store, store_name="web-shim")
+            shim_metadata = service.store.load("web-shim").metadata
+            assert shim_metadata.checksum_sha256 == web.checksum_sha256
+            assert legacy.histogram.coefficients == \
+                service.store.load("web").histogram.coefficients
+
+        workload = WorkloadGenerator(U, seed=41).generate(2_000, "mixed")
+        first = service.query_workload(["web", "orders"], workload)
+        second = service.query_workload(["web", "orders"], workload)
+        assert list(first) == ["web", "orders"]
+        for name, estimates in first.items():
+            assert estimates.shape == (2_000,)
+            assert np.array_equal(estimates, second[name])
+        assert web.version == 1 and orders.version == 1

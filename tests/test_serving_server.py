@@ -109,6 +109,55 @@ class TestConcurrentDeterminism:
                 assert np.array_equal(result, expected[index])
 
 
+class TestEngineTableEviction:
+    def _many_synopses_store(self, tmp_path, count=6, u=256):
+        store = SynopsisStore(str(tmp_path / "many"))
+        rng = np.random.default_rng(3)
+        for index in range(count):
+            dense = rng.poisson(10.0, u).astype(float)
+            store.save(f"syn-{index}", WaveletHistogram.from_dense(dense, 16),
+                       algorithm="exact")
+        return store
+
+    def test_lru_bound_is_enforced(self, tmp_path):
+        store = self._many_synopses_store(tmp_path)
+        server = QueryServer(store, max_synopses=2)
+        for index in range(6):
+            server.range_sums(f"syn-{index}", [1], [256])
+        stats = server.stats()
+        assert stats["synopses_resident"] <= 2
+        assert stats["synopses_evicted"] >= 4
+
+    def test_eviction_preserves_answers(self, tmp_path):
+        store = self._many_synopses_store(tmp_path)
+        unbounded = QueryServer(store, max_synopses=None)
+        bounded = QueryServer(store, max_synopses=1)
+        workload = WorkloadGenerator(256, seed=5).generate(200, "mixed")
+        for _ in range(2):  # second pass re-faults evicted synopses in
+            for index in range(6):
+                name = f"syn-{index}"
+                assert np.array_equal(
+                    bounded.serve_workload(name, workload),
+                    unbounded.serve_workload(name, workload),
+                )
+        assert bounded.stats()["synopses_evicted"] > 0
+        assert unbounded.stats()["synopses_evicted"] == 0
+
+    def test_recently_used_synopses_survive(self, tmp_path):
+        store = self._many_synopses_store(tmp_path)
+        server = QueryServer(store, max_synopses=2)
+        hot = server.synopsis("syn-0")
+        for index in range(1, 6):
+            server.range_sums(f"syn-{index}", [1], [256])
+            server.range_sums("syn-0", [1], [256])  # keep the hot entry warm
+        # The hot synopsis was never evicted: same handle throughout.
+        assert server.synopsis("syn-0") is hot
+
+    def test_rejects_non_positive_bound(self, populated_store):
+        with pytest.raises(InvalidParameterError):
+            QueryServer(populated_store, max_synopses=0)
+
+
 class TestExecutorPluggability:
     def test_function_task_spec_round_trip(self):
         spec = FunctionTaskSpec(task_id=3, function=len, payload=[1, 2, 3])
