@@ -54,9 +54,17 @@ from repro.algorithms import (
 from repro.core import FrequencyVector, WaveletHistogram, haar_transform, inverse_haar_transform
 from repro.cost import CostModel, CostParameters
 from repro.data import Dataset, UniformDatasetGenerator, WorldCupLikeGenerator, ZipfDatasetGenerator
-from repro.mapreduce import HDFS, ClusterSpec, JobRunner, MapReduceJob
+from repro.mapreduce import (
+    HDFS,
+    ClusterScheduler,
+    ClusterSpec,
+    JobPlan,
+    JobRunner,
+    MapReduceJob,
+    PlanStage,
+)
 from repro.mapreduce.cluster import paper_cluster
-from repro.service import AlgorithmSpec, RuntimeProfile, SynopsisService
+from repro.service import AlgorithmSpec, BuildRequest, RuntimeProfile, SynopsisService
 from repro.serving import (
     BatchQueryEngine,
     DirectoryBackend,
@@ -66,7 +74,7 @@ from repro.serving import (
     WorkloadGenerator,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AlgorithmResult",
@@ -89,14 +97,18 @@ __all__ = [
     "UniformDatasetGenerator",
     "WorldCupLikeGenerator",
     "HDFS",
+    "ClusterScheduler",
     "ClusterSpec",
+    "JobPlan",
     "JobRunner",
     "MapReduceJob",
+    "PlanStage",
     "paper_cluster",
     "make_algorithm",
     "algorithm_names",
     "RuntimeProfile",
     "AlgorithmSpec",
+    "BuildRequest",
     "SynopsisService",
     "BatchQueryEngine",
     "QueryServer",

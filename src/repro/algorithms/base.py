@@ -4,16 +4,17 @@ from __future__ import annotations
 
 import math
 import warnings
-from abc import ABC, abstractmethod
+from abc import ABC
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from repro.core.histogram import WaveletHistogram
 from repro.cost.model import CostModel
-from repro.errors import InvalidParameterError
+from repro.errors import InvalidParameterError, PlanError
 from repro.mapreduce.cluster import ClusterSpec
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.hdfs import HDFS
+from repro.mapreduce.plan import JobPlan, execute_plan
 from repro.mapreduce.runtime import JobResult, JobRunner
 from repro.mapreduce.state import StateStore
 from repro.service.profile import RuntimeProfile
@@ -121,10 +122,14 @@ class AlgorithmResult:
 class HistogramAlgorithm(ABC):
     """Base class for all wavelet-histogram construction algorithms.
 
-    Subclasses set :attr:`name` and implement :meth:`_execute`, which runs the
-    MapReduce rounds through the provided :class:`JobRunner` and returns the
-    coefficient mapping plus per-round results.  The shared :meth:`run` driver
-    wires up the runner, the cost model and the result assembly.
+    Subclasses set :attr:`name` and implement :meth:`create_plan`, which
+    declares the algorithm's MapReduce rounds as a
+    :class:`~repro.mapreduce.plan.JobPlan` — a DAG of stages plus a
+    driver-finish step.  The shared :meth:`run` driver wires up the runner,
+    executes the plan sequentially, and assembles the result; the cluster
+    scheduler executes the *same* plan concurrently with other jobs.
+    Out-of-tree algorithms may instead override :meth:`_execute` directly
+    (the pre-plan hook), at the price of not being schedulable concurrently.
     """
 
     name: str = "abstract"
@@ -136,9 +141,28 @@ class HistogramAlgorithm(ABC):
         self.k = k
 
     # ------------------------------------------------------------------ hooks
-    @abstractmethod
+    def create_plan(self, input_path: str) -> JobPlan:
+        """Declare the algorithm's rounds as a :class:`JobPlan` over ``input_path``.
+
+        All seven shipped algorithms implement this; the default raises so
+        legacy subclasses that only override :meth:`_execute` keep working on
+        the sequential path (and fail with a clear message if handed to the
+        cluster scheduler).
+        """
+        raise PlanError(
+            f"{type(self).__name__} does not declare a JobPlan; override "
+            f"create_plan() to make it schedulable, or run it sequentially "
+            f"(concurrent_jobs=1)"
+        )
+
     def _execute(self, runner: JobRunner, input_path: str) -> "ExecutionOutcome":
-        """Run the algorithm's MapReduce rounds and return coefficients + rounds."""
+        """Run the algorithm's MapReduce rounds and return coefficients + rounds.
+
+        The default executes :meth:`create_plan`'s stages sequentially through
+        the runner — the reference path the scheduler's concurrent execution
+        is bit-identical to.
+        """
+        return execute_plan(self.create_plan(input_path), runner)
 
     # ----------------------------------------------------------------- driver
     def run(
@@ -192,14 +216,27 @@ class HistogramAlgorithm(ABC):
                            seed=profile.seed, executor=profile.build_executor(),
                            data_plane=profile.data_plane)
         outcome = self._execute(runner, input_path)
+        result = self.assemble_result(outcome, profile)
+        if store_value is not None:
+            result.publish(store_value, name=store_name_value, seed=profile.seed)
+        return result
 
+    def assemble_result(self, outcome: "ExecutionOutcome",
+                        profile: RuntimeProfile) -> AlgorithmResult:
+        """Fold an :class:`ExecutionOutcome` into the full :class:`AlgorithmResult`.
+
+        The one assembly path (cost model, merged counters, histogram) shared
+        by :meth:`run` and the cluster scheduler's batch entry points, so a
+        scheduled build reports exactly what a sequential build reports.
+        """
+        cluster_spec = profile.resolved_cluster()
         cost_model = CostModel(cluster_spec, parameters=profile.cost_parameters)
         counters = Counters()
         for round_result in outcome.rounds:
             counters = counters.merge(round_result.counters)
 
         histogram = WaveletHistogram.from_coefficients(outcome.coefficients, self.u, k=self.k)
-        result = AlgorithmResult(
+        return AlgorithmResult(
             algorithm=self.name,
             histogram=histogram,
             rounds=outcome.rounds,
@@ -208,9 +245,6 @@ class HistogramAlgorithm(ABC):
             counters=counters,
             details=outcome.details,
         )
-        if store_value is not None:
-            result.publish(store_value, name=store_name_value, seed=profile.seed)
-        return result
 
     @staticmethod
     def _resolve_run_arguments(

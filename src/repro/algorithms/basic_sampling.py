@@ -30,7 +30,7 @@ from repro.errors import InvalidParameterError
 from repro.mapreduce.api import MapperContext
 from repro.mapreduce.inputformat import RandomSamplingInputFormat
 from repro.mapreduce.job import JobConfiguration, MapReduceJob
-from repro.mapreduce.runtime import JobRunner
+from repro.mapreduce.plan import JobPlan, PlanContext, PlanStage
 from repro.sampling.estimators import first_level_probability
 
 __all__ = ["BasicSampling", "BasicSamplingMapper"]
@@ -85,34 +85,45 @@ class BasicSampling(HistogramAlgorithm):
         self.epsilon = epsilon
         self.aggregate_in_mapper = aggregate_in_mapper
 
-    def _execute(self, runner: JobRunner, input_path: str) -> ExecutionOutcome:
-        total_records = runner.hdfs.open(input_path).num_records
-        probability = first_level_probability(self.epsilon, total_records)
-        configuration = JobConfiguration(
-            {
-                CONF_DOMAIN: self.u,
-                CONF_K: self.k,
-                CONF_EPSILON: self.epsilon,
-                CONF_TOTAL_RECORDS: total_records,
-                CONF_SAMPLE_PROBABILITY: probability,
-                "wavelet.basic.aggregate": self.aggregate_in_mapper,
-            }
-        )
-        job = MapReduceJob(
+    def create_plan(self, input_path: str) -> JobPlan:
+        def build(context: PlanContext) -> MapReduceJob:
+            total_records = context.num_records
+            probability = first_level_probability(self.epsilon, total_records)
+            return MapReduceJob(
+                name=f"{self.name}(eps={self.epsilon})",
+                input_path=context.input_path,
+                mapper_class=BasicSamplingMapper,
+                reducer_class=ScaledCountReducer,
+                configuration=JobConfiguration(
+                    {
+                        CONF_DOMAIN: self.u,
+                        CONF_K: self.k,
+                        CONF_EPSILON: self.epsilon,
+                        CONF_TOTAL_RECORDS: total_records,
+                        CONF_SAMPLE_PROBABILITY: probability,
+                        "wavelet.basic.aggregate": self.aggregate_in_mapper,
+                    }
+                ),
+                input_format_class=RandomSamplingInputFormat(probability),
+            )
+
+        def finish(context: PlanContext) -> ExecutionOutcome:
+            result = context.result("sample")
+            total_records = context.num_records
+            probability = first_level_probability(self.epsilon, total_records)
+            coefficients = {int(index): float(value) for index, value in result.output}
+            return ExecutionOutcome(
+                coefficients=coefficients,
+                rounds=context.ordered_rounds(),
+                details={
+                    "sample_probability": probability,
+                    "expected_sample_size": probability * total_records,
+                },
+            )
+
+        return JobPlan(
             name=f"{self.name}(eps={self.epsilon})",
             input_path=input_path,
-            mapper_class=BasicSamplingMapper,
-            reducer_class=ScaledCountReducer,
-            configuration=configuration,
-            input_format_class=RandomSamplingInputFormat(probability),
-        )
-        result = runner.run(job)
-        coefficients = {int(index): float(value) for index, value in result.output}
-        return ExecutionOutcome(
-            coefficients=coefficients,
-            rounds=[result],
-            details={
-                "sample_probability": probability,
-                "expected_sample_size": probability * total_records,
-            },
+            stages=(PlanStage("sample", build),),
+            finish=finish,
         )

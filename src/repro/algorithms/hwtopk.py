@@ -49,7 +49,7 @@ from repro.errors import TopKError
 from repro.mapreduce.api import BatchMapper, Mapper, MapperContext, Reducer, ReducerContext
 from repro.mapreduce.counters import CounterNames
 from repro.mapreduce.job import DistributedCache, JobConfiguration, MapReduceJob
-from repro.mapreduce.runtime import JobRunner
+from repro.mapreduce.plan import JobPlan, PlanContext, PlanStage
 from repro.topk.signed_tput import magnitude_lower_bound
 from repro.topk.tput import kth_largest
 
@@ -275,75 +275,93 @@ class Round3Reducer(Reducer):
 
 # ---------------------------------------------------------------------- Driver
 class HWTopk(HistogramAlgorithm):
-    """Driver running the three MapReduce rounds of H-WTopk."""
+    """Driver declaring the three MapReduce rounds of H-WTopk as one plan.
+
+    The rounds form a dependency chain — round 2's pruning threshold is
+    computed from round 1's output, round 3's candidate set from round 2's —
+    expressed as stage dependencies in the :class:`JobPlan` instead of
+    sequential re-invocations of the runner.  The cluster scheduler can
+    therefore interleave H-WTopk's rounds with other jobs' tasks while the
+    inter-round driver logic runs unchanged in the stage builders.
+    """
 
     name = "H-WTopk"
 
-    def _execute(self, runner: JobRunner, input_path: str) -> ExecutionOutcome:
-        splits = runner.hdfs.splits(input_path, runner.cluster.split_size_bytes)
-        num_splits = len(splits)
+    def create_plan(self, input_path: str) -> JobPlan:
+        def round1_threshold(context: PlanContext) -> float:
+            t1 = float(context.result("round1").output_dict()["T1"])
+            return t1 / context.num_splits
 
-        # Round 1: scan, local transforms, local top-k/bottom-k.
-        round1 = runner.run(
-            MapReduceJob(
+        def build_round1(context: PlanContext) -> MapReduceJob:
+            # Round 1: scan, local transforms, local top-k/bottom-k.
+            return MapReduceJob(
                 name=f"{self.name}-round1(k={self.k})",
-                input_path=input_path,
+                input_path=context.input_path,
                 mapper_class=Round1Mapper,
                 reducer_class=Round1Reducer,
                 configuration=JobConfiguration({CONF_DOMAIN: self.u, CONF_K: self.k}),
-            ),
-            splits=splits,
-        )
-        t1 = float(round1.output_dict()["T1"])
+            )
 
-        # Round 2: broadcast T1/m, prune, compute candidate set R.
-        round2 = runner.run(
-            MapReduceJob(
+        def build_round2(context: PlanContext) -> MapReduceJob:
+            # Round 2: broadcast T1/m, prune, compute candidate set R.
+            return MapReduceJob(
                 name=f"{self.name}-round2(k={self.k})",
-                input_path=input_path,
+                input_path=context.input_path,
                 mapper_class=Round2Mapper,
                 reducer_class=Round2Reducer,
                 configuration=JobConfiguration(
-                    {CONF_DOMAIN: self.u, CONF_K: self.k, CONF_T1_OVER_M: t1 / num_splits}
+                    {CONF_DOMAIN: self.u, CONF_K: self.k,
+                     CONF_T1_OVER_M: round1_threshold(context)}
                 ),
                 read_input=False,
-            ),
-            splits=splits,
-        )
-        round2_output = round2.output_dict()
-        t2 = float(round2_output["T2"])
-        candidates = list(round2_output["R"])
+            )
 
-        # Round 3: replicate R through the distributed cache, fetch exact scores.
-        cache = DistributedCache()
-        cache.add(CACHE_CANDIDATES, candidates, size_bytes=4 * len(candidates))
-        round3 = runner.run(
-            MapReduceJob(
+        def build_round3(context: PlanContext) -> MapReduceJob:
+            # Round 3: replicate R through the distributed cache, fetch exact
+            # scores for every candidate.
+            candidates = list(context.result("round2").output_dict()["R"])
+            cache = DistributedCache()
+            cache.add(CACHE_CANDIDATES, candidates, size_bytes=4 * len(candidates))
+            return MapReduceJob(
                 name=f"{self.name}-round3(k={self.k})",
-                input_path=input_path,
+                input_path=context.input_path,
                 mapper_class=Round3Mapper,
                 reducer_class=Round3Reducer,
                 configuration=JobConfiguration(
-                    {CONF_DOMAIN: self.u, CONF_K: self.k, CONF_T1_OVER_M: t1 / num_splits}
+                    {CONF_DOMAIN: self.u, CONF_K: self.k,
+                     CONF_T1_OVER_M: round1_threshold(context)}
                 ),
                 distributed_cache=cache,
                 read_input=False,
-            ),
-            splits=splits,
-        )
+            )
 
-        coefficients = {
-            int(index): float(value)
-            for index, value in round3.output
-            if isinstance(index, int)
-        }
-        return ExecutionOutcome(
-            coefficients=coefficients,
-            rounds=[round1, round2, round3],
-            details={
-                "T1": t1,
-                "T2": t2,
-                "candidate_set_size": len(candidates),
-                "num_splits": num_splits,
-            },
+        def finish(context: PlanContext) -> ExecutionOutcome:
+            round2_output = context.result("round2").output_dict()
+            round3 = context.result("round3")
+            candidates = list(round2_output["R"])
+            coefficients = {
+                int(index): float(value)
+                for index, value in round3.output
+                if isinstance(index, int)
+            }
+            return ExecutionOutcome(
+                coefficients=coefficients,
+                rounds=context.ordered_rounds(),
+                details={
+                    "T1": float(context.result("round1").output_dict()["T1"]),
+                    "T2": float(round2_output["T2"]),
+                    "candidate_set_size": len(candidates),
+                    "num_splits": context.num_splits,
+                },
+            )
+
+        return JobPlan(
+            name=f"{self.name}(k={self.k})",
+            input_path=input_path,
+            stages=(
+                PlanStage("round1", build_round1),
+                PlanStage("round2", build_round2, depends_on=("round1",)),
+                PlanStage("round3", build_round3, depends_on=("round1", "round2")),
+            ),
+            finish=finish,
         )

@@ -68,13 +68,22 @@ def register(cls: Type[HistogramAlgorithm]) -> Type[HistogramAlgorithm]:
 
 
 def algorithm_class(name: str) -> Type[HistogramAlgorithm]:
-    """Look up the registered class for ``name`` (case-insensitive)."""
+    """Look up the registered class for ``name`` (case-insensitive).
+
+    An unknown name raises with every valid registry slug (and the closest
+    match, when one is plausible), so a typo on the CLI or in an
+    :class:`~repro.service.facade.AlgorithmSpec` is self-diagnosing.
+    """
     try:
         return _REGISTRY[_slug(name)]
     except KeyError:
+        import difflib
+
         known = ", ".join(sorted(_REGISTRY))
+        close = difflib.get_close_matches(_slug(name), sorted(_REGISTRY), n=1)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
         raise InvalidParameterError(
-            f"unknown algorithm {name!r}; registered algorithms: {known}"
+            f"unknown algorithm {name!r}{hint}; valid registry slugs: {known}"
         ) from None
 
 

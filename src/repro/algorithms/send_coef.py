@@ -31,7 +31,7 @@ from repro.core.topk_coefficients import top_k_coefficients
 from repro.mapreduce.api import BatchMapper, BatchReducer, MapperContext, ReducerContext
 from repro.mapreduce.counters import CounterNames
 from repro.mapreduce.job import JobConfiguration, MapReduceJob
-from repro.mapreduce.runtime import JobRunner
+from repro.mapreduce.plan import JobPlan, PlanContext, PlanStage
 
 __all__ = ["SendCoef", "SendCoefMapper", "SendCoefReducer"]
 
@@ -125,19 +125,28 @@ class SendCoef(HistogramAlgorithm):
 
     name = "Send-Coef"
 
-    def _execute(self, runner: JobRunner, input_path: str) -> ExecutionOutcome:
-        configuration = JobConfiguration({CONF_DOMAIN: self.u, CONF_K: self.k})
-        job = MapReduceJob(
+    def create_plan(self, input_path: str) -> JobPlan:
+        def build(context: PlanContext) -> MapReduceJob:
+            return MapReduceJob(
+                name=f"{self.name}(k={self.k})",
+                input_path=context.input_path,
+                mapper_class=SendCoefMapper,
+                reducer_class=SendCoefReducer,
+                configuration=JobConfiguration({CONF_DOMAIN: self.u, CONF_K: self.k}),
+            )
+
+        def finish(context: PlanContext) -> ExecutionOutcome:
+            result = context.result("aggregate")
+            coefficients = {int(index): float(value) for index, value in result.output}
+            return ExecutionOutcome(
+                coefficients=coefficients,
+                rounds=context.ordered_rounds(),
+                details={"coefficient_pairs_shuffled": result.counters.get(CounterNames.SHUFFLE_RECORDS)},
+            )
+
+        return JobPlan(
             name=f"{self.name}(k={self.k})",
             input_path=input_path,
-            mapper_class=SendCoefMapper,
-            reducer_class=SendCoefReducer,
-            configuration=configuration,
-        )
-        result = runner.run(job)
-        coefficients = {int(index): float(value) for index, value in result.output}
-        return ExecutionOutcome(
-            coefficients=coefficients,
-            rounds=[result],
-            details={"coefficient_pairs_shuffled": result.counters.get(CounterNames.SHUFFLE_RECORDS)},
+            stages=(PlanStage("aggregate", build),),
+            finish=finish,
         )

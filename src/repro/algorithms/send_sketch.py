@@ -35,7 +35,7 @@ from repro.errors import InvalidParameterError
 from repro.mapreduce.api import BatchMapper, MapperContext, Reducer, ReducerContext
 from repro.mapreduce.counters import CounterNames
 from repro.mapreduce.job import JobConfiguration, MapReduceJob
-from repro.mapreduce.runtime import JobRunner
+from repro.mapreduce.plan import JobPlan, PlanContext, PlanStage
 from repro.sketches.wavelet import WaveletGcsSketch
 
 __all__ = ["SendSketch", "SendSketchMapper", "SendSketchReducer"]
@@ -131,29 +131,38 @@ class SendSketch(HistogramAlgorithm):
         self.bytes_per_level = bytes_per_level
         self.sketch_seed = sketch_seed
 
-    def _execute(self, runner: JobRunner, input_path: str) -> ExecutionOutcome:
-        configuration = JobConfiguration(
-            {
-                CONF_DOMAIN: self.u,
-                CONF_K: self.k,
-                CONF_SKETCH_SEED: self.sketch_seed,
-                CONF_SKETCH_BYTES_PER_LEVEL: self.bytes_per_level,
-            }
-        )
-        job = MapReduceJob(
+    def create_plan(self, input_path: str) -> JobPlan:
+        def build(context: PlanContext) -> MapReduceJob:
+            return MapReduceJob(
+                name=f"{self.name}(k={self.k})",
+                input_path=context.input_path,
+                mapper_class=SendSketchMapper,
+                reducer_class=SendSketchReducer,
+                configuration=JobConfiguration(
+                    {
+                        CONF_DOMAIN: self.u,
+                        CONF_K: self.k,
+                        CONF_SKETCH_SEED: self.sketch_seed,
+                        CONF_SKETCH_BYTES_PER_LEVEL: self.bytes_per_level,
+                    }
+                ),
+            )
+
+        def finish(context: PlanContext) -> ExecutionOutcome:
+            result = context.result("aggregate")
+            coefficients = {int(index): float(value) for index, value in result.output}
+            return ExecutionOutcome(
+                coefficients=coefficients,
+                rounds=context.ordered_rounds(),
+                details={
+                    "bytes_per_level": self.bytes_per_level,
+                    "sketch_pairs_shuffled": result.counters.get(CounterNames.SHUFFLE_RECORDS),
+                },
+            )
+
+        return JobPlan(
             name=f"{self.name}(k={self.k})",
             input_path=input_path,
-            mapper_class=SendSketchMapper,
-            reducer_class=SendSketchReducer,
-            configuration=configuration,
-        )
-        result = runner.run(job)
-        coefficients = {int(index): float(value) for index, value in result.output}
-        return ExecutionOutcome(
-            coefficients=coefficients,
-            rounds=[result],
-            details={
-                "bytes_per_level": self.bytes_per_level,
-                "sketch_pairs_shuffled": result.counters.get(CounterNames.SHUFFLE_RECORDS),
-            },
+            stages=(PlanStage("aggregate", build),),
+            finish=finish,
         )

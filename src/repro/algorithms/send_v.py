@@ -42,7 +42,7 @@ from repro.errors import InvalidParameterError, KeyOutOfDomainError
 from repro.mapreduce.api import BatchMapper, BatchReducer, MapperContext, ReducerContext
 from repro.mapreduce.counters import CounterNames
 from repro.mapreduce.job import JobConfiguration, MapReduceJob
-from repro.mapreduce.runtime import JobRunner
+from repro.mapreduce.plan import JobPlan, PlanContext, PlanStage
 
 __all__ = ["SendV", "SendVMapper", "SendVReducer", "sum_combiner"]
 
@@ -178,41 +178,50 @@ class SendV(HistogramAlgorithm):
         self.use_combiner = use_combiner
         self.num_reducers = num_reducers
 
-    def _execute(self, runner: JobRunner, input_path: str) -> ExecutionOutcome:
-        values = {CONF_DOMAIN: self.u, CONF_K: self.k}
-        if self.num_reducers > 1:
-            # Only ship the reducer count when the aggregation is actually
-            # sharded, so the default run's Job Configuration bytes (part of
-            # the paper's communication metric) stay exactly as before.
-            values[CONF_NUM_REDUCERS] = self.num_reducers
-        configuration = JobConfiguration(values)
-        combiner = sum_combiner if self.use_combiner else None
-        job = MapReduceJob(
+    def create_plan(self, input_path: str) -> JobPlan:
+        def build(context: PlanContext) -> MapReduceJob:
+            values = {CONF_DOMAIN: self.u, CONF_K: self.k}
+            if self.num_reducers > 1:
+                # Only ship the reducer count when the aggregation is actually
+                # sharded, so the default run's Job Configuration bytes (part
+                # of the paper's communication metric) stay exactly as before.
+                values[CONF_NUM_REDUCERS] = self.num_reducers
+            return MapReduceJob(
+                name=f"{self.name}(k={self.k})",
+                input_path=context.input_path,
+                mapper_class=SendVMapper,
+                reducer_class=SendVReducer,
+                combiner=sum_combiner if self.use_combiner else None,
+                num_reducers=self.num_reducers,
+                configuration=JobConfiguration(values),
+            )
+
+        def finish(context: PlanContext) -> ExecutionOutcome:
+            result = context.result("aggregate")
+            if self.num_reducers > 1:
+                # Reducers shipped disjoint partial vectors of exact global
+                # counts.  Rebuild the global vector in ascending key order —
+                # the same insertion order the single reducer's sorted fold
+                # produces — so the transform sums float contributions
+                # identically and the top-k is bit-for-bit the single-reducer
+                # output.
+                merged = {int(key): float(value) for key, value in sorted(result.output)}
+                coefficients = top_k_coefficients(
+                    sparse_haar_transform(merged, self.u), self.k
+                )
+            else:
+                coefficients = {int(index): float(value) for index, value in result.output}
+            return ExecutionOutcome(
+                coefficients=coefficients,
+                rounds=context.ordered_rounds(),
+                details={"distinct_pairs_shuffled": result.counters.get(CounterNames.SHUFFLE_RECORDS)},
+            )
+
+        return JobPlan(
             name=f"{self.name}(k={self.k})",
             input_path=input_path,
-            mapper_class=SendVMapper,
-            reducer_class=SendVReducer,
-            combiner=combiner,
-            num_reducers=self.num_reducers,
-            configuration=configuration,
-        )
-        result = runner.run(job)
-        if self.num_reducers > 1:
-            # Reducers shipped disjoint partial vectors of exact global
-            # counts.  Rebuild the global vector in ascending key order — the
-            # same insertion order the single reducer's sorted fold produces —
-            # so the transform sums float contributions identically and the
-            # top-k is bit-for-bit the single-reducer output.
-            merged = {int(key): float(value) for key, value in sorted(result.output)}
-            coefficients = top_k_coefficients(
-                sparse_haar_transform(merged, self.u), self.k
-            )
-        else:
-            coefficients = {int(index): float(value) for index, value in result.output}
-        return ExecutionOutcome(
-            coefficients=coefficients,
-            rounds=[result],
-            details={"distinct_pairs_shuffled": result.counters.get(CounterNames.SHUFFLE_RECORDS)},
+            stages=(PlanStage("aggregate", build),),
+            finish=finish,
         )
 
 

@@ -36,11 +36,13 @@ Seven sub-commands are provided::
         that both agree to within 1e-9.
 
 ``compare``, ``figure`` and ``build`` accept ``--executor {serial,parallel}``,
-``--workers N`` and ``--data-plane {batch,records}``, or the combined
-``--profile`` specification (e.g. ``--profile parallel:4`` or ``--profile
-executor=parallel,workers=4,data-plane=records,seed=3``) which overrides the
-individual flags; all reported numbers are bit-identical across executors and
-data planes, only the wall-clock time changes.
+``--workers N``, ``--data-plane {batch,records}`` and ``--concurrent-jobs N``
+(schedule up to N algorithm builds at once on the cluster's shared slot
+pool), or the combined ``--profile`` specification (e.g. ``--profile
+parallel:4`` or ``--profile executor=parallel,data-plane=records,
+concurrent-jobs=7``) which overrides the individual flags; all reported
+numbers are bit-identical across executors, data planes and concurrency
+levels, only the wall-clock time changes.
 """
 
 from __future__ import annotations
@@ -255,11 +257,20 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
              "path; results are bit-identical either way",
     )
     parser.add_argument(
+        "--concurrent-jobs", dest="concurrent_jobs", type=int, default=None,
+        metavar="N",
+        help="build up to N algorithms concurrently on the cluster's shared "
+             "map/reduce slot pool (default: 1, strictly sequential); "
+             "results are bit-identical for every N",
+    )
+    parser.add_argument(
         "--profile", default=None, metavar="SPEC",
         help="combined runtime-profile specification overriding the flags "
              "above: an executor shorthand ('serial', 'parallel', "
              "'parallel:8') or key=value pairs over executor/workers/"
-             "seed/data-plane, e.g. 'executor=parallel,data-plane=records'",
+             "seed/data-plane/concurrent-jobs, e.g. "
+             "'executor=parallel,data-plane=records' or "
+             "'parallel:4,concurrent-jobs=5'",
     )
 
 
@@ -268,6 +279,7 @@ def _configuration(quick: bool, k: Optional[int] = None,
                    executor: str = "serial",
                    workers: Optional[int] = None,
                    data_plane: str = "batch",
+                   concurrent_jobs: Optional[int] = None,
                    profile: Optional[str] = None) -> ExperimentConfig:
     config = ExperimentConfig.quick() if quick else ExperimentConfig()
     overrides = {"executor": executor, "workers": workers, "data_plane": data_plane}
@@ -275,6 +287,8 @@ def _configuration(quick: bool, k: Optional[int] = None,
         overrides["k"] = k
     if epsilon is not None:
         overrides["epsilon"] = epsilon
+    if concurrent_jobs is not None:
+        overrides["concurrent_jobs"] = concurrent_jobs
     if profile is not None:
         # The combined --profile spec wins over the individual flags; only the
         # keys actually present in the spec are applied.
@@ -286,6 +300,7 @@ def _run_compare(arguments: argparse.Namespace) -> List[str]:
     config = _configuration(arguments.quick, arguments.k, arguments.epsilon,
                             executor=arguments.executor, workers=arguments.workers,
                             data_plane=arguments.data_plane,
+                            concurrent_jobs=arguments.concurrent_jobs,
                             profile=arguments.profile)
     dataset = config.build_dataset()
     cluster = config.build_cluster(dataset)
@@ -313,6 +328,7 @@ def _run_figure(arguments: argparse.Namespace) -> List[str]:
     config = _configuration(arguments.quick, executor=arguments.executor,
                             workers=arguments.workers,
                             data_plane=arguments.data_plane,
+                            concurrent_jobs=arguments.concurrent_jobs,
                             profile=arguments.profile)
     table = FIGURE_DRIVERS[arguments.name](config)
     return [table.format()]
@@ -328,6 +344,7 @@ def _run_build(arguments: argparse.Namespace) -> List[str]:
     config = _configuration(arguments.quick, arguments.k, arguments.epsilon,
                             executor=arguments.executor, workers=arguments.workers,
                             data_plane=arguments.data_plane,
+                            concurrent_jobs=arguments.concurrent_jobs,
                             profile=arguments.profile
                             ).with_overrides(store_path=arguments.store)
     dataset = config.build_dataset()

@@ -52,6 +52,14 @@ class ExecutorError(MapReduceError):
     """Raised when a task executor cannot run a phase (e.g. unpicklable task)."""
 
 
+class PlanError(MapReduceError):
+    """Raised when a job plan is malformed (bad stage graph, missing results)."""
+
+
+class SchedulerError(MapReduceError):
+    """Raised when the cluster scheduler cannot make progress on its plans."""
+
+
 class SketchError(ReproError):
     """Raised when a sketch is misconfigured or incompatible sketches are merged."""
 

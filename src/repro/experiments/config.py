@@ -78,6 +78,10 @@ class ExperimentConfig:
             for the columnar fast path, ``"records"`` for the record-at-a-time
             reference path); results are plane-independent by construction,
             so this only changes wall-clock time.
+        concurrent_jobs: how many algorithm builds ``run_algorithms`` may
+            schedule concurrently on the cluster's shared slot pool (1 keeps
+            the sequential behaviour); results are scheduling-independent by
+            construction, so this only changes wall-clock time.
         store_path: root directory of the synopsis store built histograms are
             published to (``None`` disables persistence).
         query_mix: workload mix served by the query benchmarks
@@ -101,6 +105,7 @@ class ExperimentConfig:
     executor: str = "serial"
     workers: Optional[int] = None
     data_plane: str = "batch"
+    concurrent_jobs: int = 1
     store_path: Optional[str] = None
     query_mix: str = "mixed"
     num_queries: int = 10_000
@@ -118,6 +123,10 @@ class ExperimentConfig:
         if self.data_plane not in DATA_PLANE_NAMES:
             raise InvalidParameterError(
                 f"data_plane must be one of {DATA_PLANE_NAMES}, got {self.data_plane!r}"
+            )
+        if self.concurrent_jobs < 1:
+            raise InvalidParameterError(
+                f"concurrent_jobs must be >= 1, got {self.concurrent_jobs}"
             )
         if self.query_mix not in MIX_NAMES:
             raise InvalidParameterError(
@@ -150,6 +159,7 @@ class ExperimentConfig:
             executor=self.executor,
             workers=self.workers,
             data_plane=self.data_plane,
+            concurrent_jobs=self.concurrent_jobs,
         )
 
     # --------------------------------------------------------------- serving

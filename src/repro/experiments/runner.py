@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -9,15 +10,29 @@ from repro.algorithms.base import AlgorithmResult, HistogramAlgorithm
 from repro.algorithms.registry import make_algorithm
 from repro.core.frequency import FrequencyVector
 from repro.data.dataset import Dataset
+from repro.errors import InvalidParameterError
 from repro.experiments.config import ExperimentConfig
 from repro.mapreduce.cluster import ClusterSpec
-from repro.mapreduce.executor import Executor
 from repro.mapreduce.hdfs import HDFS
+from repro.mapreduce.runtime import JobRunner
+from repro.mapreduce.scheduler import ClusterScheduler
+from repro.mapreduce.state import StateStore
 from repro.service.profile import RuntimeProfile
 
 __all__ = ["ExperimentMeasurement", "run_algorithms", "standard_algorithms"]
 
 INPUT_PATH = "/data/input"
+
+# Sentinel distinguishing "caller never passed this" from an explicit value in
+# the deprecated kwarg shim of :func:`run_algorithms` (mirrors
+# ``HistogramAlgorithm.run``'s shim).
+_UNSET: Any = object()
+
+_RUN_ALGORITHMS_DEPRECATION = (
+    "run_algorithms' loose keyword arguments (seed=, executor=, data_plane=) "
+    "are deprecated: pass a repro.service.RuntimeProfile via profile=... "
+    "(results are bit-identical either way)"
+)
 
 
 @dataclass
@@ -84,12 +99,21 @@ def run_algorithms(
     algorithms: Sequence[HistogramAlgorithm],
     cluster: Optional[ClusterSpec] = None,
     reference: Optional[FrequencyVector] = None,
-    seed: int = 7,
-    executor: Optional[Executor] = None,
-    data_plane: Optional[str] = None,
+    seed: Any = _UNSET,
+    executor: Any = _UNSET,
+    data_plane: Any = _UNSET,
     profile: Optional[RuntimeProfile] = None,
+    concurrent_jobs: Optional[int] = None,
 ) -> List[ExperimentMeasurement]:
     """Run every algorithm over the dataset and measure communication, time and SSE.
+
+    With ``concurrent_jobs > 1`` (set here or on the profile) the algorithms
+    are built as **one scheduled batch**: every algorithm's
+    :class:`~repro.mapreduce.plan.JobPlan` is admitted to a
+    :class:`~repro.mapreduce.scheduler.ClusterScheduler` and their tasks
+    interleave on the cluster's shared map/reduce slot pool.  The measurements
+    are bit-identical to the sequential path — scheduling only changes
+    wall-clock time.
 
     Args:
         dataset: the input dataset (loaded into a fresh simulated HDFS).
@@ -103,30 +127,79 @@ def run_algorithms(
             to every algorithm run.  Measurements are executor- and
             plane-independent by construction, so the profile only changes
             wall-clock time.
-        seed: legacy alternative to ``profile`` (ignored when a profile is
-            given).
-        executor: legacy alternative to ``profile`` (ignored when a profile
-            is given).
-        data_plane: legacy alternative to ``profile`` (ignored when a profile
-            is given).
+        concurrent_jobs: maximum algorithm builds in flight at once; defaults
+            to the profile's ``concurrent_jobs`` (1 = sequential).
+
+    Deprecated args (each one emits a single :class:`DeprecationWarning` and
+    is folded into an equivalent profile, so both spellings are
+    bit-identical; mixing them with ``profile=`` raises):
+
+        seed: seed for all randomised components.
+        executor: task executor for the MapReduce phases.
+        data_plane: ``"batch"`` or ``"records"``.
     """
-    if profile is None:
-        profile = RuntimeProfile(
-            seed=seed,
-            executor=executor if executor is not None else "serial",
-            data_plane=data_plane if data_plane is not None else "batch",
-        )
+    legacy: Dict[str, Any] = {
+        key: value
+        for key, value in (("seed", seed), ("executor", executor),
+                           ("data_plane", data_plane))
+        if value is not _UNSET and value is not None
+    }
+    if legacy:
+        warnings.warn(_RUN_ALGORITHMS_DEPRECATION, DeprecationWarning, stacklevel=2)
+        if profile is not None:
+            raise InvalidParameterError(
+                "pass either profile= or the deprecated loose kwargs, not both"
+            )
+        profile = RuntimeProfile(**legacy)
+    elif profile is None:
+        profile = RuntimeProfile()
     if cluster is not None:
         profile = profile.with_overrides(cluster=cluster)
     resolved_cluster = profile.resolved_cluster()
     profile = profile.with_overrides(cluster=resolved_cluster)
+    jobs_in_flight = (concurrent_jobs if concurrent_jobs is not None
+                      else profile.concurrent_jobs)
+    if jobs_in_flight < 1:
+        raise InvalidParameterError(
+            f"concurrent_jobs must be >= 1, got {jobs_in_flight}"
+        )
 
     hdfs = HDFS(datanodes=[machine.name for machine in resolved_cluster.machines])
     dataset.to_hdfs(hdfs, INPUT_PATH)
     exact = reference if reference is not None else dataset.frequency_vector()
 
-    measurements: List[ExperimentMeasurement] = []
+    if jobs_in_flight == 1 or len(algorithms) <= 1:
+        results = [algorithm.run(hdfs, INPUT_PATH, profile=profile)
+                   for algorithm in algorithms]
+    else:
+        results = _run_scheduled_batch(list(algorithms), hdfs, profile,
+                                       resolved_cluster, jobs_in_flight)
+    return [ExperimentMeasurement.from_result(result, exact) for result in results]
+
+
+def _run_scheduled_batch(
+    algorithms: List[HistogramAlgorithm],
+    hdfs: HDFS,
+    profile: RuntimeProfile,
+    cluster: ClusterSpec,
+    jobs_in_flight: int,
+) -> List[AlgorithmResult]:
+    """Build all algorithms as one concurrently scheduled batch.
+
+    Each algorithm gets its own :class:`JobRunner` (own state store, seed and
+    round numbering — exactly what a sequential ``run`` would construct) and
+    its plan joins one :class:`ClusterScheduler` batch on the shared slot
+    pool, so the batch is bit-identical to running the algorithms one by one.
+    """
+    executor = profile.build_executor()
+    entries = []
     for algorithm in algorithms:
-        result = algorithm.run(hdfs, INPUT_PATH, profile=profile)
-        measurements.append(ExperimentMeasurement.from_result(result, exact))
-    return measurements
+        runner = JobRunner(hdfs, cluster=cluster, state_store=StateStore(),
+                           seed=profile.seed, executor=executor,
+                           data_plane=profile.data_plane)
+        entries.append((algorithm.create_plan(INPUT_PATH), runner))
+    scheduler = ClusterScheduler.for_cluster(cluster, executor,
+                                             max_concurrent_jobs=jobs_in_flight)
+    outcomes = scheduler.run(entries)
+    return [algorithm.assemble_result(outcome, profile)
+            for algorithm, outcome in zip(algorithms, outcomes)]

@@ -14,6 +14,13 @@ through one of two *data planes*: the default columnar ``"batch"`` plane
 and a sharded shuffle) or the record-at-a-time ``"records"`` reference plane —
 also with bit-identical results.
 
+Above single rounds sits the cluster layer: algorithms declare their rounds as
+a :class:`~repro.mapreduce.plan.JobPlan` (a DAG of stages plus a driver-finish
+step), and the :class:`~repro.mapreduce.scheduler.ClusterScheduler` admits
+many plans at once, interleaving their tasks on the cluster's shared
+map/reduce slot pool — with scheduled batches bit-identical to sequential
+runs (see :mod:`repro.mapreduce.scheduler`).
+
 The simulator reproduces the parts of Hadoop the paper depends on:
 
 * an HDFS model with files, fixed-size chunks, DataNode placement and
@@ -45,10 +52,19 @@ from repro.mapreduce.executor import (
 from repro.mapreduce.hdfs import HDFS, HdfsFile, InputSplit
 from repro.mapreduce.inputformat import SequentialInputFormat, RandomSamplingInputFormat
 from repro.mapreduce.job import DistributedCache, JobConfiguration, MapReduceJob
-from repro.mapreduce.runtime import JobResult, JobRunner
+from repro.mapreduce.plan import JobPlan, PlanContext, PlanStage, execute_plan
+from repro.mapreduce.runtime import JobResult, JobRunner, RoundExecution
+from repro.mapreduce.scheduler import ClusterScheduler, SchedulerStats
 from repro.mapreduce.state import StateStore
 
 __all__ = [
+    "JobPlan",
+    "PlanContext",
+    "PlanStage",
+    "execute_plan",
+    "ClusterScheduler",
+    "SchedulerStats",
+    "RoundExecution",
     "Mapper",
     "BatchMapper",
     "Reducer",

@@ -69,6 +69,7 @@ __all__ = [
     "ReduceTaskSpec",
     "FunctionTaskSpec",
     "TaskResult",
+    "TaskHandle",
     "SplitRecords",
     "execute_map_task",
     "execute_reduce_task",
@@ -80,6 +81,7 @@ __all__ = [
     "DATA_PLANE_NAMES",
     "create_executor",
     "shared_executor",
+    "translate_task_failure",
 ]
 
 # Data planes the runtime can move a job's records through.  ``"batch"`` is
@@ -479,6 +481,38 @@ def _is_pickling_failure(error: BaseException) -> bool:
     return False
 
 
+_WORKER_DIED_MESSAGE = (
+    "a worker process died while executing tasks; this usually means the "
+    "job's mapper/reducer/combiner or an emitted value is not picklable "
+    "(they must be defined at module level)"
+)
+
+_UNPICKLABLE_SPEC_MESSAGE = (
+    "a task spec could not be pickled for a worker process; under the "
+    "parallel executor the job's mapper, reducer, combiner and partitioner "
+    "must be defined at module level (no lambdas or closures)"
+)
+
+
+def translate_task_failure(error: BaseException,
+                           executor: "Executor") -> Optional[ExecutorError]:
+    """Map a raw task failure to the shared :class:`ExecutorError` diagnosis.
+
+    The one translation used by both the phase path
+    (:meth:`ParallelExecutor.run_tasks`) and the cluster scheduler's
+    per-task collection, so the two execution modes cannot drift in how they
+    report — or recover from — the same worker failure.  A broken pool is
+    closed (discarded) so the executor stays usable.  Returns ``None`` for
+    failures that are not the executor's to explain (caller re-raises).
+    """
+    if isinstance(error, BrokenProcessPool):
+        executor.close()
+        return ExecutorError(_WORKER_DIED_MESSAGE)
+    if _is_pickling_failure(error):
+        return ExecutorError(_UNPICKLABLE_SPEC_MESSAGE)
+    return None
+
+
 def _execute_task(spec: TaskSpec) -> TaskResult:
     """Dispatch a spec to its task function (the worker-process entry point)."""
     if isinstance(spec, MapTaskSpec):
@@ -486,6 +520,73 @@ def _execute_task(spec: TaskSpec) -> TaskResult:
     if isinstance(spec, ReduceTaskSpec):
         return execute_reduce_task(spec)
     return execute_function_task(spec)
+
+
+class TaskHandle:
+    """One task submitted through :meth:`Executor.submit_task`.
+
+    The handle is how the cluster scheduler drives tasks *without* phase
+    barriers: it observes completion (:meth:`completed`), collects the result
+    (:meth:`result`, which re-raises the task's exception if it failed) and can
+    try to withdraw a not-yet-started task (:meth:`cancel`).  An inline
+    executor returns handles that are already complete at submission.
+    """
+
+    __slots__ = ("spec",)
+
+    def __init__(self, spec: TaskSpec) -> None:
+        self.spec = spec
+
+    def completed(self) -> bool:
+        """Whether the task has finished (successfully or with an error)."""
+        raise NotImplementedError
+
+    def result(self) -> TaskResult:
+        """The task's result; re-raises the task's exception on failure."""
+        raise NotImplementedError
+
+    def cancel(self) -> bool:
+        """Best-effort cancellation; True if the task will never run."""
+        return False
+
+
+class _InlineTaskHandle(TaskHandle):
+    """An already-executed task (the serial executor's submission result)."""
+
+    __slots__ = ("_result", "_error")
+
+    def __init__(self, spec: TaskSpec, result: Optional[TaskResult] = None,
+                 error: Optional[BaseException] = None) -> None:
+        super().__init__(spec)
+        self._result = result
+        self._error = error
+
+    def completed(self) -> bool:
+        return True
+
+    def result(self) -> TaskResult:
+        if self._error is not None:
+            raise self._error
+        return self._result  # type: ignore[return-value]
+
+
+class _PoolTaskHandle(TaskHandle):
+    """A task running in a process pool, wrapping its future."""
+
+    __slots__ = ("future",)
+
+    def __init__(self, spec: TaskSpec, future: Any) -> None:
+        super().__init__(spec)
+        self.future = future
+
+    def completed(self) -> bool:
+        return self.future.done()
+
+    def result(self) -> TaskResult:
+        return self.future.result()
+
+    def cancel(self) -> bool:
+        return self.future.cancel()
 
 
 class Executor(ABC):
@@ -499,6 +600,34 @@ class Executor(ABC):
 
         Results are returned in spec order regardless of completion order.
         """
+
+    # ------------------------------------------------------- task submission
+    # The non-blocking half of the seam: the cluster scheduler dispatches
+    # *individual* ready tasks from many concurrent jobs instead of whole
+    # phases, so slot-pool sharing happens above the executor while the task
+    # functions (and therefore all results) stay exactly the same.
+
+    def submit_task(self, spec: TaskSpec) -> TaskHandle:
+        """Submit one task; the default executes it inline (serial semantics).
+
+        The inline handle is complete on return; a raised task exception is
+        captured and re-raised by :meth:`TaskHandle.result`, mirroring future
+        semantics so callers handle both executors identically.
+        """
+        try:
+            return _InlineTaskHandle(spec, result=_execute_task(spec))
+        except BaseException as error:  # re-raised at result(), like a future
+            return _InlineTaskHandle(spec, error=error)
+
+    def wait_any(self, handles: Sequence[TaskHandle]) -> List[TaskHandle]:
+        """Block until at least one handle completes; return the complete ones.
+
+        The returned list preserves the order of ``handles`` (submission
+        order), so callers that process completions in list order are
+        deterministic for any executor.  Inline handles are always complete,
+        so the default implementation never blocks.
+        """
+        return [handle for handle in handles if handle.completed()]
 
     def run_map_tasks(self, specs: Sequence[MapTaskSpec], slots: int) -> List[TaskResult]:
         """Run one map phase."""
@@ -588,30 +717,32 @@ class ParallelExecutor(Executor):
         except BrokenProcessPool as error:
             # A worker died mid-phase — almost always task code that does not
             # survive pickling (e.g. a mapper class defined inside a function).
-            # Discard the broken pool so this executor stays usable.
-            self.close()
-            raise ExecutorError(
-                "a worker process died while executing tasks; this usually "
-                "means the job's mapper/reducer/combiner or an emitted value "
-                "is not picklable (they must be defined at module level)"
-            ) from error
+            raise translate_task_failure(error, self) from error
         except BaseException as error:
             # A task raised (or the caller was interrupted): don't leave the
             # rest of the phase running in the shared pool behind our back.
             for future in in_flight:
                 future.cancel()
             wait(list(in_flight))
-            if _is_pickling_failure(error):
-                # Submit-side serialization failed (the spec never reached a
-                # worker) — almost always job code defined inside a function.
-                raise ExecutorError(
-                    "a task spec could not be pickled for a worker process; "
-                    "under the parallel executor the job's mapper, reducer, "
-                    "combiner and partitioner must be defined at module "
-                    "level (no lambdas or closures)"
-                ) from error
+            # Submit-side serialization failures (the spec never reached a
+            # worker) get the shared diagnosis; anything else re-raises.
+            translated = translate_task_failure(error, self)
+            if translated is not None:
+                raise translated from error
             raise
         return results  # type: ignore[return-value]
+
+    def submit_task(self, spec: TaskSpec) -> TaskHandle:
+        """Submit one task to the process pool without waiting for it."""
+        return _PoolTaskHandle(spec, self._ensure_pool().submit(_execute_task, spec))
+
+    def wait_any(self, handles: Sequence[TaskHandle]) -> List[TaskHandle]:
+        if not any(handle.completed() for handle in handles):
+            futures = [handle.future for handle in handles
+                       if isinstance(handle, _PoolTaskHandle)]
+            if futures:
+                wait(futures, return_when=FIRST_COMPLETED)
+        return [handle for handle in handles if handle.completed()]
 
     def warm_up(self) -> None:
         """Start the worker processes eagerly (useful before timing a run)."""

@@ -1,0 +1,225 @@
+"""Declarative job plans: one logical job as a DAG of MapReduce stages.
+
+The runtime used to know only single rounds: :meth:`JobRunner.run` executed
+one ``MapReduceJob`` behind hard phase barriers, and multi-round algorithms
+(H-WTopk) re-invoked the runner imperatively, with the driver logic between
+rounds living in the algorithm's Python control flow.  That shape cannot be
+scheduled: a cluster that runs *many* jobs at once needs to know, for every
+job, which work is ready *now* and what becomes ready when it finishes.
+
+A :class:`JobPlan` is that declarative form.  It names an input, a list of
+:class:`PlanStage` objects — each one MapReduce round, built lazily by a
+callable that may read the results of the stages it ``depends_on`` — and a
+``finish`` callable (the *driver-finish* stage) that folds the completed
+rounds into the algorithm's :class:`~repro.algorithms.base.ExecutionOutcome`.
+H-WTopk becomes one plan with three dependent stages instead of three external
+``runner.run`` calls; single-round algorithms become one-stage plans.
+
+Execution is decoupled from declaration:
+
+* :func:`execute_plan` runs the stages in declaration order through one
+  :class:`~repro.mapreduce.runtime.JobRunner` — the sequential reference path
+  (this is what ``HistogramAlgorithm.run`` does under the hood).
+* :class:`~repro.mapreduce.scheduler.ClusterScheduler` admits many plans at
+  once and interleaves their tasks on a shared slot pool.
+
+**Determinism.**  Stage *n* (0-based) always executes as round ``n + 1`` of
+its plan's runner, whatever order a scheduler reaches it in, so per-task RNG
+seeds ``(job seed, round, task id)`` are identical in sequential and scheduled
+runs; each plan owns its runner (state store, seed, round numbering), and
+every barrier still merges in task order.  A scheduled run of N plans is
+therefore bit-identical to N sequential :func:`execute_plan` calls — enforced
+by ``tests/test_scheduler_equivalence.py``.
+
+Stages must declare dependencies on *earlier* stages only; declaration order
+is therefore always a valid topological order, and cycles are impossible by
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import PlanError
+from repro.mapreduce.cluster import ClusterSpec
+from repro.mapreduce.hdfs import HDFS, InputSplit
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.runtime import JobResult, JobRunner
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.algorithms.base import ExecutionOutcome
+
+__all__ = ["PlanStage", "PlanContext", "JobPlan", "execute_plan"]
+
+
+@dataclass(frozen=True)
+class PlanStage:
+    """One MapReduce round of a plan.
+
+    Attributes:
+        name: stage name, unique within the plan (used in ``depends_on`` and
+            to address results through :meth:`PlanContext.result`).
+        build: callable producing the stage's :class:`MapReduceJob` once all
+            dependencies have completed.  It receives the plan's
+            :class:`PlanContext` and may read dependency results from it —
+            this is where inter-round driver logic (thresholds, candidate
+            sets, distributed-cache payloads) lives.  Builders run in the
+            driver process, never in workers, so closures are fine.
+        depends_on: names of stages that must complete first.  Only *earlier*
+            stages may be named, so the stage list is its own topological
+            order.  An empty tuple means the stage is ready at admission.
+    """
+
+    name: str
+    build: Callable[["PlanContext"], MapReduceJob]
+    depends_on: Tuple[str, ...] = ()
+
+
+class PlanContext:
+    """The execution-time state of one plan: bindings plus completed rounds.
+
+    Created by the plan executor (sequential or scheduler) against a concrete
+    HDFS and cluster.  Splits are derived once from the plan's input and
+    pinned, so every stage of a multi-round plan sees the same split ids —
+    the invariant multi-round state addressing relies on.
+    """
+
+    def __init__(self, plan: "JobPlan", hdfs: HDFS, cluster: ClusterSpec) -> None:
+        self.plan = plan
+        self.hdfs = hdfs
+        self.cluster = cluster
+        self._splits: Optional[List[InputSplit]] = None
+        self._results: Dict[str, JobResult] = {}
+
+    @property
+    def input_path(self) -> str:
+        """The plan's input path in the simulated HDFS."""
+        return self.plan.input_path
+
+    @property
+    def splits(self) -> List[InputSplit]:
+        """The pinned input splits (derived once, shared by every stage)."""
+        if self._splits is None:
+            self._splits = self.hdfs.splits(self.plan.input_path,
+                                            self.cluster.split_size_bytes)
+        return self._splits
+
+    @property
+    def num_splits(self) -> int:
+        """Number of input splits (== map tasks per input-reading stage)."""
+        return len(self.splits)
+
+    @property
+    def num_records(self) -> int:
+        """Total records in the plan's input file."""
+        return self.hdfs.open(self.plan.input_path).num_records
+
+    def completed(self, name: str) -> bool:
+        """Whether the named stage has finished."""
+        return name in self._results
+
+    def result(self, name: str) -> JobResult:
+        """The :class:`JobResult` of a completed stage."""
+        if name not in self._results:
+            raise PlanError(
+                f"plan {self.plan.name!r}: stage {name!r} has no result yet "
+                f"(completed: {sorted(self._results) or 'none'})"
+            )
+        return self._results[name]
+
+    def ordered_rounds(self) -> List[JobResult]:
+        """All completed rounds, in stage declaration order.
+
+        This is the ``rounds`` list an :class:`ExecutionOutcome` reports: the
+        declaration order is the sequential execution order, so sequential and
+        scheduled runs report rounds identically.
+        """
+        return [self._results[stage.name] for stage in self.plan.stages
+                if stage.name in self._results]
+
+    def record(self, name: str, result: JobResult) -> None:
+        """Record a completed stage's result (called by plan executors)."""
+        if name in self._results:
+            raise PlanError(f"plan {self.plan.name!r}: stage {name!r} completed twice")
+        self._results[name] = result
+
+
+@dataclass(frozen=True)
+class JobPlan:
+    """A declarative DAG of MapReduce stages plus a driver-finish step.
+
+    Attributes:
+        name: plan name (shows up in scheduler stats and errors).
+        input_path: HDFS path every stage's splits are derived from.
+        stages: the rounds, in an order where every dependency precedes its
+            dependents (validated; stage *n* runs as round ``n + 1``).
+        finish: the driver-finish stage — folds the completed rounds into the
+            algorithm's :class:`ExecutionOutcome` once every stage is done.
+    """
+
+    name: str
+    input_path: str
+    stages: Tuple[PlanStage, ...] = field(default_factory=tuple)
+    finish: Callable[[PlanContext], "ExecutionOutcome"] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise PlanError(f"plan {self.name!r} has no stages")
+        if self.finish is None:
+            raise PlanError(f"plan {self.name!r} has no finish step")
+        object.__setattr__(self, "stages", tuple(self.stages))
+        seen: Dict[str, int] = {}
+        for index, stage in enumerate(self.stages):
+            if stage.name in seen:
+                raise PlanError(
+                    f"plan {self.name!r}: duplicate stage name {stage.name!r}"
+                )
+            for dependency in stage.depends_on:
+                if dependency == stage.name:
+                    raise PlanError(
+                        f"plan {self.name!r}: stage {stage.name!r} depends on itself"
+                    )
+                if dependency not in seen:
+                    raise PlanError(
+                        f"plan {self.name!r}: stage {stage.name!r} depends on "
+                        f"{dependency!r}, which is not an earlier stage "
+                        f"(dependencies must be declared before their dependents)"
+                    )
+            seen[stage.name] = index
+
+    @property
+    def stage_names(self) -> Tuple[str, ...]:
+        return tuple(stage.name for stage in self.stages)
+
+    def stage_ready(self, index: int, context: PlanContext) -> bool:
+        """Whether stage ``index`` can build now (all dependencies complete)."""
+        return all(context.completed(dependency)
+                   for dependency in self.stages[index].depends_on)
+
+    def context(self, hdfs: HDFS, cluster: ClusterSpec) -> PlanContext:
+        """Bind the plan to a concrete HDFS and cluster for one execution."""
+        return PlanContext(self, hdfs, cluster)
+
+
+def execute_plan(plan: JobPlan, runner: JobRunner) -> "ExecutionOutcome":
+    """Run a plan's stages sequentially through one runner (the reference path).
+
+    Stages execute in declaration order — a valid topological order by
+    construction — with stage *n* as round ``base + n + 1``, where ``base`` is
+    how many rounds the runner has already run.  On a fresh runner that is
+    exactly rounds 1..n, the same numbering the cluster scheduler uses, so
+    both paths seed tasks identically; on a reused runner the offset keeps a
+    second plan's RNG keys disjoint from the first's, matching the implicit
+    counter of repeated :meth:`JobRunner.run` calls.
+    """
+    context = plan.context(runner.hdfs, runner.cluster)
+    base = runner.rounds_started
+    for index, stage in enumerate(plan.stages):
+        job = stage.build(context)
+        context.record(
+            stage.name,
+            runner.run(job, splits=context.splits,
+                       round_number=base + index + 1),
+        )
+    return plan.finish(context)

@@ -73,7 +73,7 @@ from repro.mapreduce.state import StateStore
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.service.profile import RuntimeProfile
 
-__all__ = ["JobResult", "JobRunner"]
+__all__ = ["JobResult", "JobRunner", "RoundExecution"]
 
 NUM_SPLITS_KEY = "mapred.map.tasks"
 
@@ -187,9 +187,28 @@ class JobRunner:
         """The data plane records move through (``"batch"`` or ``"records"``)."""
         return self._data_plane
 
+    @property
+    def rounds_started(self) -> int:
+        """How many rounds this runner has begun (the implicit round counter).
+
+        Plan executors offset their explicit round numbers by this value, so
+        two plans executed back to back on one runner keep drawing fresh
+        ``(seed, round, task)`` RNG keys — the same behaviour as the implicit
+        counter of repeated :meth:`run` calls.
+        """
+        return self._round_counter
+
     # ------------------------------------------------------------------ run
-    def run(self, job: MapReduceJob, splits: Optional[List[InputSplit]] = None) -> JobResult:
+    def run(self, job: MapReduceJob, splits: Optional[List[InputSplit]] = None,
+            round_number: Optional[int] = None) -> JobResult:
         """Execute one MapReduce round and return its result.
+
+        The round is decomposed at its phase barriers: :meth:`begin_round`
+        builds the map specs, the executor runs each phase, and the
+        :class:`RoundExecution` merges results in task order at each barrier.
+        The cluster scheduler drives the *same* three steps incrementally, so
+        barrier semantics cannot drift between sequential and scheduled
+        execution.
 
         Args:
             job: the job description.
@@ -197,45 +216,47 @@ class JobRunner:
                 derived from the input file and the cluster's split size.
                 Passing the same list across rounds keeps split ids stable,
                 which multi-round algorithms rely on.
+            round_number: explicit round number for the per-task RNG seeds;
+                when omitted the runner's own round counter advances (the
+                sequential behaviour).  Plan executors pass the stage's
+                declaration index so scheduled runs seed identically.
+        """
+        round_execution = self.begin_round(job, splits, round_number=round_number)
+        map_results = self._executor.run_map_tasks(
+            round_execution.map_specs, slots=self._cluster.total_map_slots
+        )
+        reduce_specs = round_execution.complete_map_phase(map_results)
+        reduce_results = self._executor.run_reduce_tasks(
+            reduce_specs, slots=self._cluster.total_reduce_slots
+        )
+        return round_execution.complete_reduce_phase(reduce_results)
+
+    def begin_round(self, job: MapReduceJob,
+                    splits: Optional[List[InputSplit]] = None,
+                    round_number: Optional[int] = None) -> "RoundExecution":
+        """Open one MapReduce round and return its incremental execution state.
+
+        Charges the side channels, builds the map specs and hands back a
+        :class:`RoundExecution` whose barrier methods the caller drives —
+        either all at once (:meth:`run`) or task by task (the cluster
+        scheduler).
         """
         if splits is None:
             splits = self._hdfs.splits(job.input_path, self._cluster.split_size_bytes)
         if not splits:
             raise JobConfigurationError(f"input {job.input_path!r} produced no splits")
-        self._round_counter += 1
-        counters = Counters()
-        job.configuration.set(NUM_SPLITS_KEY, len(splits))
-
-        self._charge_side_channels(job, counters, num_mappers=len(splits))
-
-        map_specs = [self._build_map_spec(job, split, len(splits)) for split in splits]
-        map_results = self._executor.run_map_tasks(
-            map_specs, slots=self._cluster.total_map_slots
-        )
-        self._merge_task_results(map_results, counters)
-
-        partitions = self._shuffle(job, map_results)
-
-        reduce_specs = [
-            self._build_reduce_spec(job, reducer_id, pairs, len(splits))
-            for reducer_id, pairs in enumerate(partitions)
-        ]
-        reduce_results = self._executor.run_reduce_tasks(
-            reduce_specs, slots=self._cluster.total_reduce_slots
-        )
-        self._merge_task_results(reduce_results, counters)
-        output: List[Tuple[Any, Any]] = []
-        for result in reduce_results:
-            output.extend((key, value) for key, value, _ in result.pairs)
-
-        return JobResult(
-            job_name=job.name,
-            output=output,
-            counters=counters,
-            splits=list(splits),
-            num_mappers=len(splits),
-            num_reducers=job.num_reducers,
-        )
+        if round_number is None:
+            self._round_counter += 1
+            round_number = self._round_counter
+        else:
+            if round_number < 1:
+                raise InvalidParameterError(
+                    f"round_number must be >= 1, got {round_number}"
+                )
+            # Keep the implicit counter monotone so a later implicit round on
+            # the same runner cannot reuse an explicit round's seeds.
+            self._round_counter = max(self._round_counter, round_number)
+        return RoundExecution(self, job, list(splits), round_number)
 
     # ----------------------------------------------------------- side channels
     def _charge_side_channels(self, job: MapReduceJob, counters: Counters,
@@ -257,7 +278,7 @@ class JobRunner:
 
     # ------------------------------------------------------------- task specs
     def _build_map_spec(self, job: MapReduceJob, split: InputSplit,
-                        num_splits: int) -> MapTaskSpec:
+                        num_splits: int, round_number: int) -> MapTaskSpec:
         records: Optional[SplitRecords] = None
         if job.read_input:
             hdfs_file = self._hdfs.open(job.input_path)
@@ -278,7 +299,7 @@ class JobRunner:
             combiner=job.combiner,
             records=records,
             state_snapshot=snapshot,
-            seed_key=(self._seed, self._round_counter, split.split_id),
+            seed_key=(self._seed, round_number, split.split_id),
             num_splits=num_splits,
             partitioner=job.partitioner,
             num_reducers=job.num_reducers,
@@ -286,7 +307,8 @@ class JobRunner:
         )
 
     def _build_reduce_spec(self, job: MapReduceJob, reducer_id: int,
-                           pairs: List[Any], num_splits: int) -> ReduceTaskSpec:
+                           pairs: List[Any], num_splits: int,
+                           round_number: int) -> ReduceTaskSpec:
         snapshot = self._state_snapshot("reducer", reducer_id)
         return ReduceTaskSpec(
             reducer_id=reducer_id,
@@ -296,7 +318,7 @@ class JobRunner:
             serialization=job.serialization,
             pairs=pairs,
             state_snapshot=snapshot,
-            seed_key=(self._seed, self._round_counter, 10_000 + reducer_id),
+            seed_key=(self._seed, round_number, 10_000 + reducer_id),
             num_splits=num_splits,
         )
 
@@ -338,3 +360,73 @@ class JobRunner:
             for reducer_index, items in enumerate(result.partitions or []):
                 partitions[reducer_index].extend(items)
         return partitions
+
+
+class RoundExecution:
+    """One MapReduce round, decomposed at its two phase barriers.
+
+    Created by :meth:`JobRunner.begin_round` (which charges the side channels
+    and builds the map specs).  The caller runs the map specs however it likes
+    — a blocking phase via :meth:`Executor.run_map_tasks`, or task by task
+    through the scheduler — and delivers the results **in task order** to
+    :meth:`complete_map_phase`, which merges counters/state, shuffles, and
+    returns the reduce specs; :meth:`complete_reduce_phase` closes the round.
+    Because :meth:`JobRunner.run` and the cluster scheduler both drive this
+    one object, the barrier semantics (merge order, state replay, shuffle
+    concatenation) are shared by construction.
+    """
+
+    def __init__(self, runner: JobRunner, job: MapReduceJob,
+                 splits: List[InputSplit], round_number: int) -> None:
+        self._runner = runner
+        self.job = job
+        self.splits = splits
+        self.round_number = round_number
+        self.counters = Counters()
+        job.configuration.set(NUM_SPLITS_KEY, len(splits))
+        runner._charge_side_channels(job, self.counters, num_mappers=len(splits))
+        self.map_specs: List[MapTaskSpec] = [
+            runner._build_map_spec(job, split, len(splits), round_number)
+            for split in splits
+        ]
+        self.reduce_specs: Optional[List[ReduceTaskSpec]] = None
+
+    @property
+    def num_map_tasks(self) -> int:
+        return len(self.map_specs)
+
+    @property
+    def num_reduce_tasks(self) -> int:
+        return self.job.num_reducers
+
+    def complete_map_phase(self, map_results: List[TaskResult]) -> List[ReduceTaskSpec]:
+        """The map barrier: merge results (in task order), shuffle, build reduce specs.
+
+        The reduce specs are built *after* the map results' state saves are
+        replayed into the runner's store, so a reducer's state snapshot sees
+        everything the round's mappers persisted — exactly as in a sequential
+        run.
+        """
+        self._runner._merge_task_results(map_results, self.counters)
+        partitions = self._runner._shuffle(self.job, map_results)
+        self.reduce_specs = [
+            self._runner._build_reduce_spec(self.job, reducer_id, pairs,
+                                            len(self.splits), self.round_number)
+            for reducer_id, pairs in enumerate(partitions)
+        ]
+        return self.reduce_specs
+
+    def complete_reduce_phase(self, reduce_results: List[TaskResult]) -> JobResult:
+        """The reduce barrier: merge results (in task order) and close the round."""
+        self._runner._merge_task_results(reduce_results, self.counters)
+        output: List[Tuple[Any, Any]] = []
+        for result in reduce_results:
+            output.extend((key, value) for key, value, _ in result.pairs)
+        return JobResult(
+            job_name=self.job.name,
+            output=output,
+            counters=self.counters,
+            splits=list(self.splits),
+            num_mappers=len(self.splits),
+            num_reducers=self.job.num_reducers,
+        )

@@ -1,0 +1,307 @@
+"""The cluster scheduler: many job plans sharing one map/reduce slot pool.
+
+The paper's experiments run on a shared Hadoop cluster where concurrent jobs
+compete for the same task slots.  :class:`ClusterScheduler` reproduces that
+regime for the simulated runtime: it admits many :class:`~repro.mapreduce.plan.JobPlan`
+objects at once and dispatches *individual ready tasks* — from all admitted
+plans — onto a shared pool of ``map_slots`` / ``reduce_slots`` through the
+executor's non-blocking :meth:`~repro.mapreduce.executor.Executor.submit_task`
+seam.  One job's single-reducer barrier no longer idles the cluster: while
+job A reduces on one slot, jobs B and C map on the rest.
+
+**Determinism.**  Scheduling changes *when* a task runs, never what it
+computes or how it merges:
+
+* every task is still the same pure function of its spec (private RNG seeded
+  by ``(job seed, round, task id)``, private state overlay);
+* stage *n* of a plan always runs as round ``n + 1`` of that plan's own
+  :class:`~repro.mapreduce.runtime.JobRunner` (own seed, own state store), so
+  seeds and state addressing match a sequential run exactly;
+* each stage's barriers — :meth:`RoundExecution.complete_map_phase` /
+  :meth:`complete_reduce_phase`, the *same* code the sequential path runs —
+  merge results in task order, whatever order tasks finished in.
+
+A concurrent run of N plans is therefore bit-identical (coefficients, counter
+totals, shuffle bytes, outputs) to N sequential runs, for any executor, data
+plane or slot count — enforced by ``tests/test_scheduler_equivalence.py``.
+
+Dispatch order is deterministic too (admission order, then stage order, then
+task id, FIFO per slot kind), so scheduling traces are reproducible, though no
+result depends on them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import InvalidParameterError, SchedulerError
+from repro.mapreduce.cluster import ClusterSpec
+from repro.mapreduce.executor import Executor, TaskHandle, translate_task_failure
+from repro.mapreduce.plan import JobPlan, PlanContext
+from repro.mapreduce.runtime import JobRunner, RoundExecution, TaskResult
+
+__all__ = ["ClusterScheduler", "SchedulerStats"]
+
+MAP_PHASE = "map"
+REDUCE_PHASE = "reduce"
+
+
+@dataclass
+class SchedulerStats:
+    """What one :meth:`ClusterScheduler.run` call did (wall-clock-free).
+
+    Attributes:
+        jobs: plans executed.
+        rounds: MapReduce rounds completed across all plans.
+        map_tasks: map tasks dispatched.
+        reduce_tasks: reduce tasks dispatched.
+        peak_active_jobs: most plans simultaneously admitted.
+        peak_map_slots_in_use: most map slots simultaneously occupied.
+        peak_reduce_slots_in_use: most reduce slots simultaneously occupied.
+    """
+
+    jobs: int = 0
+    rounds: int = 0
+    map_tasks: int = 0
+    reduce_tasks: int = 0
+    peak_active_jobs: int = 0
+    peak_map_slots_in_use: int = 0
+    peak_reduce_slots_in_use: int = 0
+
+
+@dataclass
+class _Task:
+    """One schedulable unit: a map or reduce task of one stage of one plan."""
+
+    job_index: int
+    stage_index: int
+    phase: str
+    task_index: int
+    spec: object
+
+
+class _JobState:
+    """Per-plan bookkeeping: the DAG's frontier plus per-stage phase progress."""
+
+    def __init__(self, index: int, plan: JobPlan, runner: JobRunner) -> None:
+        self.index = index
+        self.plan = plan
+        self.runner = runner
+        # Offset explicit round numbers past any rounds the runner already
+        # ran, exactly as execute_plan does, so RNG keys stay disjoint even
+        # on a pre-used runner.
+        self.round_base = runner.rounds_started
+        self.context: PlanContext = plan.context(runner.hdfs, runner.cluster)
+        self.rounds: Dict[int, RoundExecution] = {}
+        self.started: set = set()
+        self.finished_stages: set = set()
+        # (stage_index, phase) -> {task_index: TaskResult}
+        self.phase_results: Dict[Tuple[int, str], Dict[int, TaskResult]] = {}
+        self.outcome = None
+        self.done = False
+
+    def ready_stages(self) -> List[int]:
+        """Unstarted stages whose dependencies have all completed, in order."""
+        return [
+            index
+            for index in range(len(self.plan.stages))
+            if index not in self.started
+            and self.plan.stage_ready(index, self.context)
+        ]
+
+
+class ClusterScheduler:
+    """Executes many job plans concurrently on a shared task-slot pool.
+
+    Args:
+        executor: the task-execution seam every dispatched task goes through
+            (serial: tasks run inline at dispatch, which still interleaves
+            jobs deterministically; parallel: tasks overlap for real).
+        map_slots: cluster-wide concurrent map tasks (all jobs together).
+        reduce_slots: cluster-wide concurrent reduce tasks.
+        max_concurrent_jobs: admission bound — at most this many plans are
+            active at once; further plans queue and are admitted in order as
+            earlier ones finish.  ``None`` admits everything immediately.
+    """
+
+    def __init__(self, executor: Executor, map_slots: int, reduce_slots: int,
+                 max_concurrent_jobs: Optional[int] = None) -> None:
+        if map_slots < 1 or reduce_slots < 1:
+            raise InvalidParameterError(
+                f"map_slots and reduce_slots must be >= 1, got "
+                f"{map_slots}/{reduce_slots}"
+            )
+        if max_concurrent_jobs is not None and max_concurrent_jobs < 1:
+            raise InvalidParameterError(
+                f"max_concurrent_jobs must be >= 1 or None, got {max_concurrent_jobs}"
+            )
+        self.executor = executor
+        self.map_slots = map_slots
+        self.reduce_slots = reduce_slots
+        self.max_concurrent_jobs = max_concurrent_jobs
+        self.last_stats = SchedulerStats()
+
+    @classmethod
+    def for_cluster(cls, cluster: ClusterSpec, executor: Executor,
+                    max_concurrent_jobs: Optional[int] = None) -> "ClusterScheduler":
+        """A scheduler whose slot pool is the cluster's total map/reduce slots."""
+        return cls(
+            executor,
+            map_slots=cluster.total_map_slots,
+            reduce_slots=cluster.total_reduce_slots,
+            max_concurrent_jobs=max_concurrent_jobs,
+        )
+
+    # ------------------------------------------------------------------- run
+    def run(self, entries: Sequence[Tuple[JobPlan, JobRunner]]) -> List:
+        """Execute every ``(plan, runner)`` entry; outcomes in admission order.
+
+        Each plan must come with its *own* runner (own state store and round
+        numbering) — sharing a runner between plans would entangle their
+        state and seeds.  Returns each plan's ``finish`` result
+        (:class:`~repro.algorithms.base.ExecutionOutcome` for algorithm
+        plans), in the order the entries were given.
+        """
+        entries = list(entries)
+        runners = [runner for _, runner in entries]
+        if len(set(map(id, runners))) != len(runners):
+            raise SchedulerError("every plan needs its own JobRunner instance")
+        stats = SchedulerStats(jobs=len(entries))
+        self.last_stats = stats
+        if not entries:
+            return []
+
+        jobs = [_JobState(index, plan, runner)
+                for index, (plan, runner) in enumerate(entries)]
+        waiting: Deque[int] = deque(range(len(jobs)))
+        active: List[int] = []
+        map_ready: Deque[_Task] = deque()
+        reduce_ready: Deque[_Task] = deque()
+        inflight: Dict[TaskHandle, _Task] = {}
+        map_in_use = 0
+        reduce_in_use = 0
+        remaining = len(jobs)
+
+        def admit_and_start() -> None:
+            # Admission, then DAG advancement: build every ready stage of
+            # every active plan and enqueue its map tasks.
+            while waiting and (self.max_concurrent_jobs is None
+                               or len(active) < self.max_concurrent_jobs):
+                active.append(waiting.popleft())
+                stats.peak_active_jobs = max(stats.peak_active_jobs, len(active))
+            for job_index in list(active):
+                job = jobs[job_index]
+                for stage_index in job.ready_stages():
+                    self._start_stage(job, stage_index, map_ready)
+
+        def finish_job_if_done(job: _JobState) -> None:
+            nonlocal remaining
+            if job.done or len(job.finished_stages) != len(job.plan.stages):
+                return
+            job.outcome = job.plan.finish(job.context)
+            job.done = True
+            remaining -= 1
+            active.remove(job.index)
+
+        try:
+            while remaining:
+                admit_and_start()
+                # Fill free slots in FIFO order, one queue per slot kind.
+                while map_ready and map_in_use < self.map_slots:
+                    task = map_ready.popleft()
+                    inflight[self.executor.submit_task(task.spec)] = task
+                    map_in_use += 1
+                    stats.map_tasks += 1
+                    stats.peak_map_slots_in_use = max(
+                        stats.peak_map_slots_in_use, map_in_use)
+                while reduce_ready and reduce_in_use < self.reduce_slots:
+                    task = reduce_ready.popleft()
+                    inflight[self.executor.submit_task(task.spec)] = task
+                    reduce_in_use += 1
+                    stats.reduce_tasks += 1
+                    stats.peak_reduce_slots_in_use = max(
+                        stats.peak_reduce_slots_in_use, reduce_in_use)
+                if not inflight:
+                    if remaining:
+                        names = ", ".join(jobs[i].plan.name for i in active)
+                        raise SchedulerError(
+                            "scheduler stalled with unfinished plans: "
+                            f"{names or '(none active)'}"
+                        )
+                    break
+                completed = self.executor.wait_any(list(inflight))
+                if not completed:
+                    raise SchedulerError("executor wait returned no completed tasks")
+                for handle in completed:
+                    task = inflight.pop(handle)
+                    result = self._collect(handle)
+                    if task.phase == MAP_PHASE:
+                        map_in_use -= 1
+                    else:
+                        reduce_in_use -= 1
+                    self._record_task(jobs[task.job_index], task, result,
+                                      reduce_ready, stats)
+                    finish_job_if_done(jobs[task.job_index])
+        except BaseException:
+            # Don't leave the rest of the batch running behind our back:
+            # cancel what never started and drain what is already running.
+            for handle in inflight:
+                handle.cancel()
+            pending = [handle for handle in inflight if not handle.completed()]
+            while pending:
+                self.executor.wait_any(pending)
+                pending = [handle for handle in pending if not handle.completed()]
+            raise
+        return [job.outcome for job in jobs]
+
+    # ------------------------------------------------------------- internals
+    def _start_stage(self, job: _JobState, stage_index: int,
+                     map_ready: Deque[_Task]) -> None:
+        """Build a ready stage's round and enqueue its map tasks."""
+        job.started.add(stage_index)
+        stage = job.plan.stages[stage_index]
+        mapreduce_job = stage.build(job.context)
+        round_execution = job.runner.begin_round(
+            mapreduce_job, splits=job.context.splits,
+            round_number=job.round_base + stage_index + 1,
+        )
+        job.rounds[stage_index] = round_execution
+        job.phase_results[(stage_index, MAP_PHASE)] = {}
+        for task_index, spec in enumerate(round_execution.map_specs):
+            map_ready.append(_Task(job.index, stage_index, MAP_PHASE,
+                                   task_index, spec))
+
+    def _record_task(self, job: _JobState, task: _Task, result: TaskResult,
+                     reduce_ready: Deque[_Task], stats: SchedulerStats) -> None:
+        """Record one task result; cross a phase barrier when its phase is full."""
+        round_execution = job.rounds[task.stage_index]
+        phase = job.phase_results[(task.stage_index, task.phase)]
+        phase[task.task_index] = result
+        if task.phase == MAP_PHASE:
+            if len(phase) == round_execution.num_map_tasks:
+                ordered = [phase[i] for i in range(round_execution.num_map_tasks)]
+                reduce_specs = round_execution.complete_map_phase(ordered)
+                job.phase_results[(task.stage_index, REDUCE_PHASE)] = {}
+                for task_index, spec in enumerate(reduce_specs):
+                    reduce_ready.append(_Task(job.index, task.stage_index,
+                                              REDUCE_PHASE, task_index, spec))
+        else:
+            if len(phase) == round_execution.num_reduce_tasks:
+                ordered = [phase[i] for i in range(round_execution.num_reduce_tasks)]
+                job_result = round_execution.complete_reduce_phase(ordered)
+                stage = job.plan.stages[task.stage_index]
+                job.context.record(stage.name, job_result)
+                job.finished_stages.add(task.stage_index)
+                stats.rounds += 1
+
+    def _collect(self, handle: TaskHandle) -> TaskResult:
+        """Fetch one task's result, translating executor failures as run_tasks does."""
+        try:
+            return handle.result()
+        except BaseException as error:
+            translated = translate_task_failure(error, self.executor)
+            if translated is not None:
+                raise translated from error
+            raise

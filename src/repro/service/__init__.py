@@ -23,9 +23,10 @@ pull the whole algorithm/serving stack in behind a profile import.
 
 from repro.service.profile import RuntimeProfile
 
-__all__ = ["RuntimeProfile", "AlgorithmSpec", "BuildReport", "SynopsisService"]
+__all__ = ["RuntimeProfile", "AlgorithmSpec", "BuildReport", "BuildRequest",
+           "SynopsisService"]
 
-_FACADE_EXPORTS = {"AlgorithmSpec", "BuildReport", "SynopsisService"}
+_FACADE_EXPORTS = {"AlgorithmSpec", "BuildReport", "BuildRequest", "SynopsisService"}
 
 
 def __getattr__(name):

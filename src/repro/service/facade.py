@@ -11,6 +11,11 @@ caller wired them together by hand.  The service is the one seam:
   ready-made :class:`~repro.algorithms.base.HistogramAlgorithm`; *how to run*
   is a :class:`~repro.service.profile.RuntimeProfile`; *where it lives* is the
   service's :class:`~repro.serving.store.SynopsisStore` (any backend).
+* ``service.build_many([...])`` — a **concurrent build queue**: every
+  request's :class:`~repro.mapreduce.plan.JobPlan` joins one
+  :class:`~repro.mapreduce.scheduler.ClusterScheduler` batch, so many builds'
+  tasks interleave on the cluster's shared map/reduce slot pool while each
+  stored payload (and checksum) stays bit-identical to a sequential build.
 * ``service.query(names, los, his)`` — **multi-synopsis fan-out**: one
   workload evaluated across many stored attributes.  Every (synopsis, shard)
   pair becomes one :class:`~repro.mapreduce.executor.FunctionTaskSpec`
@@ -37,12 +42,15 @@ from repro.data.dataset import Dataset
 from repro.errors import InvalidParameterError
 from repro.mapreduce.executor import FunctionTaskSpec
 from repro.mapreduce.hdfs import HDFS
+from repro.mapreduce.runtime import JobRunner
+from repro.mapreduce.scheduler import ClusterScheduler
+from repro.mapreduce.state import StateStore
 from repro.serving.server import QueryServer, evaluate_range_shard
 from repro.serving.store import SynopsisMetadata, SynopsisStore
 from repro.serving.workload import QueryWorkload
 from repro.service.profile import RuntimeProfile
 
-__all__ = ["AlgorithmSpec", "BuildReport", "SynopsisService"]
+__all__ = ["AlgorithmSpec", "BuildReport", "BuildRequest", "SynopsisService"]
 
 SERVICE_INPUT_PATH = "/service/input"
 
@@ -74,6 +82,23 @@ class AlgorithmSpec:
             )
         return make_algorithm(self.name, u=domain, k=self.k,
                               **dict(self.parameters))
+
+
+@dataclass(frozen=True)
+class BuildRequest:
+    """One entry of a :meth:`SynopsisService.build_many` batch.
+
+    Attributes:
+        algorithm: a ready-made builder, an :class:`AlgorithmSpec`, or a bare
+            registry name (spec defaults apply) — same as ``build``.
+        dataset: the input data (loaded into its own fresh simulated HDFS).
+        name: catalog name to publish under (the algorithm's paper name when
+            omitted).
+    """
+
+    algorithm: Union[HistogramAlgorithm, AlgorithmSpec, str]
+    dataset: Dataset
+    name: Optional[str] = None
 
 
 @dataclass
@@ -169,6 +194,89 @@ class SynopsisService:
             extra_build={"dataset": dataset.name},
         )
         return BuildReport(metadata=metadata, result=result)
+
+    def build_many(
+        self,
+        requests: Sequence[Union[BuildRequest, tuple]],
+        profile: Optional[RuntimeProfile] = None,
+        *,
+        concurrent_jobs: Optional[int] = None,
+    ) -> List[BuildReport]:
+        """Build a batch of synopses through a concurrent build queue.
+
+        Every request's :class:`~repro.mapreduce.plan.JobPlan` is admitted to
+        one :class:`~repro.mapreduce.scheduler.ClusterScheduler`, so the
+        builds' map and reduce tasks interleave on the cluster's shared slot
+        pool — up to ``concurrent_jobs`` builds in flight at once (the
+        profile's ``concurrent_jobs`` when omitted; 1 falls back to strictly
+        sequential ``build`` calls).  Scheduling never changes results: each
+        build's stored payload — and therefore its checksum — is bit-identical
+        to a sequential ``build`` of the same request, and versions are
+        published in request order whatever order the builds finished in.
+
+        Args:
+            requests: :class:`BuildRequest` entries (or ``(algorithm,
+                dataset)`` / ``(algorithm, dataset, name)`` tuples).
+            profile: how to run the batch; the service's default when omitted.
+            concurrent_jobs: admission bound override.
+
+        Returns:
+            One :class:`BuildReport` per request, in request order.
+        """
+        profile = profile if profile is not None else self.profile
+        normalized: List[BuildRequest] = []
+        for request in requests:
+            if isinstance(request, BuildRequest):
+                normalized.append(request)
+            elif isinstance(request, tuple) and len(request) in (2, 3):
+                normalized.append(BuildRequest(*request))
+            else:
+                raise InvalidParameterError(
+                    f"build_many expects BuildRequest entries or (algorithm, "
+                    f"dataset[, name]) tuples, got {request!r}"
+                )
+        jobs_in_flight = (concurrent_jobs if concurrent_jobs is not None
+                          else profile.concurrent_jobs)
+        if jobs_in_flight < 1:
+            raise InvalidParameterError(
+                f"concurrent_jobs must be >= 1, got {jobs_in_flight}"
+            )
+        if jobs_in_flight == 1 or len(normalized) <= 1:
+            return [self.build(request.algorithm, request.dataset, profile,
+                               name=request.name) for request in normalized]
+
+        cluster = profile.resolved_cluster()
+        executor = profile.build_executor()
+        entries = []
+        algorithms: List[HistogramAlgorithm] = []
+        for request in normalized:
+            algorithm = request.algorithm
+            if isinstance(algorithm, str):
+                algorithm = AlgorithmSpec(algorithm)
+            if isinstance(algorithm, AlgorithmSpec):
+                algorithm = algorithm.create(default_u=request.dataset.u)
+            hdfs = HDFS()
+            request.dataset.to_hdfs(hdfs, SERVICE_INPUT_PATH)
+            runner = JobRunner(hdfs, cluster=cluster, state_store=StateStore(),
+                               seed=profile.seed, executor=executor,
+                               data_plane=profile.data_plane)
+            entries.append((algorithm.create_plan(SERVICE_INPUT_PATH), runner))
+            algorithms.append(algorithm)
+
+        scheduler = ClusterScheduler.for_cluster(
+            cluster, executor, max_concurrent_jobs=jobs_in_flight)
+        outcomes = scheduler.run(entries)
+
+        reports: List[BuildReport] = []
+        # Publish in request order so store versioning is deterministic.
+        for request, algorithm, outcome in zip(normalized, algorithms, outcomes):
+            result = algorithm.assemble_result(outcome, profile)
+            metadata = result.publish(
+                self.store, name=request.name, seed=profile.seed,
+                extra_build={"dataset": request.dataset.name},
+            )
+            reports.append(BuildReport(metadata=metadata, result=result))
+        return reports
 
     # ------------------------------------------------------------------ query
     def query(

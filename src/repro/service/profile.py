@@ -63,6 +63,13 @@ class RuntimeProfile:
             count when ``None``); ignored when ``executor`` is an instance.
         data_plane: ``"batch"`` (columnar fast path) or ``"records"``
             (record-at-a-time reference path).
+        concurrent_jobs: how many builds a batch entry point
+            (``run_algorithms``, ``SynopsisService.build_many``) may run
+            concurrently on the cluster's shared slot pool through the
+            :class:`~repro.mapreduce.scheduler.ClusterScheduler`.  ``1`` (the
+            default) keeps builds strictly sequential.  Like every execution
+            field, this never changes results — a concurrent batch is
+            bit-identical to sequential builds — only wall-clock time.
     """
 
     cluster: Optional[ClusterSpec] = None
@@ -71,6 +78,7 @@ class RuntimeProfile:
     executor: Union[str, Executor] = "serial"
     workers: Optional[int] = None
     data_plane: str = "batch"
+    concurrent_jobs: int = 1
 
     def __post_init__(self) -> None:
         if isinstance(self.executor, str) and self.executor not in EXECUTOR_NAMES:
@@ -87,6 +95,10 @@ class RuntimeProfile:
         if self.data_plane not in DATA_PLANE_NAMES:
             raise InvalidParameterError(
                 f"data_plane must be one of {DATA_PLANE_NAMES}, got {self.data_plane!r}"
+            )
+        if self.concurrent_jobs < 1:
+            raise InvalidParameterError(
+                f"concurrent_jobs must be >= 1, got {self.concurrent_jobs}"
             )
 
     # ------------------------------------------------------------- resolution
@@ -131,8 +143,10 @@ class RuntimeProfile:
         * a bare executor shorthand — ``"serial"``, ``"parallel"`` or
           ``"parallel:8"`` (name plus worker count);
         * comma-separated ``key=value`` pairs over the keys ``executor``,
-          ``workers``, ``seed`` and ``data_plane`` (dashes allowed in keys),
-          e.g. ``"executor=parallel,workers=4,data-plane=records,seed=3"``.
+          ``workers``, ``seed``, ``data_plane`` and ``concurrent_jobs``
+          (dashes allowed in keys), e.g.
+          ``"executor=parallel,workers=4,data-plane=records,seed=3"`` or
+          ``"parallel:4,concurrent-jobs=7"``.
 
         Only keys actually present in the text appear in the result, so
         callers can layer the overrides onto an existing configuration
@@ -151,7 +165,7 @@ class RuntimeProfile:
                 value = value.strip()
                 if key in ("executor", "data_plane"):
                     overrides[key] = value
-                elif key in ("workers", "seed"):
+                elif key in ("workers", "seed", "concurrent_jobs"):
                     try:
                         overrides[key] = int(value)
                     except ValueError as error:
@@ -161,7 +175,7 @@ class RuntimeProfile:
                 else:
                     raise InvalidParameterError(
                         f"unknown profile key {key!r}; expected one of "
-                        f"executor, workers, seed, data-plane"
+                        f"executor, workers, seed, data-plane, concurrent-jobs"
                     )
             else:
                 name, _, workers = part.partition(":")
@@ -186,5 +200,7 @@ class RuntimeProfile:
         workers = f":{self.workers}" if (
             isinstance(self.executor, str) and self.workers is not None
         ) else ""
+        jobs = (f" concurrent-jobs={self.concurrent_jobs}"
+                if self.concurrent_jobs > 1 else "")
         return (f"executor={self.executor_name}{workers} "
-                f"data-plane={self.data_plane} seed={self.seed}")
+                f"data-plane={self.data_plane} seed={self.seed}{jobs}")

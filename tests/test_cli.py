@@ -81,6 +81,15 @@ class TestParser:
             ["compare", "--quick", "--profile", "executor=serial,data-plane=records"])
         assert arguments.profile == "executor=serial,data-plane=records"
 
+    def test_concurrent_jobs_option(self):
+        for command in (["compare", "--quick"],
+                        ["figure", "vary_k", "--quick"],
+                        ["build", "--store", "/tmp/s"]):
+            arguments = build_parser().parse_args(command + ["--concurrent-jobs", "4"])
+            assert arguments.concurrent_jobs == 4
+        default = build_parser().parse_args(["compare", "--quick"])
+        assert default.concurrent_jobs is None
+
     def test_serve_verbs_parse(self):
         catalog = build_parser().parse_args(["serve", "catalog", "--store", "/tmp/s"])
         assert catalog.command == "serve" and catalog.serve_command == "catalog"
@@ -116,6 +125,15 @@ class TestCommands:
         assert main(["figure", "ablation_twolevel_threshold", "--quick"]) == 0
         output = capsys.readouterr().out
         assert "threshold_scale" in output
+
+    def test_compare_is_identical_with_concurrent_jobs(self, capsys):
+        """The report must not depend on concurrent scheduling either."""
+        assert main(["compare", "--quick", "--k", "10", "--epsilon", "0.05"]) == 0
+        sequential_output = capsys.readouterr().out
+        assert main(["compare", "--quick", "--k", "10", "--epsilon", "0.05",
+                     "--concurrent-jobs", "5"]) == 0
+        concurrent_output = capsys.readouterr().out
+        assert sequential_output == concurrent_output
 
     def test_compare_is_identical_across_data_planes(self, capsys):
         """The report (communication, time, SSE) must not depend on the plane."""

@@ -33,7 +33,13 @@ from repro.mapreduce.executor import (
 )
 from repro.mapreduce.hdfs import HDFS
 from repro.mapreduce.runtime import JobRunner
-from repro.service import AlgorithmSpec, BuildReport, RuntimeProfile, SynopsisService
+from repro.service import (
+    AlgorithmSpec,
+    BuildReport,
+    BuildRequest,
+    RuntimeProfile,
+    SynopsisService,
+)
 from repro.serving.backends import MemoryBackend
 from repro.serving.store import SynopsisStore
 from repro.serving.workload import WorkloadGenerator
@@ -135,6 +141,17 @@ class TestRuntimeProfile:
         assert (full.executor_name, full.workers, full.seed, full.data_plane) == (
             "parallel", 2, 5, "records")
 
+    def test_parse_concurrent_jobs(self):
+        batch = RuntimeProfile.parse("parallel:4,concurrent-jobs=7")
+        assert batch.executor_name == "parallel" and batch.workers == 4
+        assert batch.concurrent_jobs == 7
+        assert "concurrent-jobs=7" in batch.describe()
+        assert RuntimeProfile.parse("serial").concurrent_jobs == 1
+        with pytest.raises(InvalidParameterError):
+            RuntimeProfile.parse("concurrent-jobs=0")
+        with pytest.raises(InvalidParameterError):
+            RuntimeProfile(concurrent_jobs=0)
+
     def test_parse_rejects_bad_specs(self):
         for bad in ("", "   ", "executor=threaded", "seed=x", "parallel:x",
                     "colour=blue"):
@@ -219,9 +236,17 @@ class TestRegistry:
         sharded = make_algorithm("send-v", u=64, k=5, num_reducers=3)
         assert sharded.num_reducers == 3
 
-    def test_unknown_name_lists_the_registry(self):
-        with pytest.raises(InvalidParameterError, match="twolevel-s"):
+    def test_unknown_name_lists_every_registry_slug(self):
+        with pytest.raises(InvalidParameterError) as excinfo:
             make_algorithm("nope", u=64, k=5)
+        message = str(excinfo.value)
+        assert "valid registry slugs" in message
+        for slug in algorithm_names():
+            assert slug in message
+
+    def test_unknown_name_suggests_the_closest_slug(self):
+        with pytest.raises(InvalidParameterError, match="did you mean 'send-v'"):
+            make_algorithm("send-vv", u=64, k=5)
 
     def test_bad_parameters_are_reported(self):
         with pytest.raises(InvalidParameterError, match="send-v"):
@@ -392,6 +417,67 @@ class TestFanoutDeterminism:
         second = service.query_workload(["web", "orders"], workload)
         for name in ("web", "orders"):
             assert np.array_equal(first[name], second[name])
+
+
+class TestBuildMany:
+    """The concurrent build queue: scheduled batches publish bit-identical
+    versions, in request order, for any concurrency."""
+
+    def _requests(self, service_dataset):
+        return [
+            BuildRequest(AlgorithmSpec("send-v", k=K), service_dataset, "web"),
+            BuildRequest(AlgorithmSpec("h-wtopk", k=K), service_dataset, "orders"),
+            BuildRequest(
+                AlgorithmSpec("twolevel-s", k=K, parameters={"epsilon": 0.05}),
+                service_dataset, "clicks"),
+        ]
+
+    def test_concurrent_builds_match_sequential_checksums(self, service_dataset):
+        profile = RuntimeProfile(seed=SEED)
+        sequential_service = SynopsisService(profile=profile)
+        sequential = [sequential_service.build(r.algorithm, r.dataset, name=r.name)
+                      for r in self._requests(service_dataset)]
+
+        concurrent_service = SynopsisService(profile=profile)
+        concurrent = concurrent_service.build_many(
+            self._requests(service_dataset), concurrent_jobs=3)
+
+        assert [r.name for r in concurrent] == ["web", "orders", "clicks"]
+        for expected, actual in zip(sequential, concurrent):
+            assert actual.version == 1
+            assert actual.checksum_sha256 == expected.checksum_sha256
+            assert (actual.result.histogram.coefficients
+                    == expected.result.histogram.coefficients)
+            assert (actual.result.counters.as_dict()
+                    == expected.result.counters.as_dict())
+
+    def test_profile_concurrency_and_tuple_requests(self, service_dataset):
+        profile = RuntimeProfile(seed=SEED, concurrent_jobs=2)
+        service = SynopsisService(profile=profile)
+        reports = service.build_many([
+            ("send-v", service_dataset, "a"),
+            (AlgorithmSpec("send-coef", k=K), service_dataset, "b"),
+        ])
+        assert [r.name for r in reports] == ["a", "b"]
+        assert service.store.names() == ["a", "b"]
+
+    def test_sequential_fallback_is_identical(self, service_dataset):
+        profile = RuntimeProfile(seed=SEED)
+        service = SynopsisService(profile=profile)
+        one_at_a_time = service.build_many(self._requests(service_dataset),
+                                           concurrent_jobs=1)
+        other = SynopsisService(profile=profile)
+        scheduled = other.build_many(self._requests(service_dataset),
+                                     concurrent_jobs=3)
+        for expected, actual in zip(one_at_a_time, scheduled):
+            assert actual.checksum_sha256 == expected.checksum_sha256
+
+    def test_bad_requests_are_rejected(self, service_dataset):
+        service = SynopsisService(profile=RuntimeProfile(seed=SEED))
+        with pytest.raises(InvalidParameterError, match="BuildRequest"):
+            service.build_many([("send-v",)])
+        with pytest.raises(InvalidParameterError, match="concurrent_jobs"):
+            service.build_many([("send-v", service_dataset)], concurrent_jobs=0)
 
 
 class TestServiceSmoke:
