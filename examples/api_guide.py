@@ -26,6 +26,7 @@ from repro import (
     BuildRequest,
     RuntimeProfile,
     SynopsisService,
+    UpdateStreamGenerator,
     WorkloadGenerator,
     ZipfDatasetGenerator,
     algorithm_names,
@@ -122,6 +123,35 @@ def main() -> None:
     assert reports[1].checksum_sha256 == sampled.checksum_sha256
     print("concurrent build queue: checksums match sequential builds — "
           "scheduling is result-free")
+
+    # --------------------------------------------------- 5. streaming ingest
+    # Synopses don't have to be rebuilt from scratch when data keeps arriving:
+    # service.ingest streams sequenced insert/delete batches into a named
+    # stream, and the maintainer folds them into the store on a cadence —
+    # each publish is a *delta* version recording its parent_version and the
+    # update counts it applied.  The invariant (enforced by the hypothesis
+    # suite in tests/test_streaming_equivalence.py): the streamed synopsis is
+    # byte-identical to a from-scratch batch build of the surviving multiset.
+    stream = UpdateStreamGenerator(u=2 ** 12, seed=9, delete_fraction=0.2)
+    live_total = 0
+    for batch in stream.batches(5_000, 4):
+        live_total += batch.inserts.size - batch.deletes.size
+        published = service.ingest("live-hits", batch.inserts, batch.deletes,
+                                   u=2 ** 12, k=40, cadence=2)
+        if published is not None:
+            parent = (f"v{published.parent_version}"
+                      if published.parent_version else "scratch")
+            print(f"ingest published live-hits v{published.version} "
+                  f"(delta over {parent}, "
+                  f"{published.build['applied_batches']} batches applied)")
+    service.maintain("live-hits")  # flush anything below the cadence
+
+    # The maintained stream serves like any other synopsis, and its estimated
+    # total tracks the net insert-minus-delete count exactly.
+    answers = service.query(["live-hits"], [1], [2 ** 12])
+    print(f"live-hits estimated total after ingest: "
+          f"{float(answers['live-hits'][0]):,.1f} (fed {live_total:,} net)")
+    assert float(answers["live-hits"][0]) == float(live_total)
 
 
 if __name__ == "__main__":

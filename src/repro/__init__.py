@@ -21,7 +21,12 @@ The package is organised as:
   :class:`~repro.service.profile.RuntimeProfile` (*how to run*), the
   algorithm registry (*what to build*) and the
   :class:`~repro.service.facade.SynopsisService` façade (build → store →
-  multi-synopsis serving).
+  multi-synopsis serving);
+* :mod:`repro.streaming` — continuous ingest: mergeable
+  :class:`~repro.streaming.partial.PartialSynopsis` count deltas, the
+  :class:`~repro.streaming.ingest.StreamIngestor` and the incremental
+  :class:`~repro.streaming.maintain.SynopsisMaintainer` (delta publishes,
+  sliding windows), byte-identical to batch builds.
 
 Quickstart::
 
@@ -71,10 +76,17 @@ from repro.serving import (
     MemoryBackend,
     QueryServer,
     SynopsisStore,
+    UpdateStreamGenerator,
     WorkloadGenerator,
 )
+from repro.streaming import (
+    PartialSynopsis,
+    SlidingWindowMaintainer,
+    StreamIngestor,
+    SynopsisMaintainer,
+)
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AlgorithmResult",
@@ -116,5 +128,10 @@ __all__ = [
     "MemoryBackend",
     "SynopsisStore",
     "WorkloadGenerator",
+    "UpdateStreamGenerator",
+    "PartialSynopsis",
+    "StreamIngestor",
+    "SynopsisMaintainer",
+    "SlidingWindowMaintainer",
     "__version__",
 ]

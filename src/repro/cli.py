@@ -1,6 +1,6 @@
-"""Command-line interface: build, evaluate and *serve* wavelet histograms.
+"""Command-line interface: build, evaluate, *serve* and *stream* wavelet histograms.
 
-Seven sub-commands are provided::
+Nine sub-commands are provided::
 
     python -m repro compare   [--quick] [--k 30] [--epsilon 0.003]
         Run the paper's five algorithms over the (scaled) default workload and
@@ -35,6 +35,18 @@ Seven sub-commands are provided::
         scalar per-query loop (plus the cached path), verifying on the way
         that both agree to within 1e-9.
 
+    python -m repro ingest --store DIR --name NAME [--u 4096] [--batches 8]
+        Stream generated insert/delete batches into a stored synopsis: each
+        batch is counted into a mergeable partial through the columnar plane
+        and folded on a cadence, publishing every new version as a *delta*
+        over its parent (recorded in metadata) — never a rebuild.  ``--window
+        W`` maintains a sliding window over the last W batches instead.
+
+    python -m repro maintain --store DIR --name NAME [--force]
+        Fold a stream's pending state into a published version now — the
+        recovery verb: it completes a serving publish a crashed process left
+        behind (serving lagging the durable ``.state`` checkpoint).
+
 ``compare``, ``figure`` and ``build`` accept ``--executor {serial,parallel}``,
 ``--workers N``, ``--data-plane {batch,records}`` and ``--concurrent-jobs N``
 (schedule up to N algorithm builds at once on the cluster's shared slot
@@ -63,7 +75,7 @@ from repro.service import RuntimeProfile, SynopsisService
 from repro.serving.bench import measure_serving_throughput
 from repro.serving.server import QueryServer
 from repro.serving.store import SynopsisStore
-from repro.serving.workload import MIX_NAMES, WorkloadGenerator
+from repro.serving.workload import MIX_NAMES, UpdateStreamGenerator, WorkloadGenerator
 
 __all__ = ["main", "build_parser", "FIGURE_DRIVERS", "ALGORITHM_SLUGS"]
 
@@ -236,6 +248,51 @@ def build_parser() -> argparse.ArgumentParser:
     fanout.add_argument("--profile", default=None, metavar="SPEC",
                         help="runtime profile for the fan-out executor, e.g. "
                              "'parallel:4' (default: serial)")
+
+    ingest = subparsers.add_parser(
+        "ingest", help="stream generated update batches into a synopsis "
+                       "(incremental maintenance: delta publishes, no rebuilds)"
+    )
+    ingest.add_argument("--store", required=True, metavar="DIR",
+                        help="root directory of the synopsis store")
+    ingest.add_argument("--name", required=True,
+                        help="stream/synopsis name to maintain")
+    ingest.add_argument("--u", type=int, default=4096,
+                        help="key domain for a NEW stream (power of two; an "
+                             "existing stream recovers its own, and a "
+                             "conflicting value fails; default: 4096)")
+    ingest.add_argument("--k", type=int, default=30,
+                        help="coefficient budget for a NEW stream (default: 30)")
+    ingest.add_argument("--batches", type=int, default=8,
+                        help="update batches to generate (default: 8)")
+    ingest.add_argument("--batch-size", dest="batch_size", type=int, default=2000,
+                        help="updates per batch (default: 2000)")
+    ingest.add_argument("--delete-fraction", dest="delete_fraction", type=float,
+                        default=0.0,
+                        help="fraction of each batch that deletes live records "
+                             "(default: 0.0)")
+    ingest.add_argument("--seed", type=int, default=7,
+                        help="update-stream seed (default: 7)")
+    ingest.add_argument("--cadence", type=int, default=2,
+                        help="publish every N applied batches (default: 2)")
+    ingest.add_argument("--window", type=int, default=None, metavar="W",
+                        help="maintain a sliding window over the last W "
+                             "batches instead of the full stream")
+    ingest.add_argument("--profile", default=None, metavar="SPEC",
+                        help="runtime profile for the ingest executor, e.g. "
+                             "'parallel:4' (default: serial)")
+
+    maintain = subparsers.add_parser(
+        "maintain", help="fold a stream's pending state into a published "
+                         "version (recovery: completes a crashed publish)"
+    )
+    maintain.add_argument("--store", required=True, metavar="DIR",
+                          help="root directory of the synopsis store")
+    maintain.add_argument("--name", required=True,
+                          help="stream/synopsis name to maintain")
+    maintain.add_argument("--force", action="store_true",
+                          help="republish from the durable state even when "
+                               "the serving synopsis is up to date")
     return parser
 
 
@@ -485,6 +542,64 @@ def _run_serve_bench(arguments: argparse.Namespace) -> List[str]:
     return [header] + report.table_lines()
 
 
+def _run_ingest(arguments: argparse.Namespace) -> List[str]:
+    profile = (RuntimeProfile.parse(arguments.profile)
+               if arguments.profile is not None else RuntimeProfile())
+    service = SynopsisService(store=SynopsisStore(arguments.store), profile=profile)
+    generator = UpdateStreamGenerator(
+        arguments.u, seed=arguments.seed,
+        delete_fraction=arguments.delete_fraction,
+    )
+    batches = generator.batches(arguments.batch_size, arguments.batches)
+    published = []
+    inserts = deletes = 0
+    for batch in batches:
+        metadata = service.ingest(
+            arguments.name, batch.inserts, batch.deletes,
+            u=arguments.u, k=arguments.k, cadence=arguments.cadence,
+            window=arguments.window,
+        )
+        inserts += int(batch.inserts.size)
+        deletes += int(batch.deletes.size)
+        if metadata is not None:
+            published.append(metadata)
+    # Flush any tail below the cadence (a no-op for windowed streams, which
+    # publish per epoch).
+    metadata = service.maintain(arguments.name)
+    if metadata is not None:
+        published.append(metadata)
+    mode = (f"sliding window of {arguments.window}" if arguments.window
+            else f"cadence {arguments.cadence}")
+    lines = [
+        f"ingested {len(batches)} batch(es) into {arguments.name!r} "
+        f"({inserts:,} insertions, {deletes:,} deletions, {mode}) "
+        f"[{profile.describe()}]",
+    ]
+    for metadata in published:
+        parent = f"v{metadata.parent_version}" if metadata.parent_version else "scratch"
+        lines.append(
+            f"published v{metadata.version} (delta over {parent}, "
+            f"{metadata.build.get('applied_batches')} batch(es) applied, "
+            f"sha256 {metadata.checksum_sha256[:12]}...)"
+        )
+    if not published:
+        lines.append("nothing published (all batches below the cadence?)")
+    return lines
+
+
+def _run_maintain(arguments: argparse.Namespace) -> List[str]:
+    service = SynopsisService(store=SynopsisStore(arguments.store))
+    metadata = service.maintain(arguments.name, force=arguments.force)
+    if metadata is None:
+        return [f"stream {arguments.name!r} is up to date (nothing pending)"]
+    parent = f"v{metadata.parent_version}" if metadata.parent_version else "scratch"
+    return [
+        f"published {metadata.name} v{metadata.version} (delta over {parent}, "
+        f"{metadata.build.get('applied_batches')} batch(es) applied, "
+        f"sha256 {metadata.checksum_sha256[:12]}...)"
+    ]
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -504,6 +619,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             lines = _run_serve_query(arguments)
     elif arguments.command == "serve-bench":
         lines = _run_serve_bench(arguments)
+    elif arguments.command == "ingest":
+        lines = _run_ingest(arguments)
+    elif arguments.command == "maintain":
+        lines = _run_maintain(arguments)
     else:
         lines = _list_figures()
     print("\n".join(lines))

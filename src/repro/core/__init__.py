@@ -24,7 +24,11 @@ from repro.core.haar import (
     coefficient_support,
 )
 from repro.core.histogram import WaveletHistogram
-from repro.core.topk_coefficients import top_k_coefficients, top_k_from_dense
+from repro.core.topk_coefficients import (
+    merge_coefficients,
+    top_k_coefficients,
+    top_k_from_dense,
+)
 
 __all__ = [
     "FrequencyVector",
@@ -36,6 +40,7 @@ __all__ = [
     "coefficient_level",
     "coefficient_support",
     "WaveletHistogram",
+    "merge_coefficients",
     "top_k_coefficients",
     "top_k_from_dense",
 ]

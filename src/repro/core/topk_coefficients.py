@@ -24,7 +24,13 @@ import numpy as np
 
 from repro.errors import InvalidParameterError
 
-__all__ = ["top_k_coefficients", "top_k_from_dense", "bottom_k_items", "top_k_items"]
+__all__ = [
+    "merge_coefficients",
+    "top_k_coefficients",
+    "top_k_from_dense",
+    "bottom_k_items",
+    "top_k_items",
+]
 
 
 def _validate_k(k: int) -> None:
@@ -63,6 +69,26 @@ def top_k_coefficients(coefficients: Mapping[int, float], k: int) -> Dict[int, f
     return {
         int(indices[i]): float(values[i]) for i in order if values[i] != 0.0
     }
+
+
+def merge_coefficients(*maps: Mapping[int, float]) -> Dict[int, float]:
+    """Coefficient-wise sum of sparse coefficient maps (the linear merge).
+
+    The Haar transform is linear, so the transform of a sum of frequency
+    vectors is the entry-wise sum of their transforms — this is what makes
+    per-partition partial synopses mergeable and what lets the streaming
+    maintainer publish version ``v+1`` as ``v``'s coefficients plus an update
+    delta, re-thresholded with :func:`top_k_coefficients`, instead of a full
+    rebuild.  Entries are folded per map in order and returned in ascending
+    index order with exact cancellations (sum == 0.0) removed, so the result
+    is a valid sparse coefficient mapping in the same canonical form the
+    transforms produce.
+    """
+    totals: Dict[int, float] = {}
+    for mapping in maps:
+        for index, value in mapping.items():
+            totals[index] = totals.get(index, 0.0) + float(value)
+    return {index: totals[index] for index in sorted(totals) if totals[index] != 0.0}
 
 
 def top_k_from_dense(w: np.ndarray | Iterable[float], k: int) -> Dict[int, float]:

@@ -82,3 +82,13 @@ class SynopsisNotFoundError(ServingError):
 
 class SynopsisIntegrityError(ServingError):
     """Raised when a stored synopsis payload fails its checksum or header check."""
+
+
+class StreamingError(ReproError):
+    """Raised when streaming ingest/maintenance state is inconsistent.
+
+    Covers out-of-order update-batch sequences, a serving synopsis with no
+    recoverable streaming state, and window-protocol violations — every case
+    where applying the stream anyway would silently break the streaming ↔
+    batch equivalence invariant.
+    """

@@ -287,14 +287,26 @@ class ClusterScheduler:
                 for task_index, spec in enumerate(reduce_specs):
                     reduce_ready.append(_Task(job.index, task.stage_index,
                                               REDUCE_PHASE, task_index, spec))
+                if not reduce_specs:
+                    # Map-only round: with zero reduce specs there is no
+                    # reduce-task completion to cross the reduce barrier, so
+                    # cross it eagerly here — exactly what the sequential
+                    # runner does when it calls complete_reduce_phase([]).
+                    self._finish_stage(job, task.stage_index, [], stats)
         else:
             if len(phase) == round_execution.num_reduce_tasks:
                 ordered = [phase[i] for i in range(round_execution.num_reduce_tasks)]
-                job_result = round_execution.complete_reduce_phase(ordered)
-                stage = job.plan.stages[task.stage_index]
-                job.context.record(stage.name, job_result)
-                job.finished_stages.add(task.stage_index)
-                stats.rounds += 1
+                self._finish_stage(job, task.stage_index, ordered, stats)
+
+    def _finish_stage(self, job: _JobState, stage_index: int,
+                      ordered: List[TaskResult], stats: SchedulerStats) -> None:
+        """Cross a stage's reduce barrier: merge, record the result, count the round."""
+        round_execution = job.rounds[stage_index]
+        job_result = round_execution.complete_reduce_phase(ordered)
+        stage = job.plan.stages[stage_index]
+        job.context.record(stage.name, job_result)
+        job.finished_stages.add(stage_index)
+        stats.rounds += 1
 
     def _collect(self, handle: TaskHandle) -> TaskResult:
         """Fetch one task's result, translating executor failures as run_tasks does."""

@@ -23,6 +23,13 @@ caller wired them together by hand.  The service is the one seam:
   merge in deterministic *name-then-task* order — so the answer vectors are
   bit-identical whether the fan-out ran serially or on a process pool, and
   whether the synopses live in a directory or in memory.
+* ``service.ingest(name, inserts, deletes)`` / ``service.maintain(name)`` —
+  **streaming maintenance**: update batches are counted through the
+  profile's executor (:class:`~repro.streaming.ingest.StreamIngestor`) and
+  folded into new delta-published store versions by a per-stream
+  :class:`~repro.streaming.maintain.SynopsisMaintainer` (or its
+  sliding-window variant), with the server's caches refreshed on every
+  publish so queries see new versions immediately.
 
 The service layers strictly on public seams (registry, profile, store,
 server, executor); it adds no new math and therefore no new numerics — every
@@ -49,6 +56,8 @@ from repro.serving.server import QueryServer, evaluate_range_shard
 from repro.serving.store import SynopsisMetadata, SynopsisStore
 from repro.serving.workload import QueryWorkload
 from repro.service.profile import RuntimeProfile
+from repro.streaming.ingest import StreamIngestor
+from repro.streaming.maintain import SlidingWindowMaintainer, SynopsisMaintainer
 
 __all__ = ["AlgorithmSpec", "BuildReport", "BuildRequest", "SynopsisService"]
 
@@ -157,6 +166,8 @@ class SynopsisService:
         )
         self._fanout_queries = 0
         self._fanout_batches = 0
+        self._maintainers: Dict[str, Union[SynopsisMaintainer, SlidingWindowMaintainer]] = {}
+        self._ingestors: Dict[str, StreamIngestor] = {}
 
     # ------------------------------------------------------------------ build
     def build(
@@ -366,6 +377,93 @@ class SynopsisService:
         """Fan a generated workload's range queries across many synopses."""
         return self.query(names, workload.los, workload.his, versions=versions)
 
+    # -------------------------------------------------------------- streaming
+    def maintainer(
+        self,
+        name: str,
+        *,
+        u: Optional[int] = None,
+        k: Optional[int] = None,
+        cadence: int = 1,
+        window: Optional[int] = None,
+    ) -> Union[SynopsisMaintainer, SlidingWindowMaintainer]:
+        """The per-stream maintainer for ``name`` (created or recovered once).
+
+        A new name needs ``u`` (and optionally ``k``); an existing stream
+        recovers both from its store state.  ``window`` selects the
+        sliding-window variant; it must be chosen when the stream is first
+        opened and stays fixed for the service's lifetime.
+        """
+        maintainer = self._maintainers.get(name)
+        if maintainer is None:
+            if window is not None:
+                maintainer = SlidingWindowMaintainer(
+                    self.store, name, u=u, k=k, window=window,
+                    seed=self.profile.seed,
+                )
+            else:
+                maintainer = SynopsisMaintainer(
+                    self.store, name, u=u, k=k, cadence=cadence,
+                    seed=self.profile.seed,
+                )
+            self._maintainers[name] = maintainer
+        return maintainer
+
+    def ingest(
+        self,
+        name: str,
+        inserts: Optional[Any] = None,
+        deletes: Optional[Any] = None,
+        *,
+        u: Optional[int] = None,
+        k: Optional[int] = None,
+        cadence: int = 1,
+        window: Optional[int] = None,
+        sequence: Optional[int] = None,
+    ) -> Optional[SynopsisMetadata]:
+        """Stream one update batch into the named synopsis.
+
+        The batch is counted into a partial through the profile's executor
+        (large batches shard across it) and handed to the stream's
+        maintainer, which publishes a delta version whenever the cadence
+        fills (every epoch, for windowed streams).  The server's caches are
+        refreshed on publish so subsequent queries see the new version.
+
+        Returns the metadata of a publish this batch triggered, else ``None``.
+        """
+        maintainer = self.maintainer(name, u=u, k=k, cadence=cadence, window=window)
+        ingestor = self._ingestors.get(name)
+        if ingestor is None:
+            ingestor = StreamIngestor(
+                maintainer.u,
+                partition=name,
+                executor=self.profile.build_executor(),
+                shard_size=self.shard_size,
+            )
+            self._ingestors[name] = ingestor
+        partial = ingestor.batch(inserts, deletes)
+        metadata = maintainer.ingest(partial, sequence=sequence)
+        if metadata is not None:
+            self.server.refresh()
+        return metadata
+
+    def maintain(
+        self, name: str, *, force: bool = False
+    ) -> Optional[SynopsisMetadata]:
+        """Fold the stream's pending batches into a published version now.
+
+        Also the recovery entry point: on a stream with nothing pending it
+        completes a serving publish an earlier process crashed out of (the
+        serving synopsis lagging the durable state), or republishes outright
+        with ``force``.  Returns the published metadata, or ``None`` when the
+        stream was already up to date.
+        """
+        maintainer = self._maintainers.get(name) or self.maintainer(name)
+        metadata = maintainer.maintain(force=force)
+        if metadata is not None:
+            self.server.refresh()
+        return metadata
+
     # ---------------------------------------------------------------- serving
     def catalog(self) -> List[SynopsisMetadata]:
         """Latest-version metadata for every stored synopsis."""
@@ -380,4 +478,5 @@ class SynopsisService:
         stats = self.server.stats()
         stats["fanout_queries"] = self._fanout_queries
         stats["fanout_batches"] = self._fanout_batches
+        stats["streams"] = len(self._maintainers)
         return stats

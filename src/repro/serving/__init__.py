@@ -27,7 +27,13 @@ from repro.serving.bench import ThroughputReport, measure_serving_throughput
 from repro.serving.engine import BatchQueryEngine
 from repro.serving.server import QueryServer
 from repro.serving.store import StoredSynopsis, SynopsisMetadata, SynopsisStore
-from repro.serving.workload import MIX_NAMES, QueryWorkload, WorkloadGenerator
+from repro.serving.workload import (
+    MIX_NAMES,
+    QueryWorkload,
+    UpdateBatch,
+    UpdateStreamGenerator,
+    WorkloadGenerator,
+)
 
 __all__ = [
     "BatchQueryEngine",
@@ -42,5 +48,7 @@ __all__ = [
     "SynopsisStore",
     "MIX_NAMES",
     "QueryWorkload",
+    "UpdateBatch",
+    "UpdateStreamGenerator",
     "WorkloadGenerator",
 ]

@@ -58,8 +58,18 @@ _BLOCK_ELEMENT_BUDGET = 1 << 21
 
 
 def normalize_selectivities(sums: np.ndarray, total: float) -> np.ndarray:
-    """Turn range sums into selectivities, guarding a degenerate total."""
-    if total == 0.0:
+    """Turn range sums into selectivities, guarding a degenerate total.
+
+    Contract: selectivities are only meaningful against a **positive, finite**
+    total.  A synopsis-estimated total is ``w_1 * sqrt(u)``, and a sketched
+    ``w_1`` can come out negative (or, with corrupted inputs, NaN/inf); naively
+    dividing would hand callers negative or non-finite "selectivities" that
+    poison downstream cost models.  Any non-positive or non-finite ``total``
+    therefore yields the same all-zero vector the ``total == 0`` case always
+    did: a recognisably degenerate answer rather than a silently wrong one.
+    """
+    total = float(total)
+    if not math.isfinite(total) or total <= 0.0:
         return np.zeros_like(sums)
     return sums / total
 
@@ -143,9 +153,24 @@ class BatchQueryEngine:
         cls, u: int, indices: ArrayLike, values: Iterable[float], *,
         cache_size: int = 0, block_size: int = 65536,
     ) -> "BatchQueryEngine":
-        """Build an engine from parallel index/value arrays (the pickled shard form)."""
+        """Build an engine from parallel index/value arrays (the pickled shard form).
+
+        Raises:
+            InvalidParameterError: on duplicate indices — a malformed shard
+                payload must fail loudly, not collapse last-wins and
+                mis-evaluate every query it serves.
+        """
+        index_array = np.asarray(indices)
+        value_array = np.asarray(values)
+        if np.unique(index_array).size != index_array.size:
+            counts = np.unique(index_array, return_counts=True)
+            duplicated = counts[0][counts[1] > 1]
+            raise InvalidParameterError(
+                f"duplicate coefficient indices in shard payload: "
+                f"{[int(i) for i in duplicated[:5]]}"
+            )
         mapping: Dict[int, float] = {
-            int(i): float(w) for i, w in zip(np.asarray(indices), np.asarray(values))
+            int(i): float(w) for i, w in zip(index_array, value_array)
         }
         return cls(u, mapping, cache_size=cache_size, block_size=block_size)
 

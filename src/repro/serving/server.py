@@ -175,9 +175,17 @@ class QueryServer:
         total: Optional[float] = None,
         version: Optional[int] = None,
     ) -> np.ndarray:
-        """Range sums normalised by the dataset size (estimated when omitted)."""
-        engine = self.engine(name, version)
-        sums = self.range_sums(name, los, his, version=version)
+        """Range sums normalised by the dataset size (estimated when omitted).
+
+        The synopsis is resolved **once** and its pinned version answers both
+        the sums and the denominator.  Resolving twice with ``version=None``
+        would let a concurrent ``refresh()`` or publish slip a new version in
+        between the two touches — sums from v(N+1) normalised by v(N)'s total.
+        """
+        handle = self.synopsis(name, version)
+        pinned = handle.metadata.version
+        engine = handle.engine(cache_size=self.cache_size)
+        sums = self.range_sums(name, los, his, version=pinned)
         denominator = engine.estimated_total() if total is None else float(total)
         return normalize_selectivities(sums, denominator)
 

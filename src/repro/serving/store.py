@@ -147,9 +147,13 @@ class SynopsisMetadata:
         seed: the build's RNG seed (``None`` for deterministic builders).
         checksum_sha256: sha256 hex digest of the payload.
         payload_bytes: size of the payload.
+        parent_version: for a *delta* publish (streaming maintenance), the
+            version this one was derived from by applying updates — the
+            provenance chain of an incrementally maintained synopsis.
+            ``None`` for from-scratch builds and for first versions.
         build: build-side counters worth keeping with the synopsis —
             communication bytes, simulated seconds, MapReduce rounds, and any
-            algorithm-specific extras.
+            algorithm-specific extras (for delta publishes: update counts).
     """
 
     name: str
@@ -161,6 +165,7 @@ class SynopsisMetadata:
     seed: Optional[int]
     checksum_sha256: str
     payload_bytes: int
+    parent_version: Optional[int] = None
     build: Dict[str, Any] = field(default_factory=dict)
 
     def to_json(self) -> str:
@@ -170,10 +175,14 @@ class SynopsisMetadata:
     def from_json(cls, text: str) -> "SynopsisMetadata":
         try:
             data = json.loads(text)
-            return cls(**{key: data[key] for key in
-                          ("name", "version", "algorithm", "u", "k",
-                           "coefficient_count", "seed", "checksum_sha256",
-                           "payload_bytes", "build")})
+            fields = {key: data[key] for key in
+                      ("name", "version", "algorithm", "u", "k",
+                       "coefficient_count", "seed", "checksum_sha256",
+                       "payload_bytes", "build")}
+            # Added for delta publishes; meta.json written by earlier
+            # releases predates it, so absence means "not a delta".
+            fields["parent_version"] = data.get("parent_version")
+            return cls(**fields)
         except ValueError as error:  # includes json.JSONDecodeError
             raise SynopsisIntegrityError(f"unreadable meta.json: {error}") from error
         except (KeyError, TypeError) as error:
@@ -293,20 +302,82 @@ class SynopsisStore:
         payload = serialize_histogram(histogram)
         with self._lock:
             version = self.latest_version(name, default=0) + 1
-            metadata = SynopsisMetadata(
-                name=name,
-                version=version,
-                algorithm=algorithm,
-                u=histogram.u,
-                k=histogram.k,
-                coefficient_count=len(histogram),
-                seed=seed,
-                checksum_sha256=hashlib.sha256(payload).hexdigest(),
-                payload_bytes=len(payload),
-                build=dict(build or {}),
+            return self._publish_locked(
+                name, version, histogram, payload,
+                algorithm=algorithm, seed=seed, build=build, parent_version=None,
             )
-            self.backend.publish(name, version, metadata.to_json() + "\n", payload)
-            self._write_catalog()
+
+    def save_delta(
+        self,
+        name: str,
+        histogram: WaveletHistogram,
+        *,
+        parent_version: Optional[int],
+        algorithm: str = "unknown",
+        seed: Optional[int] = None,
+        build: Optional[Dict[str, Any]] = None,
+    ) -> SynopsisMetadata:
+        """Publish ``histogram`` as the next version, recording its parent.
+
+        A delta publish is how the streaming maintainer rolls a synopsis
+        forward: the new version was derived *incrementally* from
+        ``parent_version`` plus a batch of updates (never by rescanning base
+        data), and its metadata records that provenance — the parent version
+        here, update counts in ``build``.  The parent must be the current
+        latest version (``None`` when publishing a first version), so a
+        maintainer working from a stale view fails loudly instead of silently
+        forking the version history.
+
+        Raises:
+            InvalidParameterError: when ``parent_version`` is not the store's
+                current latest version of ``name``.
+        """
+        if not NAME_PATTERN.match(name):
+            raise InvalidParameterError(
+                f"synopsis name must match {NAME_PATTERN.pattern}, got {name!r}"
+            )
+        payload = serialize_histogram(histogram)
+        with self._lock:
+            latest = self.latest_version(name, default=0)
+            expected = 0 if parent_version is None else int(parent_version)
+            if expected != latest:
+                raise InvalidParameterError(
+                    f"delta publish of {name!r} expects parent version "
+                    f"{expected or None}, but the store's latest is {latest or None}"
+                )
+            return self._publish_locked(
+                name, latest + 1, histogram, payload,
+                algorithm=algorithm, seed=seed, build=build,
+                parent_version=parent_version,
+            )
+
+    def _publish_locked(
+        self,
+        name: str,
+        version: int,
+        histogram: WaveletHistogram,
+        payload: bytes,
+        *,
+        algorithm: str,
+        seed: Optional[int],
+        build: Optional[Dict[str, Any]],
+        parent_version: Optional[int],
+    ) -> SynopsisMetadata:
+        metadata = SynopsisMetadata(
+            name=name,
+            version=version,
+            algorithm=algorithm,
+            u=histogram.u,
+            k=histogram.k,
+            coefficient_count=len(histogram),
+            seed=seed,
+            checksum_sha256=hashlib.sha256(payload).hexdigest(),
+            payload_bytes=len(payload),
+            parent_version=parent_version,
+            build=dict(build or {}),
+        )
+        self.backend.publish(name, version, metadata.to_json() + "\n", payload)
+        self._write_catalog()
         return metadata
 
     # ---------------------------------------------------------------- loading

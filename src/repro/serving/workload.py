@@ -26,19 +26,32 @@ estimation is exercised in practice:
 Every generated workload is a pure function of ``(domain, seed, mix, count)``,
 so two processes — or a benchmark re-run months later — replay byte-identical
 query streams.
+
+The module also generates *update* streams for the streaming ingest path:
+:class:`UpdateStreamGenerator` produces sequenced :class:`UpdateBatch`
+insert/delete batches with the same purity guarantee (a function of
+``(u, seed, delete_fraction, batch_size, num_batches)``), with deletions
+drawn only from currently live records so every prefix of the stream
+describes a realisable multiset.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Tuple
+from typing import Iterator, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.haar import validate_domain
 from repro.errors import InvalidParameterError
 
-__all__ = ["MIX_NAMES", "QueryWorkload", "WorkloadGenerator"]
+__all__ = [
+    "MIX_NAMES",
+    "QueryWorkload",
+    "UpdateBatch",
+    "UpdateStreamGenerator",
+    "WorkloadGenerator",
+]
 
 MIX_NAMES: Tuple[str, ...] = ("uniform", "zipfian", "range_skewed", "mixed")
 
@@ -73,6 +86,127 @@ class QueryWorkload:
             and np.array_equal(self.los, other.los)
             and np.array_equal(self.his, other.his)
         )
+
+
+@dataclass(frozen=True, eq=False)
+class UpdateBatch:
+    """One sequenced batch of a key-update stream: insertions and deletions."""
+
+    sequence: int
+    inserts: np.ndarray
+    deletes: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.sequence < 1:
+            raise InvalidParameterError(
+                f"batch sequence must be positive, got {self.sequence}"
+            )
+        if self.inserts.ndim != 1 or self.deletes.ndim != 1:
+            raise InvalidParameterError("update keys must be 1-D arrays")
+
+    def __len__(self) -> int:
+        return int(self.inserts.size + self.deletes.size)
+
+    def __eq__(self, other: object) -> bool:
+        # As with QueryWorkload: equality means "replays the same updates".
+        if not isinstance(other, UpdateBatch):
+            return NotImplemented
+        return (
+            self.sequence == other.sequence
+            and np.array_equal(self.inserts, other.inserts)
+            and np.array_equal(self.deletes, other.deletes)
+        )
+
+
+class UpdateStreamGenerator:
+    """Generates deterministic insert/delete streams over a domain ``[1, u]``.
+
+    Insertions are zipf-skewed keys (decorrelated from rank by the same
+    seed-derived odd-multiplier bijection the query generator uses);
+    deletions are drawn uniformly without replacement from the records
+    currently live, so any prefix of the stream nets out to a realisable
+    (non-negative) multiset — the shape the equivalence suite compares
+    against a batch build.
+
+    Args:
+        u: domain size (power of two, matching the synopsis being fed).
+        seed: base seed; each ``(batch_size, num_batches)`` pair derives its
+            own RNG stream, so generation is reproducible independent of
+            call order.
+        alpha: zipf skew of the inserted-key distribution.
+        delete_fraction: fraction of each batch that is deletions (rounded;
+            capped by the number of live records at that point).
+    """
+
+    def __init__(
+        self,
+        u: int,
+        seed: int = 7,
+        alpha: float = 1.1,
+        delete_fraction: float = 0.0,
+    ) -> None:
+        validate_domain(u)
+        if alpha <= 0:
+            raise InvalidParameterError(f"alpha must be positive, got {alpha}")
+        if not 0.0 <= delete_fraction < 1.0:
+            raise InvalidParameterError(
+                f"delete_fraction must be in [0, 1), got {delete_fraction}"
+            )
+        self.u = u
+        self.seed = seed
+        self.alpha = alpha
+        self.delete_fraction = delete_fraction
+
+    def batches(self, batch_size: int, num_batches: int) -> List[UpdateBatch]:
+        """Generate ``num_batches`` sequenced batches of ``batch_size`` updates."""
+        if batch_size < 1:
+            raise InvalidParameterError(f"batch_size must be positive, got {batch_size}")
+        if num_batches < 1:
+            raise InvalidParameterError(f"num_batches must be positive, got {num_batches}")
+        rng = np.random.default_rng((self.seed, batch_size, num_batches, self.u))
+        multiplier = 2 * int(rng.integers(0, max(self.u // 2, 1))) + 1
+        live = np.zeros(self.u + 1, dtype=np.int64)
+        batches: List[UpdateBatch] = []
+        for index in range(num_batches):
+            num_deletes = int(round(batch_size * self.delete_fraction))
+            num_inserts = batch_size - num_deletes
+            ranks = np.minimum(
+                rng.zipf(1.0 + self.alpha, size=num_inserts), self.u
+            ).astype(np.int64)
+            inserts = ((ranks - 1) * multiplier) % self.u + 1
+            np.add.at(live, inserts, 1)
+            if num_deletes:
+                keys = np.flatnonzero(live)
+                population = np.repeat(keys, live[keys])
+                deletes = np.sort(rng.choice(
+                    population, size=min(num_deletes, population.size),
+                    replace=False,
+                )).astype(np.int64)
+                np.subtract.at(live, deletes, 1)
+            else:
+                deletes = np.zeros(0, dtype=np.int64)
+            batches.append(UpdateBatch(
+                sequence=index + 1, inserts=inserts, deletes=deletes
+            ))
+        return batches
+
+    def net_keys(self, batches: Sequence[UpdateBatch]) -> np.ndarray:
+        """The surviving key multiset of a batch list, as a sorted key array.
+
+        This is what a from-scratch batch build of "the same logical dataset"
+        ingests — the equivalence suite feeds it to the batch pipeline and
+        compares checksums with the streamed synopsis.
+        """
+        live = np.zeros(self.u + 1, dtype=np.int64)
+        for batch in batches:
+            np.add.at(live, batch.inserts, 1)
+            np.subtract.at(live, batch.deletes, 1)
+        if live.min() < 0:
+            raise InvalidParameterError(
+                "update stream deletes records that were never inserted"
+            )
+        keys = np.flatnonzero(live)
+        return np.repeat(keys, live[keys])
 
 
 class WorkloadGenerator:

@@ -1,0 +1,478 @@
+"""Incremental synopsis maintenance: fold partials into new store versions.
+
+A :class:`SynopsisMaintainer` owns one named synopsis in a
+:class:`~repro.serving.store.SynopsisStore` and rolls it forward as update
+batches arrive: accumulated :class:`~repro.streaming.partial.PartialSynopsis`
+deltas are folded on a configurable cadence, and every serving publish is a
+**delta over the previous version** — recorded as ``parent_version`` (plus
+update counts) in the store metadata — never a rescan of base data.
+
+**Why the durable state is count space.**  The maintainer's state is the full
+(untruncated) frequency vector of everything applied so far, checkpointed as
+a companion catalog entry ``<name>.state`` — the WHSYN payload format is just
+sorted ``(index, value)`` pairs, so the same serialisation, checksumming and
+atomic-publish machinery carries count vectors in the key basis unchanged.
+Publishing transforms the state over ascending keys (exactly the fold order
+of the batch reducers) and re-selects the top-``k``.  By Haar linearity this
+equals "the coefficients of ``v`` plus the coefficient delta of the updates,
+re-thresholded" (:func:`~repro.core.topk_coefficients.merge_coefficients`
+composed with :func:`~repro.core.topk_coefficients.top_k_coefficients`) — but
+doing the sum in integer count space keeps it *exact*, so a streamed synopsis
+is byte-identical, checksum included, to a from-scratch batch build of the
+same logical multiset.  That is the subsystem's load-bearing invariant:
+``ingest(updates) ∘ maintain ≡ batch-build(base ∪ updates)``, enforced by
+``tests/test_streaming_equivalence.py``.
+
+**Exactly-once versions under at-least-once delivery.**  Update batches carry
+monotonically increasing sequence numbers.  A batch at or below the applied
+high-water mark is dropped (duplicate delivery); a gap raises
+:class:`~repro.errors.StreamingError` (applying it would silently corrupt the
+state).  A maintenance cycle publishes the state checkpoint *first*, then the
+serving delta: a crash between the two leaves the serving synopsis lagging
+the state, which the next :meth:`SynopsisMaintainer.maintain` detects (the
+serving metadata's ``applied_batches`` trails the state's) and completes —
+no version is ever skipped or double-applied.
+
+:class:`SlidingWindowMaintainer` is the windowed variant: a ring of
+per-epoch partials where advancing folds the newest epoch in and expiry
+*subtracts* the evicted epoch's partial (exact, by linearity).  Its state is
+reconstructed after a restart by re-delivering the in-window epochs; epochs
+at or below the published high-water mark rebuild the ring without
+re-publishing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Optional
+
+from repro.core.haar import sparse_haar_transform, validate_domain
+from repro.core.histogram import WaveletHistogram
+from repro.core.topk_coefficients import top_k_coefficients
+from repro.errors import InvalidParameterError, StreamingError
+from repro.serving.store import SynopsisMetadata, SynopsisStore
+from repro.streaming.partial import PartialSynopsis
+
+__all__ = [
+    "STATE_ALGORITHM",
+    "STATE_SUFFIX",
+    "SlidingWindowMaintainer",
+    "SynopsisMaintainer",
+]
+
+# The durable count-space state rides in the same catalog as the synopsis it
+# backs, under a dotted companion name (NAME_PATTERN allows dots).
+STATE_SUFFIX = ".state"
+STATE_ALGORITHM = "stream-state"
+
+
+class SynopsisMaintainer:
+    """Maintains one named synopsis incrementally from sequenced partials.
+
+    Args:
+        store: the catalog to publish into.
+        name: serving synopsis name; the durable state checkpoint lives next
+            to it as ``<name>.state``.
+        u: domain size for a **new** stream; recovered from the state
+            checkpoint when the stream already exists (a conflicting explicit
+            value raises).
+        k: coefficient budget of the serving synopsis; recovered from the
+            state checkpoint when omitted on an existing stream.
+        algorithm: algorithm label stamped on serving versions.
+        cadence: publish every this-many applied batches; ``maintain()`` can
+            always be called earlier by hand.
+        seed: provenance seed recorded in metadata (streams are
+            deterministic; this is bookkeeping, not randomness).
+    """
+
+    def __init__(
+        self,
+        store: SynopsisStore,
+        name: str,
+        *,
+        u: Optional[int] = None,
+        k: Optional[int] = None,
+        algorithm: str = "streaming",
+        cadence: int = 1,
+        seed: Optional[int] = None,
+    ) -> None:
+        if cadence < 1:
+            raise InvalidParameterError(f"cadence must be positive, got {cadence}")
+        self.store = store
+        self.name = name
+        self.state_name = name + STATE_SUFFIX
+        self.algorithm = algorithm
+        self.cadence = cadence
+        self.seed = seed
+        self._pending: list = []
+        self._counts: Dict[int, float] = {}
+        self._applied = 0
+        self._insertions = 0
+        self._deletions = 0
+
+        state_version = store.latest_version(self.state_name, default=0)
+        serving_version = store.latest_version(name, default=0)
+        if state_version:
+            self._recover(state_version, u, k)
+        elif serving_version:
+            raise StreamingError(
+                f"synopsis {name!r} has published versions but no streaming "
+                f"state checkpoint ({self.state_name!r}); a stream must start "
+                f"from an unused name (re-ingest the base data as updates)"
+            )
+        else:
+            if u is None:
+                raise InvalidParameterError(
+                    f"new stream {name!r} needs a domain size: pass u="
+                )
+            validate_domain(u)
+            self.u = u
+            self.k = int(k) if k is not None else 30
+        if self.k < 1:
+            raise InvalidParameterError(f"k must be positive, got {self.k}")
+
+    def _recover(self, state_version: int, u: Optional[int], k: Optional[int]) -> None:
+        """Rebuild in-memory state from the latest ``<name>.state`` checkpoint."""
+        handle = self.store.load(self.state_name, state_version)
+        metadata = handle.metadata
+        if u is not None and int(u) != metadata.u:
+            raise InvalidParameterError(
+                f"stream {self.name!r} has domain u={metadata.u}, "
+                f"cannot reopen with u={u}"
+            )
+        self.u = metadata.u
+        # The checkpoint payload carries the count vector in the key basis:
+        # "coefficients" here are counts, exactly as published.
+        self._counts = {
+            int(key): float(value)
+            for key, value in handle.histogram.coefficients.items()
+        }
+        build = metadata.build
+        self._applied = int(build.get("applied_batches", 0))
+        self._insertions = int(build.get("insertions", 0))
+        self._deletions = int(build.get("deletions", 0))
+        recovered_k = build.get("k")
+        self.k = int(k) if k is not None else int(recovered_k or 30)
+
+    # -------------------------------------------------------------- properties
+    @property
+    def applied_batches(self) -> int:
+        """Sequence high-water mark: batches folded into the durable state."""
+        return self._applied
+
+    @property
+    def pending_batches(self) -> int:
+        """Batches ingested but not yet folded (below the cadence)."""
+        return len(self._pending)
+
+    @property
+    def next_sequence(self) -> int:
+        """The sequence number the next new batch must carry."""
+        return self._applied + len(self._pending) + 1
+
+    # ----------------------------------------------------------------- ingest
+    def ingest(
+        self, partial: PartialSynopsis, *, sequence: Optional[int] = None
+    ) -> Optional[SynopsisMetadata]:
+        """Queue one sequenced batch partial; maintains when the cadence fills.
+
+        Delivery is at-least-once upstream; application is exactly-once here:
+        a ``sequence`` at or below the high-water mark is dropped (duplicate
+        delivery after a restart), a gap raises
+        :class:`~repro.errors.StreamingError`, and ``sequence=None`` means
+        "the next one".
+
+        Returns the metadata of a publish this ingest triggered, else ``None``.
+        """
+        if partial.u != self.u:
+            raise InvalidParameterError(
+                f"partial has domain u={partial.u}, stream {self.name!r} "
+                f"has u={self.u}"
+            )
+        expected = self.next_sequence
+        if sequence is None:
+            sequence = expected
+        else:
+            sequence = int(sequence)
+            if sequence < expected:
+                return None  # duplicate delivery: already applied or pending
+            if sequence > expected:
+                raise StreamingError(
+                    f"update batch sequence {sequence} skips ahead of "
+                    f"{expected} for stream {self.name!r}"
+                )
+        self._pending.append(partial)
+        if len(self._pending) >= self.cadence:
+            return self.maintain()
+        return None
+
+    # --------------------------------------------------------------- maintain
+    def maintain(self, *, force: bool = False) -> Optional[SynopsisMetadata]:
+        """Fold pending partials into the state and publish the next version.
+
+        With nothing pending, this reconciles instead: if the serving synopsis
+        lags the durable state (a crash between the state checkpoint and the
+        serving publish), the missing serving version is published now;
+        otherwise ``force`` republishes from state and ``not force`` is a
+        no-op.  Returns the published metadata, or ``None`` when nothing was
+        published.
+        """
+        if self._pending:
+            cycle = PartialSynopsis.empty(self.u)
+            for partial in self._pending:
+                cycle = cycle.merge(partial)
+            cycle_batches = len(self._pending)
+            self._pending = []
+            self._fold(cycle)
+            self._applied += cycle_batches
+            self._insertions += cycle.insertions
+            self._deletions += cycle.deletions
+            self._checkpoint_state()
+            return self._publish_serving(
+                cycle_batches, cycle.insertions, cycle.deletions
+            )
+        if force or self._serving_lags():
+            return self._publish_serving(0, 0, 0)
+        return None
+
+    # -------------------------------------------------------------- internals
+    def _fold(self, cycle: PartialSynopsis) -> None:
+        """Apply one cycle's count delta to the full state (exact addition)."""
+        counts = self._counts
+        for key, value in cycle.counts.items():
+            total = counts.get(key, 0.0) + value
+            if total == 0.0:
+                counts.pop(key, None)
+            else:
+                counts[key] = total
+
+    def _sorted_counts(self) -> Dict[int, float]:
+        return {key: self._counts[key] for key in sorted(self._counts)}
+
+    def _serving_lags(self) -> bool:
+        """Whether the serving synopsis trails the durable state."""
+        latest = self.store.latest_version(self.name, default=0)
+        if not latest:
+            return self._applied > 0
+        build = self.store.load(self.name, latest).metadata.build
+        return int(build.get("applied_batches", -1)) != self._applied
+
+    def _checkpoint_state(self) -> None:
+        """Publish the full count vector as the next ``<name>.state`` version."""
+        histogram = WaveletHistogram.from_coefficients(
+            self._sorted_counts(), self.u, k=None
+        )
+        self.store.save(
+            self.state_name,
+            histogram,
+            algorithm=STATE_ALGORITHM,
+            seed=self.seed,
+            build={
+                "kind": "stream-state",
+                "stream": self.name,
+                "k": self.k,
+                "applied_batches": self._applied,
+                "insertions": self._insertions,
+                "deletions": self._deletions,
+            },
+        )
+
+    def _publish_serving(
+        self, cycle_batches: int, cycle_insertions: int, cycle_deletions: int
+    ) -> SynopsisMetadata:
+        """Publish the serving synopsis as a delta over its previous version."""
+        parent = self.store.latest_version(self.name, default=0) or None
+        coefficients = top_k_coefficients(
+            sparse_haar_transform(self._sorted_counts(), self.u), self.k
+        )
+        histogram = WaveletHistogram.from_coefficients(coefficients, self.u, k=self.k)
+        return self.store.save_delta(
+            self.name,
+            histogram,
+            parent_version=parent,
+            algorithm=self.algorithm,
+            seed=self.seed,
+            build={
+                "applied_batches": self._applied,
+                "insertions": self._insertions,
+                "deletions": self._deletions,
+                "cycle_batches": cycle_batches,
+                "cycle_insertions": cycle_insertions,
+                "cycle_deletions": cycle_deletions,
+            },
+        )
+
+
+class SlidingWindowMaintainer:
+    """Maintains a synopsis over the most recent ``window`` epochs of a stream.
+
+    The state is a ring of per-epoch partials: advancing folds the newest
+    epoch's partial into the window counts and, once the ring is full,
+    **subtracts** the evicted epoch's partial — exact by linearity, so every
+    published version equals a batch build over exactly the in-window
+    updates.  One :meth:`advance` (or :meth:`ingest`) call is one epoch, and
+    each epoch that moves the high-water mark publishes a delta version.
+
+    Durability: the window's state is *not* checkpointed (it would duplicate
+    the in-window epochs); instead a restarted maintainer is rebuilt by
+    re-delivering epochs from :attr:`resume_from` — at-least-once upstream
+    delivery again.  Re-delivered epochs at or below the published high-water
+    mark re-enter the ring without publishing, so versions stay exactly-once.
+    """
+
+    def __init__(
+        self,
+        store: SynopsisStore,
+        name: str,
+        *,
+        window: int,
+        u: Optional[int] = None,
+        k: Optional[int] = None,
+        algorithm: str = "streaming-window",
+        seed: Optional[int] = None,
+    ) -> None:
+        if window < 1:
+            raise InvalidParameterError(f"window must be positive, got {window}")
+        self.store = store
+        self.name = name
+        self.window = window
+        self.algorithm = algorithm
+        self.seed = seed
+        self._ring: Deque[PartialSynopsis] = deque()
+        self._counts: Dict[int, float] = {}
+        self._last_seen: Optional[int] = None
+
+        latest = store.latest_version(name, default=0)
+        if latest:
+            metadata = store.load(name, latest).metadata
+            if u is not None and int(u) != metadata.u:
+                raise InvalidParameterError(
+                    f"windowed stream {name!r} has domain u={metadata.u}, "
+                    f"cannot reopen with u={u}"
+                )
+            if int(metadata.build.get("window", window)) != window:
+                raise StreamingError(
+                    f"windowed stream {name!r} was published with window="
+                    f"{metadata.build.get('window')}, cannot reopen with "
+                    f"window={window}"
+                )
+            self.u = metadata.u
+            self.k = int(k) if k is not None else int(metadata.k or 30)
+            self._applied = int(metadata.build.get("applied_batches", 0))
+        else:
+            if u is None:
+                raise InvalidParameterError(
+                    f"new windowed stream {name!r} needs a domain size: pass u="
+                )
+            validate_domain(u)
+            self.u = u
+            self.k = int(k) if k is not None else 30
+            self._applied = 0
+        if self.k < 1:
+            raise InvalidParameterError(f"k must be positive, got {self.k}")
+
+    # -------------------------------------------------------------- properties
+    @property
+    def applied_batches(self) -> int:
+        """Epoch high-water mark: epochs published through."""
+        return self._applied
+
+    @property
+    def resume_from(self) -> int:
+        """First epoch a restarted maintainer must be re-delivered."""
+        if not self._applied:
+            return 1
+        return max(1, self._applied - self.window + 1)
+
+    @property
+    def window_batches(self) -> int:
+        """Epochs currently held in the ring."""
+        return len(self._ring)
+
+    # ---------------------------------------------------------------- advance
+    def advance(
+        self, partial: PartialSynopsis, *, sequence: Optional[int] = None
+    ) -> Optional[SynopsisMetadata]:
+        """Advance the window by one epoch; publishes unless re-delivered.
+
+        Epochs must arrive densely: the first call after construction must
+        carry :attr:`resume_from` (which is the next unpublished epoch on a
+        fresh stream, or the oldest in-window epoch after a restart) and each
+        later call the successor — the window cannot be reconstructed from
+        gapped re-delivery.  Returns the published metadata, or ``None`` for
+        a re-delivered epoch that only rebuilt ring state.
+        """
+        if partial.u != self.u:
+            raise InvalidParameterError(
+                f"partial has domain u={partial.u}, windowed stream "
+                f"{self.name!r} has u={self.u}"
+            )
+        expected = (
+            self._last_seen + 1 if self._last_seen is not None else self.resume_from
+        )
+        if sequence is None:
+            sequence = expected
+        else:
+            sequence = int(sequence)
+        if sequence != expected:
+            raise StreamingError(
+                f"windowed stream {self.name!r} expected epoch {expected}, "
+                f"got {sequence} (windows rebuild from dense re-delivery "
+                f"starting at resume_from={self.resume_from})"
+            )
+        self._last_seen = sequence
+        self._ring.append(partial)
+        self._fold(partial)
+        if len(self._ring) > self.window:
+            self._fold(self._ring.popleft().negated())
+        if sequence <= self._applied:
+            return None  # re-delivered epoch: ring rebuilt, already published
+        self._applied = sequence
+        return self._publish_serving()
+
+    def ingest(
+        self, partial: PartialSynopsis, *, sequence: Optional[int] = None
+    ) -> Optional[SynopsisMetadata]:
+        """Alias for :meth:`advance` (interface parity with the cumulative maintainer)."""
+        return self.advance(partial, sequence=sequence)
+
+    def maintain(self, *, force: bool = False) -> Optional[SynopsisMetadata]:
+        """Windowed streams publish per epoch; ``force`` republishes the window."""
+        if force:
+            return self._publish_serving()
+        return None
+
+    # -------------------------------------------------------------- internals
+    def _fold(self, partial: PartialSynopsis) -> None:
+        counts = self._counts
+        for key, value in partial.counts.items():
+            total = counts.get(key, 0.0) + value
+            if total == 0.0:
+                counts.pop(key, None)
+            else:
+                counts[key] = total
+
+    def _sorted_counts(self) -> Dict[int, float]:
+        return {key: self._counts[key] for key in sorted(self._counts)}
+
+    def _publish_serving(self) -> SynopsisMetadata:
+        parent = self.store.latest_version(self.name, default=0) or None
+        coefficients = top_k_coefficients(
+            sparse_haar_transform(self._sorted_counts(), self.u), self.k
+        )
+        histogram = WaveletHistogram.from_coefficients(coefficients, self.u, k=self.k)
+        build: Dict[str, Any] = {
+            "window": self.window,
+            "applied_batches": self._applied,
+            "window_batches": len(self._ring),
+            "window_insertions": int(sum(p.insertions for p in self._ring)),
+            "window_deletions": int(sum(p.deletions for p in self._ring)),
+        }
+        return self.store.save_delta(
+            self.name,
+            histogram,
+            parent_version=parent,
+            algorithm=self.algorithm,
+            seed=self.seed,
+            build=build,
+        )
