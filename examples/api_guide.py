@@ -26,11 +26,14 @@ from repro import (
     BuildRequest,
     RuntimeProfile,
     SynopsisService,
+    Telemetry,
     UpdateStreamGenerator,
     WorkloadGenerator,
     ZipfDatasetGenerator,
     algorithm_names,
     make_algorithm,
+    registry_to_prometheus,
+    set_telemetry,
 )
 
 
@@ -152,6 +155,46 @@ def main() -> None:
     print(f"live-hits estimated total after ingest: "
           f"{float(answers['live-hits'][0]):,.1f} (fed {live_total:,} net)")
     assert float(answers["live-hits"][0]) == float(live_total)
+
+    # -------------------------------------------------------- 6. telemetry
+    # Every layer reports into one seam: repro.telemetry.  A Telemetry bundle
+    # pairs a MetricsRegistry (labeled counters / gauges / fixed-bucket
+    # histograms) with a Tracer (structured spans).  Installed as the
+    # process-global default, it captures whatever runs next — and the hard
+    # invariant is that it NEVER changes results: span ids are monotonic ints
+    # (no RNG), and parallel tasks record metric deltas that replay at the
+    # phase barrier in task order, exactly like Counters.
+    telemetry = Telemetry.enabled()  # tracer on; Telemetry() leaves it off
+    previous = set_telemetry(telemetry)
+    try:
+        traced_profile = profile.with_overrides(telemetry=telemetry)
+        traced = SynopsisService(profile=traced_profile)
+        traced.build(AlgorithmSpec("send-v", k=40), web, name="web")
+        traced.query_workload(["web"], workload)
+    finally:
+        set_telemetry(previous)
+
+    # The registry now holds per-phase build timings and the serving latency
+    # histogram serve-bench reads its p50/p99 from...
+    registry = telemetry.metrics
+    map_seconds = registry.histogram("repro_build_phase_seconds", phase="map")
+    batch_seconds = registry.histogram("repro_serving_batch_seconds",
+                                       op="range_sum")
+    print(f"telemetry: {map_seconds.count} map phase(s), "
+          f"{batch_seconds.count} query batch(es), "
+          f"batch p99 {batch_seconds.quantile(0.99) * 1e3:.3f} ms")
+
+    # ...and exposes it in two machine formats: a JSON snapshot and the
+    # Prometheus text format (scrape-ready # TYPE / _bucket{le=...} series).
+    prometheus = registry_to_prometheus(registry)
+    assert "# TYPE repro_serving_batch_seconds histogram" in prometheus
+    print(f"prometheus exposition: {len(prometheus.splitlines())} lines")
+
+    # Spans round-trip through JSONL — the CLI equivalent is
+    # `repro build --trace trace.jsonl` then `repro telemetry trace.jsonl`.
+    spans = telemetry.tracer.events()
+    kinds = sorted({event.kind for event in spans})
+    print(f"trace: {len(spans)} spans across layers {', '.join(kinds)}")
 
 
 if __name__ == "__main__":

@@ -26,7 +26,14 @@ The package is organised as:
   :class:`~repro.streaming.partial.PartialSynopsis` count deltas, the
   :class:`~repro.streaming.ingest.StreamIngestor` and the incremental
   :class:`~repro.streaming.maintain.SynopsisMaintainer` (delta publishes,
-  sliding windows), byte-identical to batch builds.
+  sliding windows), byte-identical to batch builds;
+* :mod:`repro.telemetry` — the unified observability layer: a thread-safe
+  :class:`~repro.telemetry.MetricsRegistry` (labeled counters, gauges,
+  fixed-bucket histograms), a :class:`~repro.telemetry.Tracer` emitting
+  structured span events with JSONL export, and JSON / Prometheus-text
+  exposition.  Every layer instruments into the process-global bundle
+  (:func:`~repro.telemetry.get_telemetry`); telemetry never touches task
+  RNGs, payloads or merge order, so it cannot change results.
 
 Quickstart::
 
@@ -42,6 +49,8 @@ Quickstart::
     answers = service.query([report.name], [1], [dataset.u])
     print(report.version, report.checksum_sha256[:12], answers)
 """
+
+import logging
 
 from repro.algorithms import (
     AlgorithmResult,
@@ -85,8 +94,20 @@ from repro.streaming import (
     StreamIngestor,
     SynopsisMaintainer,
 )
+from repro.telemetry import (
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+    get_telemetry,
+    registry_to_prometheus,
+    set_telemetry,
+)
 
-__version__ = "1.4.0"
+# Library convention: the package emits log records but never configures
+# handlers — applications opt in (the CLI's --log-level does).
+logging.getLogger(__name__).addHandler(logging.NullHandler())
+
+__version__ = "1.5.0"
 
 __all__ = [
     "AlgorithmResult",
@@ -133,5 +154,11 @@ __all__ = [
     "StreamIngestor",
     "SynopsisMaintainer",
     "SlidingWindowMaintainer",
+    "MetricsRegistry",
+    "Telemetry",
+    "Tracer",
+    "get_telemetry",
+    "set_telemetry",
+    "registry_to_prometheus",
     "__version__",
 ]

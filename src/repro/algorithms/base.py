@@ -214,7 +214,8 @@ class HistogramAlgorithm(ABC):
         cluster_spec = profile.resolved_cluster()
         runner = JobRunner(hdfs, cluster=cluster_spec, state_store=StateStore(),
                            seed=profile.seed, executor=profile.build_executor(),
-                           data_plane=profile.data_plane)
+                           data_plane=profile.data_plane,
+                           telemetry=profile.telemetry)
         outcome = self._execute(runner, input_path)
         result = self.assemble_result(outcome, profile)
         if store_value is not None:

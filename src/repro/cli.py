@@ -1,6 +1,6 @@
 """Command-line interface: build, evaluate, *serve* and *stream* wavelet histograms.
 
-Nine sub-commands are provided::
+Ten sub-commands are provided::
 
     python -m repro compare   [--quick] [--k 30] [--epsilon 0.003]
         Run the paper's five algorithms over the (scaled) default workload and
@@ -47,6 +47,11 @@ Nine sub-commands are provided::
         recovery verb: it completes a serving publish a crashed process left
         behind (serving lagging the durable ``.state`` checkpoint).
 
+    python -m repro telemetry TRACE [--metrics FILE]
+        Render a span-trace summary (per-span wall times, per-layer rollup)
+        from a JSONL trace written by ``--trace``, plus an optional metrics
+        snapshot summary.
+
 ``compare``, ``figure`` and ``build`` accept ``--executor {serial,parallel}``,
 ``--workers N``, ``--data-plane {batch,records}`` and ``--concurrent-jobs N``
 (schedule up to N algorithm builds at once on the cluster's shared slot
@@ -55,11 +60,19 @@ parallel:4`` or ``--profile executor=parallel,data-plane=records,
 concurrent-jobs=7``) which overrides the individual flags; all reported
 numbers are bit-identical across executors, data planes and concurrency
 levels, only the wall-clock time changes.
+
+``build``, ``query``, ``serve-bench``, ``ingest`` and ``maintain`` also
+accept ``--trace FILE`` (export the run's span events as JSONL) and
+``--metrics FILE`` (write the metrics-registry snapshot as JSON; use a
+``.prom`` suffix for Prometheus text exposition); telemetry never changes
+results, only records them.  The global ``--log-level`` flag turns on
+stdlib-logging diagnostics for every command.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
@@ -76,8 +89,21 @@ from repro.serving.bench import measure_serving_throughput
 from repro.serving.server import QueryServer
 from repro.serving.store import SynopsisStore
 from repro.serving.workload import MIX_NAMES, UpdateStreamGenerator, WorkloadGenerator
+from repro.telemetry import (
+    Telemetry,
+    Tracer,
+    registry_to_json,
+    registry_to_prometheus,
+    render_metrics_summary,
+    render_trace_summary,
+    set_telemetry,
+)
 
 __all__ = ["main", "build_parser", "FIGURE_DRIVERS", "ALGORITHM_SLUGS"]
+
+logger = logging.getLogger(__name__)
+
+LOG_LEVELS = ("debug", "info", "warning", "error")
 
 # CLI slugs for the ``build`` command: every algorithm in the registry — the
 # same factory ``compare``, the figures and the service façade resolve
@@ -151,6 +177,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of 'Building Wavelet Histograms on Large Data in MapReduce'",
     )
+    parser.add_argument(
+        "--log-level", dest="log_level", choices=list(LOG_LEVELS), default=None,
+        help="enable stdlib-logging diagnostics at this level (default: off)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     compare = subparsers.add_parser(
@@ -183,6 +213,7 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--epsilon", type=float, default=None,
                        help="sampling parameter (default: configuration value)")
     _add_executor_arguments(build)
+    _add_telemetry_arguments(build)
 
     query = subparsers.add_parser(
         "query", help="answer range-sum queries from a stored synopsis"
@@ -202,6 +233,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--seed", type=int, default=7, help="workload seed (default: 7)")
     query.add_argument("--show", type=int, default=10,
                        help="how many individual answers to print (default: 10)")
+    _add_telemetry_arguments(query)
 
     bench = subparsers.add_parser(
         "serve-bench",
@@ -218,6 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--cache", type=int, default=None,
                        help="LRU range-cache capacity for the cached pass "
                             "(default: configuration query_cache_size)")
+    _add_telemetry_arguments(bench)
 
     serve = subparsers.add_parser(
         "serve", help="serve stored synopses: catalog listing and "
@@ -281,6 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--profile", default=None, metavar="SPEC",
                         help="runtime profile for the ingest executor, e.g. "
                              "'parallel:4' (default: serial)")
+    _add_telemetry_arguments(ingest)
 
     maintain = subparsers.add_parser(
         "maintain", help="fold a stream's pending state into a published "
@@ -293,7 +327,31 @@ def build_parser() -> argparse.ArgumentParser:
     maintain.add_argument("--force", action="store_true",
                           help="republish from the durable state even when "
                                "the serving synopsis is up to date")
+    _add_telemetry_arguments(maintain)
+
+    telemetry = subparsers.add_parser(
+        "telemetry", help="render a span-trace summary from a --trace JSONL "
+                          "export (plus an optional --metrics snapshot)"
+    )
+    telemetry.add_argument("trace_file", metavar="TRACE",
+                           help="JSONL span trace written by --trace")
+    telemetry.add_argument("--metrics", dest="metrics_file", default=None,
+                           metavar="FILE",
+                           help="also summarise this JSON metrics snapshot")
     return parser
+
+
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record span events for this run and export them as JSONL "
+             "(render with 'repro telemetry FILE')",
+    )
+    parser.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="write the metrics-registry snapshot after the run: JSON, or "
+             "Prometheus text exposition when FILE ends in .prom",
+    )
 
 
 def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
@@ -406,13 +464,16 @@ def _run_build(arguments: argparse.Namespace) -> List[str]:
                             ).with_overrides(store_path=arguments.store)
     dataset = config.build_dataset()
     algorithm = _build_algorithm(arguments.algorithm, config)
-    service = SynopsisService(
-        store=config.build_store(),
-        profile=config.build_profile(config.build_cluster(dataset)),
-    )
-    report = service.build(algorithm, dataset, name=arguments.name)
+    profile = config.build_profile(config.build_cluster(dataset))
+    service = SynopsisService(store=config.build_store(), profile=profile)
+    if profile.concurrent_jobs > 1:
+        # Route the single build through the scheduler batch so the slot
+        # pool statistics are observable (results are bit-identical).
+        report = service.build_many([(algorithm, dataset, arguments.name)])[0]
+    else:
+        report = service.build(algorithm, dataset, name=arguments.name)
     result = report.result
-    return [
+    lines = [
         f"built {result.algorithm} over n={dataset.n} u=2^{config.u.bit_length() - 1} "
         f"in {result.num_rounds} round(s), "
         f"{result.communication_bytes:,.0f} bytes communicated",
@@ -420,6 +481,9 @@ def _run_build(arguments: argparse.Namespace) -> List[str]:
         f"({len(result.histogram)} coefficients, "
         f"sha256 {report.checksum_sha256[:12]}...) in {arguments.store}",
     ]
+    if report.scheduler_stats is not None:
+        lines.append(f"scheduler: {report.scheduler_stats.describe()}")
+    return lines
 
 
 def _run_query(arguments: argparse.Namespace) -> List[str]:
@@ -600,10 +664,56 @@ def _run_maintain(arguments: argparse.Namespace) -> List[str]:
     ]
 
 
+def _run_telemetry(arguments: argparse.Namespace) -> List[str]:
+    events = Tracer.load_jsonl(arguments.trace_file)
+    lines = [f"trace {arguments.trace_file}:"]
+    lines.extend(render_trace_summary(events))
+    if arguments.metrics_file:
+        import json
+
+        with open(arguments.metrics_file, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+        lines.append("")
+        lines.append(f"metrics {arguments.metrics_file}:")
+        lines.extend(render_metrics_summary(snapshot))
+    return lines
+
+
+def _export_telemetry(telemetry: Telemetry, trace_path: Optional[str],
+                      metrics_path: Optional[str]) -> List[str]:
+    """Write the session's trace/metrics files; returns report lines."""
+    lines = []
+    if trace_path:
+        count = telemetry.tracer.export_jsonl(trace_path)
+        lines.append(f"trace: {count} span(s) -> {trace_path}")
+    if metrics_path:
+        if metrics_path.endswith(".prom"):
+            text = registry_to_prometheus(telemetry.metrics)
+        else:
+            text = registry_to_json(telemetry.metrics)
+        with open(metrics_path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        lines.append(f"metrics: snapshot -> {metrics_path}")
+    return lines
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     arguments = parser.parse_args(argv)
+    if arguments.log_level:
+        logging.basicConfig(
+            level=getattr(logging, arguments.log_level.upper()),
+            format="%(levelname)s %(name)s: %(message)s",
+        )
+    trace_path = getattr(arguments, "trace", None)
+    metrics_path = getattr(arguments, "metrics", None)
+    telemetry = None
+    if trace_path or metrics_path:
+        # A session-scoped bundle: spans are recorded only when --trace asked
+        # for them; the metrics registry is cheap and always on.
+        telemetry = Telemetry(tracer=Tracer(enabled=bool(trace_path)))
+        set_telemetry(telemetry)
     if arguments.command == "compare":
         lines = _run_compare(arguments)
     elif arguments.command == "figure":
@@ -623,8 +733,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         lines = _run_ingest(arguments)
     elif arguments.command == "maintain":
         lines = _run_maintain(arguments)
+    elif arguments.command == "telemetry":
+        lines = _run_telemetry(arguments)
     else:
         lines = _list_figures()
+    if telemetry is not None:
+        lines.extend(_export_telemetry(telemetry, trace_path, metrics_path))
     print("\n".join(lines))
     return 0
 

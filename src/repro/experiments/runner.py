@@ -15,7 +15,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.mapreduce.cluster import ClusterSpec
 from repro.mapreduce.hdfs import HDFS
 from repro.mapreduce.runtime import JobRunner
-from repro.mapreduce.scheduler import ClusterScheduler
+from repro.mapreduce.scheduler import ClusterScheduler, SchedulerStats
 from repro.mapreduce.state import StateStore
 from repro.service.profile import RuntimeProfile
 
@@ -171,10 +171,18 @@ def run_algorithms(
     if jobs_in_flight == 1 or len(algorithms) <= 1:
         results = [algorithm.run(hdfs, INPUT_PATH, profile=profile)
                    for algorithm in algorithms]
+        stats = None
     else:
-        results = _run_scheduled_batch(list(algorithms), hdfs, profile,
-                                       resolved_cluster, jobs_in_flight)
-    return [ExperimentMeasurement.from_result(result, exact) for result in results]
+        results, stats = _run_scheduled_batch(list(algorithms), hdfs, profile,
+                                              resolved_cluster, jobs_in_flight)
+    measurements = [ExperimentMeasurement.from_result(result, exact)
+                    for result in results]
+    if stats is not None:
+        # Surface the batch-wide scheduler statistics on every measurement
+        # (they describe the shared slot pool, not any single algorithm).
+        for measurement in measurements:
+            measurement.details["scheduler_stats"] = stats.describe()
+    return measurements
 
 
 def _run_scheduled_batch(
@@ -183,23 +191,27 @@ def _run_scheduled_batch(
     profile: RuntimeProfile,
     cluster: ClusterSpec,
     jobs_in_flight: int,
-) -> List[AlgorithmResult]:
+) -> "tuple[List[AlgorithmResult], Optional[SchedulerStats]]":
     """Build all algorithms as one concurrently scheduled batch.
 
     Each algorithm gets its own :class:`JobRunner` (own state store, seed and
     round numbering — exactly what a sequential ``run`` would construct) and
     its plan joins one :class:`ClusterScheduler` batch on the shared slot
     pool, so the batch is bit-identical to running the algorithms one by one.
+    Returns the results plus the batch's :class:`SchedulerStats`.
     """
     executor = profile.build_executor()
     entries = []
     for algorithm in algorithms:
         runner = JobRunner(hdfs, cluster=cluster, state_store=StateStore(),
                            seed=profile.seed, executor=executor,
-                           data_plane=profile.data_plane)
+                           data_plane=profile.data_plane,
+                           telemetry=profile.telemetry)
         entries.append((algorithm.create_plan(INPUT_PATH), runner))
     scheduler = ClusterScheduler.for_cluster(cluster, executor,
-                                             max_concurrent_jobs=jobs_in_flight)
+                                             max_concurrent_jobs=jobs_in_flight,
+                                             telemetry=profile.telemetry)
     outcomes = scheduler.run(entries)
-    return [algorithm.assemble_result(outcome, profile)
-            for algorithm, outcome in zip(algorithms, outcomes)]
+    results = [algorithm.assemble_result(outcome, profile)
+               for algorithm, outcome in zip(algorithms, outcomes)]
+    return results, scheduler.last_stats

@@ -40,6 +40,7 @@ shipped to a worker process stays proportional to the split size.
 from __future__ import annotations
 
 import os
+import time
 from abc import ABC, abstractmethod
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -63,6 +64,7 @@ from repro.mapreduce.inputformat import InputFormat, SequentialInputFormat
 from repro.mapreduce.job import DistributedCache, JobConfiguration, hash_partitioner
 from repro.mapreduce.serialization import SerializationModel
 from repro.mapreduce.state import StateStore
+from repro.telemetry.metrics import MetricsDelta
 
 __all__ = [
     "MapTaskSpec",
@@ -206,6 +208,12 @@ class TaskResult:
     Map tasks instead fill ``partitions``: their post-combine spill already
     routed to reduce partitions (the sharded shuffle), as a list with one
     entry per reducer holding pairs and/or columnar blocks in emission order.
+
+    ``metrics`` carries the task's telemetry delta (wall time, task counts)
+    across the process boundary; the runtime replays deltas in task order at
+    the phase barrier, alongside ``counters``.  It rides in the result rather
+    than a side channel so worker-process metrics can never arrive out of
+    merge order.
     """
 
     task_id: int
@@ -214,6 +222,7 @@ class TaskResult:
     state_saves: List[StateSave] = field(default_factory=list)
     state_bytes_read: int = 0
     partitions: Optional[List[List[Any]]] = None
+    metrics: Optional[MetricsDelta] = None
 
 
 def _materialize(items: List[Any]) -> List[EmittedPair]:
@@ -296,6 +305,20 @@ def _partition_spill(items: List[Any], partitioner: Callable[[Any, int], int],
     return partitions
 
 
+def _task_metrics(phase: str, started: float) -> MetricsDelta:
+    """The per-task telemetry delta: wall time and a task count, by phase.
+
+    Recorded unconditionally (two entries is cheap) so the coordinator's
+    registry sees task timings whether or not tracing is enabled, and works
+    identically whichever process ran the task.
+    """
+    delta = MetricsDelta()
+    delta.observe("repro_task_seconds", time.perf_counter() - started,
+                  phase=phase)
+    delta.inc("repro_tasks_total", 1.0, phase=phase)
+    return delta
+
+
 def execute_map_task(spec: MapTaskSpec) -> TaskResult:
     """Run one map task: read the split, map, combine, spill, partition.
 
@@ -307,6 +330,7 @@ def execute_map_task(spec: MapTaskSpec) -> TaskResult:
     record-at-a-time loop.  Either way the task ends with the map-side half of
     the sharded shuffle: the spill leaves the task already routed per reducer.
     """
+    task_started = time.perf_counter()
     counters = Counters()
     rng = np.random.default_rng(spec.seed_key)
     state = _TaskStateStore(spec.state_snapshot, spec.serialization)
@@ -351,6 +375,7 @@ def execute_map_task(spec: MapTaskSpec) -> TaskResult:
         state_saves=state.saves,
         state_bytes_read=state.bytes_read,
         partitions=partitions,
+        metrics=_task_metrics("map", task_started),
     )
 
 
@@ -393,6 +418,7 @@ def execute_reduce_task(spec: ReduceTaskSpec) -> TaskResult:
     grouped with one stable numpy sort instead of the per-pair dict loop; any
     mixed or per-pair partition takes the reference loop.
     """
+    task_started = time.perf_counter()
     counters = Counters()
     rng = np.random.default_rng(spec.seed_key)
     state = _TaskStateStore(spec.state_snapshot, spec.serialization)
@@ -431,6 +457,7 @@ def execute_reduce_task(spec: ReduceTaskSpec) -> TaskResult:
         counters=counters,
         state_saves=state.saves,
         state_bytes_read=state.bytes_read,
+        metrics=_task_metrics("reduce", task_started),
     )
 
 
@@ -453,11 +480,13 @@ class FunctionTaskSpec:
 
 def execute_function_task(spec: FunctionTaskSpec) -> TaskResult:
     """Run one generic function task and wrap its return value as a TaskResult."""
+    task_started = time.perf_counter()
     value = spec.function(spec.payload)
     return TaskResult(
         task_id=spec.task_id,
         pairs=[("result", value, 0)],
         counters=Counters(),
+        metrics=_task_metrics("function", task_started),
     )
 
 

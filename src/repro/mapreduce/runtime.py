@@ -51,6 +51,8 @@ coordinator-to-mapper communication.
 from __future__ import annotations
 
 import copy
+import logging
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
@@ -69,11 +71,14 @@ from repro.mapreduce.executor import (
 from repro.mapreduce.hdfs import HDFS, InputSplit
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.state import StateStore
+from repro.telemetry import Telemetry, active_telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.service.profile import RuntimeProfile
 
 __all__ = ["JobResult", "JobRunner", "RoundExecution"]
+
+logger = logging.getLogger(__name__)
 
 NUM_SPLITS_KEY = "mapred.map.tasks"
 
@@ -130,6 +135,7 @@ class JobRunner:
         seed: int = 7,
         executor: Optional[Executor] = None,
         data_plane: str = "batch",
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if data_plane not in DATA_PLANE_NAMES:
             raise InvalidParameterError(
@@ -141,6 +147,7 @@ class JobRunner:
         self._seed = seed
         self._executor = executor if executor is not None else SerialExecutor()
         self._data_plane = data_plane
+        self._telemetry = telemetry
         self._round_counter = 0
 
     @classmethod
@@ -160,6 +167,7 @@ class JobRunner:
             seed=profile.seed,
             executor=profile.build_executor(),
             data_plane=profile.data_plane,
+            telemetry=profile.telemetry,
         )
 
     @property
@@ -186,6 +194,17 @@ class JobRunner:
     def data_plane(self) -> str:
         """The data plane records move through (``"batch"`` or ``"records"``)."""
         return self._data_plane
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The telemetry bundle rounds instrument into.
+
+        Resolved at access time: an explicit bundle (usually from
+        ``RuntimeProfile.telemetry``) wins, otherwise the process-global
+        default — so a CLI session can install telemetry once without
+        re-threading every constructor.
+        """
+        return active_telemetry(self._telemetry)
 
     @property
     def rounds_started(self) -> int:
@@ -336,7 +355,13 @@ class JobRunner:
 
     # ---------------------------------------------------------- phase barriers
     def _merge_task_results(self, results: List[TaskResult], counters: Counters) -> None:
-        """Fold per-task counters and state writes into the job, in task order."""
+        """Fold per-task counters, state writes and metric deltas into the job.
+
+        Everything merges **in task order** — including the telemetry deltas,
+        which ride the same barrier as the counters so a parallel run's
+        registry is filled in the same order as a serial run's.
+        """
+        registry = self.telemetry.metrics
         for result in results:
             for name, value in result.counters:
                 counters.increment(name, value)
@@ -346,6 +371,8 @@ class JobRunner:
                 self._state_store.save(kind, identifier, copy.deepcopy(payload),
                                        size_bytes=size_bytes)
             self._state_store.bytes_read += result.state_bytes_read
+            if result.metrics is not None:
+                registry.apply_delta(result.metrics)
 
     def _shuffle(self, job: MapReduceJob,
                  map_results: List[TaskResult]) -> List[List[Any]]:
@@ -390,6 +417,12 @@ class RoundExecution:
             for split in splits
         ]
         self.reduce_specs: Optional[List[ReduceTaskSpec]] = None
+        # Phase wall clocks: the map phase runs from here to the map barrier,
+        # the reduce phase from the map barrier to the reduce barrier.
+        self._round_started = time.perf_counter()
+        self._phase_started = self._round_started
+        logger.debug("round %d of job %r: %d map task(s), %d reducer(s)",
+                     round_number, job.name, len(splits), job.num_reducers)
 
     @property
     def num_map_tasks(self) -> int:
@@ -407,6 +440,7 @@ class RoundExecution:
         everything the round's mappers persisted — exactly as in a sequential
         run.
         """
+        now = time.perf_counter()
         self._runner._merge_task_results(map_results, self.counters)
         partitions = self._runner._shuffle(self.job, map_results)
         self.reduce_specs = [
@@ -414,15 +448,19 @@ class RoundExecution:
                                             len(self.splits), self.round_number)
             for reducer_id, pairs in enumerate(partitions)
         ]
+        self._observe_phase("map", now - self._phase_started,
+                            tasks=len(map_results))
+        self._phase_started = now
         return self.reduce_specs
 
     def complete_reduce_phase(self, reduce_results: List[TaskResult]) -> JobResult:
         """The reduce barrier: merge results (in task order) and close the round."""
+        now = time.perf_counter()
         self._runner._merge_task_results(reduce_results, self.counters)
         output: List[Tuple[Any, Any]] = []
         for result in reduce_results:
             output.extend((key, value) for key, value, _ in result.pairs)
-        return JobResult(
+        result = JobResult(
             job_name=self.job.name,
             output=output,
             counters=self.counters,
@@ -430,3 +468,27 @@ class RoundExecution:
             num_mappers=len(self.splits),
             num_reducers=self.job.num_reducers,
         )
+        self._observe_phase("reduce", now - self._phase_started,
+                            tasks=len(reduce_results))
+        telemetry = self._runner.telemetry
+        telemetry.metrics.inc("repro_build_rounds_total")
+        telemetry.metrics.inc("repro_build_shuffle_bytes_total",
+                              result.shuffle_bytes)
+        telemetry.tracer.record(
+            "round", kind="build", duration_s=now - self._round_started,
+            job=self.job.name, round=self.round_number,
+            map_tasks=len(self.splits), reduce_tasks=self.job.num_reducers,
+            shuffle_bytes=result.shuffle_bytes)
+        logger.debug("round %d of job %r done: %.0f shuffle bytes in %.4fs",
+                     self.round_number, self.job.name, result.shuffle_bytes,
+                     now - self._round_started)
+        return result
+
+    def _observe_phase(self, phase: str, duration_s: float, tasks: int) -> None:
+        """Record one phase's wall time as a histogram sample and a span."""
+        telemetry = self._runner.telemetry
+        telemetry.metrics.observe("repro_build_phase_seconds", duration_s,
+                                  phase=phase)
+        telemetry.tracer.record(
+            f"phase:{phase}", kind="build", duration_s=duration_s,
+            job=self.job.name, round=self.round_number, tasks=tasks)

@@ -32,8 +32,10 @@ result depends on them.
 
 from __future__ import annotations
 
+import logging
+import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import InvalidParameterError, SchedulerError
@@ -41,11 +43,18 @@ from repro.mapreduce.cluster import ClusterSpec
 from repro.mapreduce.executor import Executor, TaskHandle, translate_task_failure
 from repro.mapreduce.plan import JobPlan, PlanContext
 from repro.mapreduce.runtime import JobRunner, RoundExecution, TaskResult
+from repro.telemetry import Telemetry, active_telemetry
 
 __all__ = ["ClusterScheduler", "SchedulerStats"]
 
+logger = logging.getLogger(__name__)
+
 MAP_PHASE = "map"
 REDUCE_PHASE = "reduce"
+
+# The slot-occupancy timeline is bounded so a huge batch cannot balloon the
+# stats object; occupancy changes past the cap are simply not sampled.
+_TIMELINE_LIMIT = 4096
 
 
 @dataclass
@@ -60,6 +69,10 @@ class SchedulerStats:
         peak_active_jobs: most plans simultaneously admitted.
         peak_map_slots_in_use: most map slots simultaneously occupied.
         peak_reduce_slots_in_use: most reduce slots simultaneously occupied.
+        slot_timeline: slot-occupancy samples ``(seconds since run start,
+            map slots in use, reduce slots in use)``, one per occupancy
+            change (dispatch or completion), capped at 4096 entries.  The
+            one wall-clock-bearing field — everything else is clock-free.
     """
 
     jobs: int = 0
@@ -69,6 +82,15 @@ class SchedulerStats:
     peak_active_jobs: int = 0
     peak_map_slots_in_use: int = 0
     peak_reduce_slots_in_use: int = 0
+    slot_timeline: List[Tuple[float, int, int]] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """One line for CLI reports: jobs, rounds, tasks and peak occupancy."""
+        return (f"jobs={self.jobs} rounds={self.rounds} "
+                f"map-tasks={self.map_tasks} reduce-tasks={self.reduce_tasks} "
+                f"peak-active-jobs={self.peak_active_jobs} "
+                f"peak-slots={self.peak_map_slots_in_use}m/"
+                f"{self.peak_reduce_slots_in_use}r")
 
 
 @dataclass
@@ -80,6 +102,9 @@ class _Task:
     phase: str
     task_index: int
     spec: object
+    # When the task entered its ready queue (perf_counter), for the
+    # queue-wait histogram; observability only, never consulted for order.
+    enqueued_s: float = 0.0
 
 
 class _JobState:
@@ -127,7 +152,8 @@ class ClusterScheduler:
     """
 
     def __init__(self, executor: Executor, map_slots: int, reduce_slots: int,
-                 max_concurrent_jobs: Optional[int] = None) -> None:
+                 max_concurrent_jobs: Optional[int] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
         if map_slots < 1 or reduce_slots < 1:
             raise InvalidParameterError(
                 f"map_slots and reduce_slots must be >= 1, got "
@@ -141,17 +167,20 @@ class ClusterScheduler:
         self.map_slots = map_slots
         self.reduce_slots = reduce_slots
         self.max_concurrent_jobs = max_concurrent_jobs
+        self._telemetry = telemetry
         self.last_stats = SchedulerStats()
 
     @classmethod
     def for_cluster(cls, cluster: ClusterSpec, executor: Executor,
-                    max_concurrent_jobs: Optional[int] = None) -> "ClusterScheduler":
+                    max_concurrent_jobs: Optional[int] = None,
+                    telemetry: Optional[Telemetry] = None) -> "ClusterScheduler":
         """A scheduler whose slot pool is the cluster's total map/reduce slots."""
         return cls(
             executor,
             map_slots=cluster.total_map_slots,
             reduce_slots=cluster.total_reduce_slots,
             max_concurrent_jobs=max_concurrent_jobs,
+            telemetry=telemetry,
         )
 
     # ------------------------------------------------------------------- run
@@ -172,6 +201,10 @@ class ClusterScheduler:
         self.last_stats = stats
         if not entries:
             return []
+        telemetry = active_telemetry(self._telemetry)
+        run_started = time.perf_counter()
+        logger.debug("scheduling %d plan(s) on %d map / %d reduce slot(s)",
+                     len(entries), self.map_slots, self.reduce_slots)
 
         jobs = [_JobState(index, plan, runner)
                 for index, (plan, runner) in enumerate(entries)]
@@ -183,6 +216,18 @@ class ClusterScheduler:
         map_in_use = 0
         reduce_in_use = 0
         remaining = len(jobs)
+
+        def sample_occupancy() -> None:
+            # One timeline point per occupancy change, capped; purely an
+            # observability artefact, never consulted by the dispatch logic.
+            if len(stats.slot_timeline) < _TIMELINE_LIMIT:
+                stats.slot_timeline.append(
+                    (time.perf_counter() - run_started, map_in_use, reduce_in_use))
+
+        def observe_dispatch(task: _Task) -> None:
+            telemetry.metrics.observe(
+                "repro_scheduler_queue_wait_seconds",
+                time.perf_counter() - task.enqueued_s, phase=task.phase)
 
         def admit_and_start() -> None:
             # Admission, then DAG advancement: build every ready stage of
@@ -211,18 +256,22 @@ class ClusterScheduler:
                 # Fill free slots in FIFO order, one queue per slot kind.
                 while map_ready and map_in_use < self.map_slots:
                     task = map_ready.popleft()
+                    observe_dispatch(task)
                     inflight[self.executor.submit_task(task.spec)] = task
                     map_in_use += 1
                     stats.map_tasks += 1
                     stats.peak_map_slots_in_use = max(
                         stats.peak_map_slots_in_use, map_in_use)
+                    sample_occupancy()
                 while reduce_ready and reduce_in_use < self.reduce_slots:
                     task = reduce_ready.popleft()
+                    observe_dispatch(task)
                     inflight[self.executor.submit_task(task.spec)] = task
                     reduce_in_use += 1
                     stats.reduce_tasks += 1
                     stats.peak_reduce_slots_in_use = max(
                         stats.peak_reduce_slots_in_use, reduce_in_use)
+                    sample_occupancy()
                 if not inflight:
                     if remaining:
                         names = ", ".join(jobs[i].plan.name for i in active)
@@ -241,6 +290,7 @@ class ClusterScheduler:
                         map_in_use -= 1
                     else:
                         reduce_in_use -= 1
+                    sample_occupancy()
                     self._record_task(jobs[task.job_index], task, result,
                                       reduce_ready, stats)
                     finish_job_if_done(jobs[task.job_index])
@@ -254,6 +304,15 @@ class ClusterScheduler:
                 self.executor.wait_any(pending)
                 pending = [handle for handle in pending if not handle.completed()]
             raise
+        telemetry.tracer.record(
+            "scheduler.run", kind="scheduler",
+            duration_s=time.perf_counter() - run_started,
+            jobs=stats.jobs, rounds=stats.rounds,
+            map_tasks=stats.map_tasks, reduce_tasks=stats.reduce_tasks,
+            peak_active_jobs=stats.peak_active_jobs,
+            peak_map_slots_in_use=stats.peak_map_slots_in_use,
+            peak_reduce_slots_in_use=stats.peak_reduce_slots_in_use)
+        logger.debug("scheduler batch done: %s", stats.describe())
         return [job.outcome for job in jobs]
 
     # ------------------------------------------------------------- internals
@@ -269,9 +328,10 @@ class ClusterScheduler:
         )
         job.rounds[stage_index] = round_execution
         job.phase_results[(stage_index, MAP_PHASE)] = {}
+        enqueued = time.perf_counter()
         for task_index, spec in enumerate(round_execution.map_specs):
             map_ready.append(_Task(job.index, stage_index, MAP_PHASE,
-                                   task_index, spec))
+                                   task_index, spec, enqueued_s=enqueued))
 
     def _record_task(self, job: _JobState, task: _Task, result: TaskResult,
                      reduce_ready: Deque[_Task], stats: SchedulerStats) -> None:
@@ -284,9 +344,11 @@ class ClusterScheduler:
                 ordered = [phase[i] for i in range(round_execution.num_map_tasks)]
                 reduce_specs = round_execution.complete_map_phase(ordered)
                 job.phase_results[(task.stage_index, REDUCE_PHASE)] = {}
+                enqueued = time.perf_counter()
                 for task_index, spec in enumerate(reduce_specs):
                     reduce_ready.append(_Task(job.index, task.stage_index,
-                                              REDUCE_PHASE, task_index, spec))
+                                              REDUCE_PHASE, task_index, spec,
+                                              enqueued_s=enqueued))
                 if not reduce_specs:
                     # Map-only round: with zero reduce specs there is no
                     # reduce-task completion to cross the reduce barrier, so

@@ -38,6 +38,7 @@ answer it returns is the one the underlying engine computes.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
@@ -50,7 +51,7 @@ from repro.errors import InvalidParameterError
 from repro.mapreduce.executor import FunctionTaskSpec
 from repro.mapreduce.hdfs import HDFS
 from repro.mapreduce.runtime import JobRunner
-from repro.mapreduce.scheduler import ClusterScheduler
+from repro.mapreduce.scheduler import ClusterScheduler, SchedulerStats
 from repro.mapreduce.state import StateStore
 from repro.serving.server import QueryServer, evaluate_range_shard
 from repro.serving.store import SynopsisMetadata, SynopsisStore
@@ -58,8 +59,11 @@ from repro.serving.workload import QueryWorkload
 from repro.service.profile import RuntimeProfile
 from repro.streaming.ingest import StreamIngestor
 from repro.streaming.maintain import SlidingWindowMaintainer, SynopsisMaintainer
+from repro.telemetry import active_telemetry, apply_task_metrics
 
 __all__ = ["AlgorithmSpec", "BuildReport", "BuildRequest", "SynopsisService"]
+
+logger = logging.getLogger(__name__)
 
 SERVICE_INPUT_PATH = "/service/input"
 
@@ -112,10 +116,16 @@ class BuildRequest:
 
 @dataclass
 class BuildReport:
-    """What one ``service.build`` produced: the stored version + the run."""
+    """What one ``service.build`` produced: the stored version + the run.
+
+    ``scheduler_stats`` is populated only when the build ran through a
+    :meth:`SynopsisService.build_many` scheduler batch; every report of one
+    batch shares the batch-wide :class:`SchedulerStats` instance.
+    """
 
     metadata: SynopsisMetadata
     result: AlgorithmResult
+    scheduler_stats: Optional[SchedulerStats] = None
 
     @property
     def name(self) -> str:
@@ -252,7 +262,7 @@ class SynopsisService:
             raise InvalidParameterError(
                 f"concurrent_jobs must be >= 1, got {jobs_in_flight}"
             )
-        if jobs_in_flight == 1 or len(normalized) <= 1:
+        if jobs_in_flight == 1 or not normalized:
             return [self.build(request.algorithm, request.dataset, profile,
                                name=request.name) for request in normalized]
 
@@ -270,13 +280,21 @@ class SynopsisService:
             request.dataset.to_hdfs(hdfs, SERVICE_INPUT_PATH)
             runner = JobRunner(hdfs, cluster=cluster, state_store=StateStore(),
                                seed=profile.seed, executor=executor,
-                               data_plane=profile.data_plane)
+                               data_plane=profile.data_plane,
+                               telemetry=profile.telemetry)
             entries.append((algorithm.create_plan(SERVICE_INPUT_PATH), runner))
             algorithms.append(algorithm)
 
+        telemetry = active_telemetry(profile.telemetry)
+        logger.debug("scheduling %d build(s), %d in flight",
+                     len(entries), jobs_in_flight)
         scheduler = ClusterScheduler.for_cluster(
-            cluster, executor, max_concurrent_jobs=jobs_in_flight)
-        outcomes = scheduler.run(entries)
+            cluster, executor, max_concurrent_jobs=jobs_in_flight,
+            telemetry=profile.telemetry)
+        with telemetry.tracer.span("service.build_many", kind="serving",
+                                   builds=len(entries), jobs=jobs_in_flight):
+            outcomes = scheduler.run(entries)
+        stats = scheduler.last_stats
 
         reports: List[BuildReport] = []
         # Publish in request order so store versioning is deterministic.
@@ -286,7 +304,8 @@ class SynopsisService:
                 self.store, name=request.name, seed=profile.seed,
                 extra_build={"dataset": request.dataset.name},
             )
-            reports.append(BuildReport(metadata=metadata, result=result))
+            reports.append(BuildReport(metadata=metadata, result=result,
+                                       scheduler_stats=stats))
         return reports
 
     # ------------------------------------------------------------------ query
@@ -357,7 +376,16 @@ class SynopsisService:
                 owners.append(name)
 
         executor = self.profile.build_executor()
-        results = executor.run_tasks(specs, slots=len(specs))
+        telemetry = active_telemetry(self.profile.telemetry)
+        logger.debug("fanning %d queries over %d synopses (%d tasks)",
+                     los.size, len(names), len(specs))
+        with telemetry.tracer.span("service.fanout", kind="serving",
+                                   synopses=len(names), queries=int(los.size),
+                                   tasks=len(specs)):
+            results = executor.run_tasks(specs, slots=len(specs))
+        # Per-shard timings ride each TaskResult as a metrics delta; replay
+        # them in task order (the same barrier discipline builds use).
+        apply_task_metrics(results, telemetry.metrics)
 
         shards: Dict[str, List[np.ndarray]] = {name: [] for name in names}
         for owner, task_result in zip(owners, results):  # spec order == task order
@@ -365,6 +393,9 @@ class SynopsisService:
         answers = {name: np.concatenate(shards[name]) for name in names}
         self._fanout_queries += los.size * len(names)
         self._fanout_batches += 1
+        registry = telemetry.metrics
+        registry.inc("repro_service_fanout_queries_total", float(los.size * len(names)))
+        registry.inc("repro_service_fanout_batches_total")
         return answers
 
     def query_workload(

@@ -26,7 +26,7 @@ answer arrives, never what it is.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Dict, Optional, Union
 
 from repro.cost.model import CostParameters
@@ -38,6 +38,7 @@ from repro.mapreduce.executor import (
     Executor,
     shared_executor,
 )
+from repro.telemetry import Telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mapreduce.hdfs import HDFS
@@ -70,6 +71,13 @@ class RuntimeProfile:
             default) keeps builds strictly sequential.  Like every execution
             field, this never changes results — a concurrent batch is
             bit-identical to sequential builds — only wall-clock time.
+        telemetry: optional :class:`~repro.telemetry.Telemetry` bundle
+            (metrics registry + tracer) every runner built from this profile
+            instruments into; the process-global default when ``None``.
+            Telemetry never touches task RNGs, payloads or merge order, so —
+            like every other execution field — it cannot change results.
+            Excluded from profile equality/hashing: two profiles that differ
+            only in where their measurements land are the same profile.
     """
 
     cluster: Optional[ClusterSpec] = None
@@ -79,8 +87,15 @@ class RuntimeProfile:
     workers: Optional[int] = None
     data_plane: str = "batch"
     concurrent_jobs: int = 1
+    telemetry: Optional[Telemetry] = field(default=None, compare=False,
+                                           repr=False)
 
     def __post_init__(self) -> None:
+        if self.telemetry is not None and not isinstance(self.telemetry, Telemetry):
+            raise InvalidParameterError(
+                f"telemetry must be a Telemetry bundle or None, "
+                f"got {type(self.telemetry).__name__}"
+            )
         if isinstance(self.executor, str) and self.executor not in EXECUTOR_NAMES:
             raise InvalidParameterError(
                 f"executor must be one of {EXECUTOR_NAMES} or an Executor "

@@ -11,6 +11,7 @@ build the engine, answer.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
@@ -20,8 +21,11 @@ import numpy as np
 from repro.errors import ServingError
 from repro.serving.store import StoredSynopsis
 from repro.serving.workload import QueryWorkload
+from repro.telemetry import get_telemetry
 
 __all__ = ["ThroughputReport", "measure_serving_throughput", "AGREEMENT_ATOL"]
+
+logger = logging.getLogger(__name__)
 
 # The batch engine must match the scalar loop to this absolute tolerance.
 AGREEMENT_ATOL = 1e-9
@@ -177,18 +181,26 @@ def measure_serving_throughput(
     latency_p50_ms = None
     latency_p99_ms = None
     if latency_batch_size > 0 and len(workload) >= latency_batch_size:
-        # Per-batch latency: time each fixed-size sub-batch through the
-        # uncached engine — the request granularity a serving process sees.
-        latencies = []
+        # Per-batch latency: the engine already observes every
+        # range_sum_many call into the shared repro_serving_batch_seconds
+        # histogram, so snapshot a baseline, replay the fixed-size
+        # sub-batches, and read p50/p99 back out of the window's deltas —
+        # the same series a live metrics scrape of a serving process sees.
+        hist = get_telemetry().metrics.histogram(
+            "repro_serving_batch_seconds", op="range_sum"
+        )
+        baseline = hist.copy()
+        batches = 0
         for start_index in range(0, len(workload) - latency_batch_size + 1,
                                  latency_batch_size):
             stop = start_index + latency_batch_size
-            start = time.perf_counter()
             engine.range_sum_many(workload.los[start_index:stop],
                                   workload.his[start_index:stop])
-            latencies.append(time.perf_counter() - start)
-        latency_p50_ms = float(np.percentile(latencies, 50)) * 1e3
-        latency_p99_ms = float(np.percentile(latencies, 99)) * 1e3
+            batches += 1
+        latency_p50_ms = hist.quantile(0.5, baseline=baseline) * 1e3
+        latency_p99_ms = hist.quantile(0.99, baseline=baseline) * 1e3
+        logger.debug("latency pass: %d sub-batches of %d queries",
+                     batches, latency_batch_size)
 
     return ThroughputReport(
         queries=len(workload),

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import math
 import threading
+import time
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Dict, Iterable, Mapping, Optional, Tuple, Union
 
@@ -44,6 +45,7 @@ import numpy as np
 
 from repro.core.haar import validate_domain
 from repro.errors import InvalidParameterError, KeyOutOfDomainError
+from repro.telemetry import get_telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.histogram import WaveletHistogram
@@ -203,9 +205,15 @@ class BatchQueryEngine:
         los, his = self._validate_ranges(los, his)
         if los.size == 0:
             return np.zeros(0, dtype=np.float64)
+        started = time.perf_counter()
         if self._cache is None:
-            return self._evaluate_blocks(los, his)
-        return self._evaluate_cached(los, his)
+            result = self._evaluate_blocks(los, his)
+        else:
+            result = self._evaluate_cached(los, his)
+        get_telemetry().metrics.observe(
+            "repro_serving_batch_seconds", time.perf_counter() - started,
+            op="range_sum")
+        return result
 
     def estimate_many(self, keys: ArrayLike) -> np.ndarray:
         """Estimate ``v(key)`` for every key (vectorized point reconstruction)."""
@@ -217,6 +225,7 @@ class BatchQueryEngine:
         if keys.min() < 1 or keys.max() > self.u:
             bad = keys[(keys < 1) | (keys > self.u)][0]
             raise KeyOutOfDomainError(f"key {bad} outside domain [1, {self.u}]")
+        started = time.perf_counter()
         out = np.empty(keys.size, dtype=np.float64)
         step = self._block_length()
         for start in range(0, keys.size, step):
@@ -228,6 +237,9 @@ class BatchQueryEngine:
                 signed = np.where(x > self._mid, self._scale, -self._scale)
                 result += np.where(in_support, signed, 0.0) @ self._detail_values
             out[start : start + step] = result
+        get_telemetry().metrics.observe(
+            "repro_serving_batch_seconds", time.perf_counter() - started,
+            op="estimate")
         return out
 
     def selectivity_many(
@@ -338,6 +350,8 @@ class BatchQueryEngine:
         unique_results = np.empty(unique.shape[0], dtype=np.float64)
         cache = self._cache
         assert cache is not None
+        batch_hits = 0
+        batch_misses = 0
         with self._lock:
             miss_rows = []
             for row, (lo, hi) in enumerate(zip(unique[:, 0], unique[:, 1])):
@@ -345,13 +359,20 @@ class BatchQueryEngine:
                 if cached is not None:
                     cache.move_to_end((int(lo), int(hi)))
                     unique_results[row] = cached
-                    self.cache_hits += int(occurrences[row])
+                    batch_hits += int(occurrences[row])
                 else:
                     miss_rows.append(row)
                     # The first occurrence computes; the rest of the batch's
                     # occurrences of the same range reuse it within the pass.
-                    self.cache_misses += 1
-                    self.cache_hits += int(occurrences[row]) - 1
+                    batch_misses += 1
+                    batch_hits += int(occurrences[row]) - 1
+            self.cache_hits += batch_hits
+            self.cache_misses += batch_misses
+        registry = get_telemetry().metrics
+        if batch_hits:
+            registry.inc("repro_serving_cache_hits_total", batch_hits)
+        if batch_misses:
+            registry.inc("repro_serving_cache_misses_total", batch_misses)
         if miss_rows:
             # Evaluate misses outside the lock so concurrent batches overlap
             # their numpy work; evaluation is a pure function of the range, so

@@ -35,6 +35,7 @@ Concurrency model:
 
 from __future__ import annotations
 
+import logging
 import threading
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple
@@ -46,8 +47,11 @@ from repro.mapreduce.executor import Executor, FunctionTaskSpec
 from repro.serving.engine import BatchQueryEngine, normalize_selectivities
 from repro.serving.store import StoredSynopsis, SynopsisStore
 from repro.serving.workload import QueryWorkload
+from repro.telemetry import apply_task_metrics, get_telemetry
 
 __all__ = ["QueryServer", "evaluate_range_shard"]
+
+logger = logging.getLogger(__name__)
 
 
 def evaluate_range_shard(payload: Tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]) -> np.ndarray:
@@ -197,13 +201,20 @@ class QueryServer:
 
     # ------------------------------------------------------------------ stats
     def stats(self) -> Dict[str, Any]:
-        """Serving statistics: totals plus per-loaded-synopsis cache counters."""
+        """Serving statistics: totals plus per-loaded-synopsis cache counters.
+
+        Strictly observation-only: cache info is reported for engines that
+        already exist (``peek_engine``), never materialised here — a stats
+        scrape must not load payloads or build engines under the server lock.
+        """
         with self._lock:
             loaded = {}
             for (name, version), handle in self._synopses.items():
                 if version is None or not handle.loaded:
                     continue
-                engine = handle.engine(cache_size=self.cache_size)
+                engine = handle.peek_engine(cache_size=self.cache_size)
+                if engine is None:
+                    continue
                 loaded[f"{name}@v{version}"] = engine.cache_info()
             return {
                 "queries_served": self._queries_served,
@@ -219,6 +230,9 @@ class QueryServer:
         with self._lock:
             self._queries_served += int(queries)
             self._batches_served += 1
+        registry = get_telemetry().metrics
+        registry.inc("repro_server_queries_total", int(queries))
+        registry.inc("repro_server_batches_total")
 
     def _touch_locked(self, handle: StoredSynopsis) -> None:
         """Mark a handle most-recently-used (all alias keys move together)."""
@@ -259,8 +273,13 @@ class QueryServer:
             for shard, (start, stop) in enumerate(bounds)
         ]
         assert self.executor is not None
-        results: List[np.ndarray] = [
-            result.pairs[0][1]
-            for result in self.executor.run_tasks(specs, slots=num_shards)
-        ]
+        telemetry = get_telemetry()
+        logger.debug("sharding %d queries into %d shard(s)", los.size, num_shards)
+        with telemetry.tracer.span("server.fanout", kind="serving",
+                                   queries=int(los.size), shards=num_shards):
+            task_results = self.executor.run_tasks(specs, slots=num_shards)
+        # Shard timings ride each TaskResult as a metrics delta; replay them
+        # in task order, the same barrier discipline the runtime uses.
+        apply_task_metrics(task_results, telemetry.metrics)
+        results: List[np.ndarray] = [result.pairs[0][1] for result in task_results]
         return np.concatenate(results)

@@ -46,8 +46,10 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import struct
 import threading
+import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -68,6 +70,7 @@ from repro.serving.backends import (
     StoreBackend,
 )
 from repro.serving.engine import BatchQueryEngine
+from repro.telemetry import DEFAULT_BYTE_BUCKETS, get_telemetry
 
 __all__ = [
     "MAGIC",
@@ -79,6 +82,8 @@ __all__ = [
     "serialize_histogram",
     "deserialize_histogram",
 ]
+
+logger = logging.getLogger(__name__)
 
 MAGIC = b"WHSYN001"
 _NAME_PATTERN = NAME_PATTERN  # backwards-compatible alias
@@ -214,22 +219,43 @@ class StoredSynopsis:
         """The synopsis itself; reads and checksum-verifies the payload once."""
         with self._lock:
             if self._histogram is None:
-                payload = self.backend.read_payload(
-                    self.metadata.name, self.metadata.version
-                )
-                digest = hashlib.sha256(payload).hexdigest()
-                if digest != self.metadata.checksum_sha256:
-                    raise SynopsisIntegrityError(
-                        f"checksum mismatch for {self.metadata.name} "
-                        f"v{self.metadata.version}: stored "
-                        f"{self.metadata.checksum_sha256}, computed {digest}"
+                telemetry = get_telemetry()
+                started = time.perf_counter()
+                with telemetry.tracer.span(
+                        "store.load", kind="store",
+                        synopsis=self.metadata.name,
+                        version=self.metadata.version) as span:
+                    payload = self.backend.read_payload(
+                        self.metadata.name, self.metadata.version
                     )
-                histogram = deserialize_histogram(payload)
-                if histogram.u != self.metadata.u or len(histogram) != self.metadata.coefficient_count:
-                    raise SynopsisIntegrityError(
-                        f"payload of {self.metadata.name} v{self.metadata.version} "
-                        f"disagrees with its metadata (u or coefficient count)"
-                    )
+                    span.set(bytes=len(payload))
+                    with telemetry.tracer.span(
+                            "store.integrity_check", kind="store",
+                            synopsis=self.metadata.name,
+                            version=self.metadata.version):
+                        digest = hashlib.sha256(payload).hexdigest()
+                        if digest != self.metadata.checksum_sha256:
+                            telemetry.metrics.inc(
+                                "repro_store_integrity_checks_total",
+                                outcome="mismatch")
+                            raise SynopsisIntegrityError(
+                                f"checksum mismatch for {self.metadata.name} "
+                                f"v{self.metadata.version}: stored "
+                                f"{self.metadata.checksum_sha256}, computed {digest}"
+                            )
+                        telemetry.metrics.inc("repro_store_integrity_checks_total",
+                                              outcome="ok")
+                    histogram = deserialize_histogram(payload)
+                    if histogram.u != self.metadata.u or len(histogram) != self.metadata.coefficient_count:
+                        raise SynopsisIntegrityError(
+                            f"payload of {self.metadata.name} v{self.metadata.version} "
+                            f"disagrees with its metadata (u or coefficient count)"
+                        )
+                telemetry.metrics.observe("repro_store_load_seconds",
+                                          time.perf_counter() - started)
+                telemetry.metrics.inc("repro_store_load_bytes_total", len(payload))
+                logger.debug("loaded %s v%d (%d bytes)", self.metadata.name,
+                             self.metadata.version, len(payload))
                 self._histogram = histogram
             return self._histogram
 
@@ -245,6 +271,16 @@ class StoredSynopsis:
                 )
                 self._engines[key] = engine
             return engine
+
+    def peek_engine(self, cache_size: int = 0,
+                    block_size: int = 65536) -> Optional[BatchQueryEngine]:
+        """The memoised engine for these parameters, or ``None``.
+
+        Unlike :meth:`engine` this never loads the payload or materialises
+        anything — the observation-only accessor stats endpoints need.
+        """
+        with self._lock:
+            return self._engines.get((cache_size, block_size))
 
 
 # ---------------------------------------------------------------------- store
@@ -363,21 +399,33 @@ class SynopsisStore:
         build: Optional[Dict[str, Any]],
         parent_version: Optional[int],
     ) -> SynopsisMetadata:
-        metadata = SynopsisMetadata(
-            name=name,
-            version=version,
-            algorithm=algorithm,
-            u=histogram.u,
-            k=histogram.k,
-            coefficient_count=len(histogram),
-            seed=seed,
-            checksum_sha256=hashlib.sha256(payload).hexdigest(),
-            payload_bytes=len(payload),
-            parent_version=parent_version,
-            build=dict(build or {}),
-        )
-        self.backend.publish(name, version, metadata.to_json() + "\n", payload)
-        self._write_catalog()
+        telemetry = get_telemetry()
+        started = time.perf_counter()
+        with telemetry.tracer.span("store.save", kind="store", synopsis=name,
+                                   version=version, bytes=len(payload),
+                                   delta=parent_version is not None):
+            metadata = SynopsisMetadata(
+                name=name,
+                version=version,
+                algorithm=algorithm,
+                u=histogram.u,
+                k=histogram.k,
+                coefficient_count=len(histogram),
+                seed=seed,
+                checksum_sha256=hashlib.sha256(payload).hexdigest(),
+                payload_bytes=len(payload),
+                parent_version=parent_version,
+                build=dict(build or {}),
+            )
+            self.backend.publish(name, version, metadata.to_json() + "\n", payload)
+            self._write_catalog()
+        telemetry.metrics.observe("repro_store_save_seconds",
+                                  time.perf_counter() - started)
+        telemetry.metrics.inc("repro_store_save_bytes_total", len(payload))
+        telemetry.metrics.observe("repro_store_payload_bytes", len(payload),
+                                  buckets=DEFAULT_BYTE_BUCKETS)
+        logger.info("published %s v%d (%s, %d bytes)", name, version, algorithm,
+                    len(payload))
         return metadata
 
     # ---------------------------------------------------------------- loading

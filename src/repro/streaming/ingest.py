@@ -19,6 +19,8 @@ maintenance cycle instead of shipping every batch individually.
 
 from __future__ import annotations
 
+import logging
+import time
 from typing import Any, List, Optional, Tuple
 
 import numpy as np
@@ -27,8 +29,11 @@ from repro.core.haar import validate_domain
 from repro.errors import InvalidParameterError
 from repro.mapreduce.executor import Executor, FunctionTaskSpec
 from repro.streaming.partial import PartialSynopsis
+from repro.telemetry import apply_task_metrics, get_telemetry
 
 __all__ = ["StreamIngestor", "count_update_shard"]
+
+logger = logging.getLogger(__name__)
 
 
 def count_update_shard(
@@ -88,11 +93,31 @@ class StreamIngestor:
         inserts = self._as_array(inserts)
         deletes = self._as_array(deletes)
         total = inserts.size + deletes.size
+        telemetry = get_telemetry()
+        started = time.perf_counter()
         if self.executor is None or total <= self.shard_size:
-            return PartialSynopsis.from_updates(
+            partial = PartialSynopsis.from_updates(
                 self.u, inserts, deletes, partition=self.partition
             )
-        return self._sharded_batch(inserts, deletes)
+            shards = 1
+        else:
+            partial, shards = self._sharded_batch(inserts, deletes)
+        registry = telemetry.metrics
+        if inserts.size:
+            registry.inc("repro_stream_updates_total", float(inserts.size),
+                         kind="insert")
+        if deletes.size:
+            registry.inc("repro_stream_updates_total", float(deletes.size),
+                         kind="delete")
+        registry.observe("repro_stream_ingest_seconds",
+                         time.perf_counter() - started)
+        telemetry.tracer.record(
+            "ingest.batch", kind="streaming",
+            duration_s=time.perf_counter() - started,
+            updates=int(total), shards=shards,
+            partition=self.partition or "",
+        )
+        return partial
 
     def accept(
         self, inserts: Optional[Any] = None, deletes: Optional[Any] = None
@@ -135,7 +160,7 @@ class StreamIngestor:
 
     def _sharded_batch(
         self, inserts: np.ndarray, deletes: np.ndarray
-    ) -> PartialSynopsis:
+    ) -> Tuple[PartialSynopsis, int]:
         specs: List[FunctionTaskSpec] = []
         for kind, array in (("insert", inserts), ("delete", deletes)):
             for start in range(0, array.size, self.shard_size):
@@ -151,8 +176,14 @@ class StreamIngestor:
                     payload=payload,
                 ))
         assert self.executor is not None
+        logger.debug("counting %d updates as %d shard(s)",
+                     inserts.size + deletes.size, len(specs))
+        results = self.executor.run_tasks(specs, slots=len(specs))
+        # Shard timings ride each TaskResult as a metrics delta; replay them
+        # in task order, the same barrier discipline the runtime uses.
+        apply_task_metrics(results, get_telemetry().metrics)
         merged = PartialSynopsis.empty(self.u, partition=self.partition)
-        for result in self.executor.run_tasks(specs, slots=len(specs)):
+        for result in results:
             merged = merged.merge(result.pairs[0][1])
         # The shards came from one logical batch: restore batch-level
         # bookkeeping (every shard counted itself as a batch of its own).
@@ -163,4 +194,4 @@ class StreamIngestor:
             deletions=int(deletes.size),
             batches=1,
             partition=self.partition,
-        )
+        ), len(specs)

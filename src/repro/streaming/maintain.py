@@ -43,6 +43,8 @@ re-publishing.
 
 from __future__ import annotations
 
+import logging
+import time
 from collections import deque
 from typing import Any, Deque, Dict, Optional
 
@@ -52,6 +54,7 @@ from repro.core.topk_coefficients import top_k_coefficients
 from repro.errors import InvalidParameterError, StreamingError
 from repro.serving.store import SynopsisMetadata, SynopsisStore
 from repro.streaming.partial import PartialSynopsis
+from repro.telemetry import get_telemetry
 
 __all__ = [
     "STATE_ALGORITHM",
@@ -64,6 +67,8 @@ __all__ = [
 # backs, under a dotted companion name (NAME_PATTERN allows dots).
 STATE_SUFFIX = ".state"
 STATE_ALGORITHM = "stream-state"
+
+logger = logging.getLogger(__name__)
 
 
 class SynopsisMaintainer:
@@ -109,6 +114,7 @@ class SynopsisMaintainer:
         self._applied = 0
         self._insertions = 0
         self._deletions = 0
+        self._last_publish_s: Optional[float] = None
 
         state_version = store.latest_version(self.state_name, default=0)
         serving_version = store.latest_version(name, default=0)
@@ -202,6 +208,9 @@ class SynopsisMaintainer:
                     f"{expected} for stream {self.name!r}"
                 )
         self._pending.append(partial)
+        get_telemetry().metrics.set_gauge(
+            "repro_stream_pending_batches", len(self._pending), stream=self.name
+        )
         if len(self._pending) >= self.cadence:
             return self.maintain()
         return None
@@ -223,6 +232,9 @@ class SynopsisMaintainer:
                 cycle = cycle.merge(partial)
             cycle_batches = len(self._pending)
             self._pending = []
+            get_telemetry().metrics.set_gauge(
+                "repro_stream_pending_batches", 0, stream=self.name
+            )
             self._fold(cycle)
             self._applied += cycle_batches
             self._insertions += cycle.insertions
@@ -259,48 +271,76 @@ class SynopsisMaintainer:
 
     def _checkpoint_state(self) -> None:
         """Publish the full count vector as the next ``<name>.state`` version."""
+        telemetry = get_telemetry()
+        started = time.perf_counter()
         histogram = WaveletHistogram.from_coefficients(
             self._sorted_counts(), self.u, k=None
         )
-        self.store.save(
-            self.state_name,
-            histogram,
-            algorithm=STATE_ALGORITHM,
-            seed=self.seed,
-            build={
-                "kind": "stream-state",
-                "stream": self.name,
-                "k": self.k,
-                "applied_batches": self._applied,
-                "insertions": self._insertions,
-                "deletions": self._deletions,
-            },
+        with telemetry.tracer.span("maintain.checkpoint", kind="streaming",
+                                   stream=self.name, applied=self._applied):
+            self.store.save(
+                self.state_name,
+                histogram,
+                algorithm=STATE_ALGORITHM,
+                seed=self.seed,
+                build={
+                    "kind": "stream-state",
+                    "stream": self.name,
+                    "k": self.k,
+                    "applied_batches": self._applied,
+                    "insertions": self._insertions,
+                    "deletions": self._deletions,
+                },
+            )
+        telemetry.metrics.observe(
+            "repro_stream_checkpoint_seconds", time.perf_counter() - started,
+            stream=self.name,
         )
+        logger.debug("checkpointed stream %s at %d applied batch(es)",
+                     self.name, self._applied)
 
     def _publish_serving(
         self, cycle_batches: int, cycle_insertions: int, cycle_deletions: int
     ) -> SynopsisMetadata:
         """Publish the serving synopsis as a delta over its previous version."""
+        telemetry = get_telemetry()
+        started = time.perf_counter()
         parent = self.store.latest_version(self.name, default=0) or None
         coefficients = top_k_coefficients(
             sparse_haar_transform(self._sorted_counts(), self.u), self.k
         )
         histogram = WaveletHistogram.from_coefficients(coefficients, self.u, k=self.k)
-        return self.store.save_delta(
-            self.name,
-            histogram,
-            parent_version=parent,
-            algorithm=self.algorithm,
-            seed=self.seed,
-            build={
-                "applied_batches": self._applied,
-                "insertions": self._insertions,
-                "deletions": self._deletions,
-                "cycle_batches": cycle_batches,
-                "cycle_insertions": cycle_insertions,
-                "cycle_deletions": cycle_deletions,
-            },
-        )
+        with telemetry.tracer.span("maintain.publish", kind="streaming",
+                                   stream=self.name, applied=self._applied,
+                                   cycle_batches=cycle_batches):
+            metadata = self.store.save_delta(
+                self.name,
+                histogram,
+                parent_version=parent,
+                algorithm=self.algorithm,
+                seed=self.seed,
+                build={
+                    "applied_batches": self._applied,
+                    "insertions": self._insertions,
+                    "deletions": self._deletions,
+                    "cycle_batches": cycle_batches,
+                    "cycle_insertions": cycle_insertions,
+                    "cycle_deletions": cycle_deletions,
+                },
+            )
+        now = time.perf_counter()
+        registry = telemetry.metrics
+        registry.observe("repro_stream_publish_seconds", now - started,
+                         stream=self.name)
+        if self._last_publish_s is not None:
+            # Publish cadence: wall-clock gap between consecutive versions.
+            registry.observe("repro_stream_publish_interval_seconds",
+                             now - self._last_publish_s, stream=self.name)
+        self._last_publish_s = now
+        registry.inc("repro_stream_publishes_total", 1.0, stream=self.name)
+        logger.debug("published stream %s v%d (%d applied batch(es))",
+                     self.name, metadata.version, self._applied)
+        return metadata
 
 
 class SlidingWindowMaintainer:
@@ -341,6 +381,7 @@ class SlidingWindowMaintainer:
         self._ring: Deque[PartialSynopsis] = deque()
         self._counts: Dict[int, float] = {}
         self._last_seen: Optional[int] = None
+        self._last_publish_s: Optional[float] = None
 
         latest = store.latest_version(name, default=0)
         if latest:
@@ -456,6 +497,8 @@ class SlidingWindowMaintainer:
         return {key: self._counts[key] for key in sorted(self._counts)}
 
     def _publish_serving(self) -> SynopsisMetadata:
+        telemetry = get_telemetry()
+        started = time.perf_counter()
         parent = self.store.latest_version(self.name, default=0) or None
         coefficients = top_k_coefficients(
             sparse_haar_transform(self._sorted_counts(), self.u), self.k
@@ -468,11 +511,26 @@ class SlidingWindowMaintainer:
             "window_insertions": int(sum(p.insertions for p in self._ring)),
             "window_deletions": int(sum(p.deletions for p in self._ring)),
         }
-        return self.store.save_delta(
-            self.name,
-            histogram,
-            parent_version=parent,
-            algorithm=self.algorithm,
-            seed=self.seed,
-            build=build,
-        )
+        with telemetry.tracer.span("maintain.publish", kind="streaming",
+                                   stream=self.name, applied=self._applied,
+                                   window_batches=len(self._ring)):
+            metadata = self.store.save_delta(
+                self.name,
+                histogram,
+                parent_version=parent,
+                algorithm=self.algorithm,
+                seed=self.seed,
+                build=build,
+            )
+        now = time.perf_counter()
+        registry = telemetry.metrics
+        registry.observe("repro_stream_publish_seconds", now - started,
+                         stream=self.name)
+        if self._last_publish_s is not None:
+            registry.observe("repro_stream_publish_interval_seconds",
+                             now - self._last_publish_s, stream=self.name)
+        self._last_publish_s = now
+        registry.inc("repro_stream_publishes_total", 1.0, stream=self.name)
+        logger.debug("published windowed stream %s v%d (epoch %d)",
+                     self.name, metadata.version, self._applied)
+        return metadata

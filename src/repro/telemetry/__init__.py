@@ -1,0 +1,108 @@
+"""Unified telemetry: metrics registry, span tracer, exposition formats.
+
+One :class:`Telemetry` value bundles the two instruments every layer shares:
+
+* :class:`MetricsRegistry` — thread-safe labeled counters, gauges and
+  fixed-bucket histograms (always on; recording a metric is cheap);
+* :class:`Tracer` — structured span events with JSONL export (off by
+  default; enable to capture job → round → phase → task timelines).
+
+A process-global default telemetry exists so deep call sites (engines,
+stores, maintainers) can instrument themselves without threading a handle
+through every constructor; the CLI's ``--trace``/``--metrics`` flags and
+:class:`repro.service.profile.RuntimeProfile.telemetry` swap it for a
+session-scoped bundle.  The hard invariant everywhere: telemetry never
+touches task RNGs, payload bytes or merge order — every equivalence suite
+passes bit-identically with tracing enabled.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.telemetry.exposition import (
+    registry_to_json,
+    registry_to_prometheus,
+    render_metrics_summary,
+    render_trace_summary,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_BYTE_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsDelta,
+    MetricsRegistry,
+    apply_task_metrics,
+)
+from repro.telemetry.tracing import SpanEvent, Tracer
+
+__all__ = [
+    "DEFAULT_BYTE_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Histogram",
+    "MetricsDelta",
+    "MetricsRegistry",
+    "SpanEvent",
+    "Telemetry",
+    "Tracer",
+    "active_telemetry",
+    "apply_task_metrics",
+    "get_telemetry",
+    "registry_to_json",
+    "registry_to_prometheus",
+    "render_metrics_summary",
+    "render_trace_summary",
+    "set_telemetry",
+]
+
+
+class Telemetry:
+    """The bundle every instrumented layer consumes: metrics + tracer."""
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+
+    @classmethod
+    def enabled(cls) -> "Telemetry":
+        """A fresh bundle with the tracer switched on."""
+        return cls(tracer=Tracer(enabled=True))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Telemetry(tracer_enabled={self.tracer.enabled}, "
+                f"spans={len(self.tracer.events())})")
+
+
+_DEFAULT_LOCK = threading.Lock()
+_DEFAULT = Telemetry()
+
+
+def get_telemetry() -> Telemetry:
+    """The process-global default telemetry bundle."""
+    with _DEFAULT_LOCK:
+        return _DEFAULT
+
+
+def set_telemetry(telemetry: Telemetry) -> Telemetry:
+    """Replace the process-global default; returns the previous bundle.
+
+    Worker processes spawned by the parallel executor get their own default
+    (telemetry is process-local); per-task metrics still reach the
+    coordinator because tasks ship a :class:`MetricsDelta` with their
+    :class:`~repro.mapreduce.executor.TaskResult` and the runner replays it
+    at the phase barrier.
+    """
+    global _DEFAULT
+    if not isinstance(telemetry, Telemetry):
+        raise TypeError(f"expected Telemetry, got {type(telemetry).__name__}")
+    with _DEFAULT_LOCK:
+        previous = _DEFAULT
+        _DEFAULT = telemetry
+        return previous
+
+
+def active_telemetry(telemetry: Optional[Telemetry] = None) -> Telemetry:
+    """Resolve an explicit bundle or fall back to the process default."""
+    return telemetry if telemetry is not None else get_telemetry()

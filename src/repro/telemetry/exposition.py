@@ -1,0 +1,183 @@
+"""Exposition formats: JSON snapshot, Prometheus text, trace summaries.
+
+Two machine formats and one human format:
+
+* :func:`registry_to_json` — the full registry state as one JSON document
+  (what ``--metrics FILE`` writes);
+* :func:`registry_to_prometheus` — the Prometheus text exposition format
+  (``# TYPE`` lines, ``_bucket{le=...}`` / ``_sum`` / ``_count`` series for
+  histograms) ready to be scraped or pushed;
+* :func:`render_trace_summary` — the table behind the ``repro telemetry``
+  CLI verb: spans grouped by (kind, name) with count / total / mean / max
+  wall times, so "where did the time go?" has a one-screen answer.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracing import SpanEvent
+
+__all__ = [
+    "registry_to_json",
+    "registry_to_prometheus",
+    "render_metrics_summary",
+    "render_trace_summary",
+]
+
+
+def registry_to_json(registry: MetricsRegistry, indent: int = 2) -> str:
+    """Serialise a registry snapshot as a JSON document."""
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+
+
+def _prometheus_labels(labels: Mapping[str, str],
+                       extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    """Render a label dict as ``{k="v",...}`` (empty string when no labels)."""
+    pairs = [(key, str(value)) for key, value in sorted(labels.items())]
+    pairs.extend(extra)
+    if not pairs:
+        return ""
+    body = ",".join(
+        '{}="{}"'.format(key, value.replace("\\", "\\\\").replace('"', '\\"'))
+        for key, value in pairs
+    )
+    return "{" + body + "}"
+
+
+def _format_le(bound: float) -> str:
+    """Prometheus ``le`` label value: trimmed decimal, or ``+Inf``."""
+    if math.isinf(bound):
+        return "+Inf"
+    text = repr(float(bound))
+    return text[:-2] if text.endswith(".0") else text
+
+
+def registry_to_prometheus(registry: MetricsRegistry) -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    Counters get a ``# TYPE <name> counter`` header, gauges ``gauge``, and
+    each histogram expands to cumulative ``<name>_bucket{le="..."}`` series
+    plus ``<name>_sum`` and ``<name>_count`` — the standard scrape shape, so
+    the output drops straight into promtool or a pushgateway.
+    """
+    snapshot = registry.snapshot()
+    lines: List[str] = []
+    typed: set = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for entry in snapshot["counters"]:
+        type_line(entry["name"], "counter")
+        lines.append(f"{entry['name']}{_prometheus_labels(entry['labels'])} "
+                     f"{entry['value']:g}")
+    for entry in snapshot["gauges"]:
+        type_line(entry["name"], "gauge")
+        lines.append(f"{entry['name']}{_prometheus_labels(entry['labels'])} "
+                     f"{entry['value']:g}")
+    for entry in snapshot["histograms"]:
+        name = entry["name"]
+        type_line(name, "histogram")
+        labels = entry["labels"]
+        cumulative = 0
+        bounds = list(entry["bounds"]) + [math.inf]
+        for bound, bucket_count in zip(bounds, entry["bucket_counts"]):
+            cumulative += bucket_count
+            le = (("le", _format_le(bound)),)
+            lines.append(f"{name}_bucket{_prometheus_labels(labels, le)} "
+                         f"{cumulative}")
+        lines.append(f"{name}_sum{_prometheus_labels(labels)} {entry['sum']:g}")
+        lines.append(f"{name}_count{_prometheus_labels(labels)} {entry['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_metrics_summary(snapshot: Dict[str, Any]) -> List[str]:
+    """Human-readable lines for a registry snapshot (the JSON dict form)."""
+    lines: List[str] = []
+    if snapshot.get("counters"):
+        lines.append("counters:")
+        for entry in snapshot["counters"]:
+            labels = _inline_labels(entry["labels"])
+            lines.append(f"  {entry['name']}{labels} = {entry['value']:g}")
+    if snapshot.get("gauges"):
+        lines.append("gauges:")
+        for entry in snapshot["gauges"]:
+            labels = _inline_labels(entry["labels"])
+            lines.append(f"  {entry['name']}{labels} = {entry['value']:g}")
+    if snapshot.get("histograms"):
+        lines.append("histograms:")
+        for entry in snapshot["histograms"]:
+            labels = _inline_labels(entry["labels"])
+            count = entry["count"]
+            if not count:
+                lines.append(f"  {entry['name']}{labels}: n=0")
+                continue
+            mean = entry["sum"] / count
+            if entry["name"].endswith("_seconds"):
+                # Durations read best in milliseconds; everything else
+                # (bytes, sizes) in its native unit.
+                lines.append(
+                    f"  {entry['name']}{labels}: n={count} mean={mean * 1e3:.3f} ms "
+                    f"min={entry['min'] * 1e3:.3f} ms max={entry['max'] * 1e3:.3f} ms")
+            else:
+                lines.append(
+                    f"  {entry['name']}{labels}: n={count} mean={mean:g} "
+                    f"min={entry['min']:g} max={entry['max']:g}")
+    if not lines:
+        lines.append("(metrics registry is empty)")
+    return lines
+
+
+def _inline_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+
+def render_trace_summary(events: Iterable[SpanEvent]) -> List[str]:
+    """Summarise spans grouped by (kind, name): count, total, mean, max.
+
+    Groups are ordered by total wall time (descending) so the heaviest
+    phases lead.  A trailing per-kind rollup gives the layer-level split —
+    build vs scheduler vs serving vs streaming vs store.
+    """
+    events = list(events)
+    if not events:
+        return ["(no spans recorded)"]
+
+    grouped: Dict[Tuple[str, str], List[SpanEvent]] = {}
+    for event in events:
+        grouped.setdefault((event.kind, event.name), []).append(event)
+
+    rows = []
+    for (kind, name), members in grouped.items():
+        total = sum(e.duration_s for e in members)
+        longest = max(e.duration_s for e in members)
+        rows.append((total, kind, name, len(members), longest))
+    rows.sort(key=lambda row: (-row[0], row[1], row[2]))
+
+    name_width = max(len(f"{kind}/{name}") for _, kind, name, _, _ in rows)
+    name_width = max(name_width, len("span"))
+    header = (f"{'span':<{name_width}}  {'count':>7}  {'total s':>10}  "
+              f"{'mean ms':>10}  {'max ms':>10}")
+    lines = [f"{len(events)} spans", header, "-" * len(header)]
+    for total, kind, name, count, longest in rows:
+        mean_ms = (total / count) * 1e3
+        lines.append(
+            f"{kind + '/' + name:<{name_width}}  {count:>7}  {total:>10.4f}  "
+            f"{mean_ms:>10.3f}  {longest * 1e3:>10.3f}")
+
+    by_kind: Dict[str, float] = {}
+    for event in events:
+        by_kind[event.kind] = by_kind.get(event.kind, 0.0) + event.duration_s
+    lines.append("")
+    lines.append("per layer: " + ", ".join(
+        f"{kind} {total:.4f} s"
+        for kind, total in sorted(by_kind.items(), key=lambda kv: -kv[1])))
+    return lines

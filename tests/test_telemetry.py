@@ -1,0 +1,359 @@
+"""Tests for the telemetry layer: registry, deltas, tracer, exposition."""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsDelta,
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+    active_telemetry,
+    apply_task_metrics,
+    get_telemetry,
+    registry_to_json,
+    registry_to_prometheus,
+    render_metrics_summary,
+    render_trace_summary,
+    set_telemetry,
+)
+
+
+class TestHistogram:
+    def test_observations_land_in_the_right_buckets(self):
+        hist = Histogram(buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 5.0, 99.0, 1000.0):
+            hist.observe(value)
+        # le=1.0 catches 0.5 and 1.0; le=10 catches 5.0; le=100 catches 99.0;
+        # the implicit +inf slot catches 1000.0.
+        assert hist.bucket_counts == [2, 1, 1, 1]
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(1105.5)
+        assert hist.min == 0.5 and hist.max == 1000.0
+
+    def test_bounds_must_strictly_increase(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+    def test_quantile_empty_is_nan(self):
+        assert math.isnan(Histogram(buckets=(1.0,)).quantile(0.5))
+
+    def test_quantile_interpolates_within_a_bucket(self):
+        hist = Histogram(buckets=(0.0, 10.0))
+        for value in (1.0, 4.0, 6.0, 9.0):
+            hist.observe(value)
+        # All four observations sit in the (0, 10] bucket; the median
+        # interpolates to the bucket midpoint.
+        assert hist.quantile(0.5) == pytest.approx(5.0)
+        assert 0.0 < hist.quantile(0.01) < hist.quantile(0.99) <= 10.0
+
+    def test_quantile_with_baseline_reads_only_the_delta(self):
+        hist = Histogram(buckets=(1.0, 10.0, 100.0))
+        hist.observe(50.0)  # pre-existing observation, excluded below
+        baseline = hist.copy()
+        hist.observe(0.5)
+        hist.observe(0.7)
+        # Against the baseline only the two sub-1.0 observations count.
+        assert hist.quantile(0.99, baseline=baseline) <= 1.0
+        # Without a baseline the old 50.0 dominates the tail.
+        assert hist.quantile(0.99) > 10.0
+
+    def test_quantile_baseline_must_match_bounds(self):
+        hist = Histogram(buckets=(1.0, 2.0))
+        other = Histogram(buckets=(1.0, 3.0))
+        with pytest.raises(ValueError):
+            hist.quantile(0.5, baseline=other)
+
+    def test_quantile_rejects_out_of_range_q(self):
+        hist = Histogram(buckets=(1.0,))
+        hist.observe(0.5)
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+
+class TestMetricsRegistry:
+    def test_counters_accumulate_per_label_set(self):
+        registry = MetricsRegistry()
+        registry.inc("tasks", 1.0, phase="map")
+        registry.inc("tasks", 2.0, phase="map")
+        registry.inc("tasks", 5.0, phase="reduce")
+        assert registry.counter_value("tasks", phase="map") == 3.0
+        assert registry.counter_value("tasks", phase="reduce") == 5.0
+        assert registry.counter_value("tasks", phase="missing") == 0.0
+
+    def test_gauge_keeps_the_last_value(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("pending", 3, stream="s")
+        registry.set_gauge("pending", 1, stream="s")
+        assert registry.gauge_value("pending", stream="s") == 1.0
+
+    def test_histogram_is_get_or_create(self):
+        registry = MetricsRegistry()
+        first = registry.histogram("lat", op="x")
+        second = registry.histogram("lat", op="x")
+        assert first is second
+        registry.observe("lat", 0.5, op="x")
+        assert first.count == 1
+
+    def test_snapshot_is_sorted_and_complete(self):
+        registry = MetricsRegistry()
+        registry.inc("b_total")
+        registry.inc("a_total", 2.0, z="1", a="2")
+        registry.set_gauge("g", 7.0)
+        registry.observe("h_seconds", 0.01)
+        snapshot = registry.snapshot()
+        assert [entry["name"] for entry in snapshot["counters"]] == [
+            "a_total", "b_total"]
+        assert snapshot["counters"][0]["labels"] == {"a": "2", "z": "1"}
+        assert snapshot["gauges"][0]["value"] == 7.0
+        assert snapshot["histograms"][0]["count"] == 1
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.inc("c")
+        registry.observe("h", 1.0)
+        registry.reset()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == []
+        assert snapshot["histograms"] == []
+
+
+class TestMetricsDelta:
+    """Per-task deltas mirror the Counters barrier discipline."""
+
+    def test_replay_matches_direct_operations(self):
+        direct = MetricsRegistry()
+        direct.inc("n", 2.0, phase="map")
+        direct.set_gauge("g", 4.0)
+        direct.observe("h_seconds", 0.25)
+
+        delta = MetricsDelta()
+        delta.inc("n", 2.0, phase="map")
+        delta.set_gauge("g", 4.0)
+        delta.observe("h_seconds", 0.25)
+        replayed = MetricsRegistry()
+        replayed.apply_delta(delta)
+
+        assert replayed.snapshot() == direct.snapshot()
+
+    def test_merge_preserves_operation_order(self):
+        a = MetricsDelta()
+        a.set_gauge("g", 1.0)
+        b = MetricsDelta()
+        b.set_gauge("g", 2.0)
+        merged = MetricsDelta()
+        merged.merge(a)
+        merged.merge(b)
+        registry = MetricsRegistry()
+        registry.apply_delta(merged)
+        # Task-order replay: the later task's gauge wins, deterministically.
+        assert registry.gauge_value("g") == 2.0
+
+    def test_task_order_replay_is_deterministic(self):
+        """Replaying per-task deltas in task order equals one serial pass."""
+        serial = MetricsRegistry()
+        deltas = []
+        for task_id in range(8):
+            delta = MetricsDelta()
+            delta.inc("tasks_total", 1.0, phase="map")
+            delta.observe("task_seconds", 0.001 * (task_id + 1), phase="map")
+            serial.inc("tasks_total", 1.0, phase="map")
+            serial.observe("task_seconds", 0.001 * (task_id + 1), phase="map")
+            deltas.append(delta)
+        merged = MetricsRegistry()
+        for delta in deltas:  # task order — the barrier discipline
+            merged.apply_delta(delta)
+        assert merged.snapshot() == serial.snapshot()
+
+    def test_deltas_are_picklable(self):
+        delta = MetricsDelta()
+        delta.inc("n", 1.0, phase="map")
+        delta.observe("h", 0.5)
+        clone = pickle.loads(pickle.dumps(delta))
+        assert clone.entries == delta.entries
+
+    def test_empty_delta_is_falsy(self):
+        delta = MetricsDelta()
+        assert not delta and len(delta) == 0
+        delta.inc("n")
+        assert delta and len(delta) == 1
+
+    def test_unknown_operation_raises(self):
+        delta = MetricsDelta()
+        delta.entries.append(("bogus", "n", (), 1.0))
+        with pytest.raises(ValueError):
+            MetricsRegistry().apply_delta(delta)
+
+    def test_apply_task_metrics_replays_in_iteration_order(self):
+        class FakeResult:
+            def __init__(self, delta):
+                self.metrics = delta
+
+        first = MetricsDelta()
+        first.set_gauge("g", 1.0)
+        second = MetricsDelta()
+        second.set_gauge("g", 2.0)
+        registry = MetricsRegistry()
+        apply_task_metrics([FakeResult(first), None, FakeResult(second)],
+                           registry)
+        assert registry.gauge_value("g") == 2.0
+        # A None registry is an explicit no-op.
+        apply_task_metrics([FakeResult(first)], None)
+
+
+class TestTracer:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("outer", kind="test"):
+            tracer.record("inner", kind="test", duration_s=0.1)
+        assert tracer.events() == []
+
+    def test_span_nesting_links_parents(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer", kind="test"):
+            with tracer.span("inner", kind="test"):
+                pass
+        events = tracer.events()
+        inner = next(e for e in events if e.name == "inner")
+        outer = next(e for e in events if e.name == "outer")
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert outer.duration_s >= inner.duration_s >= 0.0
+
+    def test_span_ids_are_monotonic_ints(self):
+        tracer = Tracer(enabled=True)
+        for _ in range(5):
+            with tracer.span("s", kind="test"):
+                pass
+        ids = [event.span_id for event in tracer.events()]
+        assert ids == sorted(ids)
+        assert all(isinstance(span_id, int) for span_id in ids)
+
+    def test_span_attribute_may_be_called_name(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("s", kind="test", name="attribute-name"):
+            pass
+        assert tracer.events()[0].attributes["name"] == "attribute-name"
+
+    def test_error_is_attached_when_an_exception_flies(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing", kind="test"):
+                raise RuntimeError("boom")
+        assert tracer.events()[0].attributes.get("error") is True
+
+    def test_set_adds_mid_span_attributes(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("s", kind="test") as span:
+            span.set(bytes=123)
+        assert tracer.events()[0].attributes["bytes"] == 123
+
+    def test_max_events_bounds_memory(self):
+        tracer = Tracer(enabled=True, max_events=2)
+        for _ in range(5):
+            tracer.record("e", kind="test")
+        assert len(tracer.events()) == 2
+        assert tracer.dropped == 3
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer", kind="test", label="x"):
+            tracer.record("point", kind="test", duration_s=0.01, n=3)
+        path = str(tmp_path / "trace.jsonl")
+        count = tracer.export_jsonl(path)
+        assert count == 2
+        loaded = Tracer.load_jsonl(path)
+        assert loaded == tracer.events()
+
+
+class TestExposition:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.inc("repro_tasks_total", 3.0, phase="map")
+        registry.set_gauge("repro_pending", 1.0, stream="s")
+        registry.observe("repro_task_seconds", 0.002, phase="map")
+        return registry
+
+    def test_prometheus_text_shape(self):
+        text = registry_to_prometheus(self._populated())
+        assert "# TYPE repro_tasks_total counter" in text
+        assert 'repro_tasks_total{phase="map"} 3' in text
+        assert "# TYPE repro_pending gauge" in text
+        assert "# TYPE repro_task_seconds histogram" in text
+        assert 'repro_task_seconds_bucket{phase="map",le="+Inf"} 1' in text
+        assert 'repro_task_seconds_count{phase="map"} 1' in text
+
+    def test_prometheus_bucket_series_is_cumulative(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 0.5, buckets=(1.0, 10.0))
+        registry.observe("h", 5.0, buckets=(1.0, 10.0))
+        registry.observe("h", 50.0, buckets=(1.0, 10.0))
+        text = registry_to_prometheus(registry)
+        assert 'h_bucket{le="1"} 1' in text
+        assert 'h_bucket{le="10"} 2' in text
+        assert 'h_bucket{le="+Inf"} 3' in text
+
+    def test_json_snapshot_round_trips(self):
+        import json
+
+        registry = self._populated()
+        snapshot = json.loads(registry_to_json(registry))
+        assert snapshot == registry.snapshot()
+        lines = render_metrics_summary(snapshot)
+        assert any("repro_tasks_total" in line for line in lines)
+
+    def test_metrics_summary_units(self):
+        registry = MetricsRegistry()
+        registry.observe("repro_store_payload_bytes", 4096.0, buckets=(1.0,))
+        registry.observe("repro_save_seconds", 0.004)
+        lines = render_metrics_summary(registry.snapshot())
+        byte_line = next(l for l in lines if "payload_bytes" in l)
+        seconds_line = next(l for l in lines if "save_seconds" in l)
+        assert "ms" not in byte_line and "4096" in byte_line
+        assert "ms" in seconds_line
+
+    def test_trace_summary_groups_and_rolls_up(self):
+        tracer = Tracer(enabled=True)
+        tracer.record("phase:map", kind="build", duration_s=0.2)
+        tracer.record("phase:map", kind="build", duration_s=0.1)
+        tracer.record("store.save", kind="store", duration_s=0.05)
+        lines = render_trace_summary(tracer.events())
+        assert lines[0] == "3 spans"
+        body = "\n".join(lines)
+        assert "build/phase:map" in body and "store/store.save" in body
+        assert "per layer:" in lines[-1]
+        # Heaviest group leads.
+        assert body.index("build/phase:map") < body.index("store/store.save")
+
+    def test_trace_summary_empty(self):
+        assert render_trace_summary([]) == ["(no spans recorded)"]
+
+
+class TestGlobalTelemetry:
+    def test_set_get_round_trip(self):
+        original = get_telemetry()
+        bundle = Telemetry.enabled()
+        try:
+            previous = set_telemetry(bundle)
+            assert previous is original
+            assert get_telemetry() is bundle
+            assert active_telemetry() is bundle
+            other = Telemetry()
+            assert active_telemetry(other) is other
+        finally:
+            set_telemetry(original)
+
+    def test_set_rejects_non_telemetry(self):
+        with pytest.raises(TypeError):
+            set_telemetry(object())
+
+    def test_default_buckets_are_increasing(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)

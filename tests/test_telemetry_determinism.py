@@ -1,0 +1,221 @@
+"""Telemetry must never change results: bit-identity with tracing enabled.
+
+The telemetry layer's hard invariant is that it never touches task RNGs,
+payload bytes or merge order.  These tests run the same build / fan-out /
+streaming work with telemetry off and with a fully enabled bundle (tracer
+on), across executors and data planes, and require bit-identical outcomes —
+the same guarantee the executor/scheduler/streaming equivalence suites make
+for their own execution knobs.  They also pin the metric-delta barrier
+discipline: per-task deltas replayed in task order produce executor-
+independent registry totals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import make_algorithm
+from repro.cli import main
+from repro.mapreduce.hdfs import HDFS
+from repro.service import RuntimeProfile, SynopsisService
+from repro.serving.store import SynopsisStore
+from repro.serving.workload import WorkloadGenerator
+from repro.telemetry import Telemetry, Tracer, get_telemetry, set_telemetry
+
+SEED = 11
+K = 16
+INPUT = "/data/input"
+
+
+@pytest.fixture()
+def global_telemetry_guard():
+    """Restore the process-global telemetry bundle after the test."""
+    original = get_telemetry()
+    yield
+    set_telemetry(original)
+
+
+def _build(dataset, profile):
+    """One algorithm build from scratch: fresh HDFS, fresh algorithm."""
+    algorithm = make_algorithm("send-v", u=dataset.u, k=K)
+    hdfs = HDFS()
+    dataset.to_hdfs(hdfs, INPUT)
+    return algorithm.run(hdfs, INPUT, profile=profile)
+
+
+def _fingerprint(result):
+    return (
+        dict(result.histogram.coefficients),
+        result.communication_bytes,
+        result.simulated_time_s,
+        result.num_rounds,
+        result.counters.as_dict(),
+    )
+
+
+@pytest.mark.parametrize("executor", ["serial", "parallel"])
+@pytest.mark.parametrize("data_plane", ["batch", "records"])
+def test_build_is_bit_identical_with_telemetry_enabled(
+    small_dataset, global_telemetry_guard, executor, data_plane
+):
+    profile = RuntimeProfile(seed=SEED, executor=executor,
+                             data_plane=data_plane)
+    set_telemetry(Telemetry())  # telemetry off (tracer disabled)
+    baseline = _fingerprint(_build(small_dataset, profile))
+
+    enabled = Telemetry.enabled()
+    set_telemetry(enabled)
+    traced_profile = profile.with_overrides(telemetry=enabled)
+    traced = _fingerprint(_build(small_dataset, traced_profile))
+
+    assert traced == baseline
+    # The run actually recorded spans — the invariant is not vacuous.
+    assert any(event.kind == "build" for event in enabled.tracer.events())
+
+
+def test_metric_deltas_are_executor_independent(small_dataset,
+                                                global_telemetry_guard):
+    """Per-task deltas replayed at the barrier give executor-independent
+    counts (timings differ; counts cannot)."""
+    totals = {}
+    for executor in ("serial", "parallel"):
+        bundle = Telemetry()
+        set_telemetry(bundle)
+        profile = RuntimeProfile(seed=SEED, executor=executor,
+                                 telemetry=bundle)
+        _build(small_dataset, profile)
+        registry = bundle.metrics
+        totals[executor] = {
+            "map": registry.counter_value("repro_tasks_total", phase="map"),
+            "reduce": registry.counter_value("repro_tasks_total",
+                                             phase="reduce"),
+            "rounds": registry.counter_value("repro_build_rounds_total"),
+            "shuffle": registry.counter_value(
+                "repro_build_shuffle_bytes_total"),
+            "map_observed": registry.histogram(
+                "repro_task_seconds", phase="map").count,
+        }
+    assert totals["serial"] == totals["parallel"]
+    assert totals["serial"]["map"] > 0
+    # Every task's duration was observed exactly once.
+    assert totals["serial"]["map_observed"] == totals["serial"]["map"]
+
+
+@pytest.mark.parametrize("executor", ["serial", "parallel"])
+def test_service_fanout_is_bit_identical_with_telemetry(
+    small_dataset, global_telemetry_guard, executor
+):
+    workload = WorkloadGenerator(small_dataset.u, seed=3).generate(500, "mixed")
+
+    def answers(telemetry):
+        profile = RuntimeProfile(seed=SEED, executor=executor,
+                                 telemetry=telemetry)
+        service = SynopsisService(profile=profile, shard_size=64)
+        service.build("send-v", small_dataset)
+        return service.query_workload(["Send-V"], workload)["Send-V"]
+
+    set_telemetry(Telemetry())
+    baseline = answers(None)
+    enabled = Telemetry.enabled()
+    set_telemetry(enabled)
+    traced = answers(enabled)
+    np.testing.assert_array_equal(baseline, traced)
+    assert any(event.name == "service.fanout"
+               for event in enabled.tracer.events())
+
+
+def test_streaming_publishes_identical_checksums_with_telemetry(
+    global_telemetry_guard,
+):
+    rng = np.random.default_rng(5)
+    batches = [rng.integers(1, 257, size=400) for _ in range(4)]
+
+    def checksums(telemetry):
+        profile = RuntimeProfile(seed=SEED, telemetry=telemetry)
+        service = SynopsisService(profile=profile)
+        versions = []
+        for batch in batches:
+            metadata = service.ingest("stream", batch, u=256, k=K, cadence=2)
+            if metadata is not None:
+                versions.append(metadata.checksum_sha256)
+        return versions
+
+    set_telemetry(Telemetry())
+    baseline = checksums(None)
+    enabled = Telemetry.enabled()
+    set_telemetry(enabled)
+    traced = checksums(enabled)
+    assert baseline == traced and len(baseline) == 2
+    names = {event.name for event in enabled.tracer.events()}
+    assert {"maintain.checkpoint", "maintain.publish"} <= names
+
+
+def test_scheduled_batch_is_bit_identical_with_telemetry(
+    small_dataset, global_telemetry_guard
+):
+    def reports(telemetry, concurrent_jobs):
+        profile = RuntimeProfile(seed=SEED, telemetry=telemetry,
+                                 concurrent_jobs=concurrent_jobs)
+        service = SynopsisService(profile=profile)
+        built = service.build_many([
+            ("send-v", small_dataset, "a"),
+            ("h-wtopk", small_dataset, "b"),
+        ])
+        return [(r.name, r.version, r.checksum_sha256) for r in built], built
+
+    set_telemetry(Telemetry())
+    baseline, _ = reports(None, 1)
+    enabled = Telemetry.enabled()
+    set_telemetry(enabled)
+    traced, built = reports(enabled, 2)
+    assert traced == baseline
+    # The scheduler batch surfaced its slot-pool statistics.
+    stats = built[0].scheduler_stats
+    assert stats is not None and stats.jobs == 2
+    assert "jobs=2" in stats.describe()
+
+
+def test_end_to_end_trace_round_trip(tmp_path, global_telemetry_guard, capsys):
+    """Build -> ingest -> maintain -> query, exported as JSONL and rendered
+    through the ``repro telemetry`` verb, with per-phase wall times and the
+    serving latency histogram populated."""
+    enabled = Telemetry.enabled()
+    set_telemetry(enabled)
+    store = SynopsisStore(str(tmp_path / "store"))
+    profile = RuntimeProfile(seed=SEED, telemetry=enabled)
+    service = SynopsisService(store=store, profile=profile)
+
+    dataset_u = 256
+    rng = np.random.default_rng(2)
+    from repro.data.generators import ZipfDatasetGenerator
+
+    dataset = ZipfDatasetGenerator(u=dataset_u, alpha=1.1, seed=2).generate(
+        5_000, name="e2e")
+    service.build("send-v", dataset, name="base")
+    service.ingest("stream", rng.integers(1, dataset_u + 1, size=300),
+                   u=dataset_u, cadence=2)
+    service.ingest("stream", rng.integers(1, dataset_u + 1, size=300))
+    service.maintain("stream", force=True)
+    workload = WorkloadGenerator(dataset_u, seed=4).generate(200, "mixed")
+    service.query_workload(["base", "stream"], workload)
+
+    # Per-phase wall times made it into the registry...
+    registry = enabled.metrics
+    assert registry.histogram("repro_build_phase_seconds", phase="map").count > 0
+    assert registry.histogram("repro_build_phase_seconds",
+                              phase="reduce").count > 0
+    # ...and the serving latency histogram is populated.
+    assert registry.histogram("repro_serving_batch_seconds",
+                              op="range_sum").count > 0
+
+    trace_path = str(tmp_path / "trace.jsonl")
+    count = enabled.tracer.export_jsonl(trace_path)
+    assert count == len(Tracer.load_jsonl(trace_path)) > 0
+
+    assert main(["telemetry", trace_path]) == 0
+    rendered = capsys.readouterr().out
+    for expected in ("build/phase:map", "build/phase:reduce", "build/round",
+                     "store/store.save", "streaming/maintain.publish",
+                     "serving/service.fanout", "per layer:"):
+        assert expected in rendered

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Fail if library code under src/repro calls print().
+
+Library modules report through the telemetry layer and stdlib logging; the
+only sanctioned stdout writers are the CLI front end (repro/cli.py) and the
+experiment report renderers, which exist to print.  This walks every other
+module's AST for a plain ``print(...)`` call — an AST pass, not a grep, so
+docstrings and comments mentioning print() don't trip it.
+
+Usage:  python tools/lint_no_print.py [src/repro]
+Exit status 1 when any offending call is found, listing file:line for each.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+# Modules whose job is writing to stdout.
+ALLOWED = frozenset({
+    "cli.py",
+    "reporting.py",
+})
+
+
+def find_print_calls(path: Path) -> list:
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    hits = []
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"):
+            hits.append(node.lineno)
+    return hits
+
+
+def main(argv: list) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path("src/repro")
+    if not root.is_dir():
+        print(f"lint_no_print: no such directory: {root}", file=sys.stderr)
+        return 2
+    failures = []
+    for path in sorted(root.rglob("*.py")):
+        if path.name in ALLOWED:
+            continue
+        for lineno in find_print_calls(path):
+            failures.append(f"{path}:{lineno}: print() call in library module")
+    if failures:
+        print("\n".join(failures), file=sys.stderr)
+        print(f"\nlint_no_print: {len(failures)} print() call(s) in library "
+              f"modules — use logging or the telemetry layer instead "
+              f"(stdout belongs to {', '.join(sorted(ALLOWED))})",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
