@@ -19,13 +19,18 @@ Run with:  python examples/api_guide.py
 
 from __future__ import annotations
 
+import pathlib
+import tempfile
+
 import numpy as np
 
 from repro import (
     AlgorithmSpec,
     BuildRequest,
+    QueryServer,
     RuntimeProfile,
     SynopsisService,
+    SynopsisStore,
     Telemetry,
     UpdateStreamGenerator,
     WorkloadGenerator,
@@ -195,6 +200,55 @@ def main() -> None:
     spans = telemetry.tracer.events()
     kinds = sorted({event.kind for event in spans})
     print(f"trace: {len(spans)} spans across layers {', '.join(kinds)}")
+
+    # --------------------------------------------------- 7. fault tolerance
+    # The executors retry transient task failures under a RetryPolicy, and a
+    # deterministic FaultInjector makes chaos testing reproducible: injection
+    # decisions are drawn from (fault_seed, round, task_id, attempt) — never
+    # from the task's own RNG, whose key never includes the attempt number.
+    # A retried attempt therefore re-runs the *identical* computation, so a
+    # faulty run is bit-identical to a clean one.  The profile carries the
+    # chaos dial; the CLI spells it --fault-rate 0.4 --fault-seed 11 (or
+    # profile keys fault-rate= / fault-seed=).
+    chaos = Telemetry()
+    previous = set_telemetry(chaos)
+    try:
+        chaos_profile = profile.with_overrides(fault_rate=0.4, fault_seed=3)
+        chaos_service = SynopsisService(profile=chaos_profile)
+        survived = chaos_service.build(AlgorithmSpec("send-v", k=40), web,
+                                       name="web")
+    finally:
+        set_telemetry(previous)
+    retries = sum(
+        chaos.metrics.counter_value("repro_task_retries_total",
+                                    phase=phase, reason="transient")
+        for phase in ("map", "reduce"))
+    assert retries >= 1  # this (rate, seed) injects faults into this build
+    assert survived.checksum_sha256 == exact.checksum_sha256
+    print(f"chaos build: {retries:.0f} task attempt(s) retried, checksum "
+          f"identical to the fault-free build — faults never change results")
+
+    # The serving side degrades gracefully instead of failing: a corrupt
+    # stored payload (checksum mismatch on load) is quarantined and the
+    # server falls back to the newest intact ancestor version, reporting the
+    # degradation in stats() until refresh() or a repaired store clears it.
+    with tempfile.TemporaryDirectory() as root:
+        disk_store = SynopsisStore(root)
+        disk = SynopsisService(store=disk_store, profile=profile)
+        disk.build(AlgorithmSpec("send-v", k=40), web, name="web")
+        disk.build(AlgorithmSpec("send-v", k=40), clicks, name="web")  # v2
+        payload = pathlib.Path(root) / "web" / "v00002" / "synopsis.bin"
+        blob = bytearray(payload.read_bytes())
+        blob[16:20] = b"\xde\xad\xbe\xef"  # bit-rot the v2 payload
+        payload.write_bytes(bytes(blob))
+
+        server = QueryServer(disk_store)
+        answer = server.range_sums("web", [1], [2 ** 12])
+        info = server.stats()["degraded"]["web"]
+        print(f"degraded serving: v{info['requested_version']} corrupt, "
+              f"served v{info['serving_version']} instead "
+              f"(quarantined: {disk_store.quarantined_versions('web')}); "
+              f"answer {float(answer[0]):,.1f}")
 
 
 if __name__ == "__main__":

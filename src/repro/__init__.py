@@ -68,14 +68,17 @@ from repro.algorithms import (
 from repro.core import FrequencyVector, WaveletHistogram, haar_transform, inverse_haar_transform
 from repro.cost import CostModel, CostParameters
 from repro.data import Dataset, UniformDatasetGenerator, WorldCupLikeGenerator, ZipfDatasetGenerator
+from repro.errors import TaskPermanentError, TaskTransientError
 from repro.mapreduce import (
     HDFS,
     ClusterScheduler,
     ClusterSpec,
+    FaultInjector,
     JobPlan,
     JobRunner,
     MapReduceJob,
     PlanStage,
+    RetryPolicy,
 )
 from repro.mapreduce.cluster import paper_cluster
 from repro.service import AlgorithmSpec, BuildRequest, RuntimeProfile, SynopsisService
@@ -107,7 +110,7 @@ from repro.telemetry import (
 # handlers — applications opt in (the CLI's --log-level does).
 logging.getLogger(__name__).addHandler(logging.NullHandler())
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AlgorithmResult",
@@ -136,6 +139,10 @@ __all__ = [
     "JobRunner",
     "MapReduceJob",
     "PlanStage",
+    "FaultInjector",
+    "RetryPolicy",
+    "TaskTransientError",
+    "TaskPermanentError",
     "paper_cluster",
     "make_algorithm",
     "algorithm_names",

@@ -53,13 +53,20 @@ Ten sub-commands are provided::
         snapshot summary.
 
 ``compare``, ``figure`` and ``build`` accept ``--executor {serial,parallel}``,
-``--workers N``, ``--data-plane {batch,records}`` and ``--concurrent-jobs N``
+``--workers N``, ``--data-plane {batch,records}``, ``--concurrent-jobs N``
 (schedule up to N algorithm builds at once on the cluster's shared slot
-pool), or the combined ``--profile`` specification (e.g. ``--profile
-parallel:4`` or ``--profile executor=parallel,data-plane=records,
-concurrent-jobs=7``) which overrides the individual flags; all reported
-numbers are bit-identical across executors, data planes and concurrency
-levels, only the wall-clock time changes.
+pool) and the chaos-testing pair ``--fault-rate P`` / ``--fault-seed S``
+(deterministically inject transient task faults that are retried), or the
+combined ``--profile`` specification (e.g. ``--profile parallel:4`` or
+``--profile executor=parallel,data-plane=records,concurrent-jobs=7``) which
+overrides the individual flags; all reported numbers are bit-identical across
+executors, data planes, concurrency levels and fault injection, only the
+wall-clock time changes.
+
+Expected failures (any :class:`~repro.errors.ReproError` subclass — invalid
+parameters, a task retry budget exhausting, a quarantined synopsis with no
+intact ancestor) exit with code 2 and a one-line message on stderr; the
+global ``--traceback`` flag restores the full stack trace for debugging.
 
 ``build``, ``query``, ``serve-bench``, ``ingest`` and ``maintain`` also
 accept ``--trace FILE`` (export the run's span events as JSONL) and
@@ -73,13 +80,14 @@ from __future__ import annotations
 
 import argparse
 import logging
+import sys
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 from repro.algorithms.registry import algorithm_class, algorithm_names, make_algorithm
 from repro.core.histogram import WaveletHistogram
-from repro.errors import ServingError
+from repro.errors import ReproError, SchedulerError, ServingError
 from repro.experiments import figures
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_algorithms, standard_algorithms
@@ -180,6 +188,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--log-level", dest="log_level", choices=list(LOG_LEVELS), default=None,
         help="enable stdlib-logging diagnostics at this level (default: off)",
+    )
+    parser.add_argument(
+        "--traceback", action="store_true",
+        help="print full tracebacks for expected failures instead of the "
+             "one-line error summary",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -379,11 +392,23 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
              "results are bit-identical for every N",
     )
     parser.add_argument(
+        "--fault-rate", dest="fault_rate", type=float, default=None,
+        metavar="P",
+        help="chaos testing: inject transient task faults with probability P "
+             "per attempt (deterministic given --fault-seed); retried runs "
+             "stay bit-identical to fault-free runs",
+    )
+    parser.add_argument(
+        "--fault-seed", dest="fault_seed", type=int, default=None, metavar="S",
+        help="seed of the injected-fault stream (default: 0); independent of "
+             "the build seed, so injection never perturbs task RNGs",
+    )
+    parser.add_argument(
         "--profile", default=None, metavar="SPEC",
         help="combined runtime-profile specification overriding the flags "
              "above: an executor shorthand ('serial', 'parallel', "
              "'parallel:8') or key=value pairs over executor/workers/"
-             "seed/data-plane/concurrent-jobs, e.g. "
+             "seed/data-plane/concurrent-jobs/fault-rate/fault-seed, e.g. "
              "'executor=parallel,data-plane=records' or "
              "'parallel:4,concurrent-jobs=5'",
     )
@@ -395,6 +420,8 @@ def _configuration(quick: bool, k: Optional[int] = None,
                    workers: Optional[int] = None,
                    data_plane: str = "batch",
                    concurrent_jobs: Optional[int] = None,
+                   fault_rate: Optional[float] = None,
+                   fault_seed: Optional[int] = None,
                    profile: Optional[str] = None) -> ExperimentConfig:
     config = ExperimentConfig.quick() if quick else ExperimentConfig()
     overrides = {"executor": executor, "workers": workers, "data_plane": data_plane}
@@ -404,6 +431,10 @@ def _configuration(quick: bool, k: Optional[int] = None,
         overrides["epsilon"] = epsilon
     if concurrent_jobs is not None:
         overrides["concurrent_jobs"] = concurrent_jobs
+    if fault_rate is not None:
+        overrides["fault_rate"] = fault_rate
+    if fault_seed is not None:
+        overrides["fault_seed"] = fault_seed
     if profile is not None:
         # The combined --profile spec wins over the individual flags; only the
         # keys actually present in the spec are applied.
@@ -416,6 +447,8 @@ def _run_compare(arguments: argparse.Namespace) -> List[str]:
                             executor=arguments.executor, workers=arguments.workers,
                             data_plane=arguments.data_plane,
                             concurrent_jobs=arguments.concurrent_jobs,
+                            fault_rate=arguments.fault_rate,
+                            fault_seed=arguments.fault_seed,
                             profile=arguments.profile)
     dataset = config.build_dataset()
     cluster = config.build_cluster(dataset)
@@ -444,6 +477,8 @@ def _run_figure(arguments: argparse.Namespace) -> List[str]:
                             workers=arguments.workers,
                             data_plane=arguments.data_plane,
                             concurrent_jobs=arguments.concurrent_jobs,
+                            fault_rate=arguments.fault_rate,
+                            fault_seed=arguments.fault_seed,
                             profile=arguments.profile)
     table = FIGURE_DRIVERS[arguments.name](config)
     return [table.format()]
@@ -460,6 +495,8 @@ def _run_build(arguments: argparse.Namespace) -> List[str]:
                             executor=arguments.executor, workers=arguments.workers,
                             data_plane=arguments.data_plane,
                             concurrent_jobs=arguments.concurrent_jobs,
+                            fault_rate=arguments.fault_rate,
+                            fault_seed=arguments.fault_seed,
                             profile=arguments.profile
                             ).with_overrides(store_path=arguments.store)
     dataset = config.build_dataset()
@@ -470,6 +507,9 @@ def _run_build(arguments: argparse.Namespace) -> List[str]:
         # Route the single build through the scheduler batch so the slot
         # pool statistics are observable (results are bit-identical).
         report = service.build_many([(algorithm, dataset, arguments.name)])[0]
+        if not report.ok:
+            raise SchedulerError(f"build of {arguments.algorithm!r} failed: "
+                                 f"{report.error}")
     else:
         report = service.build(algorithm, dataset, name=arguments.name)
     result = report.result
@@ -714,29 +754,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         # for them; the metrics registry is cheap and always on.
         telemetry = Telemetry(tracer=Tracer(enabled=bool(trace_path)))
         set_telemetry(telemetry)
-    if arguments.command == "compare":
-        lines = _run_compare(arguments)
-    elif arguments.command == "figure":
-        lines = _run_figure(arguments)
-    elif arguments.command == "build":
-        lines = _run_build(arguments)
-    elif arguments.command == "query":
-        lines = _run_query(arguments)
-    elif arguments.command == "serve":
-        if arguments.serve_command == "catalog":
-            lines = _run_serve_catalog(arguments)
+    try:
+        if arguments.command == "compare":
+            lines = _run_compare(arguments)
+        elif arguments.command == "figure":
+            lines = _run_figure(arguments)
+        elif arguments.command == "build":
+            lines = _run_build(arguments)
+        elif arguments.command == "query":
+            lines = _run_query(arguments)
+        elif arguments.command == "serve":
+            if arguments.serve_command == "catalog":
+                lines = _run_serve_catalog(arguments)
+            else:
+                lines = _run_serve_query(arguments)
+        elif arguments.command == "serve-bench":
+            lines = _run_serve_bench(arguments)
+        elif arguments.command == "ingest":
+            lines = _run_ingest(arguments)
+        elif arguments.command == "maintain":
+            lines = _run_maintain(arguments)
+        elif arguments.command == "telemetry":
+            lines = _run_telemetry(arguments)
         else:
-            lines = _run_serve_query(arguments)
-    elif arguments.command == "serve-bench":
-        lines = _run_serve_bench(arguments)
-    elif arguments.command == "ingest":
-        lines = _run_ingest(arguments)
-    elif arguments.command == "maintain":
-        lines = _run_maintain(arguments)
-    elif arguments.command == "telemetry":
-        lines = _run_telemetry(arguments)
-    else:
-        lines = _list_figures()
+            lines = _list_figures()
+    except ReproError as error:
+        # Expected failure modes (bad parameters, exhausted retries,
+        # quarantined synopses, ...) exit with a one-line diagnosis, not a
+        # traceback; --traceback opts back into the full stack.
+        if arguments.traceback:
+            raise
+        print(f"repro {arguments.command}: error: "
+              f"{type(error).__name__}: {error}", file=sys.stderr)
+        return 2
     if telemetry is not None:
         lines.extend(_export_telemetry(telemetry, trace_path, metrics_path))
     print("\n".join(lines))

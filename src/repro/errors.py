@@ -52,6 +52,31 @@ class ExecutorError(MapReduceError):
     """Raised when a task executor cannot run a phase (e.g. unpicklable task)."""
 
 
+class TaskTransientError(MapReduceError):
+    """A task attempt failed transiently and may be retried.
+
+    Raised by the fault-injection seam (and available to task code that wants
+    framework-style re-execution).  Tasks are pure functions of their specs
+    with private ``(seed, round, task)`` RNGs, so a retried attempt is
+    bit-identical to the attempt that failed.
+    """
+
+
+class TaskPermanentError(ExecutorError):
+    """A task failed for good: its retry budget is exhausted.
+
+    Subclasses :class:`ExecutorError` so callers that treated executor
+    failures as fatal keep working; carries the failing task and the attempt
+    count for diagnostics and for the scheduler's per-job failure isolation.
+    """
+
+    def __init__(self, message: str, *, task_id: object = None,
+                 attempts: int = 0) -> None:
+        super().__init__(message)
+        self.task_id = task_id
+        self.attempts = attempts
+
+
 class PlanError(MapReduceError):
     """Raised when a job plan is malformed (bad stage graph, missing results)."""
 

@@ -106,6 +106,8 @@ class ExperimentConfig:
     workers: Optional[int] = None
     data_plane: str = "batch"
     concurrent_jobs: int = 1
+    fault_rate: float = 0.0
+    fault_seed: int = 0
     store_path: Optional[str] = None
     query_mix: str = "mixed"
     num_queries: int = 10_000
@@ -128,6 +130,10 @@ class ExperimentConfig:
             raise InvalidParameterError(
                 f"concurrent_jobs must be >= 1, got {self.concurrent_jobs}"
             )
+        if not 0.0 <= self.fault_rate < 1.0:
+            raise InvalidParameterError(
+                f"fault_rate must be in [0, 1), got {self.fault_rate}"
+            )
         if self.query_mix not in MIX_NAMES:
             raise InvalidParameterError(
                 f"query_mix must be one of {MIX_NAMES}, got {self.query_mix!r}"
@@ -143,7 +149,9 @@ class ExperimentConfig:
         Sharing means sweeps reuse one worker pool instead of forking a fresh
         pool per figure point.
         """
-        return shared_executor(self.executor, self.workers)
+        return shared_executor(self.executor, self.workers,
+                               fault_rate=self.fault_rate,
+                               fault_seed=self.fault_seed)
 
     def build_profile(self, cluster: Optional[ClusterSpec] = None) -> RuntimeProfile:
         """The :class:`~repro.service.profile.RuntimeProfile` this configuration selects.
@@ -160,6 +168,8 @@ class ExperimentConfig:
             workers=self.workers,
             data_plane=self.data_plane,
             concurrent_jobs=self.concurrent_jobs,
+            fault_rate=self.fault_rate,
+            fault_seed=self.fault_seed,
         )
 
     # --------------------------------------------------------------- serving

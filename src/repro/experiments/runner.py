@@ -10,7 +10,7 @@ from repro.algorithms.base import AlgorithmResult, HistogramAlgorithm
 from repro.algorithms.registry import make_algorithm
 from repro.core.frequency import FrequencyVector
 from repro.data.dataset import Dataset
-from repro.errors import InvalidParameterError
+from repro.errors import InvalidParameterError, SchedulerError
 from repro.experiments.config import ExperimentConfig
 from repro.mapreduce.cluster import ClusterSpec
 from repro.mapreduce.hdfs import HDFS
@@ -212,6 +212,16 @@ def _run_scheduled_batch(
                                              max_concurrent_jobs=jobs_in_flight,
                                              telemetry=profile.telemetry)
     outcomes = scheduler.run(entries)
-    results = [algorithm.assemble_result(outcome, profile)
-               for algorithm, outcome in zip(algorithms, outcomes)]
-    return results, scheduler.last_stats
+    stats = scheduler.last_stats
+    results = []
+    for index, (algorithm, outcome) in enumerate(zip(algorithms, outcomes)):
+        if outcome is None:
+            # Experiment sweeps need every algorithm's numbers: a plan the
+            # scheduler isolated as permanently failed fails the sweep loudly
+            # instead of producing a table with silent holes.
+            raise SchedulerError(
+                f"algorithm {algorithm.name!r} failed in the scheduled batch: "
+                f"{stats.job_errors.get(index, 'no recorded error')}"
+            )
+        results.append(algorithm.assemble_result(outcome, profile))
+    return results, stats

@@ -49,6 +49,11 @@ from repro.mapreduce.executor import (
     create_executor,
     shared_executor,
 )
+from repro.mapreduce.faults import (
+    DEFAULT_RETRY_POLICY,
+    FaultInjector,
+    RetryPolicy,
+)
 from repro.mapreduce.hdfs import HDFS, HdfsFile, InputSplit
 from repro.mapreduce.inputformat import SequentialInputFormat, RandomSamplingInputFormat
 from repro.mapreduce.job import DistributedCache, JobConfiguration, MapReduceJob
@@ -80,6 +85,9 @@ __all__ = [
     "ParallelExecutor",
     "create_executor",
     "shared_executor",
+    "DEFAULT_RETRY_POLICY",
+    "FaultInjector",
+    "RetryPolicy",
     "HDFS",
     "HdfsFile",
     "InputSplit",

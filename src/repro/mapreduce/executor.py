@@ -39,9 +39,11 @@ shipped to a worker process stays proportional to the split size.
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 from abc import ABC, abstractmethod
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -49,7 +51,19 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type, U
 
 import numpy as np
 
-from repro.errors import ExecutorError, InvalidParameterError
+from repro.errors import (
+    ExecutorError,
+    InvalidParameterError,
+    TaskPermanentError,
+    TaskTransientError,
+)
+from repro.mapreduce.faults import (
+    DEFAULT_RETRY_POLICY,
+    KIND_TRANSIENT,
+    KIND_WORKER_KILL,
+    FaultInjector,
+    RetryPolicy,
+)
 from repro.mapreduce.api import (
     BatchMapper,
     BatchReducer,
@@ -64,6 +78,7 @@ from repro.mapreduce.inputformat import InputFormat, SequentialInputFormat
 from repro.mapreduce.job import DistributedCache, JobConfiguration, hash_partitioner
 from repro.mapreduce.serialization import SerializationModel
 from repro.mapreduce.state import StateStore
+from repro.telemetry import get_telemetry
 from repro.telemetry.metrics import MetricsDelta
 
 __all__ = [
@@ -85,6 +100,8 @@ __all__ = [
     "shared_executor",
     "translate_task_failure",
 ]
+
+logger = logging.getLogger(__name__)
 
 # Data planes the runtime can move a job's records through.  ``"batch"`` is
 # the columnar fast path (whole-split arrays, vectorised mappers, blocked
@@ -551,6 +568,47 @@ def _execute_task(spec: TaskSpec) -> TaskResult:
     return execute_function_task(spec)
 
 
+def _spec_phase(spec: TaskSpec) -> str:
+    """The phase label a spec's task belongs to (for metrics and messages)."""
+    if isinstance(spec, MapTaskSpec):
+        return "map"
+    if isinstance(spec, ReduceTaskSpec):
+        return "reduce"
+    return "function"
+
+
+# Exit code used by injected worker kills; distinctive in worker logs.
+_INJECTED_KILL_EXIT = 113
+
+
+def _execute_faulted_task(spec: TaskSpec, fault: Optional[str]) -> TaskResult:
+    """Worker entry point with the fault-injection seam applied.
+
+    The coordinator draws the fault *before* submission (the injector's
+    selector may not be picklable) and ships only the directive.  A transient
+    directive raises before the task body runs; a kill directive takes the
+    whole worker process down, exactly like real task-tracker loss.  The
+    task's own RNG key never sees the attempt number, so the eventual
+    successful attempt is bit-identical to an uninjected run.
+    """
+    if fault == KIND_TRANSIENT:
+        raise TaskTransientError(
+            f"injected transient fault in {_spec_phase(spec)} task {spec.task_id}"
+        )
+    if fault == KIND_WORKER_KILL:
+        os._exit(_INJECTED_KILL_EXIT)
+    return _execute_task(spec)
+
+
+def _failure_reason(error: BaseException) -> str:
+    """Short label for the retry metrics' ``reason`` dimension."""
+    if isinstance(error, TaskTransientError):
+        return "transient"
+    if isinstance(error, BrokenProcessPool):
+        return "worker-died"
+    return type(error).__name__.lower()
+
+
 class TaskHandle:
     """One task submitted through :meth:`Executor.submit_task`.
 
@@ -600,21 +658,74 @@ class _InlineTaskHandle(TaskHandle):
 
 
 class _PoolTaskHandle(TaskHandle):
-    """A task running in a process pool, wrapping its future."""
+    """A task running in a process pool, with transparent per-task retries.
 
-    __slots__ = ("future",)
+    The handle owns its attempt loop: when :meth:`completed` observes a
+    retryable failure it resubmits the task (rebuilding a broken pool first)
+    and reports the handle as still running; only success or a permanent
+    failure completes it.  Retried results are bit-identical because the
+    attempt number never reaches the task's RNG key.
+    """
 
-    def __init__(self, spec: TaskSpec, future: Any) -> None:
+    __slots__ = ("executor", "future", "attempt", "generation", "fault",
+                 "_cancelled", "_final_error")
+
+    def __init__(self, executor: "ParallelExecutor", spec: TaskSpec) -> None:
         super().__init__(spec)
-        self.future = future
+        self.executor = executor
+        self.attempt = 1
+        self._cancelled = False
+        self._final_error: Optional[BaseException] = None
+        self._submit()
+
+    def _submit(self) -> None:
+        executor = self.executor
+        self.fault = executor._draw_fault(self.spec, self.attempt, allow_kill=True)
+        if self.fault == KIND_WORKER_KILL:
+            executor._generation_kill_injected = True
+        self.generation = executor._generation
+        self.future = executor._ensure_pool().submit(
+            _execute_faulted_task, self.spec, self.fault
+        )
 
     def completed(self) -> bool:
-        return self.future.done()
+        if self._final_error is not None:
+            return True
+        if not self.future.done():
+            return False
+        if self._cancelled or self.future.cancelled():
+            return True
+        error = self.future.exception()
+        if error is None:
+            return True
+        policy = self.executor.retry_policy
+        if policy is None or not policy.is_retryable(error):
+            return True
+        if isinstance(error, BrokenProcessPool):
+            self.executor._recover_pool(self.generation)
+            if (self.executor._last_break_injected
+                    and self.fault != KIND_WORKER_KILL):
+                # An innocent bystander of an injected kill: the attempt
+                # never ran, so resubmit without charging the retry budget.
+                self._submit()
+                return False
+        try:
+            self.attempt = self.executor._after_failure(
+                self.spec, self.attempt, error
+            )
+        except BaseException as final:  # retries exhausted
+            self._final_error = final
+            return True
+        self._submit()
+        return False
 
     def result(self) -> TaskResult:
+        if self._final_error is not None:
+            raise self._final_error
         return self.future.result()
 
     def cancel(self) -> bool:
+        self._cancelled = True
         return self.future.cancel()
 
 
@@ -623,12 +734,81 @@ class Executor(ABC):
 
     name: str = "abstract"
 
+    # Retry configuration shared by every executor: attempts are budgeted by
+    # ``retry_policy`` and synthetic faults come from ``fault_injector``
+    # (None = no injection).  Class-level defaults keep third-party
+    # subclasses working without constructor changes.
+    retry_policy: Optional[RetryPolicy] = DEFAULT_RETRY_POLICY
+    fault_injector: Optional[FaultInjector] = None
+
     @abstractmethod
     def run_tasks(self, specs: Sequence[TaskSpec], slots: int) -> List[TaskResult]:
         """Run all specs, honouring at most ``slots`` concurrent tasks.
 
         Results are returned in spec order regardless of completion order.
         """
+
+    # ---------------------------------------------------- retries and faults
+
+    def _draw_fault(self, spec: TaskSpec, attempt: int,
+                    allow_kill: bool) -> Optional[str]:
+        """The injected fault (if any) for this attempt.
+
+        Inline execution paths pass ``allow_kill=False``: a worker-kill draw
+        degrades to a transient error there, because ``os._exit`` in the
+        coordinator process would take the whole run down rather than one
+        worker.  The *draw* itself is identical either way, so fault plans
+        stay comparable across executors.
+        """
+        if self.fault_injector is None:
+            return None
+        fault = self.fault_injector.draw(spec, attempt)
+        if fault == KIND_WORKER_KILL and not allow_kill:
+            return KIND_TRANSIENT
+        return fault
+
+    def _after_failure(self, spec: TaskSpec, attempt: int,
+                       error: BaseException) -> int:
+        """Account one failed attempt: raise, or book a retry and return attempt+1.
+
+        Non-retryable errors re-raise unchanged; an exhausted budget raises
+        :class:`TaskPermanentError` naming the task and attempt count.  A
+        booked retry records the ``repro_task_retries_total`` counter and a
+        retry span, then sleeps the policy's deterministic backoff.
+        """
+        policy = self.retry_policy
+        if policy is None or not policy.is_retryable(error):
+            raise error
+        phase = _spec_phase(spec)
+        if attempt >= policy.max_attempts:
+            detail = (_WORKER_DIED_MESSAGE if isinstance(error, BrokenProcessPool)
+                      else str(error))
+            raise TaskPermanentError(
+                f"{phase} task {spec.task_id} failed permanently after "
+                f"{attempt} attempt(s); last error: {detail}",
+                task_id=spec.task_id, attempts=attempt,
+            ) from error
+        reason = _failure_reason(error)
+        telemetry = get_telemetry()
+        telemetry.metrics.inc("repro_task_retries_total", 1.0,
+                              phase=phase, reason=reason)
+        telemetry.tracer.record("task.retry", kind="faults", phase=phase,
+                                task=spec.task_id, attempt=attempt,
+                                reason=reason)
+        logger.warning("retrying %s task %s (attempt %d failed: %s)",
+                       phase, spec.task_id, attempt, reason)
+        policy.sleep_before_retry(attempt)
+        return attempt + 1
+
+    def _run_inline(self, spec: TaskSpec) -> TaskResult:
+        """Execute one task in the calling process, honouring the retry loop."""
+        attempt = 1
+        while True:
+            try:
+                fault = self._draw_fault(spec, attempt, allow_kill=False)
+                return _execute_faulted_task(spec, fault)
+            except BaseException as error:
+                attempt = self._after_failure(spec, attempt, error)
 
     # ------------------------------------------------------- task submission
     # The non-blocking half of the seam: the cluster scheduler dispatches
@@ -644,7 +824,7 @@ class Executor(ABC):
         semantics so callers handle both executors identically.
         """
         try:
-            return _InlineTaskHandle(spec, result=_execute_task(spec))
+            return _InlineTaskHandle(spec, result=self._run_inline(spec))
         except BaseException as error:  # re-raised at result(), like a future
             return _InlineTaskHandle(spec, error=error)
 
@@ -678,12 +858,21 @@ class Executor(ABC):
 
 
 class SerialExecutor(Executor):
-    """Runs every task inline, in task order (the original behaviour)."""
+    """Runs every task inline, in task order (the original behaviour).
+
+    Failed attempts retry inline under ``retry_policy``; injected worker
+    kills degrade to transient errors (there is no worker to kill).
+    """
 
     name = "serial"
 
+    def __init__(self, retry_policy: Optional[RetryPolicy] = DEFAULT_RETRY_POLICY,
+                 fault_injector: Optional[FaultInjector] = None) -> None:
+        self.retry_policy = retry_policy
+        self.fault_injector = fault_injector
+
     def run_tasks(self, specs: Sequence[TaskSpec], slots: int) -> List[TaskResult]:
-        return [_execute_task(spec) for spec in specs]
+        return [self._run_inline(spec) for spec in specs]
 
 
 class ParallelExecutor(Executor):
@@ -702,13 +891,23 @@ class ParallelExecutor(Executor):
 
     name = "parallel"
 
-    def __init__(self, max_workers: Optional[int] = None) -> None:
+    def __init__(self, max_workers: Optional[int] = None,
+                 retry_policy: Optional[RetryPolicy] = DEFAULT_RETRY_POLICY,
+                 fault_injector: Optional[FaultInjector] = None) -> None:
         if max_workers is not None and max_workers < 1:
             raise InvalidParameterError(
                 f"max_workers must be a positive integer, got {max_workers}"
             )
         self.max_workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        self.retry_policy = retry_policy
+        self.fault_injector = fault_injector
         self._pool: Optional[ProcessPoolExecutor] = None
+        # Pool lineage for crash recovery: the generation counter increments
+        # on every rebuild so concurrent holders of a broken pool's futures
+        # trigger exactly one rebuild between them.
+        self._generation = 0
+        self._generation_kill_injected = False
+        self._last_break_injected = False
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -721,35 +920,94 @@ class ParallelExecutor(Executor):
             )
         return self._pool
 
+    def _recover_pool(self, generation: int) -> None:
+        """Discard a broken pool (once per break) so the next submit rebuilds.
+
+        Idempotent per break: the first caller that saw generation ``g`` die
+        advances the lineage; later callers holding futures from the same
+        dead pool are no-ops.  Remembers whether the break was caused by an
+        injected kill so innocent in-flight tasks can be resubmitted without
+        charging their retry budgets.
+        """
+        if generation != self._generation:
+            return
+        self._last_break_injected = self._generation_kill_injected
+        self._generation_kill_injected = False
+        self._generation += 1
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+        telemetry = get_telemetry()
+        telemetry.metrics.inc("repro_pool_rebuilds_total")
+        telemetry.tracer.record("pool.rebuild", kind="faults",
+                                generation=self._generation,
+                                injected=self._last_break_injected)
+        logger.warning("worker pool died; rebuilding (generation %d)",
+                       self._generation)
+
     def run_tasks(self, specs: Sequence[TaskSpec], slots: int) -> List[TaskResult]:
         if len(specs) <= 1:
             # A single task gains nothing from a round-trip through the pool.
-            return [_execute_task(spec) for spec in specs]
-        pool = self._ensure_pool()
+            return [self._run_inline(spec) for spec in specs]
         window = max(1, min(self.max_workers, slots))
         results: List[Optional[TaskResult]] = [None] * len(specs)
-        pending = iter(enumerate(specs))
-        in_flight = {}
+        attempts = [1] * len(specs)
+        pending = deque(range(len(specs)))
+        in_flight: Dict[Any, Tuple[int, Optional[str]]] = {}
         try:
-            for index, spec in pending:
-                in_flight[pool.submit(_execute_task, spec)] = index
-                if len(in_flight) >= window:
-                    break
-            while in_flight:
+            while pending or in_flight:
+                while pending and len(in_flight) < window:
+                    index = pending.popleft()
+                    fault = self._draw_fault(specs[index], attempts[index],
+                                             allow_kill=True)
+                    if fault == KIND_WORKER_KILL:
+                        self._generation_kill_injected = True
+                    future = self._ensure_pool().submit(
+                        _execute_faulted_task, specs[index], fault
+                    )
+                    in_flight[future] = (index, fault)
                 done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
                 for future in done:
-                    results[in_flight.pop(future)] = future.result()
-                for index, spec in pending:
-                    in_flight[pool.submit(_execute_task, spec)] = index
-                    if len(in_flight) >= window:
+                    index, fault = in_flight.pop(future)
+                    try:
+                        results[index] = future.result()
+                    except BrokenProcessPool as error:
+                        # The pool died: every in-flight task is lost.
+                        # Salvage siblings that already finished, rebuild the
+                        # pool, charge retry budgets (only tasks whose attempt
+                        # carried a kill directive when the break was
+                        # injected), and requeue the lost indices in order.
+                        lost = [(index, fault)]
+                        for other, (other_index, other_fault) in in_flight.items():
+                            if (other.done() and not other.cancelled()
+                                    and other.exception() is None):
+                                results[other_index] = other.result()
+                            else:
+                                lost.append((other_index, other_fault))
+                        in_flight.clear()
+                        self._recover_pool(self._generation)
+                        injected = self._last_break_injected
+                        for lost_index, lost_fault in sorted(lost):
+                            if lost_fault == KIND_WORKER_KILL or not injected:
+                                attempts[lost_index] = self._after_failure(
+                                    specs[lost_index], attempts[lost_index],
+                                    error,
+                                )
+                        for lost_index, _ in sorted(lost, reverse=True):
+                            pending.appendleft(lost_index)
                         break
-        except BrokenProcessPool as error:
-            # A worker died mid-phase — almost always task code that does not
-            # survive pickling (e.g. a mapper class defined inside a function).
-            raise translate_task_failure(error, self) from error
+                    except BaseException as error:
+                        policy = self.retry_policy
+                        if policy is not None and policy.is_retryable(error):
+                            attempts[index] = self._after_failure(
+                                specs[index], attempts[index], error
+                            )
+                            pending.appendleft(index)
+                        else:
+                            raise
         except BaseException as error:
-            # A task raised (or the caller was interrupted): don't leave the
-            # rest of the phase running in the shared pool behind our back.
+            # A task failed for good (or the caller was interrupted): don't
+            # leave the rest of the phase running in the pool behind our back.
             for future in in_flight:
                 future.cancel()
             wait(list(in_flight))
@@ -763,15 +1021,20 @@ class ParallelExecutor(Executor):
 
     def submit_task(self, spec: TaskSpec) -> TaskHandle:
         """Submit one task to the process pool without waiting for it."""
-        return _PoolTaskHandle(spec, self._ensure_pool().submit(_execute_task, spec))
+        return _PoolTaskHandle(self, spec)
 
     def wait_any(self, handles: Sequence[TaskHandle]) -> List[TaskHandle]:
-        if not any(handle.completed() for handle in handles):
+        # completed() may transparently resubmit a retryable failure, so loop
+        # until a handle is *finally* complete (success or permanent failure).
+        while True:
+            completed = [handle for handle in handles if handle.completed()]
+            if completed or not handles:
+                return completed
             futures = [handle.future for handle in handles
                        if isinstance(handle, _PoolTaskHandle)]
-            if futures:
-                wait(futures, return_when=FIRST_COMPLETED)
-        return [handle for handle in handles if handle.completed()]
+            if not futures:
+                return completed
+            wait(futures, return_when=FIRST_COMPLETED)
 
     def warm_up(self) -> None:
         """Start the worker processes eagerly (useful before timing a run)."""
@@ -787,27 +1050,37 @@ class ParallelExecutor(Executor):
 
 EXECUTOR_NAMES = ("serial", "parallel")
 
-_SHARED_EXECUTORS: Dict[Tuple[str, Optional[int]], Executor] = {}
+_SHARED_EXECUTORS: Dict[Tuple[str, Optional[int], float, int], Executor] = {}
 
 
-def create_executor(name: str, workers: Optional[int] = None) -> Executor:
+def create_executor(name: str, workers: Optional[int] = None,
+                    retry_policy: Optional[RetryPolicy] = DEFAULT_RETRY_POLICY,
+                    fault_injector: Optional[FaultInjector] = None) -> Executor:
     """Build a fresh executor by name (``"serial"`` or ``"parallel"``)."""
     if name == "serial":
-        return SerialExecutor()
+        return SerialExecutor(retry_policy=retry_policy,
+                              fault_injector=fault_injector)
     if name == "parallel":
-        return ParallelExecutor(max_workers=workers)
+        return ParallelExecutor(max_workers=workers, retry_policy=retry_policy,
+                                fault_injector=fault_injector)
     raise InvalidParameterError(
         f"unknown executor {name!r}; expected one of {EXECUTOR_NAMES}"
     )
 
 
-def shared_executor(name: str, workers: Optional[int] = None) -> Executor:
-    """Return a process-wide shared executor for ``(name, workers)``.
+def shared_executor(name: str, workers: Optional[int] = None,
+                    fault_rate: float = 0.0, fault_seed: int = 0) -> Executor:
+    """Return a process-wide shared executor for the given configuration.
 
     Sweeps that run many algorithm instances (the figure drivers, the CLI)
-    reuse one pool instead of forking a fresh one per run.
+    reuse one pool instead of forking a fresh one per run.  A non-zero
+    ``fault_rate`` keys a separate (injected) executor so chaos runs never
+    leak synthetic faults into clean runs sharing the process.
     """
-    key = (name, workers)
+    key = (name, workers, fault_rate, fault_seed)
     if key not in _SHARED_EXECUTORS:
-        _SHARED_EXECUTORS[key] = create_executor(name, workers)
+        injector = (FaultInjector(rate=fault_rate, seed=fault_seed)
+                    if fault_rate > 0.0 else None)
+        _SHARED_EXECUTORS[key] = create_executor(name, workers,
+                                                 fault_injector=injector)
     return _SHARED_EXECUTORS[key]

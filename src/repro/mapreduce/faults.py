@@ -1,0 +1,172 @@
+"""Deterministic fault tolerance: retry policies and fault injection.
+
+Real MapReduce deployments treat task failure as the steady state: the
+framework re-executes failed attempts and the job never notices.  Our
+simulated runtime can offer the same guarantee *without weakening
+determinism* because every task is a pure function of its spec with a
+private RNG seeded from ``(seed, round, task)`` — the attempt number is
+deliberately **not** part of that key, so a retried attempt recomputes the
+exact same result the failed attempt would have produced.
+
+Two pieces live here:
+
+:class:`RetryPolicy`
+    How failures are classified and budgeted: which exception types are
+    retryable, how many attempts a task gets, and a deterministic
+    (exponential, capped) backoff schedule.
+
+:class:`FaultInjector`
+    The chaos seam.  Executors consult it before each attempt; it draws from
+    an RNG seeded by ``(fault_seed, round, task_id, attempt)`` so a chaos run
+    is exactly reproducible — the same faults hit the same attempts of the
+    same tasks every time.  Injected faults are synthetic
+    :class:`~repro.errors.TaskTransientError`\\ s or (under a parallel
+    executor) real worker kills via ``os._exit``.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidParameterError, TaskTransientError
+
+__all__ = [
+    "RetryPolicy",
+    "FaultInjector",
+    "DEFAULT_RETRY_POLICY",
+    "KIND_TRANSIENT",
+    "KIND_WORKER_KILL",
+]
+
+# The two fault kinds an injector can direct at a task attempt.
+KIND_TRANSIENT = "transient"
+KIND_WORKER_KILL = "worker-kill"
+
+# A fixed stream tag keeps injector draws disjoint from every task RNG key
+# (task keys are small non-negative tuples; no task key starts with this).
+_FAULT_STREAM = 0xFA17
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget, failure classification and deterministic backoff.
+
+    ``max_attempts`` counts *total* attempts (first try included), so the
+    default of 3 allows two retries.  Backoff for the retry after attempt
+    ``a`` is ``backoff_base_s * backoff_multiplier ** (a - 1)`` capped at
+    ``backoff_max_s`` — a pure function of the attempt number, so chaos runs
+    spend deterministic (and by default zero) time sleeping.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.0
+    backoff_multiplier: float = 2.0
+    backoff_max_s: float = 1.0
+    retryable: Tuple[type, ...] = (TaskTransientError, BrokenProcessPool)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise InvalidParameterError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise InvalidParameterError("backoff durations must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise InvalidParameterError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+
+    def is_retryable(self, error: BaseException) -> bool:
+        """Whether a failed attempt may be retried under this policy."""
+        return isinstance(error, self.retryable)
+
+    def backoff_s(self, attempt: int) -> float:
+        """Seconds to wait before the retry that follows attempt ``attempt``."""
+        if self.backoff_base_s <= 0.0:
+            return 0.0
+        return min(self.backoff_max_s,
+                   self.backoff_base_s * self.backoff_multiplier ** (attempt - 1))
+
+    def schedule(self) -> Tuple[float, ...]:
+        """The full deterministic backoff schedule (one entry per retry)."""
+        return tuple(self.backoff_s(attempt)
+                     for attempt in range(1, self.max_attempts))
+
+    def sleep_before_retry(self, attempt: int) -> None:
+        """Sleep the (possibly zero) backoff that follows ``attempt``."""
+        delay = self.backoff_s(attempt)
+        if delay > 0.0:
+            time.sleep(delay)
+
+
+# The runtime-wide default: two retries, no sleeping.  Zero backoff keeps
+# chaos-equivalence suites fast; operators wanting real pauses pass their own
+# policy with backoff_base_s > 0.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+@dataclass(frozen=True)
+class FaultInjector:
+    """Deterministic synthetic-fault source consulted before each task attempt.
+
+    ``draw(spec, attempt)`` returns :data:`KIND_TRANSIENT`,
+    :data:`KIND_WORKER_KILL` or ``None`` from an RNG seeded by
+    ``(fault_seed, *spec.seed_key, attempt)`` — the same ``(round, task)``
+    key the task's own RNG uses (plus the attempt number), so the fault plan
+    is a pure function of the injector configuration and is reproducible
+    across executors, data planes and scheduling orders.
+
+    ``max_faults_per_task`` bounds how many *attempts* of one task can be
+    faulted (default 1): keep it below the retry policy's ``max_attempts``
+    and every chaos run is guaranteed to complete; raise it to or above
+    ``max_attempts`` to force permanent failures deliberately.
+
+    ``selector`` (coordinator-side only, never pickled with task specs) can
+    restrict injection to chosen specs — e.g. one job's mapper class — which
+    the failure-isolation tests use to fail exactly one scheduled job.
+    """
+
+    rate: float = 0.0
+    seed: int = 0
+    kill_fraction: float = 0.0
+    max_faults_per_task: int = 1
+    selector: Optional[Callable[[Any], bool]] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise InvalidParameterError(
+                f"fault rate must be within [0, 1], got {self.rate}"
+            )
+        if not 0.0 <= self.kill_fraction <= 1.0:
+            raise InvalidParameterError(
+                f"kill_fraction must be within [0, 1], got {self.kill_fraction}"
+            )
+        if self.max_faults_per_task < 0:
+            raise InvalidParameterError(
+                f"max_faults_per_task must be >= 0, got {self.max_faults_per_task}"
+            )
+
+    def draw(self, spec: Any, attempt: int) -> Optional[str]:
+        """The fault (if any) to inject into ``attempt`` of ``spec``'s task."""
+        if self.rate <= 0.0 or attempt > self.max_faults_per_task:
+            return None
+        if self.selector is not None and not self.selector(spec):
+            return None
+        key = getattr(spec, "seed_key", None)
+        if key is None:  # FunctionTaskSpec and friends: key off the task id
+            key = (0, int(getattr(spec, "task_id", 0)))
+        rng = np.random.default_rng((_FAULT_STREAM, self.seed, *key, attempt))
+        if rng.random() >= self.rate:
+            return None
+        return KIND_WORKER_KILL if rng.random() < self.kill_fraction else KIND_TRANSIENT
+
+    def describe(self) -> str:
+        """One-line summary for logs and profile descriptions."""
+        return (f"rate={self.rate} seed={self.seed} "
+                f"kill_fraction={self.kill_fraction} "
+                f"max_faults_per_task={self.max_faults_per_task}")

@@ -38,7 +38,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import InvalidParameterError, SchedulerError
+from repro.errors import InvalidParameterError, SchedulerError, TaskPermanentError
 from repro.mapreduce.cluster import ClusterSpec
 from repro.mapreduce.executor import Executor, TaskHandle, translate_task_failure
 from repro.mapreduce.plan import JobPlan, PlanContext
@@ -69,6 +69,10 @@ class SchedulerStats:
         peak_active_jobs: most plans simultaneously admitted.
         peak_map_slots_in_use: most map slots simultaneously occupied.
         peak_reduce_slots_in_use: most reduce slots simultaneously occupied.
+        failed_jobs: plans that failed permanently (retries exhausted) and
+            were isolated from the rest of the batch.
+        job_errors: admission index -> error message, one entry per failed
+            plan; sibling plans' outcomes are unaffected.
         slot_timeline: slot-occupancy samples ``(seconds since run start,
             map slots in use, reduce slots in use)``, one per occupancy
             change (dispatch or completion), capped at 4096 entries.  The
@@ -82,15 +86,20 @@ class SchedulerStats:
     peak_active_jobs: int = 0
     peak_map_slots_in_use: int = 0
     peak_reduce_slots_in_use: int = 0
+    failed_jobs: int = 0
+    job_errors: Dict[int, str] = field(default_factory=dict)
     slot_timeline: List[Tuple[float, int, int]] = field(default_factory=list)
 
     def describe(self) -> str:
         """One line for CLI reports: jobs, rounds, tasks and peak occupancy."""
-        return (f"jobs={self.jobs} rounds={self.rounds} "
+        line = (f"jobs={self.jobs} rounds={self.rounds} "
                 f"map-tasks={self.map_tasks} reduce-tasks={self.reduce_tasks} "
                 f"peak-active-jobs={self.peak_active_jobs} "
                 f"peak-slots={self.peak_map_slots_in_use}m/"
                 f"{self.peak_reduce_slots_in_use}r")
+        if self.failed_jobs:
+            line += f" failed-jobs={self.failed_jobs}"
+        return line
 
 
 @dataclass
@@ -126,6 +135,7 @@ class _JobState:
         self.phase_results: Dict[Tuple[int, str], Dict[int, TaskResult]] = {}
         self.outcome = None
         self.done = False
+        self.error: Optional[BaseException] = None
 
     def ready_stages(self) -> List[int]:
         """Unstarted stages whose dependencies have all completed, in order."""
@@ -192,6 +202,13 @@ class ClusterScheduler:
         state and seeds.  Returns each plan's ``finish`` result
         (:class:`~repro.algorithms.base.ExecutionOutcome` for algorithm
         plans), in the order the entries were given.
+
+        **Failure isolation.**  A plan whose task fails permanently
+        (:class:`~repro.errors.TaskPermanentError`, i.e. retries exhausted)
+        is cancelled and recorded in ``last_stats.job_errors``; its outcome
+        slot holds ``None``.  Sibling plans keep their slots and run to
+        completion with bit-identical results — their tasks, seeds and
+        barriers never observe the failure.
         """
         entries = list(entries)
         runners = [runner for _, runner in entries]
@@ -250,6 +267,37 @@ class ClusterScheduler:
             remaining -= 1
             active.remove(job.index)
 
+        def fail_job(job: _JobState, error: BaseException) -> None:
+            # Isolate one plan's permanent failure: strip its queued tasks,
+            # cancel what it has in flight, record the error, and let every
+            # sibling plan keep running untouched.
+            nonlocal remaining, map_in_use, reduce_in_use
+            job.error = error
+            job.done = True
+            remaining -= 1
+            if job.index in active:
+                active.remove(job.index)
+            stats.failed_jobs += 1
+            stats.job_errors[job.index] = str(error)
+            for queue in (map_ready, reduce_ready):
+                survivors = [t for t in queue if t.job_index != job.index]
+                queue.clear()
+                queue.extend(survivors)
+            for handle, task in list(inflight.items()):
+                if task.job_index == job.index and handle.cancel():
+                    del inflight[handle]
+                    if task.phase == MAP_PHASE:
+                        map_in_use -= 1
+                    else:
+                        reduce_in_use -= 1
+                    sample_occupancy()
+            telemetry.metrics.inc("repro_scheduler_job_failures_total")
+            telemetry.tracer.record("scheduler.job_failed", kind="faults",
+                                    job=job.plan.name, error=str(error))
+            logger.warning(
+                "plan %r failed permanently; cancelling its remaining tasks "
+                "and continuing the batch: %s", job.plan.name, error)
+
         try:
             while remaining:
                 admit_and_start()
@@ -285,15 +333,23 @@ class ClusterScheduler:
                     raise SchedulerError("executor wait returned no completed tasks")
                 for handle in completed:
                     task = inflight.pop(handle)
-                    result = self._collect(handle)
                     if task.phase == MAP_PHASE:
                         map_in_use -= 1
                     else:
                         reduce_in_use -= 1
                     sample_occupancy()
-                    self._record_task(jobs[task.job_index], task, result,
-                                      reduce_ready, stats)
-                    finish_job_if_done(jobs[task.job_index])
+                    job = jobs[task.job_index]
+                    if job.error is not None:
+                        # A straggler of an already-failed plan: its slot is
+                        # released above, its result is discarded unread.
+                        continue
+                    try:
+                        result = self._collect(handle)
+                    except TaskPermanentError as error:
+                        fail_job(job, error)
+                        continue
+                    self._record_task(job, task, result, reduce_ready, stats)
+                    finish_job_if_done(job)
         except BaseException:
             # Don't leave the rest of the batch running behind our back:
             # cancel what never started and drain what is already running.

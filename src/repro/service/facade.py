@@ -121,11 +121,21 @@ class BuildReport:
     ``scheduler_stats`` is populated only when the build ran through a
     :meth:`SynopsisService.build_many` scheduler batch; every report of one
     batch shares the batch-wide :class:`SchedulerStats` instance.
+
+    A build that failed permanently inside a scheduler batch (retries
+    exhausted) publishes nothing: ``metadata`` and ``result`` are ``None``
+    and ``error`` holds the failure message — check :attr:`ok` before
+    reading the success-only fields.
     """
 
-    metadata: SynopsisMetadata
-    result: AlgorithmResult
+    metadata: Optional[SynopsisMetadata]
+    result: Optional[AlgorithmResult]
     scheduler_stats: Optional[SchedulerStats] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
     @property
     def name(self) -> str:
@@ -297,8 +307,20 @@ class SynopsisService:
         stats = scheduler.last_stats
 
         reports: List[BuildReport] = []
-        # Publish in request order so store versioning is deterministic.
-        for request, algorithm, outcome in zip(normalized, algorithms, outcomes):
+        # Publish in request order so store versioning is deterministic.  A
+        # request whose plan failed permanently has a None outcome: it
+        # publishes nothing and surfaces the scheduler's per-job error, while
+        # sibling requests publish bit-identical to solo builds.
+        for index, (request, algorithm, outcome) in enumerate(
+                zip(normalized, algorithms, outcomes)):
+            if outcome is None:
+                error = stats.job_errors.get(
+                    index, "build failed with no recorded error")
+                logger.warning("build_many request %d (%s) failed: %s",
+                               index, request.name or algorithm.name, error)
+                reports.append(BuildReport(metadata=None, result=None,
+                                           scheduler_stats=stats, error=error))
+                continue
             result = algorithm.assemble_result(outcome, profile)
             metadata = result.publish(
                 self.store, name=request.name, seed=profile.seed,

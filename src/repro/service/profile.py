@@ -71,6 +71,13 @@ class RuntimeProfile:
             default) keeps builds strictly sequential.  Like every execution
             field, this never changes results — a concurrent batch is
             bit-identical to sequential builds — only wall-clock time.
+        fault_rate: probability in ``[0, 1)`` that a task attempt draws an
+            injected transient fault (chaos testing); ``0.0`` disables
+            injection.  Faulted runs retry deterministically and stay
+            bit-identical to fault-free runs — injection, like every other
+            execution field, changes wall-clock time only.
+        fault_seed: seed of the injected-fault stream, independent of the
+            build ``seed`` so chaos runs never perturb task RNGs.
         telemetry: optional :class:`~repro.telemetry.Telemetry` bundle
             (metrics registry + tracer) every runner built from this profile
             instruments into; the process-global default when ``None``.
@@ -87,6 +94,8 @@ class RuntimeProfile:
     workers: Optional[int] = None
     data_plane: str = "batch"
     concurrent_jobs: int = 1
+    fault_rate: float = 0.0
+    fault_seed: int = 0
     telemetry: Optional[Telemetry] = field(default=None, compare=False,
                                            repr=False)
 
@@ -115,6 +124,15 @@ class RuntimeProfile:
             raise InvalidParameterError(
                 f"concurrent_jobs must be >= 1, got {self.concurrent_jobs}"
             )
+        if not 0.0 <= self.fault_rate < 1.0:
+            raise InvalidParameterError(
+                f"fault_rate must be in [0, 1), got {self.fault_rate}"
+            )
+        if self.fault_rate > 0.0 and isinstance(self.executor, Executor):
+            raise InvalidParameterError(
+                "fault_rate applies to named executors only; configure a "
+                "FaultInjector on the Executor instance directly"
+            )
 
     # ------------------------------------------------------------- resolution
     @property
@@ -130,7 +148,9 @@ class RuntimeProfile:
         """
         if isinstance(self.executor, Executor):
             return self.executor
-        return shared_executor(self.executor, self.workers)
+        return shared_executor(self.executor, self.workers,
+                               fault_rate=self.fault_rate,
+                               fault_seed=self.fault_seed)
 
     def resolved_cluster(self) -> ClusterSpec:
         """The cluster to run against (the paper's cluster when unset)."""
@@ -158,10 +178,11 @@ class RuntimeProfile:
         * a bare executor shorthand — ``"serial"``, ``"parallel"`` or
           ``"parallel:8"`` (name plus worker count);
         * comma-separated ``key=value`` pairs over the keys ``executor``,
-          ``workers``, ``seed``, ``data_plane`` and ``concurrent_jobs``
-          (dashes allowed in keys), e.g.
+          ``workers``, ``seed``, ``data_plane``, ``concurrent_jobs``,
+          ``fault_rate`` and ``fault_seed`` (dashes allowed in keys), e.g.
           ``"executor=parallel,workers=4,data-plane=records,seed=3"`` or
-          ``"parallel:4,concurrent-jobs=7"``.
+          ``"parallel:4,concurrent-jobs=7"`` or
+          ``"serial,fault-rate=0.2,fault-seed=11"``.
 
         Only keys actually present in the text appear in the result, so
         callers can layer the overrides onto an existing configuration
@@ -180,17 +201,25 @@ class RuntimeProfile:
                 value = value.strip()
                 if key in ("executor", "data_plane"):
                     overrides[key] = value
-                elif key in ("workers", "seed", "concurrent_jobs"):
+                elif key in ("workers", "seed", "concurrent_jobs", "fault_seed"):
                     try:
                         overrides[key] = int(value)
                     except ValueError as error:
                         raise InvalidParameterError(
                             f"profile key {key!r} needs an integer, got {value!r}"
                         ) from error
+                elif key == "fault_rate":
+                    try:
+                        overrides[key] = float(value)
+                    except ValueError as error:
+                        raise InvalidParameterError(
+                            f"profile key {key!r} needs a number, got {value!r}"
+                        ) from error
                 else:
                     raise InvalidParameterError(
                         f"unknown profile key {key!r}; expected one of "
-                        f"executor, workers, seed, data-plane, concurrent-jobs"
+                        f"executor, workers, seed, data-plane, concurrent-jobs, "
+                        f"fault-rate, fault-seed"
                     )
             else:
                 name, _, workers = part.partition(":")
@@ -217,5 +246,7 @@ class RuntimeProfile:
         ) else ""
         jobs = (f" concurrent-jobs={self.concurrent_jobs}"
                 if self.concurrent_jobs > 1 else "")
+        faults = (f" fault-rate={self.fault_rate:g} fault-seed={self.fault_seed}"
+                  if self.fault_rate > 0.0 else "")
         return (f"executor={self.executor_name}{workers} "
-                f"data-plane={self.data_plane} seed={self.seed}{jobs}")
+                f"data-plane={self.data_plane} seed={self.seed}{jobs}{faults}")

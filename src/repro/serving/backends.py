@@ -26,6 +26,7 @@ per backend (the simulated cluster's "master"); concurrent readers are safe.
 
 from __future__ import annotations
 
+import logging
 import os
 import re
 import threading
@@ -33,6 +34,8 @@ from abc import ABC, abstractmethod
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import InvalidParameterError, SynopsisNotFoundError
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "META_FILENAME",
@@ -199,9 +202,12 @@ class DirectoryBackend(StoreBackend):
             with open(staging, "w", encoding="utf-8") as handle:
                 handle.write(text)
             os.replace(staging, path)
-        except OSError:
-            # Derived data only; an unwritable root must not fail the save.
-            pass
+        except OSError as error:
+            # Derived data only; an unwritable root must not fail the save —
+            # but warn, so operators can see the summary drifting from the
+            # authoritative per-version metadata.
+            logger.warning("catalog.json write failed under %s (summary may "
+                           "be stale): %s", self.root, error)
 
 
 class MemoryBackend(StoreBackend):

@@ -42,7 +42,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import InvalidParameterError
+from repro.errors import InvalidParameterError, SynopsisIntegrityError
 from repro.mapreduce.executor import Executor, FunctionTaskSpec
 from repro.serving.engine import BatchQueryEngine, normalize_selectivities
 from repro.serving.store import StoredSynopsis, SynopsisStore
@@ -110,6 +110,10 @@ class QueryServer:
         self._queries_served = 0
         self._batches_served = 0
         self._synopses_evicted = 0
+        # name -> {"requested_version": bad, "serving_version": fallback} for
+        # synopses currently served from an intact ancestor after an integrity
+        # failure; surfaced via stats()["degraded"] and cleared by refresh().
+        self._degraded: Dict[str, Dict[str, int]] = {}
 
     # ----------------------------------------------------------------- lookup
     def synopsis(self, name: str, version: Optional[int] = None) -> StoredSynopsis:
@@ -131,13 +135,60 @@ class QueryServer:
             return handle
 
     def engine(self, name: str, version: Optional[int] = None) -> BatchQueryEngine:
-        """The batch engine serving ``name`` (faults the payload in on first use)."""
-        return self.synopsis(name, version).engine(cache_size=self.cache_size)
+        """The batch engine serving ``name`` (faults the payload in on first use).
+
+        An integrity failure while materialising the payload does not take the
+        name down: the corrupt version is quarantined in the store and the
+        server falls back to the newest intact ancestor (flagged ``degraded``
+        in :meth:`stats` until a :meth:`refresh`).
+        """
+        return self._materialize(name, version)[0]
+
+    def _materialize(
+        self, name: str, version: Optional[int]
+    ) -> Tuple[BatchQueryEngine, StoredSynopsis]:
+        """Resolve ``name``/``version`` and build its engine, degrading on
+        integrity failure instead of propagating it (tentpole 4, PR 8)."""
+        handle = self.synopsis(name, version)
+        try:
+            return handle.engine(cache_size=self.cache_size), handle
+        except SynopsisIntegrityError as error:
+            bad_version = handle.metadata.version
+            self.store.quarantine(name, bad_version, reason=str(error))
+            # load_intact walks versions <= the requested one newest-first,
+            # quarantining further corrupt payloads as it finds them; it
+            # raises only when no intact ancestor exists at all.
+            fallback = self.store.load_intact(name, version)
+            fallback_engine = fallback.engine(cache_size=self.cache_size)
+            with self._lock:
+                for key in [k for k, h in self._synopses.items() if h is handle]:
+                    self._synopses[key] = fallback
+                self._synopses.setdefault(
+                    (name, fallback.metadata.version), fallback
+                )
+                self._degraded[name] = {
+                    "requested_version": int(bad_version),
+                    "serving_version": int(fallback.metadata.version),
+                }
+            get_telemetry().metrics.inc("repro_server_degraded_total")
+            logger.warning(
+                "serving %r degraded: v%d failed integrity verification (%s); "
+                "falling back to intact v%d",
+                name, bad_version, error, fallback.metadata.version,
+            )
+            return fallback_engine, fallback
 
     def refresh(self) -> None:
-        """Forget cached synopses so the next query re-resolves latest versions."""
+        """Forget cached synopses so the next query re-resolves latest versions.
+
+        Also clears the degraded flags: the next touch of a degraded name
+        re-walks the store (quarantined versions stay skipped) and re-derives
+        its degradation state, so a repaired or newly published version lifts
+        the flag while a still-broken one re-sets it.
+        """
         with self._lock:
             self._synopses.clear()
+            self._degraded.clear()
 
     # ---------------------------------------------------------------- queries
     def range_sums(
@@ -186,9 +237,8 @@ class QueryServer:
         would let a concurrent ``refresh()`` or publish slip a new version in
         between the two touches — sums from v(N+1) normalised by v(N)'s total.
         """
-        handle = self.synopsis(name, version)
+        engine, handle = self._materialize(name, version)
         pinned = handle.metadata.version
-        engine = handle.engine(cache_size=self.cache_size)
         sums = self.range_sums(name, los, his, version=pinned)
         denominator = engine.estimated_total() if total is None else float(total)
         return normalize_selectivities(sums, denominator)
@@ -222,6 +272,8 @@ class QueryServer:
                 "synopses_loaded": len(loaded),
                 "synopses_resident": len({id(h) for h in self._synopses.values()}),
                 "synopses_evicted": self._synopses_evicted,
+                "degraded": {name: dict(info)
+                             for name, info in self._degraded.items()},
                 "caches": loaded,
             }
 

@@ -306,6 +306,11 @@ class SynopsisStore:
             backend = DirectoryBackend(str(root))
         self.backend = backend
         self._lock = threading.Lock()
+        # Versions whose payloads failed integrity checks, per name.  An
+        # in-process denylist (not persisted): the bytes on the backend stay
+        # untouched for forensics, but serving skips them when asked for an
+        # intact version.
+        self._quarantined: Dict[str, set] = {}
 
     @classmethod
     def in_memory(cls) -> "SynopsisStore":
@@ -440,6 +445,59 @@ class SynopsisStore:
         )
         return StoredSynopsis(self.backend, metadata)
 
+    # -------------------------------------------------------------- quarantine
+    def quarantine(self, name: str, version: int, reason: str = "") -> None:
+        """Mark one version's payload as corrupt so intact loads skip it."""
+        with self._lock:
+            already = version in self._quarantined.setdefault(name, set())
+            self._quarantined[name].add(int(version))
+        if not already:
+            get_telemetry().metrics.inc("repro_store_quarantined_total")
+            logger.warning("quarantined %s v%d%s", name, version,
+                           f": {reason}" if reason else "")
+
+    def quarantined_versions(self, name: str) -> List[int]:
+        """Versions of ``name`` currently quarantined, ascending."""
+        with self._lock:
+            return sorted(self._quarantined.get(name, ()))
+
+    def load_intact(self, name: str,
+                    version: Optional[int] = None) -> StoredSynopsis:
+        """Load the newest *verified-intact* version at or below ``version``.
+
+        The graceful-degradation load: candidate versions (the requested one,
+        then each older ancestor in version order) are payload-verified
+        eagerly; one that fails its checksum is quarantined and the walk
+        falls back to the next older version.  Raises the last
+        :class:`~repro.errors.SynopsisIntegrityError` when no version
+        survives, or :class:`~repro.errors.SynopsisNotFoundError` for an
+        unknown name.
+        """
+        versions = self.versions(name)
+        if not versions:
+            raise SynopsisNotFoundError(f"store has no synopsis named {name!r}")
+        target = versions[-1] if version is None else int(version)
+        candidates = [v for v in versions if v <= target]
+        if not candidates:
+            raise SynopsisNotFoundError(
+                f"store has no version <= {target} of {name!r}"
+            )
+        last_error: Optional[SynopsisIntegrityError] = None
+        for candidate in reversed(candidates):
+            if candidate in self._quarantined.get(name, ()):
+                continue
+            handle = self.load(name, candidate)
+            try:
+                handle.histogram  # eager read + checksum verification
+            except SynopsisIntegrityError as error:
+                self.quarantine(name, candidate, reason=str(error))
+                last_error = error
+                continue
+            return handle
+        raise last_error or SynopsisIntegrityError(
+            f"every version of {name!r} up to v{target} is quarantined"
+        )
+
     # -------------------------------------------------------------- catalogue
     def names(self) -> List[str]:
         """All synopsis names in the store, sorted."""
@@ -480,7 +538,9 @@ class SynopsisStore:
             self.backend.write_catalog(
                 json.dumps(catalog, sort_keys=True, indent=2) + "\n"
             )
-        except Exception:
+        except Exception as error:
             # Any failure — unreadable sibling metadata, an unwritable root —
             # must not fail (or brick) saves; the catalog is derived data.
-            pass
+            # Operators still deserve to know it is drifting.
+            logger.warning("catalog summary refresh failed (catalog.json may "
+                           "be stale): %s", error)

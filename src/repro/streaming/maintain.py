@@ -51,17 +51,27 @@ from typing import Any, Deque, Dict, Optional
 from repro.core.haar import sparse_haar_transform, validate_domain
 from repro.core.histogram import WaveletHistogram
 from repro.core.topk_coefficients import top_k_coefficients
-from repro.errors import InvalidParameterError, StreamingError
+from repro.errors import InvalidParameterError, StreamingError, TaskTransientError
+from repro.mapreduce.faults import RetryPolicy
 from repro.serving.store import SynopsisMetadata, SynopsisStore
 from repro.streaming.partial import PartialSynopsis
 from repro.telemetry import get_telemetry
 
 __all__ = [
+    "DEFAULT_WRITE_RETRY_POLICY",
     "STATE_ALGORITHM",
     "STATE_SUFFIX",
     "SlidingWindowMaintainer",
     "SynopsisMaintainer",
 ]
+
+# Store writes retry on I/O-shaped transient failures only.  Notably
+# ``RuntimeError`` and friends are *not* retryable: a crash injected by the
+# recovery tests (and any genuine logic bug) must propagate so the
+# crash-between-publishes reconciliation path stays exercised.
+DEFAULT_WRITE_RETRY_POLICY = RetryPolicy(
+    max_attempts=3, retryable=(OSError, TaskTransientError)
+)
 
 # The durable count-space state rides in the same catalog as the synopsis it
 # backs, under a dotted companion name (NAME_PATTERN allows dots).
@@ -69,6 +79,36 @@ STATE_SUFFIX = ".state"
 STATE_ALGORITHM = "stream-state"
 
 logger = logging.getLogger(__name__)
+
+
+def _retrying_write(policy: Optional[RetryPolicy], stream: str, stage: str,
+                    operation: Any) -> Any:
+    """Run one store write, retrying per-policy transient failures.
+
+    Exactly-once is preserved because every backend publish is atomic (staged
+    then renamed/inserted): a failed attempt leaves no partial version behind,
+    so re-running ``operation`` can never double-apply.  Non-retryable errors
+    and exhausted budgets propagate unchanged.
+    """
+    attempt = 1
+    while True:
+        try:
+            return operation()
+        except BaseException as error:
+            if (policy is None or not policy.is_retryable(error)
+                    or attempt >= policy.max_attempts):
+                raise
+            telemetry = get_telemetry()
+            telemetry.metrics.inc("repro_stream_write_retries_total", 1.0,
+                                  stage=stage, stream=stream)
+            telemetry.tracer.record("stream.write_retry", kind="faults",
+                                    stage=stage, stream=stream, attempt=attempt)
+            logger.warning(
+                "retrying %s write for stream %s (attempt %d/%d failed): %s",
+                stage, stream, attempt, policy.max_attempts, error,
+            )
+            policy.sleep_before_retry(attempt)
+            attempt += 1
 
 
 class SynopsisMaintainer:
@@ -88,6 +128,8 @@ class SynopsisMaintainer:
             always be called earlier by hand.
         seed: provenance seed recorded in metadata (streams are
             deterministic; this is bookkeeping, not randomness).
+        retry_policy: retry schedule for checkpoint/publish store writes
+            (I/O-transient failures only); ``None`` disables write retries.
     """
 
     def __init__(
@@ -100,6 +142,7 @@ class SynopsisMaintainer:
         algorithm: str = "streaming",
         cadence: int = 1,
         seed: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = DEFAULT_WRITE_RETRY_POLICY,
     ) -> None:
         if cadence < 1:
             raise InvalidParameterError(f"cadence must be positive, got {cadence}")
@@ -109,6 +152,7 @@ class SynopsisMaintainer:
         self.algorithm = algorithm
         self.cadence = cadence
         self.seed = seed
+        self.retry_policy = retry_policy
         self._pending: list = []
         self._counts: Dict[int, float] = {}
         self._applied = 0
@@ -278,19 +322,22 @@ class SynopsisMaintainer:
         )
         with telemetry.tracer.span("maintain.checkpoint", kind="streaming",
                                    stream=self.name, applied=self._applied):
-            self.store.save(
-                self.state_name,
-                histogram,
-                algorithm=STATE_ALGORITHM,
-                seed=self.seed,
-                build={
-                    "kind": "stream-state",
-                    "stream": self.name,
-                    "k": self.k,
-                    "applied_batches": self._applied,
-                    "insertions": self._insertions,
-                    "deletions": self._deletions,
-                },
+            _retrying_write(
+                self.retry_policy, self.name, "checkpoint",
+                lambda: self.store.save(
+                    self.state_name,
+                    histogram,
+                    algorithm=STATE_ALGORITHM,
+                    seed=self.seed,
+                    build={
+                        "kind": "stream-state",
+                        "stream": self.name,
+                        "k": self.k,
+                        "applied_batches": self._applied,
+                        "insertions": self._insertions,
+                        "deletions": self._deletions,
+                    },
+                ),
             )
         telemetry.metrics.observe(
             "repro_stream_checkpoint_seconds", time.perf_counter() - started,
@@ -313,20 +360,23 @@ class SynopsisMaintainer:
         with telemetry.tracer.span("maintain.publish", kind="streaming",
                                    stream=self.name, applied=self._applied,
                                    cycle_batches=cycle_batches):
-            metadata = self.store.save_delta(
-                self.name,
-                histogram,
-                parent_version=parent,
-                algorithm=self.algorithm,
-                seed=self.seed,
-                build={
-                    "applied_batches": self._applied,
-                    "insertions": self._insertions,
-                    "deletions": self._deletions,
-                    "cycle_batches": cycle_batches,
-                    "cycle_insertions": cycle_insertions,
-                    "cycle_deletions": cycle_deletions,
-                },
+            metadata = _retrying_write(
+                self.retry_policy, self.name, "publish",
+                lambda: self.store.save_delta(
+                    self.name,
+                    histogram,
+                    parent_version=parent,
+                    algorithm=self.algorithm,
+                    seed=self.seed,
+                    build={
+                        "applied_batches": self._applied,
+                        "insertions": self._insertions,
+                        "deletions": self._deletions,
+                        "cycle_batches": cycle_batches,
+                        "cycle_insertions": cycle_insertions,
+                        "cycle_deletions": cycle_deletions,
+                    },
+                ),
             )
         now = time.perf_counter()
         registry = telemetry.metrics
@@ -370,6 +420,7 @@ class SlidingWindowMaintainer:
         k: Optional[int] = None,
         algorithm: str = "streaming-window",
         seed: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = DEFAULT_WRITE_RETRY_POLICY,
     ) -> None:
         if window < 1:
             raise InvalidParameterError(f"window must be positive, got {window}")
@@ -378,6 +429,7 @@ class SlidingWindowMaintainer:
         self.window = window
         self.algorithm = algorithm
         self.seed = seed
+        self.retry_policy = retry_policy
         self._ring: Deque[PartialSynopsis] = deque()
         self._counts: Dict[int, float] = {}
         self._last_seen: Optional[int] = None
@@ -514,13 +566,16 @@ class SlidingWindowMaintainer:
         with telemetry.tracer.span("maintain.publish", kind="streaming",
                                    stream=self.name, applied=self._applied,
                                    window_batches=len(self._ring)):
-            metadata = self.store.save_delta(
-                self.name,
-                histogram,
-                parent_version=parent,
-                algorithm=self.algorithm,
-                seed=self.seed,
-                build=build,
+            metadata = _retrying_write(
+                self.retry_policy, self.name, "publish",
+                lambda: self.store.save_delta(
+                    self.name,
+                    histogram,
+                    parent_version=parent,
+                    algorithm=self.algorithm,
+                    seed=self.seed,
+                    build=build,
+                ),
             )
         now = time.perf_counter()
         registry = telemetry.metrics

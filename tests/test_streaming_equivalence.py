@@ -311,6 +311,108 @@ class TestCrashRecovery:
         with pytest.raises(StreamingError):
             SynopsisMaintainer(store, "orphan", u=U, k=K)
 
+    def test_transient_write_fault_between_checkpoint_and_publish_is_retried(self):
+        """An I/O flap on the serving publish — after the state checkpoint
+        already succeeded — is retried in place: versions stay exactly-once
+        with no reconciliation pass, and the stream remains byte-identical
+        to the batch build (PR 8 write-retry policy)."""
+        store = SynopsisStore.in_memory()
+        generator = UpdateStreamGenerator(u=U, seed=19, delete_fraction=0.1)
+        batches = generator.batches(50, 4)
+        maintainer = SynopsisMaintainer(store, "flaky", u=U, k=K, cadence=2)
+        ingestor = StreamIngestor(U)
+
+        original = store.save_delta
+        fails = {"remaining": 2}
+
+        def flaky_save_delta(*args, **kwargs):
+            if fails["remaining"] > 0:
+                fails["remaining"] -= 1
+                raise OSError("injected transient store-write fault")
+            return original(*args, **kwargs)
+
+        store.save_delta = flaky_save_delta  # instance attr shadows the method
+        for batch in batches:
+            maintainer.ingest(ingestor.batch(batch.inserts, batch.deletes),
+                              sequence=batch.sequence)
+        del store.save_delta
+
+        assert fails["remaining"] == 0, "the injected fault never fired"
+        assert store.versions("flaky") == [1, 2]
+        _assert_provenance_chain(store, "flaky")
+        _assert_serving_matches_batch(store, "flaky", generator, batches, U, K)
+
+    def test_retry_then_duplicate_redelivery_does_not_double_apply(self):
+        """At-least-once upstream delivery after a retried publish: replaying
+        already-applied sequence numbers must change nothing."""
+        store = SynopsisStore.in_memory()
+        generator = UpdateStreamGenerator(u=U, seed=23, delete_fraction=0.2)
+        batches = generator.batches(40, 4)
+        maintainer = SynopsisMaintainer(store, "redeliver", u=U, k=K, cadence=1)
+        ingestor = StreamIngestor(U)
+
+        original = store.save_delta
+        fails = {"remaining": 1}
+
+        def flaky_save_delta(*args, **kwargs):
+            if fails["remaining"] > 0:
+                fails["remaining"] -= 1
+                raise OSError("injected transient store-write fault")
+            return original(*args, **kwargs)
+
+        store.save_delta = flaky_save_delta
+        for batch in batches:
+            assert maintainer.ingest(
+                ingestor.batch(batch.inserts, batch.deletes),
+                sequence=batch.sequence) is not None
+        del store.save_delta
+        assert fails["remaining"] == 0
+        versions_before = store.versions("redeliver")
+        checksum_before = store.load("redeliver").metadata.checksum_sha256
+
+        # Redeliver every batch (duplicates of applied sequences): dropped.
+        for batch in batches:
+            assert maintainer.ingest(
+                ingestor.batch(batch.inserts, batch.deletes),
+                sequence=batch.sequence) is None
+        assert maintainer.applied_batches == len(batches)
+        assert store.versions("redeliver") == versions_before
+        assert store.load("redeliver").metadata.checksum_sha256 == checksum_before
+        _assert_serving_matches_batch(store, "redeliver", generator, batches,
+                                      U, K)
+
+    def test_exhausted_write_retries_propagate_then_reconcile(self):
+        """A persistent write failure exhausts the retry budget and surfaces;
+        the durable state is already checkpointed, so the PR-6 reconciliation
+        path completes the lagging publish exactly once afterwards."""
+        store = SynopsisStore.in_memory()
+        generator = UpdateStreamGenerator(u=U, seed=29)
+        batches = generator.batches(30, 2)
+        maintainer = SynopsisMaintainer(store, "down", u=U, k=K, cadence=1)
+        ingestor = StreamIngestor(U)
+        maintainer.ingest(ingestor.batch(batches[0].inserts,
+                                         batches[0].deletes), sequence=1)
+        assert store.versions("down") == [1]
+
+        def broken_save_delta(*args, **kwargs):
+            raise OSError("store down for good")
+
+        store.save_delta = broken_save_delta
+        with pytest.raises(OSError, match="store down"):
+            maintainer.ingest(ingestor.batch(batches[1].inserts,
+                                             batches[1].deletes), sequence=2)
+        del store.save_delta
+        # State has both batches; serving stopped at v1 — maintain() catches up.
+        assert store.versions("down") == [1]
+        metadata = maintainer.maintain()
+        assert metadata is not None
+        assert metadata.version == 2
+        assert metadata.parent_version == 1
+        assert metadata.build["applied_batches"] == 2
+        assert maintainer.maintain() is None
+        _assert_provenance_chain(store, "down")
+        _assert_serving_matches_batch(store, "down", generator, batches, U, K)
+
 
 # ------------------------------------------------------ partial algebra
 def _key_arrays():
