@@ -143,7 +143,11 @@ class WaveletHistogram:
         """
         engine = getattr(self, "_engine", None)
         if engine is None:
-            from repro.serving.engine import BatchQueryEngine
+            # Deliberate layering inversion: the histogram's vectorised query
+            # surface delegates to the serving engine, imported lazily so
+            # importing repro.core never pulls in the serving stack and the
+            # package DAG stays acyclic at import time.
+            from repro.serving.engine import BatchQueryEngine  # reprolint: disable=layering
 
             engine = BatchQueryEngine.from_histogram(self)
             self._engine = engine

@@ -115,7 +115,16 @@ class RandomSamplingRecordReader(RecordReader):
                 f"sample probability must be in (0, 1], got {sample_probability}"
             )
         self._probability = sample_probability
-        self._rng = rng if rng is not None else np.random.default_rng()
+        if rng is None:
+            # An ambient-entropy fallback here would silently make sampled
+            # builds unreproducible — the runtime always passes the task RNG
+            # keyed by (seed, round, task_id), so demand one.
+            raise SamplingError(
+                "RandomSamplingRecordReader requires an explicitly seeded "
+                "rng (the runtime passes the task RNG); unseeded sampling "
+                "would break build reproducibility"
+            )
+        self._rng = rng
 
     @property
     def sample_probability(self) -> float:

@@ -18,6 +18,21 @@ from repro.errors import SamplingError
 __all__ = ["BernoulliSampler", "WithoutReplacementSampler"]
 
 
+def _require_rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
+    """Reject the ambient-entropy default: samplers must be explicitly seeded.
+
+    Every runtime path hands samplers the task RNG keyed by ``(seed, round,
+    task_id)``; an unseeded fallback would make sampled results silently
+    unreproducible.
+    """
+    if rng is None:
+        raise SamplingError(
+            "sampler requires an explicitly seeded numpy Generator; "
+            "unseeded sampling would break reproducibility"
+        )
+    return rng
+
+
 class BernoulliSampler:
     """Keeps each record independently with probability ``p`` (coin-flip sampling)."""
 
@@ -25,7 +40,7 @@ class BernoulliSampler:
         if not 0 <= probability <= 1:
             raise SamplingError(f"probability must be in [0, 1], got {probability}")
         self.probability = probability
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = _require_rng(rng)
 
     def sample(self, records: Iterable[int]) -> Iterator[int]:
         """Yield the sampled subset of ``records`` (lazy)."""
@@ -55,7 +70,7 @@ class WithoutReplacementSampler:
         if not 0 <= probability <= 1:
             raise SamplingError(f"probability must be in [0, 1], got {probability}")
         self.probability = probability
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = _require_rng(rng)
 
     def sample_size(self, num_records: int) -> int:
         """Number of records that will be sampled from a population of ``num_records``."""

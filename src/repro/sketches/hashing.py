@@ -38,7 +38,14 @@ class PolynomialHash:
             if self._coefficients[0] == 0:
                 self._coefficients[0] = 1
         else:
-            generator = rng if rng is not None else np.random.default_rng()
+            # Deliberate exception: every library call path passes a seeded
+            # rng (sketch seeds derive from the job config), and a *fixed*
+            # fallback seed would be worse — two "independent" hash functions
+            # constructed without an rng would collide coefficient-for-
+            # coefficient, silently voiding the k-wise-independence guarantee
+            # the sketches rest on.  Fresh OS entropy is the only safe
+            # default for interactive use.
+            generator = rng if rng is not None else np.random.default_rng()  # reprolint: disable=determinism
             self._coefficients = [
                 int(generator.integers(1, MERSENNE_PRIME))
             ] + [int(generator.integers(0, MERSENNE_PRIME)) for _ in range(degree)]

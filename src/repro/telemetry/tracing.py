@@ -24,7 +24,7 @@ import json
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 __all__ = ["SpanEvent", "Tracer"]
 
@@ -208,7 +208,8 @@ class Tracer:
             return span_id
 
     # -------------------------------------------------------------- emitting
-    def span(self, name: str, /, kind: str = "span", **attributes: Any):
+    def span(self, name: str, /, kind: str = "span",
+             **attributes: Any) -> Union["_SpanContext", "_NullContext"]:
         """Open a span as a context manager; no-op when disabled.
 
         ``name`` is positional-only so an attribute may be called ``name``

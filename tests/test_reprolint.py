@@ -1,0 +1,462 @@
+"""Tests for the reprolint static-analysis suite (tools/reprolint).
+
+Each rule gets positive fixtures (violations must be found) and negative
+fixtures (idiomatic code must stay clean), plus pragma suppression, the JSON
+report schema, CLI exit codes, the lint_no_print shim contract — and the
+meta-test: the shipped ``src/repro`` tree lints clean.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.reprolint import lint_paths, rule_names  # noqa: E402
+from tools.reprolint.driver import module_name_for, parse_suppressions  # noqa: E402
+
+
+def write_module(root: Path, relpath: str, source: str) -> Path:
+    """Write a fixture module under a fake ``src/repro`` tree."""
+    path = root / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+def rules_hit(result) -> set:
+    return {finding.rule for finding in result.findings}
+
+
+class TestDriver:
+    def test_all_five_rules_registered(self):
+        names = rule_names()
+        for expected in ("determinism", "layering", "lock-discipline",
+                         "no-print", "picklability"):
+            assert expected in names
+
+    def test_module_name_fallback_without_init_files(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/serving/store.py", "x = 1\n")
+        assert module_name_for(path) == "repro.serving.store"
+
+    def test_module_name_for_package_init(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/serving/__init__.py", "")
+        assert module_name_for(path) == "repro.serving"
+
+    def test_syntax_error_is_a_finding_not_a_crash(self, tmp_path):
+        write_module(tmp_path, "src/repro/core/broken.py", "def f(:\n")
+        result = lint_paths([tmp_path / "src"])
+        assert [f.rule for f in result.findings] == ["syntax-error"]
+
+    def test_unknown_rule_raises(self, tmp_path):
+        write_module(tmp_path, "src/repro/core/ok.py", "x = 1\n")
+        with pytest.raises(KeyError):
+            lint_paths([tmp_path / "src"], ["no-such-rule"])
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            lint_paths([tmp_path / "nope"])
+
+    def test_findings_sorted_and_deterministic(self, tmp_path):
+        write_module(tmp_path, "src/repro/core/zz.py", "print(1)\nprint(2)\n")
+        write_module(tmp_path, "src/repro/core/aa.py", "print(3)\n")
+        first = lint_paths([tmp_path / "src"], ["no-print"])
+        second = lint_paths([tmp_path / "src"], ["no-print"])
+        assert [f.to_json() for f in first.findings] == [f.to_json() for f in second.findings]
+        assert [Path(f.path).name for f in first.findings] == ["aa.py", "zz.py", "zz.py"]
+        assert [f.line for f in first.findings] == [1, 1, 2]
+
+
+class TestLayeringRule:
+    def test_serving_importing_algorithms_is_flagged(self, tmp_path):
+        write_module(tmp_path, "src/repro/serving/bad.py",
+                     "from repro.algorithms.send_v import SendV\n")
+        result = lint_paths([tmp_path / "src"], ["layering"])
+        assert rules_hit(result) == {"layering"}
+
+    def test_streaming_importing_experiments_is_flagged(self, tmp_path):
+        write_module(tmp_path, "src/repro/streaming/bad.py",
+                     "import repro.experiments.figures\n")
+        result = lint_paths([tmp_path / "src"], ["layering"])
+        assert rules_hit(result) == {"layering"}
+
+    def test_telemetry_importing_anything_is_flagged(self, tmp_path):
+        write_module(tmp_path, "src/repro/telemetry/bad.py",
+                     "from repro.errors import ReproError\n")
+        result = lint_paths([tmp_path / "src"], ["layering"])
+        assert rules_hit(result) == {"layering"}
+
+    def test_core_importing_mapreduce_is_flagged(self, tmp_path):
+        write_module(tmp_path, "src/repro/core/bad.py",
+                     "from repro.mapreduce.counters import Counters\n")
+        result = lint_paths([tmp_path / "src"], ["layering"])
+        assert rules_hit(result) == {"layering"}
+
+    def test_allowed_edges_are_clean(self, tmp_path):
+        write_module(tmp_path, "src/repro/serving/ok.py", """
+            import json
+            import numpy as np
+            from repro.core.haar import validate_domain
+            from repro.mapreduce.executor import Executor
+            from repro.telemetry import get_telemetry
+            from repro.errors import ServingError
+        """)
+        result = lint_paths([tmp_path / "src"], ["layering"])
+        assert result.findings == []
+
+    def test_type_checking_imports_are_ignored(self, tmp_path):
+        write_module(tmp_path, "src/repro/mapreduce/ok.py", """
+            from typing import TYPE_CHECKING
+            if TYPE_CHECKING:
+                from repro.algorithms.base import ExecutionOutcome
+        """)
+        result = lint_paths([tmp_path / "src"], ["layering"])
+        assert result.findings == []
+
+    def test_lazy_function_level_import_is_still_flagged(self, tmp_path):
+        write_module(tmp_path, "src/repro/core/lazy.py", """
+            def engine():
+                from repro.serving.engine import BatchQueryEngine
+                return BatchQueryEngine
+        """)
+        result = lint_paths([tmp_path / "src"], ["layering"])
+        assert rules_hit(result) == {"layering"}
+
+    def test_algorithms_may_import_service_profile_only(self, tmp_path):
+        write_module(tmp_path, "src/repro/algorithms/ok.py",
+                     "from repro.service.profile import RuntimeProfile\n")
+        write_module(tmp_path, "src/repro/algorithms/bad.py",
+                     "from repro.service.facade import SynopsisService\n")
+        result = lint_paths([tmp_path / "src"], ["layering"])
+        assert len(result.findings) == 1
+        assert Path(result.findings[0].path).name == "bad.py"
+
+
+class TestDeterminismRule:
+    def test_unseeded_default_rng_is_flagged(self, tmp_path):
+        write_module(tmp_path, "src/repro/core/bad.py", """
+            import numpy as np
+            rng = np.random.default_rng()
+        """)
+        result = lint_paths([tmp_path / "src"], ["determinism"])
+        assert rules_hit(result) == {"determinism"}
+
+    def test_seeded_default_rng_is_clean(self, tmp_path):
+        write_module(tmp_path, "src/repro/core/ok.py", """
+            import numpy as np
+            def task_rng(seed, round_number, task_id):
+                return np.random.default_rng((seed, round_number, task_id))
+        """)
+        result = lint_paths([tmp_path / "src"], ["determinism"])
+        assert result.findings == []
+
+    def test_legacy_global_numpy_rng_is_flagged(self, tmp_path):
+        write_module(tmp_path, "src/repro/streaming/bad.py", """
+            import numpy as np
+            def jitter():
+                np.random.seed(0)
+                return np.random.random()
+        """)
+        result = lint_paths([tmp_path / "src"], ["determinism"])
+        assert len(result.findings) == 2
+
+    def test_stdlib_random_import_is_flagged(self, tmp_path):
+        write_module(tmp_path, "src/repro/algorithms/bad.py", "import random\n")
+        write_module(tmp_path, "src/repro/mapreduce/bad2.py",
+                     "from random import choice\n")
+        result = lint_paths([tmp_path / "src"], ["determinism"])
+        assert len(result.findings) == 2
+
+    def test_wall_clock_reads_are_flagged_but_perf_counter_allowed(self, tmp_path):
+        write_module(tmp_path, "src/repro/mapreduce/clocky.py", """
+            import time
+            def stamp():
+                return time.time()
+            def duration(start):
+                return time.perf_counter() - start
+        """)
+        result = lint_paths([tmp_path / "src"], ["determinism"])
+        assert len(result.findings) == 1
+        assert "time.time" in result.findings[0].message
+
+    def test_os_environ_is_flagged(self, tmp_path):
+        write_module(tmp_path, "src/repro/data/bad.py", """
+            import os
+            def scale():
+                return os.environ.get("SCALE", "1")
+        """)
+        result = lint_paths([tmp_path / "src"], ["determinism"])
+        assert rules_hit(result) == {"determinism"}
+
+    def test_serving_layer_is_out_of_scope(self, tmp_path):
+        write_module(tmp_path, "src/repro/serving/bench_like.py", """
+            import time
+            def wall():
+                return time.time()
+        """)
+        result = lint_paths([tmp_path / "src"], ["determinism"])
+        assert result.findings == []
+
+
+class TestPicklabilityRule:
+    def test_lambda_in_task_spec_is_flagged(self, tmp_path):
+        write_module(tmp_path, "src/repro/streaming/bad.py", """
+            def shard(executor):
+                return FunctionTaskSpec(function=lambda x: x, task_id=0)
+        """)
+        result = lint_paths([tmp_path / "src"], ["picklability"])
+        assert rules_hit(result) == {"picklability"}
+
+    def test_local_function_submitted_is_flagged(self, tmp_path):
+        write_module(tmp_path, "src/repro/serving/bad.py", """
+            def fan_out(executor):
+                def evaluate(shard):
+                    return shard
+                return executor.submit_task(FunctionTaskSpec(function=evaluate))
+        """)
+        result = lint_paths([tmp_path / "src"], ["picklability"])
+        assert len(result.findings) == 1
+        assert "evaluate" in result.findings[0].message
+
+    def test_module_level_function_is_clean(self, tmp_path):
+        write_module(tmp_path, "src/repro/serving/ok.py", """
+            def evaluate_shard(shard):
+                return shard
+            def fan_out(executor):
+                return FunctionTaskSpec(function=evaluate_shard, task_id=0)
+        """)
+        result = lint_paths([tmp_path / "src"], ["picklability"])
+        assert result.findings == []
+
+    def test_lambda_elsewhere_is_not_flagged(self, tmp_path):
+        write_module(tmp_path, "src/repro/serving/ok2.py", """
+            def order(items):
+                return sorted(items, key=lambda pair: pair[0])
+        """)
+        result = lint_paths([tmp_path / "src"], ["picklability"])
+        assert result.findings == []
+
+
+class TestLockDisciplineRule:
+    def test_unguarded_mutation_is_flagged(self, tmp_path):
+        write_module(tmp_path, "src/repro/serving/bad.py", """
+            import threading
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._table = {}
+                def put(self, key, value):
+                    self._table[key] = value
+        """)
+        result = lint_paths([tmp_path / "src"], ["lock-discipline"])
+        assert rules_hit(result) == {"lock-discipline"}
+
+    def test_guarded_mutation_and_locked_helpers_are_clean(self, tmp_path):
+        write_module(tmp_path, "src/repro/serving/ok.py", """
+            import threading
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._table = {}
+                    self._order = []
+                def put(self, key, value):
+                    with self._lock:
+                        self._table[key] = value
+                        self._evict_locked()
+                def _evict_locked(self):
+                    self._order.pop()
+        """)
+        result = lint_paths([tmp_path / "src"], ["lock-discipline"])
+        assert result.findings == []
+
+    def test_mutating_call_outside_lock_is_flagged(self, tmp_path):
+        write_module(tmp_path, "src/repro/serving/bad2.py", """
+            import threading
+            class Stats:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._events = []
+                def note(self, event):
+                    self._events.append(event)
+        """)
+        result = lint_paths([tmp_path / "src"], ["lock-discipline"])
+        assert len(result.findings) == 1
+        assert ".append()" in result.findings[0].message
+
+    def test_class_without_lock_is_out_of_scope(self, tmp_path):
+        write_module(tmp_path, "src/repro/core/ok.py", """
+            class Accumulator:
+                def __init__(self):
+                    self._total = 0
+                def add(self, value):
+                    self._total += value
+        """)
+        result = lint_paths([tmp_path / "src"], ["lock-discipline"])
+        assert result.findings == []
+
+
+class TestNoPrintRule:
+    def test_print_in_library_module_is_flagged(self, tmp_path):
+        write_module(tmp_path, "src/repro/core/bad.py", "print('hi')\n")
+        result = lint_paths([tmp_path / "src"], ["no-print"])
+        assert rules_hit(result) == {"no-print"}
+
+    def test_cli_and_reporting_are_allowed(self, tmp_path):
+        write_module(tmp_path, "src/repro/cli.py", "print('hi')\n")
+        write_module(tmp_path, "src/repro/experiments/reporting.py",
+                     "print('hi')\n")
+        result = lint_paths([tmp_path / "src"], ["no-print"])
+        assert result.findings == []
+
+    def test_docstring_mentions_are_not_flagged(self, tmp_path):
+        write_module(tmp_path, "src/repro/core/ok.py", '''
+            def f():
+                """Never calls print() at runtime."""
+                return "print(x)"
+        ''')
+        result = lint_paths([tmp_path / "src"], ["no-print"])
+        assert result.findings == []
+
+
+class TestSuppressionPragmas:
+    def test_trailing_pragma_suppresses_and_is_counted(self, tmp_path):
+        write_module(tmp_path, "src/repro/core/ok.py", """
+            import numpy as np
+            rng = np.random.default_rng()  # reprolint: disable=determinism
+        """)
+        result = lint_paths([tmp_path / "src"], ["determinism"])
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+        assert result.suppressed[0].rule == "determinism"
+
+    def test_comment_above_pragma_suppresses(self, tmp_path):
+        write_module(tmp_path, "src/repro/core/ok2.py", """
+            import numpy as np
+            # reprolint: disable=determinism
+            rng = np.random.default_rng()
+        """)
+        result = lint_paths([tmp_path / "src"], ["determinism"])
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+    def test_pragma_only_covers_named_rule(self, tmp_path):
+        write_module(tmp_path, "src/repro/core/bad.py", """
+            import numpy as np
+            rng = np.random.default_rng()  # reprolint: disable=layering
+        """)
+        result = lint_paths([tmp_path / "src"], ["determinism"])
+        assert len(result.findings) == 1
+
+    def test_file_wide_pragma(self, tmp_path):
+        write_module(tmp_path, "src/repro/core/ok3.py", """
+            # reprolint: disable-file=no-print
+            print("a")
+            print("b")
+        """)
+        result = lint_paths([tmp_path / "src"], ["no-print"])
+        assert result.findings == []
+        assert len(result.suppressed) == 2
+
+    def test_multiple_rules_in_one_pragma(self):
+        suppressions = parse_suppressions(
+            ["x = 1  # reprolint: disable=determinism, layering"])
+        assert suppressions.covers("determinism", 1)
+        assert suppressions.covers("layering", 1)
+        assert not suppressions.covers("no-print", 1)
+
+
+class TestJsonReport:
+    def test_schema(self, tmp_path):
+        write_module(tmp_path, "src/repro/core/bad.py", "print('x')\n")
+        result = lint_paths([tmp_path / "src"], ["no-print"])
+        payload = json.loads(result.to_json())
+        assert payload["version"] == 1
+        assert payload["rules"] == ["no-print"]
+        assert payload["files_checked"] == 1
+        assert payload["summary"] == {"findings": 1, "suppressed": 0,
+                                      "ok": False}
+        (finding,) = payload["findings"]
+        assert set(finding) == {"rule", "path", "line", "message"}
+        assert finding["rule"] == "no-print"
+        assert finding["line"] == 1
+        assert payload["suppressed"] == []
+
+
+class TestCommandLine:
+    def run_cli(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "tools.reprolint", *args],
+            cwd=REPO_ROOT, capture_output=True, text=True)
+
+    def test_exit_zero_and_json_report_on_clean_tree(self, tmp_path):
+        write_module(tmp_path, "src/repro/core/ok.py", "x = 1\n")
+        report = tmp_path / "report.json"
+        proc = self.run_cli(str(tmp_path / "src"), "--json-report", str(report))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "OK" in proc.stdout
+        assert json.loads(report.read_text())["summary"]["ok"] is True
+
+    def test_exit_one_on_findings_with_json_format(self, tmp_path):
+        write_module(tmp_path, "src/repro/core/bad.py", "print('x')\n")
+        proc = self.run_cli(str(tmp_path / "src"), "--format", "json")
+        assert proc.returncode == 1
+        assert json.loads(proc.stdout)["summary"]["findings"] == 1
+
+    def test_exit_two_on_unknown_rule_or_path(self, tmp_path):
+        assert self.run_cli("--rules", "bogus", ".").returncode == 2
+        assert self.run_cli(str(tmp_path / "missing")).returncode == 2
+
+    def test_list_rules(self):
+        proc = self.run_cli("--list-rules")
+        assert proc.returncode == 0
+        for rule in ("layering", "determinism", "picklability",
+                     "lock-discipline", "no-print"):
+            assert rule in proc.stdout
+
+
+class TestLintNoPrintShim:
+    def run_shim(self, target):
+        return subprocess.run(
+            [sys.executable, "tools/lint_no_print.py", str(target)],
+            cwd=REPO_ROOT, capture_output=True, text=True)
+
+    def test_clean_tree_exits_zero(self):
+        proc = self.run_shim(REPO_ROOT / "src" / "repro")
+        assert proc.returncode == 0, proc.stderr
+
+    def test_violation_exits_one_with_file_line_on_stderr(self, tmp_path):
+        path = write_module(tmp_path, "src/repro/core/bad.py", "print('x')\n")
+        proc = self.run_shim(tmp_path / "src" / "repro")
+        assert proc.returncode == 1
+        assert f"{path}:1" in proc.stderr
+
+    def test_missing_directory_exits_two(self, tmp_path):
+        proc = self.run_shim(tmp_path / "missing")
+        assert proc.returncode == 2
+
+
+class TestShippedTreeIsClean:
+    """The meta-test: the repository's own library passes every rule."""
+
+    def test_src_repro_lints_clean(self):
+        result = lint_paths([REPO_ROOT / "src" / "repro"])
+        assert result.findings == [], "\n" + "\n".join(
+            finding.format() for finding in result.findings)
+        # The deliberate, documented exceptions stay visible as suppressions:
+        # the core→serving lazy engine import and the unseeded convenience
+        # rng in the hash-family constructor.
+        suppressed_rules = {finding.rule for finding in result.suppressed}
+        assert suppressed_rules == {"layering", "determinism"}
+
+    def test_every_registered_rule_ran(self):
+        result = lint_paths([REPO_ROOT / "src" / "repro"])
+        assert result.rules == rule_names()
+        assert result.files_checked > 70

@@ -1,38 +1,29 @@
 #!/usr/bin/env python
 """Fail if library code under src/repro calls print().
 
-Library modules report through the telemetry layer and stdlib logging; the
-only sanctioned stdout writers are the CLI front end (repro/cli.py) and the
-experiment report renderers, which exist to print.  This walks every other
-module's AST for a plain ``print(...)`` call — an AST pass, not a grep, so
-docstrings and comments mentioning print() don't trip it.
+Thin exit-code-compatible shim over the reprolint ``no-print`` rule (see
+``tools/reprolint/rules/no_print.py`` for the check itself and
+``tools/reprolint/README.md`` for the rule catalogue).  Kept so existing
+invocations — CI steps, git hooks, muscle memory — keep working.
 
 Usage:  python tools/lint_no_print.py [src/repro]
-Exit status 1 when any offending call is found, listing file:line for each.
+Exit status 1 when any offending call is found (listed file:line on stderr),
+2 when the directory does not exist, 0 when clean — identical to the
+original standalone lint.
 """
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
 
-# Modules whose job is writing to stdout.
-ALLOWED = frozenset({
-    "cli.py",
-    "reporting.py",
-})
+# Running as a script puts tools/ on sys.path, not the repo root; anchor the
+# repo root so ``tools.reprolint`` imports either way.
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(_REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT))
 
-
-def find_print_calls(path: Path) -> list:
-    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
-    hits = []
-    for node in ast.walk(tree):
-        if (isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Name)
-                and node.func.id == "print"):
-            hits.append(node.lineno)
-    return hits
+from tools.reprolint import lint_paths  # noqa: E402
 
 
 def main(argv: list) -> int:
@@ -40,18 +31,14 @@ def main(argv: list) -> int:
     if not root.is_dir():
         print(f"lint_no_print: no such directory: {root}", file=sys.stderr)
         return 2
-    failures = []
-    for path in sorted(root.rglob("*.py")):
-        if path.name in ALLOWED:
-            continue
-        for lineno in find_print_calls(path):
-            failures.append(f"{path}:{lineno}: print() call in library module")
-    if failures:
-        print("\n".join(failures), file=sys.stderr)
-        print(f"\nlint_no_print: {len(failures)} print() call(s) in library "
-              f"modules — use logging or the telemetry layer instead "
-              f"(stdout belongs to {', '.join(sorted(ALLOWED))})",
-              file=sys.stderr)
+    result = lint_paths([root], ["no-print"])
+    if result.findings:
+        for finding in result.findings:
+            print(f"{finding.path}:{finding.line}: {finding.message}",
+                  file=sys.stderr)
+        print(f"\nlint_no_print: {len(result.findings)} print() call(s) in "
+              f"library modules — use logging or the telemetry layer instead "
+              f"(stdout belongs to cli.py, reporting.py)", file=sys.stderr)
         return 1
     return 0
 

@@ -1,0 +1,27 @@
+"""reprolint — this repo's custom static-analysis suite.
+
+Mechanically enforces the invariants every PR defends in prose: the package
+layering DAG, determinism of task-pure code, picklability across the
+executor seam, lock discipline in thread-shared classes, and the no-print
+rule.  See ``tools/reprolint/README.md`` for the rule catalogue and
+``python -m tools.reprolint --help`` for the CLI.
+"""
+
+from tools.reprolint.driver import (
+    Finding,
+    LintResult,
+    ModuleInfo,
+    lint_paths,
+)
+from tools.reprolint.registry import Rule, all_rules, get_rules, rule_names
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "ModuleInfo",
+    "Rule",
+    "all_rules",
+    "get_rules",
+    "lint_paths",
+    "rule_names",
+]

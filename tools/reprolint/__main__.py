@@ -1,0 +1,77 @@
+"""Command-line entry point: ``python -m tools.reprolint [paths...]``.
+
+Exit codes: 0 = clean, 1 = findings, 2 = usage/I-O error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from tools.reprolint.driver import lint_paths
+from tools.reprolint.registry import all_rules
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="Static analysis enforcing this repo's determinism, "
+                    "layering and picklability invariants.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to lint "
+                             "(default: src/repro)")
+    parser.add_argument("--format", choices=("human", "json"),
+                        default="human",
+                        help="stdout report format (default: human)")
+    parser.add_argument("--json-report", metavar="FILE", default=None,
+                        help="additionally write the JSON report to FILE "
+                             "(CI artifact)")
+    parser.add_argument("--rules", metavar="RULE[,RULE...]", default=None,
+                        help="comma-separated subset of rules to run "
+                             "(default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.name}: {rule.description}")
+            if rule.invariant:
+                print(f"    invariant: {rule.invariant}")
+        return 0
+
+    rule_names = None
+    if args.rules is not None:
+        rule_names = [name.strip() for name in args.rules.split(",")
+                      if name.strip()]
+        if not rule_names:
+            print("reprolint: --rules given but empty", file=sys.stderr)
+            return 2
+
+    try:
+        result = lint_paths(args.paths, rule_names)
+    except (FileNotFoundError, KeyError) as error:
+        message = error.args[0] if error.args else error
+        print(f"reprolint: error: {message}", file=sys.stderr)
+        return 2
+
+    if args.json_report:
+        Path(args.json_report).write_text(result.to_json() + "\n",
+                                          encoding="utf-8")
+    if args.format == "json":
+        print(result.to_json())
+    else:
+        print(result.format_human())
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,267 @@
+"""The reprolint driver: collect files, parse once, run rules, report.
+
+Design points:
+
+* **Single parse per file.**  Every enabled rule receives the same
+  :class:`ModuleInfo` (AST + source lines + module name), so adding a rule
+  costs one AST walk, never another parse.
+* **Inline suppressions.**  ``# reprolint: disable=<rule>[,<rule>...]``
+  suppresses findings of the named rules on the pragma's own line and on the
+  line immediately below it (so both trailing pragmas and comment-above
+  pragmas work).  ``# reprolint: disable-file=<rule>`` anywhere in a file
+  suppresses the rule for the whole file.  Suppressed findings are counted
+  and reported, never silently dropped.
+* **Deterministic output.**  Findings sort by (path, line, rule); the JSON
+  report is schema-stable (see :meth:`LintResult.to_json`).
+
+Exit codes (mapped by ``__main__``): 0 = clean, 1 = findings, 2 = usage or
+I/O error.  Syntax errors surface as unsuppressible ``syntax-error``
+findings rather than crashing the run.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from tools.reprolint.registry import Rule, get_rules
+
+JSON_SCHEMA_VERSION = 1
+
+_PRAGMA = re.compile(r"#\s*reprolint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\- ]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {"rule": self.rule, "path": self.path,
+                "line": self.line, "message": self.message}
+
+
+@dataclass
+class Suppressions:
+    """Parsed ``# reprolint:`` pragmas for one file."""
+
+    # line number -> rule names suppressed on that line (and the next line).
+    lines: Dict[int, Set[str]] = field(default_factory=dict)
+    # rule names suppressed for the entire file.
+    file_wide: Set[str] = field(default_factory=set)
+
+    def covers(self, rule: str, line: int) -> bool:
+        if rule in self.file_wide:
+            return True
+        for pragma_line in (line, line - 1):
+            if rule in self.lines.get(pragma_line, ()):
+                return True
+        return False
+
+
+@dataclass
+class ModuleInfo:
+    """Everything a rule needs about one parsed module."""
+
+    path: Path
+    module: str
+    tree: ast.Module
+    source_lines: List[str]
+    suppressions: Suppressions
+
+    @property
+    def package_parts(self) -> Tuple[str, ...]:
+        """The dotted module name split into parts."""
+        return tuple(self.module.split("."))
+
+
+@dataclass
+class LintResult:
+    """Outcome of one driver run."""
+
+    findings: List[Finding]
+    suppressed: List[Finding]
+    files_checked: int
+    rules: List[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def format_human(self) -> str:
+        lines = [finding.format() for finding in self.findings]
+        summary = (f"reprolint: {len(self.findings)} finding(s) in "
+                   f"{self.files_checked} file(s)")
+        if self.suppressed:
+            summary += f" ({len(self.suppressed)} suppressed by pragma)"
+        if not self.findings:
+            summary = (f"reprolint: OK — {self.files_checked} file(s) clean "
+                       f"under rules: {', '.join(self.rules)}")
+            if self.suppressed:
+                summary += f" ({len(self.suppressed)} suppressed by pragma)"
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def to_json(self, indent: int = 2) -> str:
+        payload = {
+            "version": JSON_SCHEMA_VERSION,
+            "rules": list(self.rules),
+            "files_checked": self.files_checked,
+            "findings": [finding.to_json() for finding in self.findings],
+            "suppressed": [finding.to_json() for finding in self.suppressed],
+            "summary": {
+                "findings": len(self.findings),
+                "suppressed": len(self.suppressed),
+                "ok": self.ok,
+            },
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def parse_suppressions(source_lines: Sequence[str]) -> Suppressions:
+    """Extract every ``# reprolint:`` pragma from a file's source lines."""
+    suppressions = Suppressions()
+    for lineno, text in enumerate(source_lines, start=1):
+        if "reprolint" not in text:
+            continue
+        for match in _PRAGMA.finditer(text):
+            directive, names = match.groups()
+            rules = {name.strip() for name in names.split(",") if name.strip()}
+            if directive == "disable-file":
+                suppressions.file_wide |= rules
+            else:
+                suppressions.lines.setdefault(lineno, set()).update(rules)
+    return suppressions
+
+
+def module_name_for(path: Path) -> str:
+    """Best-effort dotted module name for ``path``.
+
+    Walks up through package directories (those holding an ``__init__.py``);
+    falls back to everything from a path component named ``repro`` (so
+    fixture trees without ``__init__.py`` files still resolve), and finally
+    to the bare stem.
+    """
+    path = path.resolve()
+    parts = [] if path.stem == "__init__" else [path.stem]
+    parent = path.parent
+    in_package = (parent / "__init__.py").is_file()
+    while (parent / "__init__.py").is_file():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    if in_package and parts and parts[0] == "repro":
+        return ".".join(parts)
+    # Fallback: anchor on a "repro" path component (fixture trees missing
+    # __init__.py files somewhere below the package root).
+    pieces = list(path.parts)
+    if "repro" in pieces:
+        anchored = pieces[pieces.index("repro"):-1]
+        if path.stem != "__init__":
+            anchored = anchored + [path.stem]
+        return ".".join(anchored)
+    if in_package and parts:
+        return ".".join(parts)
+    return path.stem
+
+
+def collect_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    seen: Set[Path] = set()
+    collected: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.is_file():
+            candidates = [path]
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                collected.append(candidate)
+    return collected
+
+
+def load_module(path: Path) -> Tuple[Optional[ModuleInfo], Optional[Finding]]:
+    """Parse one file; returns (module, None) or (None, syntax finding)."""
+    source = path.read_text(encoding="utf-8")
+    source_lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return None, Finding(rule="syntax-error", path=str(path),
+                             line=error.lineno or 1,
+                             message=f"cannot parse: {error.msg}")
+    return ModuleInfo(path=path, module=module_name_for(path), tree=tree,
+                      source_lines=source_lines,
+                      suppressions=parse_suppressions(source_lines)), None
+
+
+def lint_paths(paths: Sequence[Path | str],
+               rule_names: Optional[Sequence[str]] = None) -> LintResult:
+    """Lint every .py file under ``paths`` with the named (or all) rules."""
+    rules: List[Rule] = get_rules(rule_names)
+    files = collect_files([Path(p) for p in paths])
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    for path in files:
+        module, syntax_finding = load_module(path)
+        if syntax_finding is not None:
+            findings.append(syntax_finding)  # never suppressible
+            continue
+        assert module is not None
+        for rule in rules:
+            for finding in rule.check(module):
+                if module.suppressions.covers(rule.name, finding.line):
+                    suppressed.append(finding)
+                else:
+                    findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    suppressed.sort(key=lambda f: (f.path, f.line, f.rule))
+    return LintResult(findings=findings, suppressed=suppressed,
+                      files_checked=len(files),
+                      rules=[rule.name for rule in rules])
+
+
+# ----------------------------------------------------------- AST utilities
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Reconstruct ``a.b.c`` from nested Attribute/Name nodes (else None)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def type_checking_nodes(tree: ast.Module) -> Set[ast.AST]:
+    """Every node nested under an ``if TYPE_CHECKING:`` block.
+
+    Imports inside these blocks never execute at runtime, so the layering
+    rule ignores them — they are typing-only edges, not real dependencies.
+    """
+    hidden: Set[ast.AST] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        name = dotted_name(test)
+        if name in ("TYPE_CHECKING", "typing.TYPE_CHECKING", "t.TYPE_CHECKING"):
+            for child in node.body:
+                for descendant in ast.walk(child):
+                    hidden.add(descendant)
+    return hidden

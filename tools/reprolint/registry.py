@@ -1,0 +1,89 @@
+"""The checker registry.
+
+A *rule* is a named, documented check over one parsed module.  Rules register
+themselves at import time via the :func:`register` decorator; the driver asks
+the registry for the enabled set, parses every file exactly once, and hands
+each :class:`~tools.reprolint.driver.ModuleInfo` to each rule's ``check``
+function.
+
+The check signature is deliberately minimal::
+
+    def check(module: ModuleInfo) -> Iterable[Finding]: ...
+
+Every repo invariant a rule encodes is stated in its ``invariant`` text — the
+README and ``--list-rules`` render straight from the registry, so the
+documentation cannot drift from the shipped checker set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from tools.reprolint.driver import Finding, ModuleInfo
+
+CheckFunction = Callable[["ModuleInfo"], Iterable["Finding"]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered static check.
+
+    Attributes:
+        name: the rule id used on the command line and in suppression
+            pragmas (``# reprolint: disable=<name>``).
+        description: one line describing what the rule flags.
+        invariant: the repo invariant the rule mechanically enforces.
+        check: the per-module check function.
+    """
+
+    name: str
+    description: str
+    invariant: str
+    check: CheckFunction
+
+
+_RULES: Dict[str, Rule] = {}
+
+
+def register(name: str, description: str, invariant: str = "") -> Callable[[CheckFunction], CheckFunction]:
+    """Class/function decorator registering ``check`` under ``name``."""
+
+    def decorator(check: CheckFunction) -> CheckFunction:
+        if name in _RULES:
+            raise ValueError(f"duplicate reprolint rule name: {name!r}")
+        _RULES[name] = Rule(name=name, description=description,
+                            invariant=invariant, check=check)
+        return check
+
+    return decorator
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by name."""
+    _ensure_loaded()
+    return [_RULES[name] for name in sorted(_RULES)]
+
+
+def rule_names() -> List[str]:
+    """Sorted names of every registered rule."""
+    return [rule.name for rule in all_rules()]
+
+
+def get_rules(names: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Resolve ``names`` (or all rules when ``None``), erroring on unknowns."""
+    _ensure_loaded()
+    if names is None:
+        return all_rules()
+    unknown = sorted(set(names) - set(_RULES))
+    if unknown:
+        known = ", ".join(sorted(_RULES))
+        raise KeyError(
+            f"unknown reprolint rule(s) {', '.join(unknown)} (known: {known})")
+    return [_RULES[name] for name in names]
+
+
+def _ensure_loaded() -> None:
+    """Import the bundled rule modules so their ``register`` calls run."""
+    from tools.reprolint import rules  # noqa: F401  (import for side effect)

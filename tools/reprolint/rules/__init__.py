@@ -1,0 +1,9 @@
+"""Bundled reprolint rules — importing this package registers all of them."""
+
+from tools.reprolint.rules import (  # noqa: F401  (register side effects)
+    determinism,
+    layering,
+    locks,
+    no_print,
+    picklability,
+)

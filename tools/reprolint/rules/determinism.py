@@ -1,0 +1,138 @@
+"""Rule ``determinism``: no ambient entropy in task-pure modules.
+
+Every result in this runtime must be a pure function of ``(seed, round,
+task_id)`` — that is the argument behind executor-, plane-, schedule- and
+fault-equivalence.  Ambient entropy breaks it silently, so in the packages
+that run on the task path (``core``, ``mapreduce``, ``algorithms``,
+``streaming``, ``sketches``, ``sampling``, ``topk``, ``data``) this rule
+forbids:
+
+* the stdlib ``random`` module entirely (the runtime standardises on
+  ``numpy.random.Generator`` seeded from the task key);
+* unseeded numpy generators — ``np.random.default_rng()`` with no seed, and
+  the legacy global-state API (``np.random.random``, ``np.random.seed``,
+  ...) which draws from hidden process state;
+* wall-clock reads that could leak into results: ``time.time``,
+  ``time.time_ns``, ``datetime.now``/``utcnow``/``today``.
+  ``time.perf_counter``/``monotonic`` stay allowed — telemetry measures
+  durations with them and durations never feed results (enforced separately
+  by the telemetry bit-identity suites);
+* ``os.environ`` / ``os.getenv`` — configuration reaches tasks through
+  their specs, never through process state that differs between workers.
+
+Serving-side modules (``serving``, ``service``, ``experiments``, ``cli``)
+are out of scope: they are coordinator-side and already covered by the
+fan-out determinism suites.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from tools.reprolint.driver import Finding, ModuleInfo, dotted_name
+from tools.reprolint.registry import register
+
+# Layers whose code runs inside tasks (or folds task outputs).
+TASK_PURE_LAYERS = frozenset({
+    "core", "mapreduce", "algorithms", "streaming",
+    "sketches", "sampling", "topk", "data",
+})
+
+# Wall-clock calls that can leak absolute time into results.
+_FORBIDDEN_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "date.today", "datetime.date.today",
+    "os.getenv", "os.environb",
+})
+
+# np.random constructors that are fine *when given an explicit seed*.
+_SEEDED_CONSTRUCTORS = frozenset({
+    "default_rng", "SeedSequence", "PCG64", "Philox", "SFC64", "MT19937",
+    "RandomState",
+})
+
+# np.random attributes that are types/annotations, not entropy sources.
+_RANDOM_TYPES = frozenset({"Generator", "BitGenerator"})
+
+
+def _np_random_member(name: str) -> Optional[str]:
+    """The member accessed under numpy's random module, if any."""
+    for prefix in ("np.random.", "numpy.random."):
+        if name.startswith(prefix):
+            return name[len(prefix):]
+    return None
+
+
+def _in_scope(module: ModuleInfo) -> bool:
+    parts = module.package_parts
+    return (len(parts) >= 2 and parts[0] == "repro"
+            and parts[1] in TASK_PURE_LAYERS)
+
+
+@register(
+    "determinism",
+    description="no unseeded RNG, wall-clock reads or os.environ in "
+                "task-pure modules",
+    invariant="task results are pure functions of (seed, round, task_id)",
+)
+def check_determinism(module: ModuleInfo) -> Iterator[Finding]:
+    if not _in_scope(module):
+        return
+
+    def finding(node: ast.AST, message: str) -> Finding:
+        return Finding(rule="determinism", path=str(module.path),
+                       line=getattr(node, "lineno", 1), message=message)
+
+    for node in ast.walk(module.tree):
+        # -- stdlib random module ----------------------------------------
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    yield finding(node, "stdlib 'random' is banned in "
+                                        "task-pure modules; use a "
+                                        "numpy Generator seeded from the "
+                                        "task key")
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0 and (node.module == "random"
+                                    or (node.module or "").startswith("random.")):
+                yield finding(node, "stdlib 'random' is banned in task-pure "
+                                    "modules; use a numpy Generator seeded "
+                                    "from the task key")
+        # -- calls: wall clock, env, numpy RNG ---------------------------
+        elif isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if name in _FORBIDDEN_CALLS:
+                yield finding(node, f"{name}() reads ambient process state; "
+                                    "task results must depend only on "
+                                    "(seed, round, task_id)")
+                continue
+            member = _np_random_member(name)
+            if member is None:
+                continue
+            if member in _SEEDED_CONSTRUCTORS:
+                if not node.args and not node.keywords:
+                    yield finding(node, f"np.random.{member}() without a "
+                                        "seed draws OS entropy; pass a seed "
+                                        "derived from the task key")
+                elif (len(node.args) == 1 and not node.keywords
+                      and isinstance(node.args[0], ast.Constant)
+                      and node.args[0].value is None):
+                    yield finding(node, f"np.random.{member}(None) is "
+                                        "unseeded; pass a seed derived from "
+                                        "the task key")
+            elif member not in _RANDOM_TYPES:
+                yield finding(node, f"np.random.{member}() uses numpy's "
+                                    "hidden global RNG state; construct a "
+                                    "Generator with an explicit seed instead")
+        # -- os.environ attribute / subscript access ---------------------
+        elif isinstance(node, ast.Attribute):
+            name = dotted_name(node)
+            if name == "os.environ":
+                yield finding(node, "os.environ access in a task-pure "
+                                    "module; configuration must arrive via "
+                                    "task specs, not process state")

@@ -1,0 +1,137 @@
+"""Rule ``layering``: enforce the declared package DAG of ``repro``.
+
+The repo's layer diagram (ROADMAP.md) is now data: :data:`ALLOWED_IMPORTS`
+maps every top-level subpackage of ``repro`` to the set of subpackages it may
+import.  The invariants the map encodes:
+
+* ``telemetry`` imports **nothing** from the rest of the package (so every
+  other layer may use it freely);
+* ``errors`` is a leaf shared by everyone;
+* ``core`` never imports the runtime (``mapreduce``) or anything above it;
+* ``serving`` and ``streaming`` never import ``algorithms`` or
+  ``experiments`` — the query side is strictly downstream of the build
+  algorithms' *outputs*, never their code;
+* ``mapreduce`` (the runtime) knows nothing about algorithms, serving or
+  experiments — plans and task functions flow *into* it.
+
+Imports under ``if TYPE_CHECKING:`` are ignored (typing-only edges never
+execute).  Deliberate runtime inversions — e.g. ``core.histogram`` lazily
+importing the serving engine it delegates batch evaluation to — must carry a
+``# reprolint: disable=layering`` pragma with a justifying comment, which
+keeps every exception visible and auditable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from tools.reprolint.driver import Finding, ModuleInfo, type_checking_nodes
+from tools.reprolint.registry import register
+
+_EVERYTHING = frozenset({
+    "errors", "telemetry", "core", "cost", "sketches", "topk", "sampling",
+    "data", "mapreduce", "serving", "streaming", "algorithms", "service",
+    "experiments",
+})
+
+# layer -> layers it may import (itself and stdlib/third-party are always
+# allowed).  A layer absent from the map is unconstrained — add new packages
+# here deliberately, with their place in the DAG.
+ALLOWED_IMPORTS: Dict[str, frozenset] = {
+    "errors": frozenset(),
+    "telemetry": frozenset(),          # imports nothing from repro at all
+    "core": frozenset({"errors"}),
+    "sketches": frozenset({"errors", "core"}),
+    "topk": frozenset({"errors", "core"}),
+    "sampling": frozenset({"errors", "core"}),
+    "mapreduce": frozenset({"errors", "telemetry"}),
+    "cost": frozenset({"errors", "mapreduce"}),
+    "data": frozenset({"errors", "core", "mapreduce"}),
+    "serving": frozenset({"errors", "core", "mapreduce", "telemetry"}),
+    "streaming": frozenset({"errors", "core", "mapreduce", "serving",
+                            "telemetry"}),
+    "algorithms": frozenset({"errors", "core", "cost", "mapreduce",
+                             "sampling", "sketches", "topk", "serving",
+                             "telemetry"}),
+    "service": _EVERYTHING,
+    "experiments": _EVERYTHING,
+    # Top-level front-end modules may import anything.
+    "<root>": _EVERYTHING,
+}
+
+# Module-targeted exceptions: (importing layer, imported module prefix).
+# ``algorithms.base`` takes a RuntimeProfile — the profile module is a
+# plain-data leaf of ``service`` that itself only imports the runtime seam,
+# so the edge is acyclic even though the package-level arrow looks inverted.
+EXTRA_ALLOWED: Set[Tuple[str, str]] = {
+    ("algorithms", "repro.service.profile"),
+}
+
+
+def _layer_of(module: str) -> Optional[str]:
+    """The layer a ``repro`` module belongs to (None for foreign modules)."""
+    parts = module.split(".")
+    if parts[0] != "repro":
+        return None
+    if len(parts) == 1:
+        return "<root>"
+    if parts[1] in ALLOWED_IMPORTS and parts[1] != "<root>":
+        return parts[1]
+    return "<root>"  # repro.cli, repro.__main__, future top-level modules
+
+
+def _imported_modules(module: ModuleInfo) -> Iterator[Tuple[int, str]]:
+    """Yield (line, dotted target) for every runtime import in the module."""
+    hidden = type_checking_nodes(module.tree)
+    for node in ast.walk(module.tree):
+        if node in hidden:
+            continue
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node.lineno, alias.name
+        elif isinstance(node, ast.ImportFrom):
+            target = node.module or ""
+            if node.level:  # resolve relative imports against this module
+                base = list(module.package_parts)
+                # level=1 → the containing package: for a plain module that
+                # means dropping its own name; an __init__ already *is* the
+                # package.  Each extra level drops one more package.
+                if module.path.name != "__init__.py" and base:
+                    base = base[:-1]
+                if node.level > 1:
+                    base = base[:len(base) - (node.level - 1)]
+                target = ".".join(filter(None, [".".join(base), target]))
+            if target:
+                yield node.lineno, target
+
+
+@register(
+    "layering",
+    description="imports must follow the declared package DAG",
+    invariant=("telemetry imports nothing; core never imports the runtime; "
+               "serving/streaming never import algorithms or experiments; "
+               "mapreduce never imports algorithms/serving/experiments"),
+)
+def check_layering(module: ModuleInfo) -> Iterator[Finding]:
+    source_layer = _layer_of(module.module)
+    if source_layer is None:
+        return
+    allowed = ALLOWED_IMPORTS.get(source_layer)
+    if allowed is None:
+        return
+    for lineno, target in _imported_modules(module):
+        target_layer = _layer_of(target)
+        if target_layer is None or target_layer == "<root>" and source_layer == "<root>":
+            continue
+        if target_layer == source_layer or target_layer in allowed:
+            continue
+        if any(source_layer == layer and target.startswith(prefix)
+               for layer, prefix in EXTRA_ALLOWED):
+            continue
+        yield Finding(
+            rule="layering", path=str(module.path), line=lineno,
+            message=(f"{source_layer!r} must not import {target!r} "
+                     f"(layer {target_layer!r}; allowed: "
+                     f"{', '.join(sorted(allowed)) or 'nothing'})"),
+        )

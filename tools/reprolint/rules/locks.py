@@ -1,0 +1,181 @@
+"""Rule ``lock-discipline``: guarded state stays guarded.
+
+A class that creates a ``self._lock`` (serving stores, the query server, the
+metrics registry, ...) has declared that its underscore-prefixed mutable
+state is shared across threads.  From then on, every mutation of that state
+must happen while the lock is held — a single unguarded ``self._cache[k] =
+v`` is a data race that no equivalence suite will catch deterministically.
+
+The check, per lock-owning class:
+
+* flag assignments (plain, augmented, annotated), deletions and subscript
+  stores targeting ``self._name`` attributes;
+* flag calls of mutating methods (``append``, ``add``, ``pop``, ``update``,
+  ``clear``, ...) on ``self._name`` attributes;
+* **unless** the statement sits under a ``with self.<*lock*>:`` block, or in
+  ``__init__``/``__new__`` (construction is single-threaded by contract), or
+  in a method whose name ends in ``_locked`` — the repo's convention for
+  helpers whose contract is "caller holds the lock".
+
+This is a heuristic: single-threaded-by-design mutations (documented
+contracts, thread-confined objects) are legitimate and should carry a
+``# reprolint: disable=lock-discipline`` pragma with a one-line
+justification, which is precisely the point — every unguarded write to
+guarded state becomes a visible, reviewed decision.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from tools.reprolint.driver import Finding, ModuleInfo
+from tools.reprolint.registry import register
+
+_MUTATORS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "update", "add", "discard", "setdefault", "appendleft", "popleft",
+    "sort", "reverse",
+})
+
+_EXEMPT_METHODS = frozenset({"__init__", "__new__", "__post_init__"})
+
+
+def _is_self_private_attr(node: ast.expr) -> Optional[str]:
+    """The attribute name when ``node`` is ``self._something`` (else None)."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr.startswith("_")
+            and not node.attr.endswith("lock")):
+        return node.attr
+    return None
+
+
+def _locks_self(with_node: ast.With) -> bool:
+    """Whether any context manager item is ``self.<...lock...>``."""
+    for item in with_node.items:
+        expr = item.context_expr
+        if (isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+                and "lock" in expr.attr):
+            return True
+    return False
+
+
+def _class_owns_lock(node: ast.ClassDef) -> bool:
+    """Whether any method of the class assigns ``self._lock``-like state."""
+    for child in ast.walk(node):
+        if isinstance(child, (ast.Assign, ast.AnnAssign)):
+            targets = child.targets if isinstance(child, ast.Assign) else [child.target]
+            for target in targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and target.attr.endswith("lock")
+                        and target.attr.startswith("_")):
+                    return True
+    return False
+
+
+class _MethodVisitor(ast.NodeVisitor):
+    """Walks one method body tracking whether the lock is held."""
+
+    def __init__(self, module: ModuleInfo, class_name: str,
+                 method_name: str) -> None:
+        self.module = module
+        self.class_name = class_name
+        self.method_name = method_name
+        self.under_lock = False
+        self.findings: List[Finding] = []
+
+    def _flag(self, node: ast.AST, attr: str, action: str) -> None:
+        self.findings.append(Finding(
+            rule="lock-discipline", path=str(self.module.path),
+            line=getattr(node, "lineno", 1),
+            message=(f"{self.class_name}.{self.method_name} {action} "
+                     f"self.{attr} outside 'with self._lock' (class owns a "
+                     "lock; hold it, rename the helper to *_locked, or "
+                     "justify with a pragma)"),
+        ))
+
+    def visit_With(self, node: ast.With) -> None:
+        if _locks_self(node) and not self.under_lock:
+            self.under_lock = True
+            for child in node.body:
+                self.visit(child)
+            self.under_lock = False
+        else:
+            self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # Nested defs get their own analysis context; skip them here.
+        return
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        return
+
+    def _check_store_target(self, target: ast.expr, node: ast.AST,
+                            action: str) -> None:
+        attr = _is_self_private_attr(target)
+        if attr is not None and not self.under_lock:
+            self._flag(node, attr, action)
+            return
+        # self._d[key] = value / del self._d[key]
+        if isinstance(target, ast.Subscript):
+            attr = _is_self_private_attr(target.value)
+            if attr is not None and not self.under_lock:
+                self._flag(node, attr + "[...]", action)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_store_target(target, node, "assigns")
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_store_target(node.target, node, "assigns")
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_store_target(node.target, node, "mutates")
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_store_target(target, node, "deletes")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (isinstance(func, ast.Attribute) and func.attr in _MUTATORS
+                and not self.under_lock):
+            attr = _is_self_private_attr(func.value)
+            if attr is not None:
+                self._flag(node, attr, f"calls .{func.attr}() on")
+        self.generic_visit(node)
+
+
+@register(
+    "lock-discipline",
+    description="in classes owning a _lock, underscore state is only "
+                "mutated while the lock is held",
+    invariant="thread-shared mutable state in serving/telemetry classes is "
+              "always mutated under the class lock",
+)
+def check_lock_discipline(module: ModuleInfo) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not _class_owns_lock(node):
+            continue
+        for method in node.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name in _EXEMPT_METHODS or method.name.endswith("_locked"):
+                continue
+            visitor = _MethodVisitor(module, node.name, method.name)
+            for statement in method.body:
+                visitor.visit(statement)
+            yield from visitor.findings
