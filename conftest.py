@@ -1,0 +1,31 @@
+"""Root pytest configuration: suite-wide execution-mode switches.
+
+``--zero-copy`` flips the process-wide default of the zero-copy data plane
+(PR 10) before any test runs, so every suite — the equivalence suites in
+particular — can be executed against both the shared-memory shipping path
+(``on``, the default) and the reference copying path (``off``) without
+editing a single test:
+
+    PYTHONPATH=src python -m pytest tests --zero-copy off
+
+Profiles and task specs that leave ``zero_copy`` unset resolve it against
+this default, so the switch reaches every executor, scheduler and serving
+fan-out in the process.  CI's ``zero-copy-smoke`` job runs the equivalence
+suites under both settings.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--zero-copy",
+        choices=("on", "off"),
+        default="on",
+        help="run with the zero-copy data plane enabled (default: on); "
+        "'off' forces the reference in-band pickle path everywhere",
+    )
+
+
+def pytest_configure(config):
+    from repro.mapreduce.serialization import set_zero_copy_default
+
+    set_zero_copy_default(config.getoption("--zero-copy", "on") == "on")

@@ -37,6 +37,7 @@ from repro import (
     ZipfDatasetGenerator,
     algorithm_names,
     make_algorithm,
+    paper_cluster,
     registry_to_prometheus,
     set_telemetry,
 )
@@ -249,6 +250,70 @@ def main() -> None:
               f"served v{info['serving_version']} instead "
               f"(quarantined: {disk_store.quarantined_versions('web')}); "
               f"answer {float(answer[0]):,.1f}")
+
+    # ------------------------------------------------ 8. zero-copy data plane
+    # Task specs ship to parallel workers out-of-band: pickle protocol 5
+    # sidelines every large array into a shared-memory segment, so N workers
+    # map ONE physical copy of each input split instead of unpickling N
+    # private copies; only the spec scaffolding is pickled per task.  The
+    # profile carries the dial — zero_copy=False (CLI profile key
+    # zero-copy=off) keeps the plain in-band pickle path as the bit-identical
+    # reference; turn it off when chasing a suspected aliasing bug or on a
+    # platform without usable shared memory (where the arena also degrades by
+    # itself).  The repro_task_ship_bytes_total{phase,mode} counters account
+    # both paths in directly comparable bytes.
+    shipping = Telemetry()
+    previous = set_telemetry(shipping)
+    try:
+        # Small splits so this dataset actually fans out across workers (the
+        # paper-scale default would hold all 120k records in one split).
+        fast_profile = RuntimeProfile(
+            seed=7, executor="parallel", workers=2,
+            cluster=paper_cluster(split_size_bytes=web.size_bytes // 8))
+        fast = SynopsisService(profile=fast_profile)
+        shipped = fast.build(AlgorithmSpec("send-v", k=40), web, name="web")
+    finally:
+        set_telemetry(previous)
+    phases = ("map", "reduce", "function")
+    mapped_bytes = sum(
+        shipping.metrics.counter_value("repro_task_ship_bytes_total",
+                                       phase=phase, mode="out-of-band")
+        for phase in phases)
+    copied_bytes = sum(
+        shipping.metrics.counter_value("repro_task_ship_bytes_total",
+                                       phase=phase, mode="pickled")
+        for phase in phases)
+    assert shipped.checksum_sha256 == exact.checksum_sha256
+    print(f"zero-copy shipping: {mapped_bytes:,.0f} B shared via one mapped "
+          f"copy, only {copied_bytes:,.0f} B pickled; checksum identical to "
+          f"the serial (and to the zero-copy=off) build")
+
+    # The serving side is zero-copy too: DirectoryBackend memory-maps stored
+    # WHSYN001 payloads, and engines adopt read-only views over the mapped
+    # pages instead of materialising heap copies — the
+    # repro_payload_bytes_resident gauge splits resident payload bytes by
+    # kind (mapped vs heap), and release() gives them back on eviction.
+    with tempfile.TemporaryDirectory() as root:
+        mapped_store = SynopsisStore(root)
+        SynopsisService(store=mapped_store, profile=profile).build(
+            AlgorithmSpec("send-v", k=40), web, name="web")
+        serving = Telemetry()
+        previous = set_telemetry(serving)
+        try:
+            loaded = mapped_store.load("web")
+            engine = loaded.engine()
+            indices, _ = loaded.coefficient_arrays()
+            assert np.shares_memory(engine.coefficient_arrays()[0], indices)
+            mapped_loads = serving.metrics.counter_value(
+                "repro_payload_mmap_total")
+            resident = serving.metrics.gauge_value(
+                "repro_payload_bytes_resident", kind="mapped")
+            freed = loaded.release()
+        finally:
+            set_telemetry(previous)
+        print(f"mmap'd serving: {mapped_loads:.0f} payload load(s) mapped, "
+              f"{resident:,.0f} B resident as read-only views "
+              f"(engine shares, never copies); release() freed {freed:,} B")
 
 
 if __name__ == "__main__":

@@ -215,6 +215,7 @@ class HistogramAlgorithm(ABC):
         runner = JobRunner(hdfs, cluster=cluster_spec, state_store=StateStore(),
                            seed=profile.seed, executor=profile.build_executor(),
                            data_plane=profile.data_plane,
+                           zero_copy=profile.zero_copy,
                            telemetry=profile.telemetry)
         outcome = self._execute(runner, input_path)
         result = self.assemble_result(outcome, profile)

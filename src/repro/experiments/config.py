@@ -82,6 +82,10 @@ class ExperimentConfig:
             schedule concurrently on the cluster's shared slot pool (1 keeps
             the sequential behaviour); results are scheduling-independent by
             construction, so this only changes wall-clock time.
+        zero_copy: whether task specs ship to parallel workers out-of-band
+            through shared memory (``None`` defers to the process default,
+            normally on); results are bit-identical either way, so this only
+            changes bytes copied and wall-clock time.
         store_path: root directory of the synopsis store built histograms are
             published to (``None`` disables persistence).
         query_mix: workload mix served by the query benchmarks
@@ -108,6 +112,7 @@ class ExperimentConfig:
     concurrent_jobs: int = 1
     fault_rate: float = 0.0
     fault_seed: int = 0
+    zero_copy: Optional[bool] = None
     store_path: Optional[str] = None
     query_mix: str = "mixed"
     num_queries: int = 10_000
@@ -170,6 +175,7 @@ class ExperimentConfig:
             concurrent_jobs=self.concurrent_jobs,
             fault_rate=self.fault_rate,
             fault_seed=self.fault_seed,
+            zero_copy=self.zero_copy,
         )
 
     # --------------------------------------------------------------- serving

@@ -206,6 +206,7 @@ def _run_scheduled_batch(
         runner = JobRunner(hdfs, cluster=cluster, state_store=StateStore(),
                            seed=profile.seed, executor=executor,
                            data_plane=profile.data_plane,
+                           zero_copy=profile.zero_copy,
                            telemetry=profile.telemetry)
         entries.append((algorithm.create_plan(INPUT_PATH), runner))
     scheduler = ClusterScheduler.for_cluster(cluster, executor,

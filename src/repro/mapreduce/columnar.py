@@ -78,6 +78,13 @@ class ColumnarBlock:
                            num_partitions: int) -> List[Tuple[int, "ColumnarBlock"]]:
         """Split into per-partition sub-blocks, preserving emission order.
 
+        One stable argsort routes the whole block: the pairs are gathered into
+        partition-major order exactly once, and every sub-block is a contiguous
+        *view* into that routed copy — no per-partition masking passes, no
+        per-partition materialisation.  The stable sort keeps each partition's
+        pairs in emission order, so the result is pair-for-pair identical to
+        filtering with ``num_partitions`` boolean masks.
+
         Args:
             partition_ids: per-pair reducer index, aligned with ``keys``.
             num_partitions: number of reduce partitions.
@@ -86,16 +93,59 @@ class ColumnarBlock:
             ``(partition_id, block)`` tuples for every non-empty partition, in
             ascending partition order.
         """
+        partition_ids = np.asarray(partition_ids)
+        order = np.argsort(partition_ids, kind="stable")
+        routed_ids = partition_ids[order]
+        routed_keys = self.keys[order]
+        routed_values = self.values[order]
+        bounds = np.searchsorted(routed_ids, np.arange(num_partitions + 1))
         parts: List[Tuple[int, ColumnarBlock]] = []
         for partition in range(num_partitions):
-            mask = partition_ids == partition
-            if mask.any():
+            lo, hi = int(bounds[partition]), int(bounds[partition + 1])
+            if hi > lo:
                 parts.append(
                     (partition,
-                     ColumnarBlock(self.keys[mask], self.values[mask],
+                     ColumnarBlock(routed_keys[lo:hi], routed_values[lo:hi],
                                    self.pair_size_bytes))
                 )
         return parts
+
+    @classmethod
+    def concat(cls, blocks: List["ColumnarBlock"]) -> "ColumnarBlock":
+        """Concatenate blocks into one, with a single preallocated output.
+
+        The shuffle barrier uses this to coalesce each reduce partition's
+        sub-blocks into one physically contiguous block: two ``np.empty``
+        allocations, one gather pass, no intermediate copies.  A single-block
+        list returns that block itself — zero copies.  Requires a uniform
+        ``pair_size_bytes`` and value dtype across the inputs, so the result
+        is indistinguishable (pairs, sizes, dtypes) from the un-coalesced
+        list; callers with mixed blocks must keep them separate.
+        """
+        if not blocks:
+            raise InvalidParameterError("cannot concatenate zero blocks")
+        first = blocks[0]
+        if len(blocks) == 1:
+            return first
+        if any(block.pair_size_bytes != first.pair_size_bytes
+               for block in blocks[1:]):
+            raise InvalidParameterError(
+                "concat requires a uniform pair_size_bytes across blocks"
+            )
+        if any(block.values.dtype != first.values.dtype for block in blocks[1:]):
+            raise InvalidParameterError(
+                "concat requires a uniform value dtype across blocks"
+            )
+        total = sum(len(block) for block in blocks)
+        keys = np.empty(total, dtype=np.int64)
+        values = np.empty(total, dtype=first.values.dtype)
+        offset = 0
+        for block in blocks:
+            end = offset + len(block)
+            keys[offset:end] = block.keys
+            values[offset:end] = block.values
+            offset = end
+        return cls(keys, values, first.pair_size_bytes)
 
 
 def emitted_length(items: List) -> int:

@@ -76,7 +76,15 @@ from repro.mapreduce.counters import CounterNames, Counters
 from repro.mapreduce.hdfs import InputSplit
 from repro.mapreduce.inputformat import InputFormat, SequentialInputFormat
 from repro.mapreduce.job import DistributedCache, JobConfiguration, hash_partitioner
-from repro.mapreduce.serialization import SerializationModel
+from repro.mapreduce.serialization import (
+    SHIP_MODE_OOB,
+    SHIP_MODE_PICKLED,
+    SerializationModel,
+    ShipmentArena,
+    ShippedTask,
+    load_shipped,
+    pickled_task_bytes,
+)
 from repro.mapreduce.state import StateStore
 from repro.telemetry import get_telemetry
 from repro.telemetry.metrics import MetricsDelta
@@ -187,6 +195,7 @@ class MapTaskSpec:
     partitioner: Callable[[Any, int], int] = hash_partitioner
     num_reducers: int = 1
     data_plane: str = "batch"
+    zero_copy: bool = True
 
     @property
     def task_id(self) -> int:
@@ -211,6 +220,7 @@ class ReduceTaskSpec:
     state_snapshot: Dict[StateKey, Any]
     seed_key: Tuple[int, ...]
     num_splits: int
+    zero_copy: bool = True
 
     @property
     def task_id(self) -> int:
@@ -407,8 +417,13 @@ def _reduce_columnar(reducer: Any, blocks: List[ColumnarBlock],
     :class:`~repro.mapreduce.api.BatchReducer` receives the grouped arrays in
     one call; any other reducer gets the per-group reference loop.
     """
-    keys = np.concatenate([block.keys for block in blocks])
-    values = np.concatenate([block.values for block in blocks])
+    if len(blocks) == 1:
+        # A coalesced (or single-mapper) partition arrives as one block; sort
+        # its columns in place-of-reference — no concatenation copy at all.
+        keys, values = blocks[0].keys, blocks[0].values
+    else:
+        keys = np.concatenate([block.keys for block in blocks])
+        values = np.concatenate([block.values for block in blocks])
     counters.increment_by(CounterNames.REDUCE_INPUT_RECORDS, 1.0, int(keys.size))
     order = np.argsort(keys, kind="stable")
     sorted_keys = keys[order]
@@ -493,6 +508,7 @@ class FunctionTaskSpec:
     task_id: int
     function: Callable[[Any], Any]
     payload: Any
+    zero_copy: bool = True
 
 
 def execute_function_task(spec: FunctionTaskSpec) -> TaskResult:
@@ -600,6 +616,19 @@ def _execute_faulted_task(spec: TaskSpec, fault: Optional[str]) -> TaskResult:
     return _execute_task(spec)
 
 
+def _execute_shipped_task(shipped: ShippedTask,
+                          fault: Optional[str]) -> TaskResult:
+    """Worker entry point for zero-copy shipped specs.
+
+    Rebuilds the spec as read-only views over the coordinator's shared-memory
+    segments (see :func:`repro.mapreduce.serialization.load_shipped`), then
+    runs the exact same fault/task path as a conventionally pickled spec — so
+    shipping can never change what a task computes, only how its input bytes
+    arrived.
+    """
+    return _execute_faulted_task(load_shipped(shipped), fault)
+
+
 def _failure_reason(error: BaseException) -> str:
     """Short label for the retry metrics' ``reason`` dimension."""
     if isinstance(error, TaskTransientError):
@@ -668,7 +697,7 @@ class _PoolTaskHandle(TaskHandle):
     """
 
     __slots__ = ("executor", "future", "attempt", "generation", "fault",
-                 "_cancelled", "_final_error")
+                 "arena", "shipped", "_cancelled", "_final_error")
 
     def __init__(self, executor: "ParallelExecutor", spec: TaskSpec) -> None:
         super().__init__(spec)
@@ -676,7 +705,23 @@ class _PoolTaskHandle(TaskHandle):
         self.attempt = 1
         self._cancelled = False
         self._final_error: Optional[BaseException] = None
+        # Per-handle shipment scope: the scheduler dispatches tasks one by
+        # one, so each handle owns the segments of its own spec and releases
+        # them on its terminal transition (or via executor.close()).
+        self.arena: Optional[ShipmentArena] = ShipmentArena()
+        self.shipped = executor._ship_spec(spec, self.arena)
+        if self.shipped is None:
+            self.arena.release()
+            self.arena = None
+        else:
+            executor._live_arenas.add(self.arena)
         self._submit()
+
+    def _release_shipment(self) -> None:
+        if self.arena is not None:
+            arena, self.arena = self.arena, None
+            self.executor._live_arenas.discard(arena)
+            arena.release()
 
     def _submit(self) -> None:
         executor = self.executor
@@ -684,9 +729,28 @@ class _PoolTaskHandle(TaskHandle):
         if self.fault == KIND_WORKER_KILL:
             executor._generation_kill_injected = True
         self.generation = executor._generation
-        self.future = executor._ensure_pool().submit(
-            _execute_faulted_task, self.spec, self.fault
-        )
+        if self.shipped is not None and not (self.arena is None
+                                             or self.arena.released):
+            entry_point: Any = _execute_shipped_task
+            argument: Any = self.shipped
+        else:
+            # The arena is gone (executor closed between attempts): fall back
+            # to the pool's own pickler rather than point at dead segments.
+            entry_point = _execute_faulted_task
+            argument = self.spec
+        try:
+            self.future = executor._ensure_pool().submit(
+                entry_point, argument, self.fault
+            )
+        except BrokenProcessPool:
+            # The pool died under a concurrent handle's kill before this
+            # submission landed: rebuild once and resubmit (the attempt never
+            # started, so nothing is charged to the retry budget).
+            executor._recover_pool(self.generation)
+            self.generation = executor._generation
+            self.future = executor._ensure_pool().submit(
+                entry_point, argument, self.fault
+            )
 
     def completed(self) -> bool:
         if self._final_error is not None:
@@ -694,12 +758,15 @@ class _PoolTaskHandle(TaskHandle):
         if not self.future.done():
             return False
         if self._cancelled or self.future.cancelled():
+            self._release_shipment()
             return True
         error = self.future.exception()
         if error is None:
+            self._release_shipment()
             return True
         policy = self.executor.retry_policy
         if policy is None or not policy.is_retryable(error):
+            self._release_shipment()
             return True
         if isinstance(error, BrokenProcessPool):
             self.executor._recover_pool(self.generation)
@@ -715,6 +782,7 @@ class _PoolTaskHandle(TaskHandle):
             )
         except BaseException as final:  # retries exhausted
             self._final_error = final
+            self._release_shipment()
             return True
         self._submit()
         return False
@@ -726,7 +794,10 @@ class _PoolTaskHandle(TaskHandle):
 
     def cancel(self) -> bool:
         self._cancelled = True
-        return self.future.cancel()
+        withdrawn = self.future.cancel()
+        if withdrawn:
+            self._release_shipment()
+        return withdrawn
 
 
 class Executor(ABC):
@@ -902,6 +973,10 @@ class ParallelExecutor(Executor):
         self.retry_policy = retry_policy
         self.fault_injector = fault_injector
         self._pool: Optional[ProcessPoolExecutor] = None
+        # Arenas owned by outstanding task handles; released when each handle
+        # reaches a terminal state, and force-released by close() so no
+        # shared-memory segment can outlive the executor.
+        self._live_arenas: set = set()
         # Pool lineage for crash recovery: the generation counter increments
         # on every rebuild so concurrent holders of a broken pool's futures
         # trigger exactly one rebuild between them.
@@ -919,6 +994,40 @@ class ParallelExecutor(Executor):
                 max_workers=self.max_workers, mp_context=context
             )
         return self._pool
+
+    def _ship_spec(self, spec: TaskSpec,
+                   arena: ShipmentArena) -> Optional[ShippedTask]:
+        """Ship one spec out-of-band, or account the reference path.
+
+        Returns the :class:`ShippedTask` to submit when the spec opted into
+        zero-copy shipping, ``None`` when the spec should travel through the
+        pool's own (copying) pickler — either because ``zero_copy`` is off or
+        because shipping failed (an unpicklable spec falls back so the pool
+        surfaces the established diagnosis).  Either way the shipped bytes
+        are charged to ``repro_task_ship_bytes_total{phase,mode}``.
+        """
+        phase = _spec_phase(spec)
+        metrics = get_telemetry().metrics
+        if getattr(spec, "zero_copy", True):
+            try:
+                shipped = arena.ship(spec)
+            except Exception:
+                return None
+            if shipped.oob_bytes:
+                metrics.inc("repro_task_ship_bytes_total",
+                            float(shipped.oob_bytes),
+                            phase=phase, mode=SHIP_MODE_OOB)
+            metrics.inc("repro_task_ship_bytes_total",
+                        float(shipped.inline_bytes),
+                        phase=phase, mode=SHIP_MODE_PICKLED)
+            return shipped
+        try:
+            reference_bytes = pickled_task_bytes(spec)
+        except Exception:
+            return None
+        metrics.inc("repro_task_ship_bytes_total", float(reference_bytes),
+                    phase=phase, mode=SHIP_MODE_PICKLED)
+        return None
 
     def _recover_pool(self, generation: int) -> None:
         """Discard a broken pool (once per break) so the next submit rebuilds.
@@ -952,6 +1061,12 @@ class ParallelExecutor(Executor):
         window = max(1, min(self.max_workers, slots))
         results: List[Optional[TaskResult]] = [None] * len(specs)
         attempts = [1] * len(specs)
+        # One shipment arena per phase: specs ship once (retries resubmit the
+        # same shipped payload — the segments outlive every attempt) and the
+        # arena unlinks everything at the phase barrier, in the finally below.
+        arena = ShipmentArena()
+        shipped: List[Optional[ShippedTask]] = [None] * len(specs)
+        shipped_known = [False] * len(specs)
         pending = deque(range(len(specs)))
         in_flight: Dict[Any, Tuple[int, Optional[str]]] = {}
         try:
@@ -962,9 +1077,28 @@ class ParallelExecutor(Executor):
                                              allow_kill=True)
                     if fault == KIND_WORKER_KILL:
                         self._generation_kill_injected = True
-                    future = self._ensure_pool().submit(
-                        _execute_faulted_task, specs[index], fault
-                    )
+                    if not shipped_known[index]:
+                        shipped[index] = self._ship_spec(specs[index], arena)
+                        shipped_known[index] = True
+                    try:
+                        if shipped[index] is not None:
+                            future = self._ensure_pool().submit(
+                                _execute_shipped_task, shipped[index], fault
+                            )
+                        else:
+                            future = self._ensure_pool().submit(
+                                _execute_faulted_task, specs[index], fault
+                            )
+                    except BrokenProcessPool:
+                        # The pool died between submissions (a sibling's
+                        # injected kill landing mid-phase): this attempt never
+                        # started, so requeue it uncharged and let the
+                        # in-flight futures drive the established recovery; if
+                        # nothing is in flight, rebuild here.
+                        pending.appendleft(index)
+                        if not in_flight:
+                            self._recover_pool(self._generation)
+                        break
                     in_flight[future] = (index, fault)
                 done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
                 for future in done:
@@ -1017,6 +1151,11 @@ class ParallelExecutor(Executor):
             if translated is not None:
                 raise translated from error
             raise
+        finally:
+            # The phase barrier is the end of every shipped buffer's life:
+            # results came back through the pool (copies), so unlinking here
+            # cannot invalidate anything the caller still holds.
+            arena.release()
         return results  # type: ignore[return-value]
 
     def submit_task(self, spec: TaskSpec) -> TaskHandle:
@@ -1046,6 +1185,10 @@ class ParallelExecutor(Executor):
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        # Any handle that never reached a terminal transition (an abandoned
+        # scheduler handle, say) must not leak its segments past the executor.
+        while self._live_arenas:
+            self._live_arenas.pop().release()
 
 
 EXECUTOR_NAMES = ("serial", "parallel")

@@ -58,6 +58,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.errors import InvalidParameterError, JobConfigurationError
 from repro.mapreduce.cluster import ClusterSpec, paper_cluster
+from repro.mapreduce.columnar import ColumnarBlock
 from repro.mapreduce.counters import CounterNames, Counters
 from repro.mapreduce.executor import (
     DATA_PLANE_NAMES,
@@ -70,6 +71,7 @@ from repro.mapreduce.executor import (
 )
 from repro.mapreduce.hdfs import HDFS, InputSplit
 from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.serialization import zero_copy_default
 from repro.mapreduce.state import StateStore
 from repro.telemetry import Telemetry, active_telemetry
 
@@ -136,6 +138,7 @@ class JobRunner:
         executor: Optional[Executor] = None,
         data_plane: str = "batch",
         telemetry: Optional[Telemetry] = None,
+        zero_copy: Optional[bool] = None,
     ) -> None:
         if data_plane not in DATA_PLANE_NAMES:
             raise InvalidParameterError(
@@ -148,6 +151,8 @@ class JobRunner:
         self._executor = executor if executor is not None else SerialExecutor()
         self._data_plane = data_plane
         self._telemetry = telemetry
+        self._zero_copy = (zero_copy_default() if zero_copy is None
+                           else bool(zero_copy))
         self._round_counter = 0
 
     @classmethod
@@ -168,6 +173,7 @@ class JobRunner:
             executor=profile.build_executor(),
             data_plane=profile.data_plane,
             telemetry=profile.telemetry,
+            zero_copy=profile.zero_copy,
         )
 
     @property
@@ -194,6 +200,15 @@ class JobRunner:
     def data_plane(self) -> str:
         """The data plane records move through (``"batch"`` or ``"records"``)."""
         return self._data_plane
+
+    @property
+    def zero_copy(self) -> bool:
+        """Whether task specs ship out-of-band (shared memory) to workers.
+
+        ``False`` is the copying reference path.  Like every execution knob,
+        this never changes results — only how bytes reach worker processes.
+        """
+        return self._zero_copy
 
     @property
     def telemetry(self) -> Telemetry:
@@ -323,6 +338,7 @@ class JobRunner:
             partitioner=job.partitioner,
             num_reducers=job.num_reducers,
             data_plane=self._data_plane,
+            zero_copy=self._zero_copy,
         )
 
     def _build_reduce_spec(self, job: MapReduceJob, reducer_id: int,
@@ -339,6 +355,7 @@ class JobRunner:
             state_snapshot=snapshot,
             seed_key=(self._seed, round_number, 10_000 + reducer_id),
             num_splits=num_splits,
+            zero_copy=self._zero_copy,
         )
 
     def _state_snapshot(self, kind: str, identifier: int) -> Dict[Tuple[str, int], Any]:
@@ -380,12 +397,27 @@ class JobRunner:
 
         The partition/route work (and the shuffle-byte accounting) already
         happened inside each map task — the sharded shuffle — so the only
-        serial work left at the barrier is list concatenation.
+        serial work left at the barrier is list concatenation.  On the
+        zero-copy plane a partition whose stream is uniformly columnar is
+        coalesced into one physically contiguous block
+        (:meth:`~repro.mapreduce.columnar.ColumnarBlock.concat`: one
+        preallocated output, one gather pass), so the reduce spec ships a
+        single out-of-band buffer pair instead of one per mapper; with
+        ``zero_copy`` off the per-mapper sub-blocks pass through untouched as
+        the reference layout.  Either way the reduce task sees the same pairs
+        in the same order — coalescing is invisible to results.
         """
         partitions: List[List[Any]] = [[] for _ in range(job.num_reducers)]
         for result in map_results:
             for reducer_index, items in enumerate(result.partitions or []):
                 partitions[reducer_index].extend(items)
+        if self._zero_copy:
+            for reducer_index, items in enumerate(partitions):
+                if (len(items) > 1
+                        and all(isinstance(item, ColumnarBlock) for item in items)
+                        and len({item.values.dtype for item in items}) == 1
+                        and len({item.pair_size_bytes for item in items}) == 1):
+                    partitions[reducer_index] = [ColumnarBlock.concat(items)]
         return partitions
 
 

@@ -183,6 +183,7 @@ class SynopsisService:
             cache_size=cache_size,
             shard_size=shard_size,
             max_synopses=max_synopses,
+            zero_copy=self.profile.zero_copy,
         )
         self._fanout_queries = 0
         self._fanout_batches = 0
@@ -291,6 +292,7 @@ class SynopsisService:
             runner = JobRunner(hdfs, cluster=cluster, state_store=StateStore(),
                                seed=profile.seed, executor=executor,
                                data_plane=profile.data_plane,
+                               zero_copy=profile.zero_copy,
                                telemetry=profile.telemetry)
             entries.append((algorithm.create_plan(SERVICE_INPUT_PATH), runner))
             algorithms.append(algorithm)
@@ -394,6 +396,7 @@ class SynopsisService:
                     function=evaluate_range_shard,
                     payload=(engine.u, indices, values,
                              los[start:stop], his[start:stop]),
+                    zero_copy=self.profile.zero_copy_enabled,
                 ))
                 owners.append(name)
 

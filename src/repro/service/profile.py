@@ -38,6 +38,7 @@ from repro.mapreduce.executor import (
     Executor,
     shared_executor,
 )
+from repro.mapreduce.serialization import zero_copy_default
 from repro.telemetry import Telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -78,6 +79,14 @@ class RuntimeProfile:
             execution field, changes wall-clock time only.
         fault_seed: seed of the injected-fault stream, independent of the
             build ``seed`` so chaos runs never perturb task RNGs.
+        zero_copy: whether task specs ship to parallel workers out-of-band —
+            pickle protocol 5 buffers in shared-memory segments that every
+            worker maps read-only — instead of being copied through the pool's
+            in-band pickle stream (``zero-copy=on|off`` in CLI specs).
+            ``None`` defers to the process-wide default (on), giving test
+            harnesses one seam to flip a whole run onto the copying reference
+            path.  Results are identical either way — only shipped bytes and
+            memory change.
         telemetry: optional :class:`~repro.telemetry.Telemetry` bundle
             (metrics registry + tracer) every runner built from this profile
             instruments into; the process-global default when ``None``.
@@ -96,6 +105,7 @@ class RuntimeProfile:
     concurrent_jobs: int = 1
     fault_rate: float = 0.0
     fault_seed: int = 0
+    zero_copy: Optional[bool] = None
     telemetry: Optional[Telemetry] = field(default=None, compare=False,
                                            repr=False)
 
@@ -140,6 +150,12 @@ class RuntimeProfile:
         """The executor's name, whether configured by name or by instance."""
         return self.executor if isinstance(self.executor, str) else self.executor.name
 
+    @property
+    def zero_copy_enabled(self) -> bool:
+        """The resolved ``zero_copy`` flag (process default when unset)."""
+        return (zero_copy_default() if self.zero_copy is None
+                else bool(self.zero_copy))
+
     def build_executor(self) -> Executor:
         """The concrete executor this profile selects.
 
@@ -179,10 +195,12 @@ class RuntimeProfile:
           ``"parallel:8"`` (name plus worker count);
         * comma-separated ``key=value`` pairs over the keys ``executor``,
           ``workers``, ``seed``, ``data_plane``, ``concurrent_jobs``,
-          ``fault_rate`` and ``fault_seed`` (dashes allowed in keys), e.g.
+          ``fault_rate``, ``fault_seed`` and ``zero_copy`` (dashes allowed
+          in keys), e.g.
           ``"executor=parallel,workers=4,data-plane=records,seed=3"`` or
           ``"parallel:4,concurrent-jobs=7"`` or
-          ``"serial,fault-rate=0.2,fault-seed=11"``.
+          ``"serial,fault-rate=0.2,fault-seed=11"`` or
+          ``"parallel,zero-copy=off"``.
 
         Only keys actually present in the text appear in the result, so
         callers can layer the overrides onto an existing configuration
@@ -215,11 +233,21 @@ class RuntimeProfile:
                         raise InvalidParameterError(
                             f"profile key {key!r} needs a number, got {value!r}"
                         ) from error
+                elif key == "zero_copy":
+                    lowered = value.lower()
+                    if lowered in ("on", "true", "1", "yes"):
+                        overrides[key] = True
+                    elif lowered in ("off", "false", "0", "no"):
+                        overrides[key] = False
+                    else:
+                        raise InvalidParameterError(
+                            f"profile key {key!r} needs on/off, got {value!r}"
+                        )
                 else:
                     raise InvalidParameterError(
                         f"unknown profile key {key!r}; expected one of "
                         f"executor, workers, seed, data-plane, concurrent-jobs, "
-                        f"fault-rate, fault-seed"
+                        f"fault-rate, fault-seed, zero-copy"
                     )
             else:
                 name, _, workers = part.partition(":")
@@ -248,5 +276,7 @@ class RuntimeProfile:
                 if self.concurrent_jobs > 1 else "")
         faults = (f" fault-rate={self.fault_rate:g} fault-seed={self.fault_seed}"
                   if self.fault_rate > 0.0 else "")
+        shipping = "" if self.zero_copy_enabled else " zero-copy=off"
         return (f"executor={self.executor_name}{workers} "
-                f"data-plane={self.data_plane} seed={self.seed}{jobs}{faults}")
+                f"data-plane={self.data_plane} seed={self.seed}"
+                f"{jobs}{faults}{shipping}")

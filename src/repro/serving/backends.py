@@ -27,6 +27,7 @@ per backend (the simulated cluster's "master"); concurrent readers are safe.
 from __future__ import annotations
 
 import logging
+import mmap
 import os
 import re
 import threading
@@ -34,6 +35,7 @@ from abc import ABC, abstractmethod
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import InvalidParameterError, SynopsisNotFoundError
+from repro.telemetry import get_telemetry
 
 logger = logging.getLogger(__name__)
 
@@ -87,6 +89,21 @@ class StoreBackend(ABC):
         Raises:
             SynopsisNotFoundError: the version's payload is unreadable.
         """
+
+    def read_payload_view(self, name: str, version: int) -> memoryview:
+        """A read-only buffer view of one version's payload bytes.
+
+        The zero-copy read seam: backends that can expose the payload without
+        materialising it on the heap (the directory backend memory-maps
+        ``synopsis.bin``) override this; the default wraps
+        :meth:`read_payload` so every backend satisfies the contract.  The
+        view owns whatever keeps the bytes alive (an mmap, a bytes object) —
+        callers release it with ``view.release()`` when done.
+
+        Raises:
+            SynopsisNotFoundError: the version's payload is unreadable.
+        """
+        return memoryview(self.read_payload(name, version))
 
     @abstractmethod
     def publish(self, name: str, version: int, metadata_text: str,
@@ -177,6 +194,30 @@ class DirectoryBackend(StoreBackend):
             raise SynopsisNotFoundError(
                 f"payload of {name} v{version} is unreadable: {error}"
             ) from error
+
+    def read_payload_view(self, name: str, version: int) -> memoryview:
+        """Memory-map ``synopsis.bin`` instead of reading it onto the heap.
+
+        The WHSYN001 format is fixed-endian and offset-addressable precisely
+        so payloads can be mapped: every process serving a version shares the
+        one page-cache copy of its bytes, and faulting a synopsis in costs
+        page table entries, not a heap-sized read.  The file descriptor is
+        closed immediately (the mapping keeps the inode alive); a file that
+        cannot be mapped (empty, exotic filesystem) falls back to the heap
+        read.
+        """
+        path = os.path.join(self._version_dir(name, version), PAYLOAD_FILENAME)
+        try:
+            with open(path, "rb") as handle:
+                mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except OSError as error:
+            raise SynopsisNotFoundError(
+                f"payload of {name} v{version} is unreadable: {error}"
+            ) from error
+        except ValueError:
+            return memoryview(self.read_payload(name, version))
+        get_telemetry().metrics.inc("repro_payload_mmap_total")
+        return memoryview(mapped)
 
     # ---------------------------------------------------------------- writing
     def publish(self, name: str, version: int, metadata_text: str,

@@ -52,6 +52,13 @@ class ThroughputReport:
             engine — the per-request latency a serving process would see at
             that batch size (``None`` when the workload was too small to
             form a batch).
+        payload_mmap_total: process-wide count of mmap'd payload loads
+            (``repro_payload_mmap_total``) at measurement time.
+        payload_resident_bytes: resident payload bytes by kind
+            (``repro_payload_bytes_resident{kind=mapped|heap}``).
+        ship_bytes: task-shipping bytes by mode
+            (``repro_task_ship_bytes_total`` summed over phases) — nonzero
+            when a fan-out executor shipped query shards.
     """
 
     queries: int
@@ -65,6 +72,9 @@ class ThroughputReport:
     latency_batch_size: Optional[int] = None
     latency_p50_ms: Optional[float] = None
     latency_p99_ms: Optional[float] = None
+    payload_mmap_total: Optional[float] = None
+    payload_resident_bytes: Optional[Dict[str, float]] = None
+    ship_bytes: Optional[Dict[str, float]] = None
 
     @property
     def scalar_qps(self) -> float:
@@ -111,6 +121,21 @@ class ThroughputReport:
                 f"latency per {self.latency_batch_size}-query batch: "
                 f"p50 {self.latency_p50_ms:.3f} ms, p99 {self.latency_p99_ms:.3f} ms"
             )
+        if self.payload_resident_bytes is not None:
+            resident = ", ".join(
+                f"{kind} {int(value):,} B"
+                for kind, value in sorted(self.payload_resident_bytes.items())
+            ) or "none"
+            lines.append(
+                f"payloads: {int(self.payload_mmap_total or 0)} mmap'd load(s), "
+                f"resident {resident}"
+            )
+        if self.ship_bytes:
+            shipped = ", ".join(
+                f"{mode} {int(value):,} B"
+                for mode, value in sorted(self.ship_bytes.items())
+            )
+            lines.append(f"task shipping: {shipped}")
         return lines
 
 
@@ -202,6 +227,22 @@ def measure_serving_throughput(
         logger.debug("latency pass: %d sub-batches of %d queries",
                      batches, latency_batch_size)
 
+    # Zero-copy observability: how the measured payload is resident (mapped
+    # vs heap) and what any fan-out executor shipped, straight from the
+    # process registry so serve-bench output matches a live metrics scrape.
+    registry = get_telemetry().metrics
+    snapshot = registry.snapshot()
+    resident = {
+        entry["labels"].get("kind", ""): entry["value"]
+        for entry in snapshot["gauges"]
+        if entry["name"] == "repro_payload_bytes_resident" and entry["value"]
+    }
+    ship: Dict[str, float] = {}
+    for entry in snapshot["counters"]:
+        if entry["name"] == "repro_task_ship_bytes_total":
+            mode = entry["labels"].get("mode", "")
+            ship[mode] = ship.get(mode, 0.0) + entry["value"]
+
     return ThroughputReport(
         queries=len(workload),
         mix=workload.mix,
@@ -214,4 +255,7 @@ def measure_serving_throughput(
         latency_batch_size=latency_batch_size if latency_p50_ms is not None else None,
         latency_p50_ms=latency_p50_ms,
         latency_p99_ms=latency_p99_ms,
+        payload_mmap_total=registry.counter_value("repro_payload_mmap_total"),
+        payload_resident_bytes=resident,
+        ship_bytes=ship,
     )

@@ -82,7 +82,10 @@ class BatchQueryEngine:
     Args:
         u: domain size (power of two).
         coefficients: mapping from 1-based coefficient index to its value
-            (the :attr:`WaveletHistogram.coefficients` payload).
+            (the :attr:`WaveletHistogram.coefficients` payload), or — the
+            internal zero-copy form :meth:`from_arrays` uses — an already
+            conforming ``(indices, values)`` array pair adopted as read-only
+            views without copying.
         cache_size: capacity of the LRU range cache; ``0`` disables caching.
         block_size: maximum queries evaluated per numpy pass (bounds the
             ``(block, k)`` working set).
@@ -91,11 +94,29 @@ class BatchQueryEngine:
     def __init__(
         self,
         u: int,
-        coefficients: Mapping[int, float],
+        coefficients: Union[Mapping[int, float], Tuple[np.ndarray, np.ndarray]],
         *,
         cache_size: int = 0,
         block_size: int = 65536,
     ) -> None:
+        if isinstance(coefficients, tuple):
+            # Zero-copy construction (the from_arrays fast path): already
+            # sorted, conforming int64/float64 arrays — strictly ascending
+            # indices, nonzero values, the invariant the WHSYN001 payload and
+            # coefficient_arrays() both guarantee.  Adopted as read-only
+            # views, never copied, so an mmap-backed payload serves queries
+            # straight out of the page cache.
+            indices, values = coefficients
+            indices = indices.view()
+            values = values.view()
+        else:
+            items = sorted(
+                (int(i), float(w)) for i, w in coefficients.items() if w != 0.0
+            )
+            # The reference path *is* the copying path: fresh private arrays
+            # materialised from the mapping.
+            indices = np.array([i for i, _ in items], dtype=np.int64)  # reprolint: disable=hot-path-copy
+            values = np.array([w for _, w in items], dtype=np.float64)  # reprolint: disable=hot-path-copy
         validate_domain(u)
         if cache_size < 0:
             raise InvalidParameterError(f"cache_size must be >= 0, got {cache_size}")
@@ -105,9 +126,6 @@ class BatchQueryEngine:
         self.block_size = block_size
         self.cache_size = cache_size
 
-        items = sorted((int(i), float(w)) for i, w in coefficients.items() if w != 0.0)
-        indices = np.array([i for i, _ in items], dtype=np.int64)
-        values = np.array([w for _, w in items], dtype=np.float64)
         if indices.size and (indices[0] < 1 or indices[-1] > u):
             bad = indices[0] if indices[0] < 1 else indices[-1]
             raise KeyOutOfDomainError(f"coefficient index {bad} outside [1, {u}]")
@@ -157,6 +175,15 @@ class BatchQueryEngine:
     ) -> "BatchQueryEngine":
         """Build an engine from parallel index/value arrays (the pickled shard form).
 
+        Already-conforming arrays — int64/float64, 1-D, C-contiguous,
+        native-endian, strictly ascending indices, no zero values, which is
+        exactly what :meth:`coefficient_arrays` and an mmap'd WHSYN001 payload
+        produce — pass through **without copying**: the engine adopts
+        read-only views, so serving fan-out workers and the LRU engine table
+        share one physical copy of the coefficients.  Anything else (lists,
+        unsorted or duplicated indices, foreign dtypes) takes the reference
+        dict round-trip.
+
         Raises:
             InvalidParameterError: on duplicate indices — a malformed shard
                 payload must fail loudly, not collapse last-wins and
@@ -164,6 +191,16 @@ class BatchQueryEngine:
         """
         index_array = np.asarray(indices)
         value_array = np.asarray(values)
+        if (index_array.dtype == np.int64 and index_array.dtype.isnative
+                and value_array.dtype == np.float64 and value_array.dtype.isnative
+                and index_array.ndim == 1
+                and index_array.shape == value_array.shape
+                and index_array.flags.c_contiguous
+                and value_array.flags.c_contiguous
+                and bool(np.all(np.diff(index_array) > 0))
+                and not bool(np.any(value_array == 0.0))):
+            return cls(u, (index_array, value_array),
+                       cache_size=cache_size, block_size=block_size)
         if np.unique(index_array).size != index_array.size:
             counts = np.unique(index_array, return_counts=True)
             duplicated = counts[0][counts[1] > 1]

@@ -44,6 +44,7 @@ import numpy as np
 
 from repro.errors import InvalidParameterError, SynopsisIntegrityError
 from repro.mapreduce.executor import Executor, FunctionTaskSpec
+from repro.mapreduce.serialization import zero_copy_default
 from repro.serving.engine import BatchQueryEngine, normalize_selectivities
 from repro.serving.store import StoredSynopsis, SynopsisStore
 from repro.serving.workload import QueryWorkload
@@ -79,6 +80,10 @@ class QueryServer:
             batches at or below this size are never sharded.
         max_synopses: LRU bound on concurrently materialised synopses
             (engines + payloads); ``None`` keeps every synopsis ever touched.
+        zero_copy: whether fan-out shard tasks ship their coefficient arrays
+            out-of-band through shared memory (see
+            :attr:`~repro.service.profile.RuntimeProfile.zero_copy`); ``None``
+            defers to the process-wide default.
     """
 
     def __init__(
@@ -89,6 +94,7 @@ class QueryServer:
         cache_size: int = 4096,
         shard_size: int = 8192,
         max_synopses: Optional[int] = 64,
+        zero_copy: Optional[bool] = None,
     ) -> None:
         if shard_size < 1:
             raise InvalidParameterError(f"shard_size must be positive, got {shard_size}")
@@ -101,6 +107,7 @@ class QueryServer:
         self.cache_size = cache_size
         self.shard_size = shard_size
         self.max_synopses = max_synopses
+        self.zero_copy = zero_copy
         self._lock = threading.Lock()
         # LRU engine table: least recently used first.  A synopsis resolved
         # as "latest" occupies two keys — (name, None) and its pinned
@@ -305,6 +312,7 @@ class QueryServer:
                 return
             for key in [k for k, h in self._synopses.items() if h is victim]:
                 del self._synopses[key]
+            victim.release()
             self._synopses_evicted += 1
 
     def _sharded_range_sums(
@@ -316,11 +324,14 @@ class QueryServer:
             (shard * self.shard_size, min((shard + 1) * self.shard_size, los.size))
             for shard in range(num_shards)
         ]
+        zero_copy = (zero_copy_default() if self.zero_copy is None
+                     else bool(self.zero_copy))
         specs = [
             FunctionTaskSpec(
                 task_id=shard,
                 function=evaluate_range_shard,
                 payload=(engine.u, indices, values, los[start:stop], his[start:stop]),
+                zero_copy=zero_copy,
             )
             for shard, (start, stop) in enumerate(bounds)
         ]

@@ -47,11 +47,12 @@ from __future__ import annotations
 import hashlib
 import json
 import logging
+import mmap
 import struct
 import threading
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -81,6 +82,7 @@ __all__ = [
     "SynopsisStore",
     "serialize_histogram",
     "deserialize_histogram",
+    "deserialize_arrays",
 ]
 
 logger = logging.getLogger(__name__)
@@ -93,8 +95,10 @@ _NAME_PATTERN = NAME_PATTERN  # backwards-compatible alias
 def serialize_histogram(histogram: WaveletHistogram) -> bytes:
     """Serialise a histogram to the store's deterministic binary format."""
     items = sorted(histogram.coefficients.items())
-    indices = np.array([i for i, _ in items], dtype="<i8")
-    values = np.array([w for _, w in items], dtype="<f8")
+    # A serialiser's whole job is materialising bytes; these copies are the
+    # write path, not the serving path.
+    indices = np.array([i for i, _ in items], dtype="<i8")  # reprolint: disable=hot-path-copy
+    values = np.array([w for _, w in items], dtype="<f8")  # reprolint: disable=hot-path-copy
     header = json.dumps(
         {"u": histogram.u, "k": histogram.k, "count": len(items)},
         sort_keys=True, separators=(",", ":"),
@@ -103,36 +107,53 @@ def serialize_histogram(histogram: WaveletHistogram) -> bytes:
         MAGIC,
         struct.pack("<I", len(header)),
         header,
-        indices.tobytes(),
-        values.tobytes(),
+        indices.tobytes(),  # reprolint: disable=hot-path-copy
+        values.tobytes(),  # reprolint: disable=hot-path-copy
     ])
 
 
-def deserialize_histogram(payload: bytes) -> WaveletHistogram:
-    """Parse the binary format back into a histogram.
+def deserialize_arrays(payload: Any) -> Tuple[int, Optional[int], np.ndarray, np.ndarray]:
+    """Parse the binary format into ``(u, k, indices, values)`` without copying.
+
+    Accepts anything exposing the buffer protocol — ``bytes``, a
+    ``memoryview``, an mmap'd file — and returns int64/float64 arrays that
+    *alias* the payload bytes (``np.frombuffer``), so an mmap-backed payload
+    yields coefficient arrays served straight from the page cache.  The
+    arrays are read-only whenever the source buffer is.
 
     Raises:
         SynopsisIntegrityError: if the payload is truncated or malformed.
     """
-    if len(payload) < len(MAGIC) + 4 or not payload.startswith(MAGIC):
+    view = memoryview(payload)
+    if len(view) < len(MAGIC) + 4 or bytes(view[: len(MAGIC)]) != MAGIC:
         raise SynopsisIntegrityError("synopsis payload does not start with the WHSYN magic")
     offset = len(MAGIC)
-    (header_len,) = struct.unpack_from("<I", payload, offset)
+    (header_len,) = struct.unpack_from("<I", view, offset)
     offset += 4
     try:
-        header = json.loads(payload[offset : offset + header_len].decode("utf-8"))
+        header = json.loads(bytes(view[offset : offset + header_len]).decode("utf-8"))
         u, count = int(header["u"]), int(header["count"])
         k = int(header["k"]) if header["k"] is not None else None
     except (TypeError, ValueError, KeyError, UnicodeDecodeError) as error:
         raise SynopsisIntegrityError(f"unreadable synopsis header: {error}") from error
     offset += header_len
     expected = offset + count * 16
-    if len(payload) != expected:
+    if len(view) != expected:
         raise SynopsisIntegrityError(
-            f"synopsis payload has {len(payload)} bytes, header implies {expected}"
+            f"synopsis payload has {len(view)} bytes, header implies {expected}"
         )
-    indices = np.frombuffer(payload, dtype="<i8", count=count, offset=offset)
-    values = np.frombuffer(payload, dtype="<f8", count=count, offset=offset + count * 8)
+    indices = np.frombuffer(view, dtype="<i8", count=count, offset=offset)
+    values = np.frombuffer(view, dtype="<f8", count=count, offset=offset + count * 8)
+    return u, k, indices, values
+
+
+def deserialize_histogram(payload: Any) -> WaveletHistogram:
+    """Parse the binary format back into a histogram (accepts any buffer).
+
+    Raises:
+        SynopsisIntegrityError: if the payload is truncated or malformed.
+    """
+    u, k, indices, values = deserialize_arrays(payload)
     coefficients = {int(i): float(w) for i, w in zip(indices, values)}
     return WaveletHistogram.from_coefficients(coefficients, u, k=k)
 
@@ -195,7 +216,17 @@ class SynopsisMetadata:
 
 
 class StoredSynopsis:
-    """A lazily loaded synopsis version: metadata now, payload on first use."""
+    """A lazily loaded synopsis version: metadata now, payload on first use.
+
+    The payload is faulted in exactly once — through the backend's zero-copy
+    :meth:`~repro.serving.backends.StoreBackend.read_payload_view` seam, so
+    the directory backend serves it mmap'd — checksum-verified, and then
+    shared by everything derived from it: the coefficient arrays alias the
+    payload bytes, the query engines adopt the arrays as read-only views, and
+    :attr:`histogram` (the legacy dict form) is only materialised for callers
+    that ask for it.  :meth:`release` drops the whole chain, which is how the
+    server's LRU eviction returns a version's bytes.
+    """
 
     def __init__(self, backend: StoreBackend, metadata: SynopsisMetadata) -> None:
         self.backend = backend
@@ -203,6 +234,9 @@ class StoredSynopsis:
         self._lock = threading.Lock()
         self._histogram: Optional[WaveletHistogram] = None
         self._engines: Dict[tuple, BatchQueryEngine] = {}
+        self._payload: Optional[memoryview] = None
+        self._payload_kind = "heap"
+        self._arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     @property
     def directory(self) -> Optional[str]:
@@ -212,62 +246,95 @@ class StoredSynopsis:
     @property
     def loaded(self) -> bool:
         """Whether the coefficient payload has been read yet."""
-        return self._histogram is not None
+        return self._payload is not None
+
+    def _payload_locked(self) -> memoryview:
+        """Read + checksum-verify the payload once (caller holds the lock)."""
+        if self._payload is None:
+            telemetry = get_telemetry()
+            started = time.perf_counter()
+            with telemetry.tracer.span(
+                    "store.load", kind="store",
+                    synopsis=self.metadata.name,
+                    version=self.metadata.version) as span:
+                payload = self.backend.read_payload_view(
+                    self.metadata.name, self.metadata.version
+                )
+                span.set(bytes=len(payload))
+                with telemetry.tracer.span(
+                        "store.integrity_check", kind="store",
+                        synopsis=self.metadata.name,
+                        version=self.metadata.version):
+                    digest = hashlib.sha256(payload).hexdigest()
+                    if digest != self.metadata.checksum_sha256:
+                        telemetry.metrics.inc(
+                            "repro_store_integrity_checks_total",
+                            outcome="mismatch")
+                        payload.release()
+                        raise SynopsisIntegrityError(
+                            f"checksum mismatch for {self.metadata.name} "
+                            f"v{self.metadata.version}: stored "
+                            f"{self.metadata.checksum_sha256}, computed {digest}"
+                        )
+                    telemetry.metrics.inc("repro_store_integrity_checks_total",
+                                          outcome="ok")
+            telemetry.metrics.observe("repro_store_load_seconds",
+                                      time.perf_counter() - started)
+            telemetry.metrics.inc("repro_store_load_bytes_total", len(payload))
+            self._payload = payload
+            self._payload_kind = (
+                "mapped" if isinstance(payload.obj, mmap.mmap) else "heap"
+            )
+            telemetry.metrics.adjust_gauge("repro_payload_bytes_resident",
+                                           len(payload),
+                                           kind=self._payload_kind)
+            logger.debug("loaded %s v%d (%d bytes, %s)", self.metadata.name,
+                         self.metadata.version, len(payload),
+                         self._payload_kind)
+        return self._payload
+
+    def _arrays_locked(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The payload's (indices, values) arrays, aliasing the payload bytes."""
+        if self._arrays is None:
+            payload = self._payload_locked()
+            u, _, indices, values = deserialize_arrays(payload)
+            if u != self.metadata.u or indices.size != self.metadata.coefficient_count:
+                raise SynopsisIntegrityError(
+                    f"payload of {self.metadata.name} v{self.metadata.version} "
+                    f"disagrees with its metadata (u or coefficient count)"
+                )
+            self._arrays = (indices, values)
+        return self._arrays
 
     @property
     def histogram(self) -> WaveletHistogram:
         """The synopsis itself; reads and checksum-verifies the payload once."""
         with self._lock:
             if self._histogram is None:
-                telemetry = get_telemetry()
-                started = time.perf_counter()
-                with telemetry.tracer.span(
-                        "store.load", kind="store",
-                        synopsis=self.metadata.name,
-                        version=self.metadata.version) as span:
-                    payload = self.backend.read_payload(
-                        self.metadata.name, self.metadata.version
-                    )
-                    span.set(bytes=len(payload))
-                    with telemetry.tracer.span(
-                            "store.integrity_check", kind="store",
-                            synopsis=self.metadata.name,
-                            version=self.metadata.version):
-                        digest = hashlib.sha256(payload).hexdigest()
-                        if digest != self.metadata.checksum_sha256:
-                            telemetry.metrics.inc(
-                                "repro_store_integrity_checks_total",
-                                outcome="mismatch")
-                            raise SynopsisIntegrityError(
-                                f"checksum mismatch for {self.metadata.name} "
-                                f"v{self.metadata.version}: stored "
-                                f"{self.metadata.checksum_sha256}, computed {digest}"
-                            )
-                        telemetry.metrics.inc("repro_store_integrity_checks_total",
-                                              outcome="ok")
-                    histogram = deserialize_histogram(payload)
-                    if histogram.u != self.metadata.u or len(histogram) != self.metadata.coefficient_count:
-                        raise SynopsisIntegrityError(
-                            f"payload of {self.metadata.name} v{self.metadata.version} "
-                            f"disagrees with its metadata (u or coefficient count)"
-                        )
-                telemetry.metrics.observe("repro_store_load_seconds",
-                                          time.perf_counter() - started)
-                telemetry.metrics.inc("repro_store_load_bytes_total", len(payload))
-                logger.debug("loaded %s v%d (%d bytes)", self.metadata.name,
-                             self.metadata.version, len(payload))
-                self._histogram = histogram
+                self._arrays_locked()  # verify before materialising
+                self._histogram = deserialize_histogram(self._payload_locked())
             return self._histogram
 
+    def coefficient_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The verified (indices, values) arrays — views over the payload."""
+        with self._lock:
+            return self._arrays_locked()
+
     def engine(self, cache_size: int = 0, block_size: int = 65536) -> BatchQueryEngine:
-        """A batch query engine over this synopsis (memoised per parameters)."""
-        histogram = self.histogram
+        """A batch query engine over this synopsis (memoised per parameters).
+
+        Built from the payload-aliasing arrays via the
+        :meth:`~repro.serving.engine.BatchQueryEngine.from_arrays` pass-through
+        — no dict round-trip, no coefficient copy.
+        """
         with self._lock:
             key = (cache_size, block_size)
             engine = self._engines.get(key)
             if engine is None:
-                engine = BatchQueryEngine.from_histogram(
-                    histogram, cache_size=cache_size, block_size=block_size
+                indices, values = self._arrays_locked()
+                engine = BatchQueryEngine.from_arrays(
+                    self.metadata.u, indices, values,
+                    cache_size=cache_size, block_size=block_size,
                 )
                 self._engines[key] = engine
             return engine
@@ -281,6 +348,38 @@ class StoredSynopsis:
         """
         with self._lock:
             return self._engines.get((cache_size, block_size))
+
+    def release(self) -> int:
+        """Drop the payload and everything derived from it; return bytes freed.
+
+        The eviction half of the zero-copy serving path: engines, coefficient
+        arrays and the payload view go together (the arrays alias the
+        payload, so none may outlive it), the resident-bytes gauge is
+        decremented, and an mmap'd payload is unmapped.  Idempotent; the next
+        :meth:`engine`/:attr:`histogram` touch faults the payload back in.
+        """
+        with self._lock:
+            payload = self._payload
+            if payload is None:
+                return 0
+            freed = len(payload)
+            self._engines.clear()
+            self._arrays = None
+            self._histogram = None
+            self._payload = None
+            owner = payload.obj
+            try:
+                payload.release()
+                if isinstance(owner, mmap.mmap):
+                    owner.close()
+            except BufferError:
+                # A caller still holds an aliasing view (an in-flight query
+                # shard); the bytes free when the last view drops.
+                pass
+            get_telemetry().metrics.adjust_gauge("repro_payload_bytes_resident",
+                                                 -freed,
+                                                 kind=self._payload_kind)
+            return freed
 
 
 # ---------------------------------------------------------------------- store

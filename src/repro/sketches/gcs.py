@@ -148,6 +148,10 @@ class GroupCountSketch:
         """Add another sketch's counters into this one."""
         if not self.is_compatible(other):
             raise SketchError("cannot merge incompatible GCS sketches")
+        if not self._table.flags.writeable:
+            # A sketch shipped out-of-band rebuilds its table as a read-only
+            # view over shared pages; the accumulator must own its buffer.
+            self._table = self._table.copy()
         self._table += other._table
         self.update_ops += other.update_ops
 

@@ -250,6 +250,17 @@ class MetricsRegistry:
         with self._lock:
             self._gauges[key] = float(value)
 
+    def adjust_gauge(self, name: str, delta: float, **labels: Any) -> None:
+        """Add ``delta`` (may be negative) to a gauge, created at zero.
+
+        For resource-style gauges tracked by paired acquire/release call
+        sites — e.g. ``repro_payload_bytes_resident`` — where no single
+        component knows the absolute level to ``set_gauge``.
+        """
+        key = (name, _label_set(labels))
+        with self._lock:
+            self._gauges[key] = self._gauges.get(key, 0.0) + float(delta)
+
     def observe(self, name: str, value: float,
                 buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
                 **labels: Any) -> None:

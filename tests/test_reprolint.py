@@ -326,6 +326,53 @@ class TestNoPrintRule:
         assert result.findings == []
 
 
+class TestHotPathCopyRule:
+    def test_np_array_on_hot_path_is_flagged(self, tmp_path):
+        write_module(tmp_path, "src/repro/mapreduce/columnar.py", """
+            import numpy as np
+            def route(keys):
+                return np.array(keys)
+        """)
+        result = lint_paths([tmp_path / "src"], ["hot-path-copy"])
+        assert rules_hit(result) == {"hot-path-copy"}
+
+    def test_copy_and_tobytes_methods_are_flagged(self, tmp_path):
+        write_module(tmp_path, "src/repro/serving/engine.py", """
+            def widen(values):
+                return values.copy(), values.tobytes()
+        """)
+        result = lint_paths([tmp_path / "src"], ["hot-path-copy"])
+        assert len(result.findings) == 2
+
+    def test_views_and_asarray_are_clean(self, tmp_path):
+        write_module(tmp_path, "src/repro/serving/store.py", """
+            import numpy as np
+            def adopt(payload):
+                view = np.asarray(payload).view()
+                return np.frombuffer(payload, dtype="<i8")
+        """)
+        result = lint_paths([tmp_path / "src"], ["hot-path-copy"])
+        assert result.findings == []
+
+    def test_cold_modules_are_out_of_scope(self, tmp_path):
+        write_module(tmp_path, "src/repro/experiments/figures.py", """
+            import numpy as np
+            def plot(xs):
+                return np.array(xs).copy().tobytes()
+        """)
+        result = lint_paths([tmp_path / "src"], ["hot-path-copy"])
+        assert result.findings == []
+
+    def test_pragma_marks_a_deliberate_copy(self, tmp_path):
+        write_module(tmp_path, "src/repro/serving/store.py", """
+            def serialize(indices):
+                return indices.tobytes()  # reprolint: disable=hot-path-copy
+        """)
+        result = lint_paths([tmp_path / "src"], ["hot-path-copy"])
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+
 class TestSuppressionPragmas:
     def test_trailing_pragma_suppresses_and_is_counted(self, tmp_path):
         write_module(tmp_path, "src/repro/core/ok.py", """
@@ -451,10 +498,11 @@ class TestShippedTreeIsClean:
         assert result.findings == [], "\n" + "\n".join(
             finding.format() for finding in result.findings)
         # The deliberate, documented exceptions stay visible as suppressions:
-        # the core→serving lazy engine import and the unseeded convenience
-        # rng in the hash-family constructor.
+        # the core→serving lazy engine import, the unseeded convenience rng
+        # in the hash-family constructor, and the deliberate materialisations
+        # on the zero-copy hot paths (serialisers, reference constructors).
         suppressed_rules = {finding.rule for finding in result.suppressed}
-        assert suppressed_rules == {"layering", "determinism"}
+        assert suppressed_rules == {"layering", "determinism", "hot-path-copy"}
 
     def test_every_registered_rule_ran(self):
         result = lint_paths([REPO_ROOT / "src" / "repro"])

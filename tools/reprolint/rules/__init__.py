@@ -2,6 +2,7 @@
 
 from tools.reprolint.rules import (  # noqa: F401  (register side effects)
     determinism,
+    hot_path_copy,
     layering,
     locks,
     no_print,
